@@ -1,0 +1,38 @@
+"""Bench: Fig 3 — transaction latency for REGIONAL vs GLOBAL tables.
+
+Shape requirements from the paper (§7.1.2):
+* GLOBAL reads are fast (< a few ms) from every region; GLOBAL writes
+  pay commit wait (hundreds of ms).
+* REGIONAL reads/writes are fast from the PRIMARY region and pay WAN
+  RTTs from other regions.
+* Bounded-staleness reads on REGIONAL tables are fast from everywhere.
+"""
+
+from repro.harness.experiments.fig3 import run_fig3
+
+
+def test_fig3_regional_vs_global(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig3(clients_per_region=3, ops_per_client=40),
+        rounds=1, iterations=1)
+    result.table().print()
+
+    fast = 10.0  # "fast" threshold in ms (paper: < 3 ms on real hardware)
+
+    # GLOBAL: reads fast everywhere, writes slow everywhere.
+    assert result.summary("global", "read", primary=True).p50 < fast
+    assert result.summary("global", "read", primary=False).p50 < fast
+    assert result.summary("global", "update", primary=True).p50 > 250.0
+    assert result.summary("global", "update", primary=False).p50 > 250.0
+
+    # REGIONAL (latest): fast at home, WAN remotely.
+    assert result.summary("regional_latest", "read", primary=True).p50 < fast
+    assert result.summary("regional_latest", "update", primary=True).p50 < fast
+    remote_read = result.summary("regional_latest", "read", primary=False)
+    assert 60.0 <= remote_read.p50 <= 250.0
+    assert result.summary("regional_latest", "update",
+                          primary=False).p50 >= 60.0
+
+    # REGIONAL (stale): reads fast everywhere.
+    assert result.summary("regional_stale", "read", primary=True).p50 < fast
+    assert result.summary("regional_stale", "read", primary=False).p50 < fast

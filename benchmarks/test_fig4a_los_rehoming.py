@@ -1,0 +1,43 @@
+"""Bench: Fig 4a — locality optimized search and automatic rehoming.
+
+Shape requirements (§7.2.1):
+* Unoptimized fans out on every operation: local reads are as slow as
+  remote ones (~WAN RTT).
+* Default keeps local operations local and is only modestly slower
+  than Baseline on remote operations.
+* Rehoming pulls each client's revisited remote rows into its region:
+  remote-labelled operations approach local latency.
+"""
+
+from repro.harness.experiments.fig4 import run_fig4a
+
+
+def test_fig4a_los_and_rehoming(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig4a(clients_per_region=2, ops_per_client=60),
+        rounds=1, iterations=1)
+    result.table().print()
+
+    for locality in (0.95, 0.5):
+        # Unoptimized: even local reads pay the fan-out.
+        unopt_local = result.summary("unoptimized", locality, "read", True)
+        assert unopt_local.p50 > 100.0
+
+        # Default: local reads fast; remote reads ~ one WAN fan-out.
+        default_local = result.summary("default", locality, "read", True)
+        default_remote = result.summary("default", locality, "read", False)
+        assert default_local.p50 < 10.0
+        assert default_remote.p50 > 100.0
+
+        # Baseline: like Default but without the local probe (can only
+        # be faster on remote reads, never slower).
+        baseline_remote = result.summary("baseline", locality, "read", False)
+        assert baseline_remote.p50 <= default_remote.p50 + 5.0
+
+        # Rehoming: revisited remote rows have moved in; local regime.
+        rehoming_remote = result.summary("rehoming", locality, "read", False)
+        assert rehoming_remote.p50 < 10.0
+        rehoming_writes = result.summary("rehoming", locality, "update",
+                                         False)
+        if rehoming_writes.count:
+            assert rehoming_writes.p50 < 20.0

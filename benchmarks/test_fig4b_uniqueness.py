@@ -1,0 +1,30 @@
+"""Bench: Fig 4b — the cost of global uniqueness checks on INSERT.
+
+Shape requirements (§7.2.2):
+* Computed (region derived from the key) skips the checks: local-latency
+  INSERTs, identical profile to the manually partitioned Baseline.
+* Default (region from the gateway) must verify pk uniqueness in every
+  region: INSERT latency ~ the max inter-region RTT from each region.
+"""
+
+from repro.harness.experiments.fig4 import run_fig4b
+
+
+def test_fig4b_uniqueness_checks(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig4b(clients_per_region=2, ops_per_client=80),
+        rounds=1, iterations=1)
+    result.table().print()
+
+    computed = result.insert_summary("computed")
+    baseline = result.insert_summary("baseline")
+    default = result.insert_summary("default")
+    assert computed.count and baseline.count and default.count
+
+    # Computed and Baseline insert locally.
+    assert computed.p50 < 10.0
+    assert baseline.p50 < 10.0
+    # Computed is "identical to Baseline" modulo noise.
+    assert abs(computed.p50 - baseline.p50) < 5.0
+    # Default pays a cross-region check on every INSERT.
+    assert default.p50 > 80.0

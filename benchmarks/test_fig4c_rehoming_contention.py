@@ -1,0 +1,42 @@
+"""Bench: Fig 4c — automatic rehoming under contention.
+
+Shape requirements (§7.2.3):
+* c=1 (no contention): all shared rows re-home to the lone client's
+  region; its accesses run at local latency.
+* c=2,3: contending clients from different regions thrash the rows'
+  homes; latency degrades back toward (or beyond) the non-rehoming
+  Default.
+"""
+
+from repro.harness.experiments.fig4 import run_fig4c
+
+
+def test_fig4c_rehoming_under_contention(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig4c(ops_per_client=60),
+        rounds=1, iterations=1)
+    result.table().print()
+
+    def reads(config):
+        return result.recorders[config].summary("read", "remote")
+
+    def writes(config):
+        return result.recorders[config].summary("update", "remote")
+
+    # Uncontended: the shared slice lives wherever the lone client is —
+    # a single local-latency band.
+    assert reads("rehoming_c1").p50 < 10.0
+    assert reads("rehoming_c1").mean < 20.0
+
+    # Contended: each contender only owns the rows it touched last, so a
+    # large share of accesses cross regions again (bimodal violin in the
+    # paper) — the mean climbs far above the uncontended case and toward
+    # the no-rehoming Default.
+    assert reads("rehoming_c2").mean > 10.0 * reads("rehoming_c1").mean
+    assert reads("rehoming_c3").mean > 10.0 * reads("rehoming_c1").mean
+    assert reads("default").mean > 100.0
+    # Writes that do cross regions pay the move (delete + reinsert).
+    for config in ("rehoming_c2", "rehoming_c3"):
+        summary = writes(config)
+        if summary.count:
+            assert summary.max > 100.0, config

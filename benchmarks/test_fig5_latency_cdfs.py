@@ -1,0 +1,55 @@
+"""Bench: Fig 5 — latency CDFs: GLOBAL tables vs duplicate indexes.
+
+Shape requirements (§7.3.2):
+* Reads are fast in the common case for every config except
+  Regional (Latest).
+* GLOBAL write latency decreases with ``max_clock_offset`` (commit wait
+  shrinks) and stays bounded.
+* Duplicate-index writes are comparable to GLOBAL writes in the common
+  case but their tail blows up under contention (writers queue behind
+  WAN round trips), while GLOBAL read tails stay bounded by
+  ``max_clock_offset``.
+"""
+
+from repro.harness.experiments.fig5 import run_fig5
+
+
+def test_fig5_latency_cdfs(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig5(clients_per_region=4, ops_per_client=40,
+                         keys_per_region=40),
+        rounds=1, iterations=1)
+    result.table().print()
+
+    # Common-case reads fast everywhere but Regional (Latest).
+    for config in ("global_250", "global_50", "global_10", "dup_idx",
+                   "regional_stale"):
+        assert result.summary(config, "read").p50 < 10.0, config
+    assert result.summary("regional_latest", "read").p50 > 30.0
+
+    # GLOBAL writes: smaller max_clock_offset => lower write latency.
+    w250 = result.summary("global_250", "write").p50
+    w50 = result.summary("global_50", "write").p50
+    w10 = result.summary("global_10", "write").p50
+    assert w250 > w50 > w10
+
+    # Tail behaviour: GLOBAL read tail bounded by ~max_clock_offset (+
+    # slack for the blocking-writer case); duplicate-index write tail
+    # far exceeds its common case.
+    g_read = result.summary("global_250", "read")
+    assert g_read.p99 <= 250.0 + 150.0
+    dup_write = result.summary("dup_idx", "write")
+    assert dup_write.max > 2.0 * dup_write.p50
+    # Duplicate-index worst case exceeds the bounded GLOBAL read tail.
+    dup_read = result.summary("dup_idx", "read")
+    assert max(dup_read.max, dup_write.max) > 1000.0
+
+    # Print CDF tails for EXPERIMENTS.md.
+    for config in ("global_250", "dup_idx"):
+        for op in ("read", "write"):
+            points = result.cdf(config, op)
+            if points:
+                tail = [p for p in points if p[1] >= 0.95]
+                print(f"{config} {op} tail: "
+                      + ", ".join(f"{lat:.0f}ms@{frac:.3f}"
+                                  for lat, frac in tail[:6]))

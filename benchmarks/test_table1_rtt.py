@@ -1,0 +1,44 @@
+"""Bench: Table 1 — the inter-region RTT matrix (network substrate)."""
+
+from repro.cluster import standard_cluster
+from repro.harness.experiments.tables import run_table1
+from repro.sim.network import TABLE1_REGIONS, TABLE1_RTT_MS
+
+
+def _measure_rtts():
+    """Measure actual message round trips between one node per region."""
+    cluster = standard_cluster(TABLE1_REGIONS, nodes_per_region=1,
+                               jitter_fraction=0.0)
+    sim = cluster.sim
+    measured = {}
+
+    def ping(a, b):
+        def handler():
+            return "pong"
+            yield  # pragma: no cover
+
+        def proc():
+            start = sim.now
+            yield cluster.network.call(a, b, handler)
+            measured[(a.locality.region, b.locality.region)] = \
+                sim.now - start
+
+        process = sim.spawn(proc())
+        sim.run_until_future(process)
+
+    nodes = cluster.nodes
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1:]:
+            ping(a, b)
+    return measured
+
+
+def test_table1_rtt_matrix(benchmark):
+    measured = benchmark.pedantic(_measure_rtts, rounds=1, iterations=1)
+    run_table1().print()
+    print("\nmeasured ping round trips (incl. processing overhead):")
+    for (a, b), rtt in sorted(measured.items()):
+        nominal = TABLE1_RTT_MS[(a, b)]
+        print(f"  {a:22s} <-> {b:22s} {rtt:7.1f} ms (paper: {nominal:.0f})")
+        # Within the per-message processing overhead of the nominal RTT.
+        assert nominal <= rtt <= nominal + 1.0

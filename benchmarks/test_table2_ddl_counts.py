@@ -1,0 +1,24 @@
+"""Bench: Table 2 — DDL statements for multi-region operations.
+
+Shape requirements (§7.5.1): the declarative syntax takes a small
+fraction of the legacy statement count for schema creation/conversion,
+and exactly one statement to add or drop a region.
+"""
+
+from repro.harness.experiments.tables import run_table2
+
+
+def test_table2_ddl_counts(benchmark):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    result.table().print()
+
+    for (schema, op), (before, after) in result.counts.items():
+        assert after <= before, (schema, op)
+        if op in ("add_region", "drop_region"):
+            # A single declarative statement per region change.
+            assert after == 1, (schema, op)
+        else:
+            # The declarative syntax cuts statement counts at least in
+            # half for the multi-table schemas.
+            if schema in ("movr", "tpcc"):
+                assert after * 2 <= before, (schema, op)

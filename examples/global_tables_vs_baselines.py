@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""GLOBAL tables vs the duplicate-indexes baseline (paper §6, §7.3).
+
+Reproduces the headline tail-latency comparison at miniature scale:
+strongly-consistent reads from every region are fast for both designs
+in the common case, but under read/write contention duplicate indexes
+block readers on WAN transactions while GLOBAL tables bound the wait by
+``max_clock_offset``.
+
+Run:  python examples/global_tables_vs_baselines.py
+"""
+
+import random
+
+from repro.baselines import DuplicateIndexTable
+from repro.sql import ast
+from repro.harness.runner import build_engine
+from repro.metrics import Summary
+from repro.sim.clock import Timestamp
+from repro.sim.network import TABLE1_REGIONS
+
+
+def run_contended_reads(kind: str, n_rounds: int = 12) -> Summary:
+    """Writers hammer one key from the primary region while every other
+    region reads it; returns the distribution of read latencies."""
+    regions = list(TABLE1_REGIONS)
+    engine = build_engine(regions, jitter_fraction=0.0)
+    cluster = engine.cluster
+    sim = cluster.sim
+
+    if kind == "global":
+        session = engine.connect(regions[0])
+        session.execute(
+            f'CREATE DATABASE d PRIMARY REGION "{regions[0]}" REGIONS '
+            + ", ".join(f'"{r}"' for r in regions[1:]))
+        session.execute("CREATE TABLE t (id int PRIMARY KEY, v string) "
+                        "LOCALITY GLOBAL")
+        session.execute("INSERT INTO t (id, v) VALUES (1, 'v0')")
+
+        def write(i):
+            client = engine.connect(regions[0], index=i % 3)
+            client.database = engine.catalog.database("d")
+            return client.execute_stmt_co(ast.Update(
+                table="t", assignments=[("v", ast.Literal(f"v{i}"))],
+                where=_eq("id", 1)))
+
+        def read(region, i):
+            client = engine.connect(region, index=i % 3)
+            client.database = engine.catalog.database("d")
+            return client.execute_stmt_co(ast.Select(
+                table="t", columns=["v"], where=_eq("id", 1)))
+    else:
+        table = DuplicateIndexTable(cluster, engine.coordinator, regions)
+        table.bulk_load([((1,), "v0")], Timestamp(-1000.0))
+
+        def write(i):
+            gateway = cluster.gateway_for_region(regions[0], i % 3)
+            return table.write_co(gateway, (1,), f"v{i}")
+
+        def read(region, i):
+            gateway = cluster.gateway_for_region(region, i % 3)
+            return table.read_co(gateway, (1,))
+
+    sim.run(until=sim.now + 2000.0)
+    latencies = []
+    rng = random.Random(7)
+
+    def writer_loop():
+        for i in range(n_rounds):
+            yield from _drain(write(i))
+            yield sim.sleep(rng.uniform(5.0, 40.0))
+
+    def reader_loop(region):
+        for i in range(n_rounds):
+            start = sim.now
+            yield from _drain(read(region, i))
+            latencies.append(sim.now - start)
+            yield sim.sleep(rng.uniform(5.0, 60.0))
+
+    processes = [sim.spawn(writer_loop())]
+    processes += [sim.spawn(reader_loop(r)) for r in regions[1:]]
+    for process in processes:
+        sim.run_until_future(process)
+    return Summary(latencies)
+
+
+def _drain(gen):
+    result = yield from gen
+    return result
+
+
+def _eq(column, value):
+    return ast.Comparison("=", ast.ColumnRef(column), ast.Literal(value))
+
+
+def main() -> None:
+    for kind in ("global", "dup_idx"):
+        summary = run_contended_reads(kind)
+        print(f"{kind:8s} contended reads: p50={summary.p50:7.1f} ms  "
+              f"p90={summary.p90:7.1f} ms  max={summary.max:8.1f} ms")
+    print("\nGLOBAL read tails stay bounded by max_clock_offset (250 ms "
+          "+ blocking slack); duplicate indexes wait on WAN transactions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""repro: a simulation-backed reproduction of CockroachDB's multi-region
+abstractions (VanBenschoten et al., SIGMOD 2022).
+
+The public surface most users want:
+
+* :func:`repro.sql.connect` -- open a session against a simulated
+  multi-region cluster and speak the paper's SQL dialect.
+* :mod:`repro.harness` -- experiment specs and runners that regenerate
+  every table and figure from the paper's evaluation.
+
+Lower layers (``sim``, ``raft``, ``kv``, ``txn``, ``placement``) are
+importable directly for tests, ablations, and custom experiments.
+"""
+
+__version__ = "1.0.0"
+
+from . import errors
+
+__all__ = ["errors", "__version__"]

@@ -1,0 +1,126 @@
+"""Command-line entry point: run paper experiments by name.
+
+Usage::
+
+    python -m repro list
+    python -m repro table1
+    python -m repro fig3 [--quick]
+    python -m repro all [--quick]
+
+``--quick`` shrinks client/op counts (~5x faster, coarser percentiles).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from .harness.experiments import (
+    run_commit_wait_ablation,
+    run_fig3,
+    run_fig4a,
+    run_fig4b,
+    run_fig4c,
+    run_fig5,
+    run_fig6,
+    run_lead_time_ablation,
+    run_side_transport_ablation,
+    run_table1,
+    run_table2,
+)
+
+__all__ = ["main"]
+
+
+def _fig3(quick: bool) -> None:
+    scale = dict(clients_per_region=1, ops_per_client=15) if quick else {}
+    run_fig3(**scale).table().print()
+
+
+def _fig4a(quick: bool) -> None:
+    scale = dict(clients_per_region=1, ops_per_client=25) if quick else {}
+    run_fig4a(**scale).table().print()
+
+
+def _fig4b(quick: bool) -> None:
+    scale = dict(clients_per_region=1, ops_per_client=30) if quick else {}
+    run_fig4b(**scale).table().print()
+
+
+def _fig4c(quick: bool) -> None:
+    scale = dict(ops_per_client=25) if quick else {}
+    run_fig4c(**scale).table().print()
+
+
+def _fig5(quick: bool) -> None:
+    scale = (dict(clients_per_region=2, ops_per_client=20,
+                  keys_per_region=40)
+             if quick else dict(clients_per_region=4, ops_per_client=40,
+                                keys_per_region=40))
+    run_fig5(**scale).table().print()
+
+
+def _fig6(quick: bool) -> None:
+    if quick:
+        result = run_fig6(region_counts=(4, 10), txns_per_client=8)
+    else:
+        result = run_fig6()
+    result.table().print()
+
+
+def _table1(_quick: bool) -> None:
+    run_table1().print()
+
+
+def _table2(_quick: bool) -> None:
+    run_table2().table().print()
+
+
+def _ablations(_quick: bool) -> None:
+    run_lead_time_ablation().print()
+    run_commit_wait_ablation().print()
+    run_side_transport_ablation().print()
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], None]] = {
+    "table1": _table1,
+    "fig3": _fig3,
+    "fig4a": _fig4a,
+    "fig4b": _fig4b,
+    "fig4c": _fig4c,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "table2": _table2,
+    "ablations": _ablations,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's evaluation tables and figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all", "list"],
+                        help="experiment to run (or 'all' / 'list')")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller runs (~5x faster, coarser tails)")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    names = (sorted(EXPERIMENTS) if args.experiment == "all"
+             else [args.experiment])
+    for name in names:
+        start = time.time()
+        EXPERIMENTS[name](args.quick)
+        print(f"\n[{name} finished in {time.time() - start:.1f}s wall]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Baselines the paper compares against: duplicate indexes, legacy DDL."""
+
+from .duplicate_indexes import DuplicateIndexTable
+from .legacy_ddl import (
+    LegacySchema,
+    LegacyTable,
+    legacy_add_region_ddl,
+    legacy_convert_ddl,
+    legacy_drop_region_ddl,
+    legacy_new_schema_ddl,
+)
+
+__all__ = [
+    "DuplicateIndexTable",
+    "LegacySchema",
+    "LegacyTable",
+    "legacy_add_region_ddl",
+    "legacy_convert_ddl",
+    "legacy_drop_region_ddl",
+    "legacy_new_schema_ddl",
+]

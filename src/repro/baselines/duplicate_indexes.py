@@ -1,0 +1,87 @@
+"""The *duplicate indexes* baseline (paper §7.3.1).
+
+CRDB's pre-multi-region recipe for low-latency consistent reads from
+every region: create one covering secondary index per region and pin
+each index's leaseholder to its region.  Reads use the local index
+(strongly consistent, served by its leaseholder).  Writes must update
+every index inside one transaction, fanning out across all regions.
+
+The failure mode the paper measures (Fig 5): a reader that catches a
+write in flight blocks on the intent until the writing transaction
+finishes its WAN round trips — so read tail latency is unbounded under
+contention, unlike GLOBAL tables whose reads wait at most
+``max_clock_offset``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from ..kv.range import Range
+from ..placement.goals import SurvivalGoal, zone_config_for_home
+from ..placement.provision import provision_range
+from ..txn.coordinator import TransactionCoordinator
+
+__all__ = ["DuplicateIndexTable"]
+
+
+class DuplicateIndexTable:
+    """A logical table materialized as one pinned index per region."""
+
+    def __init__(self, cluster, coordinator: TransactionCoordinator,
+                 regions: List[str], primary_region: Optional[str] = None,
+                 name: str = "dup",
+                 side_transport_interval_ms: Optional[float] = None):
+        self.cluster = cluster
+        self.coordinator = coordinator
+        self.regions = list(regions)
+        self.primary_region = primary_region or self.regions[0]
+        #: region -> Range holding that region's covering index.
+        self.indexes = {}
+        for region in self.regions:
+            config = zone_config_for_home(region, self.regions,
+                                          SurvivalGoal.ZONE,
+                                          placement_restricted=True)
+            self.indexes[region] = provision_range(
+                cluster, config, name=f"{name}@{region}",
+                side_transport_interval_ms=side_transport_interval_ms)
+
+    def local_index(self, gateway) -> Range:
+        region = gateway.locality.region
+        return self.indexes.get(region, self.indexes[self.primary_region])
+
+    # -- operations (coroutines) --------------------------------------------------
+
+    def read_co(self, gateway, key: Any) -> Generator:
+        """Strongly-consistent read from the region-local index."""
+        rng = self.local_index(gateway)
+
+        def txn_fn(txn):
+            value = yield from txn.read(rng, key)
+            return value
+
+        value, _commit_ts = yield from self.coordinator.run(gateway, txn_fn)
+        return value
+
+    def write_co(self, gateway, key: Any, value: Any) -> Generator:
+        """Write-through to every region's index in one transaction.
+
+        The primary index is the transaction anchor; all index writes
+        fan out in parallel, so latency is one round trip to the
+        furthest region (plus commit), and contending writers queue.
+        """
+        ordered = [self.indexes[self.primary_region]]
+        ordered += [rng for region, rng in self.indexes.items()
+                    if region != self.primary_region]
+
+        def txn_fn(txn):
+            yield from txn.write_batch(
+                [(rng, key, value) for rng in ordered])
+            return None
+
+        _result, commit_ts = yield from self.coordinator.run(gateway, txn_fn)
+        return commit_ts
+
+    def bulk_load(self, items, ts) -> None:
+        for rng in self.indexes.values():
+            rng.bulk_ingest(items, ts)

@@ -1,0 +1,140 @@
+"""Legacy (pre-abstraction) DDL recipes, for Table 2.
+
+Before the declarative abstractions, making a schema multi-region in
+CRDB meant hand-writing, per table:
+
+* a partitioning clause over every index (``PARTITION BY LIST``),
+* one ``CONFIGURE ZONE`` per partition per index to pin replicas and
+  leaseholders,
+* and, for reference data, one duplicate covering index per non-primary
+  region plus a ``CONFIGURE ZONE`` per index (the §7.3.1 baseline).
+
+This module *generates* those statement lists from a schema description
+so Table 2's "before" column is computed from the same schemas as the
+"after" column, not hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["LegacySchema", "LegacyTable", "legacy_new_schema_ddl",
+           "legacy_convert_ddl", "legacy_add_region_ddl",
+           "legacy_drop_region_ddl"]
+
+
+@dataclass
+class LegacyTable:
+    """One table in a legacy multi-region conversion."""
+
+    name: str
+    #: 'regional' (partition by region) or 'global' (duplicate indexes).
+    kind: str = "regional"
+    #: Number of indexes (primary included) that must be partitioned.
+    index_count: int = 1
+    #: Does the schema need a new partitioning column added?
+    needs_partition_column: bool = False
+
+
+@dataclass
+class LegacySchema:
+    name: str
+    tables: List[LegacyTable] = field(default_factory=list)
+
+
+def legacy_new_schema_ddl(schema: LegacySchema,
+                          regions: List[str]) -> List[str]:
+    """Statements to build the schema multi-region the old way."""
+    statements: List[str] = []
+    n_regions = len(regions)
+    for table in schema.tables:
+        if table.kind == "regional":
+            if table.needs_partition_column:
+                statements.append(
+                    f"ALTER TABLE {table.name} ADD COLUMN region STRING "
+                    f"NOT NULL")
+            for i in range(table.index_count):
+                target = (table.name if i == 0
+                          else f"{table.name}@idx{i}")
+                statements.append(
+                    f"ALTER {'TABLE' if i == 0 else 'INDEX'} {target} "
+                    f"PARTITION BY LIST (region) ({_partitions(regions)})")
+                for region in regions:
+                    statements.append(
+                        f"ALTER PARTITION {region} OF "
+                        f"{'TABLE' if i == 0 else 'INDEX'} {target} "
+                        f"CONFIGURE ZONE USING constraints = "
+                        f"'[+region={region}]', lease_preferences = "
+                        f"'[[+region={region}]]'")
+        else:  # global: duplicate indexes
+            for region in regions[1:]:
+                statements.append(
+                    f"CREATE INDEX {table.name}_idx_{region} ON "
+                    f"{table.name} (id) STORING (payload)")
+            for region in regions:
+                target = (table.name if region == regions[0]
+                          else f"{table.name}@{table.name}_idx_{region}")
+                statements.append(
+                    f"ALTER INDEX {target} CONFIGURE ZONE USING "
+                    f"num_replicas = {n_regions}, lease_preferences = "
+                    f"'[[+region={region}]]'")
+    return statements
+
+
+def legacy_convert_ddl(schema: LegacySchema,
+                       regions: List[str]) -> List[str]:
+    """Converting an existing single-region schema needs the same work."""
+    return legacy_new_schema_ddl(schema, regions)
+
+
+def legacy_add_region_ddl(schema: LegacySchema, regions: List[str],
+                          new_region: str) -> List[str]:
+    """Statements to extend the legacy setup with one more region."""
+    statements: List[str] = []
+    for table in schema.tables:
+        if table.kind == "regional":
+            for i in range(table.index_count):
+                target = (table.name if i == 0
+                          else f"{table.name}@idx{i}")
+                statements.append(
+                    f"ALTER {'TABLE' if i == 0 else 'INDEX'} {target} "
+                    f"PARTITION BY LIST (region) "
+                    f"({_partitions(regions + [new_region])})")
+                statements.append(
+                    f"ALTER PARTITION {new_region} OF "
+                    f"{'TABLE' if i == 0 else 'INDEX'} {target} "
+                    f"CONFIGURE ZONE USING constraints = "
+                    f"'[+region={new_region}]'")
+        else:
+            statements.append(
+                f"CREATE INDEX {table.name}_idx_{new_region} ON "
+                f"{table.name} (id) STORING (payload)")
+            statements.append(
+                f"ALTER INDEX {table.name}@{table.name}_idx_{new_region} "
+                f"CONFIGURE ZONE USING lease_preferences = "
+                f"'[[+region={new_region}]]'")
+    return statements
+
+
+def legacy_drop_region_ddl(schema: LegacySchema, regions: List[str],
+                           dropped: str) -> List[str]:
+    statements: List[str] = []
+    for table in schema.tables:
+        if table.kind == "regional":
+            for i in range(table.index_count):
+                target = (table.name if i == 0
+                          else f"{table.name}@idx{i}")
+                statements.append(
+                    f"ALTER {'TABLE' if i == 0 else 'INDEX'} {target} "
+                    f"PARTITION BY LIST (region) "
+                    f"({_partitions([r for r in regions if r != dropped])})")
+        else:
+            statements.append(
+                f"DROP INDEX {table.name}@{table.name}_idx_{dropped}")
+    return statements
+
+
+def _partitions(regions: List[str]) -> str:
+    return ", ".join(
+        f"PARTITION {r} VALUES IN ('{r}')" for r in regions)

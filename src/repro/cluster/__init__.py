@@ -1,0 +1,7 @@
+"""Cluster topology: localities, nodes, and cluster membership."""
+
+from .locality import Locality
+from .node import Node
+from .topology import Cluster, standard_cluster
+
+__all__ = ["Locality", "Node", "Cluster", "standard_cluster"]

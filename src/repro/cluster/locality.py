@@ -1,0 +1,51 @@
+"""Localities: the (region, zone) tags assigned to every node.
+
+Mirrors CockroachDB's ``--locality=region=...,zone=...`` startup flag
+(paper §2.1).  Localities form a two-level hierarchy used both for
+latency modelling and for the allocator's diversity score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Locality"]
+
+
+@dataclass(frozen=True)
+class Locality:
+    """A node's position in the region/zone hierarchy."""
+
+    region: str
+    zone: str
+
+    @classmethod
+    def parse(cls, flag: str) -> "Locality":
+        """Parse the CLI-style flag, e.g. ``region=us-east1,zone=us-east1b``."""
+        parts = {}
+        for item in flag.split(","):
+            key, _, value = item.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if not key or not value:
+                raise ValueError(f"malformed locality flag: {flag!r}")
+            parts[key] = value
+        if "region" not in parts:
+            raise ValueError(f"locality flag missing region: {flag!r}")
+        return cls(region=parts["region"], zone=parts.get("zone", parts["region"]))
+
+    def diversity_from(self, other: "Locality") -> float:
+        """How different two localities are, for replica spreading.
+
+        1.0 for different regions, 0.5 for different zones in the same
+        region, 0.0 for the same zone.  The allocator prefers candidates
+        maximizing total diversity against already-placed replicas.
+        """
+        if self.region != other.region:
+            return 1.0
+        if self.zone != other.zone:
+            return 0.5
+        return 0.0
+
+    def __str__(self) -> str:
+        return f"region={self.region},zone={self.zone}"

@@ -1,0 +1,136 @@
+"""Cluster membership and topology helpers.
+
+A :class:`Cluster` owns the simulator, the network fabric, the shared
+skew model, and all nodes.  ``standard_cluster`` builds the layout used
+throughout the paper's evaluation: N regions x Z zones x nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..sim.clock import SkewModel
+from ..sim.core import Simulator
+from ..sim.network import LatencyModel, Network
+from ..storage.locktable import WaitGraph
+from .locality import Locality
+from .node import Node
+
+__all__ = ["Cluster", "standard_cluster"]
+
+
+class Cluster:
+    """All nodes plus the shared simulation infrastructure."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 max_clock_offset: float = 250.0,
+                 skew_fraction: float = 0.5, seed: int = 0):
+        self.sim = sim
+        self.network = network
+        self.skew = SkewModel(max_clock_offset, seed=seed,
+                              skew_fraction=skew_fraction)
+        self.nodes: List[Node] = []
+        #: Shared wait-for graph for cross-range deadlock detection.
+        self.wait_graph = WaitGraph()
+        #: txn_id -> live Transaction object; the authoritative status
+        #: consulted by lock pushes (stands in for CRDB's txn records +
+        #: coordinator heartbeats).
+        self.txn_registry: Dict[int, object] = {}
+        self._next_node_id = 1
+        self._next_range_id = 1
+
+    def txn_status(self, txn_id: int):
+        """Authoritative transaction state for pushes.
+
+        Returns None if unknown, else ``(final, commit_ts)`` where
+        ``final`` is True for committed/aborted transactions and
+        ``commit_ts`` is the commit timestamp (None if aborted/pending).
+        """
+        txn = self.txn_registry.get(txn_id)
+        if txn is None:
+            return None
+        status = getattr(txn, "status", "pending")
+        if status == "committed":
+            return True, txn.commit_ts
+        if status == "aborted":
+            return True, None
+        return False, None
+
+    @property
+    def max_clock_offset(self) -> float:
+        return self.skew.max_offset
+
+    def add_node(self, locality: Locality) -> Node:
+        node = Node(self.sim, self._next_node_id, locality, self.skew)
+        self._next_node_id += 1
+        self.nodes.append(node)
+        return node
+
+    def remove_node(self, node: Node) -> None:
+        node.alive = False
+        self.network.kill_node(node.node_id)
+
+    def allocate_range_id(self) -> int:
+        range_id = self._next_range_id
+        self._next_range_id += 1
+        return range_id
+
+    # -- lookups -----------------------------------------------------------
+
+    def regions(self) -> List[str]:
+        """Cluster regions: the union of node regions (paper §2.1)."""
+        seen = []
+        for node in self.nodes:
+            if node.alive and node.locality.region not in seen:
+                seen.append(node.locality.region)
+        return seen
+
+    def zones_in_region(self, region: str) -> List[str]:
+        seen = []
+        for node in self.nodes:
+            if node.alive and node.locality.region == region:
+                if node.locality.zone not in seen:
+                    seen.append(node.locality.zone)
+        return seen
+
+    def nodes_in_region(self, region: str) -> List[Node]:
+        return [n for n in self.nodes
+                if n.alive and n.locality.region == region]
+
+    def live_nodes(self) -> List[Node]:
+        return [n for n in self.nodes if n.alive]
+
+    def node_by_id(self, node_id: int) -> Node:
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node
+        raise KeyError(f"no node {node_id}")
+
+    def gateway_for_region(self, region: str, index: int = 0) -> Node:
+        """The node a client in ``region`` connects to (collocated)."""
+        nodes = self.nodes_in_region(region)
+        if not nodes:
+            raise KeyError(f"no live nodes in region {region!r}")
+        return nodes[index % len(nodes)]
+
+
+def standard_cluster(regions: Sequence[str],
+                     nodes_per_region: int = 3,
+                     zones_per_region: int = 3,
+                     max_clock_offset: float = 250.0,
+                     skew_fraction: float = 0.5,
+                     rtt_matrix: Optional[dict] = None,
+                     jitter_fraction: float = 0.05,
+                     seed: int = 0) -> Cluster:
+    """Build the paper's standard layout: one node per zone per region."""
+    sim = Simulator()
+    latency = LatencyModel(rtt_matrix=rtt_matrix, seed=seed,
+                           jitter_fraction=jitter_fraction)
+    network = Network(sim, latency)
+    cluster = Cluster(sim, network, max_clock_offset=max_clock_offset,
+                      skew_fraction=skew_fraction, seed=seed)
+    for region in regions:
+        for i in range(nodes_per_region):
+            zone = f"{region}-{chr(ord('a') + (i % zones_per_region))}"
+            cluster.add_node(Locality(region=region, zone=zone))
+    return cluster

@@ -1,0 +1,142 @@
+"""Shared error taxonomy for the database layers.
+
+These mirror the error classes CockroachDB uses internally to drive
+transaction retries, intent resolution, and uncertainty restarts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "DatabaseError",
+    "ConfigurationError",
+    "WriteIntentError",
+    "ReadWithinUncertaintyIntervalError",
+    "WriteTooOldError",
+    "TransactionRetryError",
+    "TransactionAbortedError",
+    "RangeUnavailableError",
+    "NotLeaseholderError",
+    "FollowerReadNotAvailableError",
+    "StaleReadBoundError",
+    "UniqueViolationError",
+    "ForeignKeyViolationError",
+    "SchemaError",
+    "SqlSyntaxError",
+]
+
+
+class DatabaseError(Exception):
+    """Base class for all database-level errors."""
+
+
+class ConfigurationError(DatabaseError):
+    """Invalid cluster, zone-config, or multi-region configuration."""
+
+
+class WriteIntentError(DatabaseError):
+    """An operation ran into another transaction's unresolved intent."""
+
+    def __init__(self, key, txn_id, intent_ts):
+        super().__init__(f"conflicting intent on {key!r} by txn {txn_id}")
+        self.key = key
+        self.txn_id = txn_id
+        self.intent_ts = intent_ts
+
+
+class ReadWithinUncertaintyIntervalError(DatabaseError):
+    """A read observed a value above its timestamp but inside its
+    uncertainty interval; the transaction must refresh to the value's
+    timestamp (paper §6.1)."""
+
+    def __init__(self, key, value_ts, read_ts):
+        super().__init__(
+            f"uncertain value on {key!r} at {value_ts} (read at {read_ts})")
+        self.key = key
+        self.value_ts = value_ts
+        self.read_ts = read_ts
+
+
+class WriteTooOldError(DatabaseError):
+    """A write attempted below an existing committed value; the write
+    timestamp must advance."""
+
+    def __init__(self, key, existing_ts, attempted_ts):
+        super().__init__(
+            f"write too old on {key!r}: existing {existing_ts} >= {attempted_ts}")
+        self.key = key
+        self.existing_ts = existing_ts
+        self.attempted_ts = attempted_ts
+
+
+class TransactionRetryError(DatabaseError):
+    """The transaction must restart (e.g. a failed read refresh)."""
+
+    def __init__(self, reason: str, retry_ts=None):
+        super().__init__(reason)
+        self.retry_ts = retry_ts
+
+
+class TransactionAbortedError(DatabaseError):
+    """The transaction was aborted (pushed or explicitly)."""
+
+
+class RangeUnavailableError(DatabaseError):
+    """The range cannot reach quorum (region/zone failure)."""
+
+
+class NotLeaseholderError(DatabaseError):
+    """The replica contacted does not hold the lease; retry at the holder."""
+
+    def __init__(self, range_id: int, leaseholder_node: Optional[int]):
+        super().__init__(f"r{range_id}: not leaseholder")
+        self.range_id = range_id
+        self.leaseholder_node = leaseholder_node
+
+
+class FollowerReadNotAvailableError(DatabaseError):
+    """The follower's closed timestamp has not reached the read timestamp."""
+
+    def __init__(self, range_id: int, read_ts, closed_ts):
+        super().__init__(
+            f"r{range_id}: follower read at {read_ts} above closed {closed_ts}")
+        self.range_id = range_id
+        self.read_ts = read_ts
+        self.closed_ts = closed_ts
+
+
+class StaleReadBoundError(DatabaseError):
+    """A bounded-staleness read could not be served within its bound."""
+
+
+class UniqueViolationError(DatabaseError):
+    """A uniqueness constraint would be violated."""
+
+    def __init__(self, table: str, column, value):
+        super().__init__(
+            f"duplicate key value violates unique constraint on "
+            f"{table}.{column}: {value!r}")
+        self.table = table
+        self.column = column
+        self.value = value
+
+
+class ForeignKeyViolationError(DatabaseError):
+    """A referenced parent row does not exist."""
+
+    def __init__(self, table: str, column: str, value):
+        super().__init__(
+            f"insert or update on {table}.{column} violates foreign key: "
+            f"no parent row {value!r}")
+        self.table = table
+        self.column = column
+        self.value = value
+
+
+class SchemaError(DatabaseError):
+    """Catalog-level misuse (unknown table, bad locality change, ...)."""
+
+
+class SqlSyntaxError(DatabaseError):
+    """The SQL text could not be parsed."""

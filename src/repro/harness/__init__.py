@@ -1,0 +1,7 @@
+"""Experiment harness: engine builders, client pools, per-figure runs."""
+
+from . import experiments
+from .runner import build_engine, run_clients, sessions_per_region
+
+__all__ = ["experiments", "build_engine", "run_clients",
+           "sessions_per_region"]

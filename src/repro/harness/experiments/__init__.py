@@ -1,0 +1,46 @@
+"""Per-figure/table experiment definitions (paper §7) and ablations."""
+
+from .ablations import (
+    run_commit_wait_ablation,
+    run_lead_time_ablation,
+    run_side_transport_ablation,
+)
+from .fig3 import FIG3_CONFIGS, Fig3Result, run_fig3
+from .fig4 import (
+    FIG4_REGIONS,
+    Fig4aResult,
+    Fig4bResult,
+    Fig4cResult,
+    run_fig4a,
+    run_fig4b,
+    run_fig4c,
+)
+from .fig5 import FIG5_CONFIGS, Fig5Result, run_fig5
+from .fig6 import Fig6Result, run_fig6, run_fig6_placement_comparison
+from .tables import PAPER_TABLE2_COUNTS, Table2Result, run_table1, run_table2
+
+__all__ = [
+    "run_commit_wait_ablation",
+    "run_lead_time_ablation",
+    "run_side_transport_ablation",
+    "FIG3_CONFIGS",
+    "Fig3Result",
+    "run_fig3",
+    "FIG4_REGIONS",
+    "Fig4aResult",
+    "Fig4bResult",
+    "Fig4cResult",
+    "run_fig4a",
+    "run_fig4b",
+    "run_fig4c",
+    "FIG5_CONFIGS",
+    "Fig5Result",
+    "run_fig5",
+    "Fig6Result",
+    "run_fig6",
+    "run_fig6_placement_comparison",
+    "PAPER_TABLE2_COUNTS",
+    "Table2Result",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,34 @@
+"""Ranges, replicas, closed timestamps, and request routing."""
+
+from .closedts import (
+    ClosedTimestampPolicy,
+    DEFAULT_CLOSED_TS_LAG_MS,
+    LagPolicy,
+    LeadPolicy,
+)
+from .commands import (
+    PutIntentCommand,
+    ResolveIntentCommand,
+    SetTxnRecordCommand,
+    TxnRecord,
+    TxnStatus,
+)
+from .distsender import DistSender, ReadRouting
+from .range import Range
+from .replica import Replica
+
+__all__ = [
+    "ClosedTimestampPolicy",
+    "DEFAULT_CLOSED_TS_LAG_MS",
+    "LagPolicy",
+    "LeadPolicy",
+    "PutIntentCommand",
+    "ResolveIntentCommand",
+    "SetTxnRecordCommand",
+    "TxnRecord",
+    "TxnStatus",
+    "DistSender",
+    "ReadRouting",
+    "Range",
+    "Replica",
+]

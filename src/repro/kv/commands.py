@@ -1,0 +1,65 @@
+"""Replicated commands and transaction records.
+
+Commands are the payloads of Raft log entries.  Applying the same
+command sequence on every replica keeps the MVCC stores identical, which
+is what makes follower reads possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..sim.clock import Timestamp
+
+__all__ = [
+    "PutIntentCommand",
+    "ResolveIntentCommand",
+    "SetTxnRecordCommand",
+    "TxnRecord",
+    "TxnStatus",
+]
+
+
+class TxnStatus:
+    PENDING = "pending"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class TxnRecord:
+    """Authoritative transaction state, stored on the anchor range."""
+
+    txn_id: int
+    status: str = TxnStatus.PENDING
+    commit_ts: Optional[Timestamp] = None
+
+
+@dataclass(frozen=True)
+class PutIntentCommand:
+    """Lay a provisional (intent) version of ``key``."""
+
+    key: Any
+    ts: Timestamp
+    value: Any
+    txn_id: int
+    anchor_node_id: int
+
+
+@dataclass(frozen=True)
+class ResolveIntentCommand:
+    """Finalize an intent: commit at ``commit_ts`` or abort if ``None``."""
+
+    key: Any
+    txn_id: int
+    commit_ts: Optional[Timestamp]
+
+
+@dataclass(frozen=True)
+class SetTxnRecordCommand:
+    """Create or update the transaction record on the anchor range."""
+
+    txn_id: int
+    status: str
+    commit_ts: Optional[Timestamp]

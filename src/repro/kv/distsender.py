@@ -1,0 +1,299 @@
+"""DistSender: routes KV requests from a gateway node to replicas.
+
+Fresh writes always go to the leaseholder.  Reads are routed by policy:
+
+* ``LEASEHOLDER`` — REGIONAL-table fresh reads (linearizable at the
+  leaseholder);
+* ``NEAREST`` — GLOBAL-table fresh reads and stale reads: try the
+  closest replica first and fall back to the leaseholder when the
+  follower cannot serve (closed timestamp too low, or an intent needs
+  conflict resolution — paper §5.1.1/§6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from ..errors import (
+    FollowerReadNotAvailableError,
+    StaleReadBoundError,
+    WriteIntentError,
+)
+from ..sim.clock import Timestamp
+from ..sim.core import Future, all_of
+from ..storage.mvcc import ReadResult
+from .range import Range
+
+__all__ = ["DistSender", "ReadRouting"]
+
+
+class ReadRouting:
+    LEASEHOLDER = "leaseholder"
+    NEAREST = "nearest"
+
+
+def _value_generator(fn) -> Generator:
+    """Wrap a synchronous callable as a zero-yield coroutine."""
+    result = fn()
+    return result
+    yield  # pragma: no cover
+
+
+class DistSender:
+    """Per-cluster request router (stateless; one instance is shared).
+
+    ``adaptive_follower_wait_ms`` enables the §5.3.1 adaptive policy: a
+    follower whose closed timestamp lags a fresh read waits locally up
+    to this long for the next closed-timestamp update instead of
+    redirecting to the leaseholder immediately.  0 disables (the
+    paper's deployed behaviour).
+    """
+
+    def __init__(self, cluster, adaptive_follower_wait_ms: float = 0.0):
+        self.cluster = cluster
+        self.network = cluster.network
+        self.adaptive_follower_wait_ms = adaptive_follower_wait_ms
+        #: Counters for tests/ablations.
+        self.follower_read_fallbacks = 0
+        self.follower_reads_served = 0
+
+    # -- replica selection -----------------------------------------------------
+
+    def nearest_replica(self, gateway, rng: Range):
+        """The live replica cheapest to reach from ``gateway``."""
+        latency = self.network.latency
+        best = None
+        best_cost = None
+        for replica in rng.replicas.values():
+            node = replica.node
+            if self.network.node_is_dead(node.node_id):
+                continue
+            if node.node_id == gateway.node_id:
+                cost = 0.0
+            else:
+                cost = latency.rtt(gateway.locality.region,
+                                   gateway.locality.zone,
+                                   node.locality.region, node.locality.zone)
+            if best_cost is None or cost < best_cost:
+                best, best_cost = replica, cost
+        if best is None:
+            raise FollowerReadNotAvailableError(rng.range_id, None, None)
+        return best
+
+    # -- reads -------------------------------------------------------------------
+
+    def read(self, gateway, rng: Range, key: Any, ts: Timestamp,
+             txn_id: Optional[int] = None,
+             uncertainty_limit: Optional[Timestamp] = None,
+             routing: str = ReadRouting.LEASEHOLDER,
+             allow_server_side_bump: bool = False) -> Future:
+        """Read ``key`` at ``ts``; resolves with (ReadResult, effective_ts).
+
+        ``allow_server_side_bump`` lets the serving replica retry
+        uncertainty restarts locally (legal only when the transaction has
+        no other spans); otherwise
+        ``ReadWithinUncertaintyIntervalError`` rejections bubble up for
+        the transaction coordinator to handle.
+        """
+        if routing == ReadRouting.NEAREST:
+            replica = self.nearest_replica(gateway, rng)
+            if not replica.is_leaseholder:
+                return self._follower_read_with_fallback(
+                    gateway, rng, replica, key, ts, txn_id,
+                    uncertainty_limit, allow_server_side_bump)
+        return self._leaseholder_read(gateway, rng, key, ts, txn_id,
+                                      uncertainty_limit,
+                                      allow_server_side_bump)
+
+    def _leaseholder_read(self, gateway, rng: Range, key, ts, txn_id,
+                          uncertainty_limit,
+                          allow_server_side_bump: bool = False) -> Future:
+        leaseholder = rng.leaseholder_node
+        return self.network.call(
+            gateway, leaseholder,
+            lambda: rng.serve_read(key, ts, txn_id, uncertainty_limit,
+                                   allow_server_side_bump))
+
+    def _follower_read_with_fallback(self, gateway, rng: Range, replica,
+                                     key, ts, txn_id, uncertainty_limit,
+                                     allow_server_side_bump: bool) -> Future:
+        result = Future(self.cluster.sim)
+        if self.adaptive_follower_wait_ms > 0:
+            handler = (lambda: replica.follower_read_waiting(
+                key, ts, txn_id=txn_id,
+                uncertainty_limit=uncertainty_limit,
+                allow_server_side_bump=allow_server_side_bump,
+                max_wait_ms=self.adaptive_follower_wait_ms))
+        else:
+            handler = (lambda: _value_generator(
+                lambda: replica.follower_read(
+                    key, ts, txn_id=txn_id,
+                    uncertainty_limit=uncertainty_limit,
+                    allow_server_side_bump=allow_server_side_bump)))
+        attempt = self.network.call(gateway, replica.node, handler)
+
+        def on_done(fut: Future) -> None:
+            error = fut.error
+            if error is None:
+                self.follower_reads_served += 1
+                result.resolve(fut._value)
+                return
+            if isinstance(error, (FollowerReadNotAvailableError,
+                                  WriteIntentError)):
+                # Redirect to the leaseholder for conflict resolution /
+                # an up-to-date read (paper §5.1.1).
+                self.follower_read_fallbacks += 1
+                fallback = self._leaseholder_read(
+                    gateway, rng, key, ts, txn_id, uncertainty_limit,
+                    allow_server_side_bump)
+                fallback.add_callback(
+                    lambda f: result.reject(f.error) if f.error is not None
+                    else result.resolve(f._value))
+                return
+            result.reject(error)
+
+        attempt.add_callback(on_done)
+        return result
+
+    # -- stale reads ----------------------------------------------------------------
+
+    def exact_staleness_read(self, gateway, rng: Range, key: Any,
+                             ts: Timestamp) -> Future:
+        """``AS OF SYSTEM TIME <ts>`` single-key read (paper §5.3.1).
+
+        Resolves with the bare ReadResult (the timestamp is the caller's
+        and never moves — stale reads have no uncertainty interval).
+        """
+        inner = self.read(gateway, rng, key, ts, routing=ReadRouting.NEAREST)
+        result = Future(self.cluster.sim)
+        inner.add_callback(
+            lambda f: result.reject(f.error) if f.error is not None
+            else result.resolve(f._value[0]))
+        return result
+
+    def bounded_staleness_read(self, gateway, rng: Range, key: Any,
+                               min_ts: Timestamp,
+                               nearest_only: bool = False) -> Future:
+        """``with_min_timestamp(...)`` read (paper §5.3.2).
+
+        One RPC to the nearest replica negotiates the highest locally
+        servable timestamp and performs the read there.  If the local
+        maximum falls below ``min_ts`` the read is either redirected to
+        the leaseholder at ``min_ts`` or fails (``nearest_only``).
+        """
+        replica = self.nearest_replica(gateway, rng)
+
+        def negotiate_and_read():
+            servable = replica.max_servable_ts(key)
+            if servable < min_ts:
+                raise StaleReadBoundError(
+                    f"local replica servable {servable} below bound {min_ts}")
+            return replica.store.get(key, servable), servable
+
+        result = Future(self.cluster.sim)
+        attempt = self.network.call(
+            gateway, replica.node,
+            lambda: _value_generator(negotiate_and_read))
+
+        def on_done(fut: Future) -> None:
+            error = fut.error
+            if error is None:
+                result.resolve(fut._value)
+                return
+            if isinstance(error, StaleReadBoundError) and not nearest_only:
+                # Route to the leaseholder using the staleness bound as
+                # the read timestamp (paper §5.3.2).
+                fallback = self._leaseholder_read(
+                    gateway, rng, key, min_ts, None, None)
+                fallback.add_callback(
+                    lambda f: result.reject(f.error) if f.error is not None
+                    else result.resolve(f._value))
+                return
+            result.reject(error)
+
+        attempt.add_callback(on_done)
+        return result
+
+    def negotiate_bounded_staleness(self, gateway,
+                                    spans: Iterable[Tuple[Range, Any]],
+                                    min_ts: Timestamp) -> Future:
+        """The §5.3.2 negotiation phase for multi-key bounded-staleness
+        reads: ask the nearest replica of every touched range for its
+        maximum locally-servable timestamp and take the minimum.
+
+        Resolves with the negotiated timestamp; rejects with
+        :class:`StaleReadBoundError` if any replica cannot satisfy
+        ``min_ts`` locally (the caller decides whether to redirect to
+        leaseholders at ``min_ts`` instead).
+        """
+        spans = list(spans)
+        futures = []
+        for rng, key in spans:
+            replica = self.nearest_replica(gateway, rng)
+            futures.append(self.network.call(
+                gateway, replica.node,
+                lambda replica=replica, key=key: _value_generator(
+                    lambda: replica.max_servable_ts(key))))
+        result = Future(self.cluster.sim)
+        gathered = all_of(self.cluster.sim, futures)
+
+        def on_done(fut: Future) -> None:
+            if fut.error is not None:
+                result.reject(fut.error)
+                return
+            negotiated = min(fut._value) if fut._value else min_ts
+            if negotiated < min_ts:
+                result.reject(StaleReadBoundError(
+                    f"negotiated {negotiated} below bound {min_ts}"))
+            else:
+                result.resolve(negotiated)
+
+        gathered.add_callback(on_done)
+        return result
+
+    # -- writes -------------------------------------------------------------------
+
+    def write(self, gateway, rng: Range, key: Any, ts: Timestamp, value: Any,
+              txn_id: int, anchor_node_id: int) -> Future:
+        """Write an intent; resolves with the timestamp it was laid at."""
+        leaseholder = rng.leaseholder_node
+        return self.network.call(
+            gateway, leaseholder,
+            lambda: rng.serve_write(key, ts, value, txn_id, anchor_node_id))
+
+    def locking_read(self, gateway, rng: Range, key: Any, ts: Timestamp,
+                     txn_id: int, anchor_node_id: int) -> Future:
+        """SELECT FOR UPDATE read: resolves with (value, lock_ts)."""
+        leaseholder = rng.leaseholder_node
+        return self.network.call(
+            gateway, leaseholder,
+            lambda: rng.serve_locking_read(key, ts, txn_id, anchor_node_id))
+
+    def refresh(self, gateway, rng: Range, key: Any, lo: Timestamp,
+                hi: Timestamp, txn_id: int) -> Future:
+        leaseholder = rng.leaseholder_node
+        return self.network.call(
+            gateway, leaseholder,
+            lambda: rng.serve_refresh(key, lo, hi, txn_id))
+
+    def write_txn_record(self, gateway, rng: Range, txn_id: int, status: str,
+                         commit_ts: Optional[Timestamp]) -> Future:
+        leaseholder = rng.leaseholder_node
+        return self.network.call(
+            gateway, leaseholder,
+            lambda: rng.serve_txn_record(txn_id, status, commit_ts))
+
+    def resolve_intent(self, gateway, rng: Range, key: Any, txn_id: int,
+                       commit_ts: Optional[Timestamp]) -> Future:
+        leaseholder = rng.leaseholder_node
+        return self.network.call(
+            gateway, leaseholder,
+            lambda: rng.serve_resolve_intent(key, txn_id, commit_ts))
+
+    def resolve_intents(self, gateway, spans: Iterable[Tuple[Range, Any]],
+                        txn_id: int,
+                        commit_ts: Optional[Timestamp]) -> Future:
+        """Resolve a batch of intents in parallel; resolves when all do."""
+        futures = [self.resolve_intent(gateway, rng, key, txn_id, commit_ts)
+                   for rng, key in spans]
+        return all_of(self.cluster.sim, futures)

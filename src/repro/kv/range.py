@@ -1,0 +1,406 @@
+"""A Range: a replicated span of the keyspace (paper §3.1).
+
+Each Range is a Raft group plus leaseholder-only machinery: the
+timestamp cache, the lock table, and the closed-timestamp policy.  The
+``serve_*`` methods are coroutines executed *on the leaseholder node*
+(the DistSender gets them there via RPC).
+
+The write path implements the paper's rules in order:
+
+1. latch/lock: conflicting in-flight writes and intents are waited on;
+2. timestamp cache: writes advance above prior reads of the key;
+3. closed-timestamp floor: writes advance above the closed target — for
+   GLOBAL ranges (``LeadPolicy``) this is what pushes transaction
+   timestamps into the future (§6.2.1);
+4. the intent replicates through Raft with the next closed timestamp
+   attached.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, TYPE_CHECKING
+
+from ..errors import (
+    RangeUnavailableError,
+    ReadWithinUncertaintyIntervalError,
+    WriteIntentError,
+    WriteTooOldError,
+)
+from ..raft.group import RaftGroup, ReplicaType
+from ..sim.clock import TS_ZERO, Timestamp
+from ..storage.locktable import LockTable
+from ..storage.mvcc import ReadResult
+from ..storage.tscache import TimestampCache
+from .closedts import ClosedTimestampPolicy, LagPolicy
+from .commands import (
+    PutIntentCommand,
+    ResolveIntentCommand,
+    SetTxnRecordCommand,
+    TxnRecord,
+)
+from .replica import Replica
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.node import Node
+    from ..cluster.topology import Cluster
+
+__all__ = ["Range"]
+
+
+class Range:
+    """One replicated range of keys and its leaseholder state."""
+
+    #: Default closed-timestamp side-transport interval (CRDB: 200 ms).
+    SIDE_TRANSPORT_INTERVAL_MS = 200.0
+    #: How long a waiter blocks before pushing the lock holder's txn.
+    PUSH_INTERVAL_MS = 50.0
+
+    def __init__(self, cluster: "Cluster", policy: Optional[ClosedTimestampPolicy] = None,
+                 name: str = "", proposal_timeout_ms: Optional[float] = None):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.range_id = cluster.allocate_range_id()
+        self.name = name or f"r{self.range_id}"
+        self.policy: ClosedTimestampPolicy = policy or LagPolicy()
+        self.group = RaftGroup(cluster.sim, cluster.network, self.range_id,
+                               apply_fn=self._apply,
+                               proposal_timeout_ms=proposal_timeout_ms)
+        self.replicas = {}
+        self.leaseholder_node_id: Optional[int] = None
+        self.ts_cache = TimestampCache()
+        self.lock_table = LockTable(cluster.sim, cluster.wait_graph)
+        #: Highest closed timestamp this leaseholder has promised.
+        self.closed_emitted: Timestamp = TS_ZERO
+        self._side_transport_started = False
+        self._destroyed = False
+
+    # -- membership / lease ----------------------------------------------------
+
+    def add_replica(self, node: "Node", replica_type: str = ReplicaType.VOTER) -> Replica:
+        replica = Replica(self, node)
+        # Late joiners receive a snapshot of the leaseholder's state
+        # (the Raft log alone does not contain bulk-ingested data).
+        if self.leaseholder_node_id is not None:
+            source = self.replicas.get(self.leaseholder_node_id)
+            if source is not None:
+                replica.store = source.store.clone()
+                replica.txn_records = dict(source.txn_records)
+        self.replicas[node.node_id] = replica
+        self.group.add_peer(node, replica_type)
+        node.add_replica(replica)
+        return replica
+
+    def remove_replica(self, node: "Node") -> None:
+        self.replicas.pop(node.node_id, None)
+        self.group.remove_peer(node.node_id)
+        node.remove_replica(self.range_id)
+
+    def set_leaseholder(self, node_id: int) -> None:
+        self.group.set_leader(node_id)
+        self.leaseholder_node_id = node_id
+
+    def transfer_lease(self, node_id: int) -> None:
+        """Move the lease (and Raft leadership) to another voter.
+
+        The incoming leaseholder starts a fresh timestamp cache whose
+        low-water mark covers every read the old lease could have served.
+        """
+        self.group.transfer_leadership(node_id)
+        self.leaseholder_node_id = node_id
+        new_clock = self.replicas[node_id].node.clock
+        low_water = new_clock.now().add(new_clock.max_offset).with_synthetic(False)
+        self.ts_cache = TimestampCache(low_water=low_water)
+        self.lock_table = LockTable(self.sim, self.cluster.wait_graph)
+
+    @property
+    def leaseholder_replica(self) -> Replica:
+        if self.leaseholder_node_id is None:
+            raise RangeUnavailableError(f"{self.name}: no leaseholder")
+        return self.replicas[self.leaseholder_node_id]
+
+    @property
+    def leaseholder_node(self) -> "Node":
+        return self.leaseholder_replica.node
+
+    def replica_on(self, node_id: int) -> Optional[Replica]:
+        return self.replicas.get(node_id)
+
+    def voter_replicas(self) -> List[Replica]:
+        return [self.replicas[p.node.node_id] for p in self.group.voters()
+                if p.node.node_id in self.replicas]
+
+    # -- closed timestamps -------------------------------------------------------
+
+    def closed_target(self) -> Timestamp:
+        """The next closed timestamp, per policy, monotone over time."""
+        now = self.leaseholder_node.clock.now()
+        target = self.policy.target(now)
+        if target > self.closed_emitted:
+            return target
+        return self.closed_emitted
+
+    def _note_closed(self, closed_ts: Timestamp) -> None:
+        if closed_ts > self.closed_emitted:
+            self.closed_emitted = closed_ts
+
+    def start_side_transport(self, interval_ms: Optional[float] = None) -> None:
+        """Periodically ship closed timestamps even when the range is idle."""
+        if self._side_transport_started:
+            return
+        self._side_transport_started = True
+        interval = interval_ms or self.SIDE_TRANSPORT_INTERVAL_MS
+
+        def transport() -> Generator:
+            while not self._destroyed:
+                yield self.sim.sleep(interval)
+                if self.leaseholder_node_id is None:
+                    continue
+                if self.cluster.network.node_is_dead(self.leaseholder_node_id):
+                    continue
+                target = self.closed_target()
+                self._note_closed(target)
+                self.group.broadcast_closed_ts(target)
+
+        self.sim.spawn(transport(), name=f"{self.name}-side-transport")
+
+    def destroy(self) -> None:
+        self._destroyed = True
+
+    # -- latency estimates (for LeadPolicy sizing) -------------------------------
+
+    def raft_latency_ms(self) -> float:
+        """RTT from the leaseholder to the nearest write quorum (L_raft)."""
+        leader = self.leaseholder_node
+        latency = self.cluster.network.latency
+        rtts = []
+        for peer in self.group.voters():
+            if peer.node.node_id == leader.node_id:
+                continue
+            rtts.append(latency.rtt(
+                leader.locality.region, leader.locality.zone,
+                peer.node.locality.region, peer.node.locality.zone))
+        rtts.sort()
+        needed = self.group.quorum_size() - 1  # leader acks itself
+        if needed <= 0 or not rtts:
+            return 1.0
+        return rtts[needed - 1] + 2 * RaftGroup.DISK_APPEND_MS
+
+    def replicate_latency_ms(self) -> float:
+        """One-way delay to the furthest replica (L_replicate)."""
+        leader = self.leaseholder_node
+        latency = self.cluster.network.latency
+        delays = [0.0]
+        for peer in self.group.peers.values():
+            if peer.node.node_id == leader.node_id:
+                continue
+            delays.append(latency.rtt(
+                leader.locality.region, leader.locality.zone,
+                peer.node.locality.region, peer.node.locality.zone) / 2.0)
+        return max(delays)
+
+    # -- proposal helper ----------------------------------------------------------
+
+    def _propose(self, command: Any):
+        closed = self.closed_target()
+        self._note_closed(closed)
+        return self.group.propose(command, closed)
+
+    def _apply(self, node: "Node", command: Any) -> None:
+        replica = self.replicas.get(node.node_id)
+        if replica is not None:
+            replica.apply(command)
+
+    # -- leaseholder request serving (coroutines) ----------------------------------
+
+    def _wait_or_push(self, key: Any, waiter_txn_id: Optional[int],
+                      holder_txn_id: int) -> Generator:
+        """Wait for the lock on ``key``; periodically *push* the holder.
+
+        CRDB's txnwait/push mechanism: a waiter that has blocked for a
+        while asks for the holder transaction's authoritative status.
+        If the holder already committed or aborted (e.g. its intent
+        resolution was lost to a node failure), the waiter resolves the
+        intent itself and proceeds.  Status lookups go through the
+        cluster's transaction registry — the simulation stand-in for
+        CRDB's txn records + heartbeats."""
+        from ..sim.core import any_of
+        fut = self.lock_table.wait_for(key, waiter_txn_id)
+        while not fut.done:
+            index, _value = yield any_of(
+                self.sim, [fut, self.sim.sleep(self.PUSH_INTERVAL_MS)])
+            if index == 0:
+                return None
+            status = self.cluster.txn_status(holder_txn_id)
+            if status is None:
+                continue
+            final, commit_ts = status
+            if not final:
+                continue  # holder still pending: keep waiting
+            # Push succeeded: resolve the orphaned intent ourselves.
+            yield self._propose(ResolveIntentCommand(
+                key=key, txn_id=holder_txn_id, commit_ts=commit_ts))
+            if not fut.done:
+                # The lock entry may have belonged to a never-applied
+                # intent; release it directly.
+                self.lock_table.release(key, holder_txn_id)
+            return None
+        yield fut  # propagate a deadlock rejection, or no-op if resolved
+        return None
+
+    def serve_write(self, key: Any, ts: Timestamp, value: Any, txn_id: int,
+                    anchor_node_id: int) -> Generator:
+        """Evaluate and replicate a transactional write; returns the
+        (possibly advanced) timestamp the intent was written at."""
+        while True:
+            holder = self.lock_table.holder_of(key)
+            if holder is not None and holder.txn_id != txn_id:
+                yield from self._wait_or_push(key, txn_id, holder.txn_id)
+                continue
+            try:
+                self.leaseholder_replica.store.check_write(key, ts, txn_id)
+            except WriteIntentError as err:
+                # Applied intent without a lock-table entry (lease moved):
+                # reconstruct the holder so the wait is released on resolve.
+                self.lock_table.note_holder(key, err.txn_id, err.intent_ts)
+                yield from self._wait_or_push(key, txn_id, err.txn_id)
+                continue
+            except WriteTooOldError as err:
+                ts = err.existing_ts.next()
+                continue
+            break
+        ts = self.ts_cache.min_write_ts(key, ts, txn_id)
+        floor = self.closed_target()
+        if ts <= floor:
+            ts = floor.next()
+        # Latch the key for the duration of replication + intent lifetime.
+        self.lock_table.note_holder(key, txn_id, ts)
+        entry = yield self._propose(PutIntentCommand(
+            key=key, ts=ts, value=value, txn_id=txn_id,
+            anchor_node_id=anchor_node_id))
+        del entry
+        return ts
+
+    def serve_locking_read(self, key: Any, ts: Timestamp, txn_id: int,
+                           anchor_node_id: int) -> Generator:
+        """A locking read (SELECT FOR UPDATE): wait for conflicting
+        locks, read the *latest* committed value, and lay an exclusive
+        intent over it in one leaseholder visit.
+
+        Returns ``(value, lock_ts)``.  Because the value is read at the
+        lock's (write) timestamp, a transaction with no earlier read
+        spans can adopt ``lock_ts`` as its read timestamp and never pay
+        a write-too-old refresh — CRDB's motivation for FOR UPDATE in
+        contended read-modify-write transactions.
+        """
+        while True:
+            holder = self.lock_table.holder_of(key)
+            if holder is not None and holder.txn_id != txn_id:
+                yield from self._wait_or_push(key, txn_id, holder.txn_id)
+                continue
+            try:
+                self.leaseholder_replica.store.check_write(key, ts, txn_id)
+            except WriteIntentError as err:
+                self.lock_table.note_holder(key, err.txn_id, err.intent_ts)
+                yield from self._wait_or_push(key, txn_id, err.txn_id)
+                continue
+            except WriteTooOldError as err:
+                ts = err.existing_ts.next()
+                continue
+            break
+        ts = self.ts_cache.min_write_ts(key, ts, txn_id)
+        floor = self.closed_target()
+        if ts <= floor:
+            ts = floor.next()
+        # Latest committed value (what the lock protects).
+        newest = self.leaseholder_replica.store.get(key, ts, txn_id=txn_id)
+        self.lock_table.note_holder(key, txn_id, ts)
+        yield self._propose(PutIntentCommand(
+            key=key, ts=ts, value=newest.value, txn_id=txn_id,
+            anchor_node_id=anchor_node_id))
+        self.ts_cache.record_read(key, ts, txn_id)
+        return newest.value, ts
+
+    def serve_read(self, key: Any, ts: Timestamp, txn_id: Optional[int],
+                   uncertainty_limit: Optional[Timestamp],
+                   allow_server_side_bump: bool = False) -> Generator:
+        """Leaseholder read at ``ts``; blocks on conflicting locks.
+
+        Returns ``(ReadResult, effective_read_ts)``.  With
+        ``allow_server_side_bump`` (transaction has no other spans) an
+        uncertainty restart is retried here at the value's timestamp
+        instead of costing the coordinator another WAN round trip;
+        otherwise ``ReadWithinUncertaintyIntervalError`` propagates and
+        the coordinator refreshes.
+        """
+        horizon = uncertainty_limit if uncertainty_limit is not None else ts
+        while True:
+            holder = self.lock_table.holder_of(key)
+            if (holder is not None and holder.txn_id != txn_id
+                    and holder.ts <= horizon):
+                yield from self._wait_or_push(key, txn_id, holder.txn_id)
+                continue
+            try:
+                result = self.leaseholder_replica.store.get(
+                    key, ts, txn_id=txn_id, uncertainty_limit=uncertainty_limit)
+            except WriteIntentError as err:
+                self.lock_table.note_holder(key, err.txn_id, err.intent_ts)
+                yield from self._wait_or_push(key, txn_id, err.txn_id)
+                continue
+            except ReadWithinUncertaintyIntervalError as err:
+                if not allow_server_side_bump:
+                    raise
+                ts = err.value_ts
+                if ts > horizon:
+                    horizon = ts
+                continue
+            self.ts_cache.record_read(key, ts, txn_id)
+            return result, ts
+
+    def serve_refresh(self, key: Any, lo: Timestamp, hi: Timestamp,
+                      txn_id: int) -> Generator:
+        """Read refresh (paper §5.1/§6.1): is ``key`` unchanged in (lo, hi]?
+
+        On success the refreshed timestamp is recorded in the timestamp
+        cache so later writes cannot invalidate it.
+        """
+        holder = self.lock_table.holder_of(key)
+        if holder is not None and holder.txn_id != txn_id and holder.ts <= hi:
+            return False
+        changed = self.leaseholder_replica.store.changed_in_interval(
+            key, lo, hi, txn_id=txn_id)
+        if not changed:
+            self.ts_cache.record_read(key, hi, txn_id)
+        return changed is False
+        yield  # pragma: no cover - marks this function as a generator
+
+    def serve_txn_record(self, txn_id: int, status: str,
+                         commit_ts: Optional[Timestamp]) -> Generator:
+        """Write the transaction record (commit/abort) on the anchor range."""
+        entry = yield self._propose(SetTxnRecordCommand(
+            txn_id=txn_id, status=status, commit_ts=commit_ts))
+        del entry
+        return None
+
+    def serve_resolve_intent(self, key: Any, txn_id: int,
+                             commit_ts: Optional[Timestamp]) -> Generator:
+        """Replicate intent resolution; lock waiters release on apply."""
+        entry = yield self._propose(ResolveIntentCommand(
+            key=key, txn_id=txn_id, commit_ts=commit_ts))
+        del entry
+        return None
+
+    def get_txn_record(self, txn_id: int) -> Optional[TxnRecord]:
+        return self.leaseholder_replica.txn_records.get(txn_id)
+
+    # -- bulk ingestion -------------------------------------------------------------
+
+    def bulk_ingest(self, items, ts: Timestamp) -> None:
+        """Write committed versions directly into every replica.
+
+        Models CRDB's AddSSTable ingestion used by IMPORT and index
+        backfills: data lands on all replicas at a single timestamp
+        without going through the Raft proposal path.
+        """
+        for replica in self.replicas.values():
+            for key, value in items:
+                replica.store.put_committed(key, ts, value)

@@ -1,0 +1,157 @@
+"""A replica: one node's copy of one Range's state.
+
+Replicas apply replicated commands to their local MVCC store and serve
+reads.  Leaseholder-only structures (timestamp cache, lock table) live
+on the :class:`~repro.kv.range.Range` object, which represents the
+leaseholder's view.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, TYPE_CHECKING
+
+from ..errors import (
+    FollowerReadNotAvailableError,
+    ReadWithinUncertaintyIntervalError,
+)
+from ..sim.clock import TS_ZERO, Timestamp
+from ..storage.mvcc import MVCCStore, ReadResult
+from .commands import (
+    PutIntentCommand,
+    ResolveIntentCommand,
+    SetTxnRecordCommand,
+    TxnRecord,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .range import Range
+
+__all__ = ["Replica"]
+
+
+class Replica:
+    """One node's participation in one Range."""
+
+    def __init__(self, rng: "Range", node) -> None:
+        self.range = rng
+        self.range_id = rng.range_id
+        self.node = node
+        self.store = MVCCStore()
+        #: Transaction records anchored on this range (replicated state).
+        self.txn_records: Dict[int, TxnRecord] = {}
+
+    # -- raft apply -----------------------------------------------------------
+
+    def apply(self, command: Any) -> None:
+        """Apply a committed Raft command to this replica's state."""
+        if isinstance(command, PutIntentCommand):
+            self.store.put_intent(command.key, command.ts, command.value,
+                                  command.txn_id, command.anchor_node_id)
+        elif isinstance(command, ResolveIntentCommand):
+            self.store.resolve_intent(command.key, command.txn_id,
+                                      command.commit_ts)
+            # The leaseholder's lock table queues waiters on this intent.
+            if self.node.node_id == self.range.leaseholder_node_id:
+                self.range.lock_table.release(command.key, command.txn_id)
+        elif isinstance(command, SetTxnRecordCommand):
+            record = self.txn_records.get(command.txn_id)
+            if record is None:
+                record = TxnRecord(txn_id=command.txn_id)
+                self.txn_records[command.txn_id] = record
+            record.status = command.status
+            record.commit_ts = command.commit_ts
+        elif command == ("noop",):
+            pass
+        else:
+            raise TypeError(f"unknown command {command!r}")
+
+    # -- follower reads ---------------------------------------------------------
+
+    @property
+    def closed_ts(self) -> Timestamp:
+        peer = self.range.group.peers.get(self.node.node_id)
+        return peer.closed_ts if peer else TS_ZERO
+
+    @property
+    def is_leaseholder(self) -> bool:
+        return self.node.node_id == self.range.leaseholder_node_id
+
+    def can_serve_follower_read(self, ts: Timestamp) -> bool:
+        return self.closed_ts >= ts
+
+    def follower_read(self, key: Any, ts: Timestamp,
+                      txn_id: Optional[int] = None,
+                      uncertainty_limit: Optional[Timestamp] = None,
+                      allow_server_side_bump: bool = False):
+        """Serve a read from this (possibly non-leaseholder) replica.
+
+        Requires the whole visibility window — the read timestamp and, if
+        present, the uncertainty interval — to be closed locally
+        (paper §6.2.1).  Raises
+        :class:`FollowerReadNotAvailableError` otherwise;
+        :class:`~repro.errors.WriteIntentError` escapes to the caller,
+        which redirects the read to the leaseholder for conflict
+        resolution (paper §5.1.1).
+
+        Returns ``(ReadResult, effective_read_ts)``.  When the caller's
+        transaction has no other spans it sets ``allow_server_side_bump``
+        and uncertainty restarts are retried locally at the uncertain
+        value's timestamp, avoiding a second WAN round trip.
+        """
+        required = ts
+        if uncertainty_limit is not None and uncertainty_limit > required:
+            required = uncertainty_limit
+        if self.closed_ts < required:
+            raise FollowerReadNotAvailableError(
+                self.range_id, required, self.closed_ts)
+        while True:
+            try:
+                result = self.store.get(key, ts, txn_id=txn_id,
+                                        uncertainty_limit=uncertainty_limit)
+            except ReadWithinUncertaintyIntervalError as err:
+                if not allow_server_side_bump:
+                    raise
+                ts = err.value_ts
+                continue
+            return result, ts
+
+    def follower_read_waiting(self, key: Any, ts: Timestamp,
+                              txn_id=None, uncertainty_limit=None,
+                              allow_server_side_bump: bool = False,
+                              max_wait_ms: float = 0.0):
+        """Follower read that waits locally for the closed timestamp.
+
+        The adaptive policy the paper sketches in §5.3.1/§6.2.1: instead
+        of immediately redirecting to the leaseholder when the local
+        closed timestamp lags, wait up to ``max_wait_ms`` for the next
+        closed-timestamp update to arrive.  Worth it when the remaining
+        gap is smaller than a WAN round trip.
+
+        This is a coroutine (it sleeps); raises
+        :class:`FollowerReadNotAvailableError` if the deadline passes.
+        """
+        sim = self.node.sim
+        deadline = sim.now + max_wait_ms
+        poll_ms = 5.0
+        while True:
+            try:
+                return self.follower_read(
+                    key, ts, txn_id=txn_id,
+                    uncertainty_limit=uncertainty_limit,
+                    allow_server_side_bump=allow_server_side_bump)
+            except FollowerReadNotAvailableError:
+                if sim.now + poll_ms > deadline:
+                    raise
+                yield sim.sleep(poll_ms)
+
+    def max_servable_ts(self, key: Any) -> Timestamp:
+        """Highest timestamp a (stale) read of ``key`` can use locally.
+
+        The bounded-staleness negotiation (paper §5.3.2): the minimum of
+        the local closed timestamp and just-below any conflicting intent.
+        """
+        servable = self.closed_ts
+        intent = self.store.intent_for(key)
+        if intent is not None and intent.ts <= servable:
+            servable = intent.ts.prev()
+        return servable

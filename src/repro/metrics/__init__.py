@@ -1,0 +1,6 @@
+"""Experiment metrics: latency recorders, summaries, CDFs, tables."""
+
+from .histogram import LatencyRecorder, Summary, cdf_points
+from .results import ResultTable
+
+__all__ = ["LatencyRecorder", "Summary", "cdf_points", "ResultTable"]

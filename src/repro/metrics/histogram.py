@@ -1,0 +1,100 @@
+"""Latency recording and summarization for experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LatencyRecorder", "Summary", "cdf_points"]
+
+
+class Summary:
+    """Percentile summary of a latency sample."""
+
+    def __init__(self, samples: Sequence[float]):
+        self.count = len(samples)
+        if self.count:
+            array = np.asarray(samples, dtype=float)
+            self.mean = float(array.mean())
+            self.p50 = float(np.percentile(array, 50))
+            self.p90 = float(np.percentile(array, 90))
+            self.p95 = float(np.percentile(array, 95))
+            self.p99 = float(np.percentile(array, 99))
+            self.max = float(array.max())
+            self.min = float(array.min())
+        else:
+            self.mean = self.p50 = self.p90 = self.p95 = self.p99 = 0.0
+            self.max = self.min = 0.0
+
+    def row(self) -> Dict[str, float]:
+        return {"count": self.count, "mean": self.mean, "p50": self.p50,
+                "p90": self.p90, "p95": self.p95, "p99": self.p99,
+                "max": self.max}
+
+    def __repr__(self) -> str:
+        return (f"Summary(n={self.count} p50={self.p50:.1f} "
+                f"p90={self.p90:.1f} p99={self.p99:.1f} max={self.max:.1f})")
+
+
+def cdf_points(samples: Sequence[float],
+               points: int = 200) -> List[Tuple[float, float]]:
+    """(latency, cumulative fraction) pairs for plotting CDFs (Fig 5)."""
+    if not samples:
+        return []
+    array = np.sort(np.asarray(samples, dtype=float))
+    n = len(array)
+    indices = np.unique(np.linspace(0, n - 1, min(points, n)).astype(int))
+    return [(float(array[i]), float((i + 1) / n)) for i in indices]
+
+
+class LatencyRecorder:
+    """Collects latency samples keyed by a label tuple.
+
+    Labels are free-form, e.g. ``("read", "local")`` or
+    ``("write", "us-east1")``.  Throughput is derived from the recorded
+    operation count and the simulated duration.
+    """
+
+    def __init__(self):
+        self._samples: Dict[Tuple, List[float]] = {}
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    def record(self, label: Tuple, latency_ms: float) -> None:
+        self._samples.setdefault(tuple(label), []).append(latency_ms)
+
+    def labels(self) -> List[Tuple]:
+        return sorted(self._samples.keys())
+
+    def samples(self, *label_parts) -> List[float]:
+        """All samples whose label starts with ``label_parts``."""
+        out: List[float] = []
+        for label, values in self._samples.items():
+            if label[:len(label_parts)] == tuple(label_parts):
+                out.extend(values)
+        return out
+
+    def summary(self, *label_parts) -> Summary:
+        return Summary(self.samples(*label_parts))
+
+    def count(self, *label_parts) -> int:
+        return len(self.samples(*label_parts))
+
+    def total_ops(self) -> int:
+        return sum(len(v) for v in self._samples.values())
+
+    def throughput_per_s(self) -> float:
+        if self.started_at is None or self.finished_at is None:
+            return 0.0
+        elapsed_ms = self.finished_at - self.started_at
+        if elapsed_ms <= 0:
+            return 0.0
+        return self.total_ops() / (elapsed_ms / 1000.0)
+
+    def merged(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        out = LatencyRecorder()
+        for src in (self, other):
+            for label, values in src._samples.items():
+                out._samples.setdefault(label, []).extend(values)
+        return out

@@ -1,0 +1,26 @@
+"""Locality-aware SQL optimization: LOS and uniqueness checks (§4)."""
+
+from .planner import Planner, equality_bindings
+from .plans import (
+    FanoutMultiRead,
+    FanoutPointRead,
+    FullScan,
+    LocalityOptimizedMultiRead,
+    LocalityOptimizedRead,
+    MultiPointRead,
+    PartitionPointRead,
+    UniquenessCheck,
+)
+
+__all__ = [
+    "Planner",
+    "equality_bindings",
+    "FanoutMultiRead",
+    "FanoutPointRead",
+    "LocalityOptimizedMultiRead",
+    "MultiPointRead",
+    "FullScan",
+    "LocalityOptimizedRead",
+    "PartitionPointRead",
+    "UniquenessCheck",
+]

@@ -1,0 +1,21 @@
+"""Placement: zone configs, survivability goals, allocator, provisioning."""
+
+from .allocator import Allocator, Placement
+from .goals import (
+    REGION_SURVIVAL_MIN_REGIONS,
+    SurvivalGoal,
+    zone_config_for_home,
+)
+from .provision import provision_range, reconfigure_range
+from .zoneconfig import ZoneConfig
+
+__all__ = [
+    "Allocator",
+    "Placement",
+    "REGION_SURVIVAL_MIN_REGIONS",
+    "SurvivalGoal",
+    "zone_config_for_home",
+    "provision_range",
+    "reconfigure_range",
+    "ZoneConfig",
+]

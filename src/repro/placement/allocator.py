@@ -1,0 +1,122 @@
+"""Replica placement allocator.
+
+Turns a :class:`ZoneConfig` into a concrete assignment of replicas to
+nodes.  Within the constraint counts, the allocator spreads replicas
+across failure domains by maximizing a diversity score (paper §3.2:
+"candidates are assigned a diversity score such that nodes that do not
+share localities with already placed replicas are ranked higher") and
+balances load by preferring nodes hosting fewer replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .zoneconfig import ZoneConfig
+
+__all__ = ["Allocator", "Placement"]
+
+
+@dataclass
+class Placement:
+    """A concrete replica assignment."""
+
+    voters: List = field(default_factory=list)
+    non_voters: List = field(default_factory=list)
+    leaseholder = None
+
+    def all_nodes(self) -> List:
+        return list(self.voters) + list(self.non_voters)
+
+    def regions(self) -> List[str]:
+        seen = []
+        for node in self.all_nodes():
+            if node.locality.region not in seen:
+                seen.append(node.locality.region)
+        return seen
+
+
+class Allocator:
+    """Chooses nodes for a zone config on a given cluster."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+
+    def place(self, config: ZoneConfig) -> Placement:
+        placement = Placement()
+        used = set()
+
+        def candidates_in(region: Optional[str]) -> List:
+            nodes = (self.cluster.nodes_in_region(region) if region
+                     else self.cluster.live_nodes())
+            return [n for n in nodes if n.node_id not in used]
+
+        def score(node, chosen: Sequence) -> tuple:
+            diversity = sum(node.locality.diversity_from(c.locality)
+                            for c in chosen)
+            load = len(node.replicas)
+            # Higher diversity first, then lower load, then stable id.
+            return (-diversity, load, node.node_id)
+
+        def pick(region: Optional[str], chosen: Sequence):
+            options = candidates_in(region)
+            if not options:
+                raise ConfigurationError(
+                    f"no available node in region {region!r} "
+                    f"(constraints unsatisfiable)")
+            best = min(options, key=lambda n: score(n, chosen))
+            used.add(best.node_id)
+            return best
+
+        # 1. Voters satisfying voter_constraints.
+        for region, count in config.voter_constraints.items():
+            for _ in range(count):
+                placement.voters.append(pick(region, placement.voters))
+
+        # 2. Remaining voters: satisfy overall per-region constraints that
+        #    still need replicas, then free placement by diversity.
+        remaining_constraint = dict(config.constraints)
+        for node in placement.voters:
+            region = node.locality.region
+            if remaining_constraint.get(region, 0) > 0:
+                remaining_constraint[region] -= 1
+        voters_left = config.num_voters - len(placement.voters)
+        for region in sorted(remaining_constraint,
+                             key=lambda r: -remaining_constraint[r]):
+            while voters_left > 0 and remaining_constraint[region] > 0:
+                placement.voters.append(pick(region, placement.voters))
+                remaining_constraint[region] -= 1
+                voters_left -= 1
+        while voters_left > 0:
+            placement.voters.append(pick(None, placement.voters))
+            voters_left -= 1
+
+        # 3. Non-voters: cover remaining constraints, then free slots.
+        non_voters_left = config.num_non_voters
+        for region in sorted(remaining_constraint,
+                             key=lambda r: -remaining_constraint[r]):
+            while non_voters_left > 0 and remaining_constraint[region] > 0:
+                placement.non_voters.append(
+                    pick(region, placement.all_nodes()))
+                remaining_constraint[region] -= 1
+                non_voters_left -= 1
+        while non_voters_left > 0:
+            placement.non_voters.append(pick(None, placement.all_nodes()))
+            non_voters_left -= 1
+
+        # 4. Leaseholder: a voter in the preferred region.
+        placement.leaseholder = self._choose_leaseholder(
+            placement, config.lease_preferences)
+        return placement
+
+    def _choose_leaseholder(self, placement: Placement,
+                            preferences: Sequence[str]):
+        for region in preferences:
+            for voter in placement.voters:
+                if voter.locality.region == region:
+                    return voter
+        if not placement.voters:
+            raise ConfigurationError("placement has no voters")
+        return placement.voters[0]

@@ -1,0 +1,86 @@
+"""Survivability goals and the automatic zone-config translation (§3.3).
+
+The home region of a table/partition is where all its leaseholders live.
+Given the home region, the database regions, and the survivability goal,
+this module emits the zone configuration the paper describes:
+
+* **ZONE survivability** (§3.3.2): 3 voters, all in the home region
+  (spread across zones), plus one non-voting replica in every other
+  region for follower reads.  ``PLACEMENT RESTRICTED`` (§3.3.4) drops
+  the non-voters for domiciling.
+* **REGION survivability** (§3.3.3): 5 voters with 2 in the home region,
+  and ``max(2 + (N - 1), num_voters)`` total replicas with at least one
+  replica in every region.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..errors import ConfigurationError
+from .zoneconfig import ZoneConfig
+
+__all__ = ["SurvivalGoal", "zone_config_for_home",
+           "REGION_SURVIVAL_MIN_REGIONS"]
+
+#: REGION survivability requires at least this many database regions.
+REGION_SURVIVAL_MIN_REGIONS = 3
+
+
+class SurvivalGoal:
+    ZONE = "zone"
+    REGION = "region"
+
+
+def zone_config_for_home(home_region: str, db_regions: Iterable[str],
+                         goal: str = SurvivalGoal.ZONE,
+                         placement_restricted: bool = False) -> ZoneConfig:
+    """The automatic zone config for a table/partition homed in
+    ``home_region`` (paper §3.3)."""
+    regions: List[str] = list(db_regions)
+    if home_region not in regions:
+        raise ConfigurationError(
+            f"home region {home_region!r} is not a database region")
+    others = [r for r in regions if r != home_region]
+
+    if goal == SurvivalGoal.ZONE:
+        num_voters = 3
+        if placement_restricted:
+            num_replicas = num_voters
+            constraints = {home_region: num_replicas}
+        else:
+            # One non-voter per non-home region for local stale reads.
+            num_replicas = num_voters + len(others)
+            constraints = {home_region: num_voters}
+            constraints.update({r: 1 for r in others})
+        return ZoneConfig(
+            num_replicas=num_replicas,
+            num_voters=num_voters,
+            constraints=constraints,
+            voter_constraints={home_region: num_voters},
+            lease_preferences=[home_region],
+        )
+
+    if goal == SurvivalGoal.REGION:
+        if placement_restricted:
+            raise ConfigurationError(
+                "PLACEMENT RESTRICTED cannot be combined with REGION "
+                "survivability (paper §3.3.4)")
+        if len(regions) < REGION_SURVIVAL_MIN_REGIONS:
+            raise ConfigurationError(
+                "REGION survivability requires at least "
+                f"{REGION_SURVIVAL_MIN_REGIONS} regions, have {len(regions)}")
+        num_voters = 5
+        # max(2 + (N - 1), num_voters) replicas, >= 1 in each region.
+        num_replicas = max(2 + len(others), num_voters)
+        constraints = {home_region: 2}
+        constraints.update({r: 1 for r in others})
+        return ZoneConfig(
+            num_replicas=num_replicas,
+            num_voters=num_voters,
+            constraints=constraints,
+            voter_constraints={home_region: 2},
+            lease_preferences=[home_region],
+        )
+
+    raise ConfigurationError(f"unknown survivability goal {goal!r}")

@@ -1,0 +1,50 @@
+"""Zone configurations (paper §3.2, Listing 1).
+
+A zone configuration pins the number and placement of voting and
+non-voting replicas for a schema object, plus a lease preference.  Users
+could always write these by hand; the multi-region abstractions generate
+them automatically (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+
+__all__ = ["ZoneConfig"]
+
+
+@dataclass(frozen=True)
+class ZoneConfig:
+    """Replica count/placement constraints for one schema object.
+
+    ``constraints`` and ``voter_constraints`` map region name to a fixed
+    replica count in that region; replicas not covered by constraints may
+    be placed anywhere (the allocator maximizes diversity).
+    ``lease_preferences`` lists regions allowed to hold the lease, in
+    preference order.
+    """
+
+    num_replicas: int
+    num_voters: int
+    constraints: Dict[str, int] = field(default_factory=dict)
+    voter_constraints: Dict[str, int] = field(default_factory=dict)
+    lease_preferences: List[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.num_voters < 1:
+            raise ConfigurationError("need at least one voter")
+        if self.num_replicas < self.num_voters:
+            raise ConfigurationError(
+                "num_replicas must be >= num_voters "
+                f"({self.num_replicas} < {self.num_voters})")
+        if sum(self.voter_constraints.values()) > self.num_voters:
+            raise ConfigurationError("voter constraints exceed num_voters")
+        if sum(self.constraints.values()) > self.num_replicas:
+            raise ConfigurationError("constraints exceed num_replicas")
+
+    @property
+    def num_non_voters(self) -> int:
+        return self.num_replicas - self.num_voters

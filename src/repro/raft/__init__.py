@@ -1,0 +1,6 @@
+"""Raft-style replication: quorum commit, learners, closed timestamps."""
+
+from .group import PeerState, RaftGroup, ReplicaType
+from .log import Entry
+
+__all__ = ["Entry", "PeerState", "RaftGroup", "ReplicaType"]

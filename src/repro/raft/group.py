@@ -1,0 +1,283 @@
+"""A Raft group: one per Range.
+
+Faithful to the latency-relevant behaviour of etcd/raft as used by
+CockroachDB:
+
+* The leader appends to its local log (small disk latency), streams the
+  entry to every peer, and commits once a *quorum of voters* has
+  acknowledged — learners (non-voting replicas, paper §5.2) receive the
+  log but never count toward quorum and therefore never affect write
+  latency.
+* Followers apply an entry only once they know it is committed; the
+  leader broadcasts commit-index advances, so the time for an entry to
+  apply on the furthest follower is the paper's ``L_replicate``.
+* Each entry carries a closed timestamp; a follower's local closed
+  timestamp is the maximum over applied entries, optionally refreshed by
+  an idle-range side-transport heartbeat.
+
+Leadership is stable (no randomized election timers): the placement
+layer assigns leadership/leases explicitly, and failover is modelled by
+``transfer_leadership``.  This keeps experiments deterministic while
+still letting failure tests exercise quorum loss and recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import RangeUnavailableError
+from ..sim.clock import TS_ZERO, Timestamp
+from ..sim.core import Future, Simulator
+from .log import Entry
+
+__all__ = ["RaftGroup", "PeerState", "ReplicaType"]
+
+
+class ReplicaType:
+    """Replica roles within a group."""
+
+    VOTER = "voter"
+    NON_VOTER = "non_voter"  # Raft learner
+
+
+@dataclass
+class PeerState:
+    """The per-replica Raft state living on one node."""
+
+    node: Any
+    replica_type: str
+    log: List[Entry] = field(default_factory=list)
+    applied_index: int = 0
+    closed_ts: Timestamp = TS_ZERO
+    #: Entries received out of order, keyed by index.
+    _staged: Dict[int, Entry] = field(default_factory=dict)
+    #: Highest commit index this peer has heard of.
+    known_commit_index: int = 0
+
+    @property
+    def last_index(self) -> int:
+        return self.log[-1].index if self.log else 0
+
+    def stage(self, entry: Entry) -> None:
+        if entry.index <= self.last_index:
+            return  # duplicate
+        self._staged[entry.index] = entry
+        while self.last_index + 1 in self._staged:
+            self.log.append(self._staged.pop(self.last_index + 1))
+
+
+class RaftGroup:
+    """Replication state machine for a single Range."""
+
+    #: Simulated local storage append latency per entry (ms).
+    DISK_APPEND_MS = 0.25
+
+    def __init__(self, sim: Simulator, network, range_id: int,
+                 apply_fn: Callable[[Any, Any], None],
+                 proposal_timeout_ms: Optional[float] = None):
+        """``apply_fn(peer_node, command)`` applies a committed command to
+        the replica state on ``peer_node``."""
+        self.sim = sim
+        self.network = network
+        self.range_id = range_id
+        self.apply_fn = apply_fn
+        self.proposal_timeout_ms = proposal_timeout_ms
+        self.term = 1
+        self.leader_node_id: Optional[int] = None
+        self.peers: Dict[int, PeerState] = {}
+        self.commit_index = 0
+        self._next_index = 1
+        #: index -> (future, acks set)
+        self._inflight: Dict[int, Any] = {}
+        self.proposals_committed = 0
+
+    # -- membership --------------------------------------------------------
+
+    def add_peer(self, node, replica_type: str) -> PeerState:
+        peer = PeerState(node=node, replica_type=replica_type)
+        # New peers catch up from the leader's log (snapshot shortcut).
+        if self.leader_node_id is not None:
+            leader = self.peers[self.leader_node_id]
+            peer.log = list(leader.log)
+            peer.applied_index = leader.applied_index
+            peer.closed_ts = leader.closed_ts
+            peer.known_commit_index = self.commit_index
+        self.peers[node.node_id] = peer
+        return peer
+
+    def remove_peer(self, node_id: int) -> None:
+        self.peers.pop(node_id, None)
+
+    def set_leader(self, node_id: int) -> None:
+        if node_id not in self.peers:
+            raise RangeUnavailableError(
+                f"r{self.range_id}: node {node_id} is not a member")
+        if self.peers[node_id].replica_type != ReplicaType.VOTER:
+            raise RangeUnavailableError(
+                f"r{self.range_id}: non-voter {node_id} cannot lead")
+        self.leader_node_id = node_id
+
+    def transfer_leadership(self, node_id: int) -> None:
+        """Move leadership (used for lease transfers and failover)."""
+        self.term += 1
+        self.set_leader(node_id)
+
+    @property
+    def leader(self) -> PeerState:
+        if self.leader_node_id is None:
+            raise RangeUnavailableError(f"r{self.range_id}: no leader")
+        return self.peers[self.leader_node_id]
+
+    def voters(self) -> List[PeerState]:
+        return [p for p in self.peers.values()
+                if p.replica_type == ReplicaType.VOTER]
+
+    def non_voters(self) -> List[PeerState]:
+        return [p for p in self.peers.values()
+                if p.replica_type == ReplicaType.NON_VOTER]
+
+    def quorum_size(self) -> int:
+        return len(self.voters()) // 2 + 1
+
+    def live_voter_count(self) -> int:
+        return sum(1 for p in self.voters()
+                   if not self.network.node_is_dead(p.node.node_id))
+
+    def has_quorum(self) -> bool:
+        return self.live_voter_count() >= self.quorum_size()
+
+    # -- proposal path -------------------------------------------------------
+
+    def propose(self, command: Any, closed_ts: Timestamp) -> Future:
+        """Replicate ``command``; resolves once committed & applied on the
+        leader.  The resolved value is the :class:`Entry`."""
+        leader = self.leader
+        if self.network.node_is_dead(leader.node.node_id):
+            fut = Future(self.sim)
+            fut.reject(RangeUnavailableError(f"r{self.range_id}: leader dead"))
+            return fut
+        entry = Entry(index=self._next_index, term=self.term,
+                      command=command, closed_ts=closed_ts)
+        self._next_index += 1
+        fut = Future(self.sim)
+        self._inflight[entry.index] = [fut, {leader.node.node_id: False}]
+        if self.proposal_timeout_ms is not None:
+            self.sim.call_after(self.proposal_timeout_ms,
+                                self._maybe_timeout, entry.index)
+        # Local append (counts as the leader's own ack after disk latency).
+        leader.stage(entry)
+        self.sim.call_after(self.DISK_APPEND_MS,
+                            self._on_ack, entry.index, leader.node.node_id)
+        # Stream to every other peer, voters and learners alike.
+        for peer in self.peers.values():
+            if peer.node.node_id == leader.node.node_id:
+                continue
+            self._send_append(leader, peer, entry)
+        return fut
+
+    def _maybe_timeout(self, index: int) -> None:
+        inflight = self._inflight.pop(index, None)
+        if inflight is not None and not inflight[0].done:
+            inflight[0].reject(RangeUnavailableError(
+                f"r{self.range_id}: proposal {index} timed out (no quorum)"))
+
+    def _send_append(self, leader: PeerState, peer: PeerState,
+                     entry: Entry) -> None:
+        def on_deliver() -> None:
+            peer.stage(entry)
+            self._apply_ready(peer)
+            # Ack after the peer's disk append.
+            self.sim.call_after(
+                self.DISK_APPEND_MS, self._send_ack, peer, entry.index)
+        self.network.send(leader.node, peer.node, on_deliver)
+
+    def _send_ack(self, peer: PeerState, index: int) -> None:
+        leader = self.peers.get(self.leader_node_id)
+        if leader is None:
+            return
+        self.network.send(
+            peer.node, leader.node,
+            lambda: self._on_ack(index, peer.node.node_id))
+
+    def _on_ack(self, index: int, from_node_id: int) -> None:
+        inflight = self._inflight.get(index)
+        if inflight is None:
+            return
+        _fut, acks = inflight
+        acks[from_node_id] = True
+        voter_ids = {p.node.node_id for p in self.voters()}
+        voter_acks = sum(1 for nid in acks if nid in voter_ids)
+        if voter_acks >= self.quorum_size() and index == self.commit_index + 1:
+            self._advance_commit(index)
+
+    def _advance_commit(self, index: int) -> None:
+        """Commit ``index`` and any consecutive successors already acked."""
+        while True:
+            self.commit_index = index
+            self.proposals_committed += 1
+            leader = self.leader
+            leader.known_commit_index = index
+            self._apply_ready(leader)
+            inflight = self._inflight.pop(index, None)
+            if inflight is not None and not inflight[0].done:
+                entry = leader.log[index - 1]
+                inflight[0].resolve(entry)
+            # Broadcast the new commit index (enables follower application).
+            for peer in self.peers.values():
+                if peer.node.node_id == leader.node.node_id:
+                    continue
+                self._send_commit_update(leader, peer, index)
+            nxt = self._inflight.get(index + 1)
+            if nxt is None:
+                break
+            voter_ids = {p.node.node_id for p in self.voters()}
+            voter_acks = sum(1 for nid in nxt[1] if nid in voter_ids)
+            if voter_acks < self.quorum_size():
+                break
+            index += 1
+
+    def _send_commit_update(self, leader: PeerState, peer: PeerState,
+                            index: int) -> None:
+        def on_deliver() -> None:
+            if index > peer.known_commit_index:
+                peer.known_commit_index = index
+            self._apply_ready(peer)
+        self.network.send(leader.node, peer.node, on_deliver)
+
+    def _apply_ready(self, peer: PeerState) -> None:
+        """Apply every log entry that is both local and known-committed."""
+        limit = min(peer.known_commit_index, peer.last_index)
+        while peer.applied_index < limit:
+            entry = peer.log[peer.applied_index]
+            self.apply_fn(peer.node, entry.command)
+            peer.applied_index = entry.index
+            if entry.closed_ts > peer.closed_ts:
+                peer.closed_ts = entry.closed_ts
+
+    # -- closed-timestamp side transport -------------------------------------
+
+    def broadcast_closed_ts(self, closed_ts: Timestamp) -> None:
+        """Ship a closed-timestamp-only heartbeat (idle ranges).
+
+        In CRDB this is the closed-timestamp side transport; it lets the
+        closed timestamp advance without write traffic.
+        """
+        leader = self.leader
+        if closed_ts > leader.closed_ts:
+            leader.closed_ts = closed_ts
+        for peer in self.peers.values():
+            if peer.node.node_id == leader.node.node_id:
+                continue
+            # Valid only if the peer is caught up on application; otherwise
+            # it would claim data it does not yet have.
+            def make_update(p: PeerState, ts: Timestamp, commit: int):
+                def on_deliver() -> None:
+                    if commit > p.known_commit_index:
+                        p.known_commit_index = commit
+                    self._apply_ready(p)
+                    if p.applied_index >= commit and ts > p.closed_ts:
+                        p.closed_ts = ts
+                return on_deliver
+            self.network.send(leader.node, peer.node,
+                              make_update(peer, closed_ts, self.commit_index))

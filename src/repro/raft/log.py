@@ -1,0 +1,27 @@
+"""Raft log entries.
+
+Every entry carries the command to apply plus the *closed timestamp*
+assigned by the leaseholder at proposal time.  Serializing closed
+timestamps into the replication stream is how followers learn them
+(paper §5.1.1: "These promises are serialized into the Range's
+replication stream by piggy-backing onto Raft commands").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..sim.clock import Timestamp
+
+__all__ = ["Entry"]
+
+
+@dataclass(frozen=True)
+class Entry:
+    """One replicated log entry."""
+
+    index: int
+    term: int
+    command: Any
+    closed_ts: Timestamp

@@ -1,0 +1,43 @@
+"""Discrete-event simulation substrate: kernel, clocks, and network."""
+
+from .clock import HLC, SkewModel, Timestamp, TS_MAX, TS_ZERO
+from .core import (
+    Future,
+    Process,
+    ProcessFailed,
+    SimulationError,
+    Simulator,
+    all_of,
+    any_of,
+    quorum_of,
+)
+from .network import (
+    LatencyModel,
+    Network,
+    NetworkUnavailableError,
+    TABLE1_REGIONS,
+    TABLE1_RTT_MS,
+    synthetic_rtt_matrix,
+)
+
+__all__ = [
+    "HLC",
+    "SkewModel",
+    "Timestamp",
+    "TS_MAX",
+    "TS_ZERO",
+    "Future",
+    "Process",
+    "ProcessFailed",
+    "SimulationError",
+    "Simulator",
+    "all_of",
+    "any_of",
+    "quorum_of",
+    "LatencyModel",
+    "Network",
+    "NetworkUnavailableError",
+    "TABLE1_REGIONS",
+    "TABLE1_RTT_MS",
+    "synthetic_rtt_matrix",
+]

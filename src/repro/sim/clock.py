@@ -1,0 +1,161 @@
+"""Hybrid logical clocks (HLC) and MVCC timestamps.
+
+Every node owns an :class:`HLC` backed by a skewed view of simulated
+time.  The database guarantees that any two node clocks differ by at
+most ``max_clock_offset`` — exactly the assumption CockroachDB makes of
+NTP-disciplined clocks — and the skew model here enforces that bound by
+construction.
+
+Timestamps are (physical ms, logical counter) pairs with an additional
+``synthetic`` bit.  Synthetic timestamps do not promise that any clock
+has reached them; they are produced by future-time (GLOBAL-table)
+writes and by lead closed timestamps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from .core import Future, Simulator
+
+__all__ = ["Timestamp", "HLC", "SkewModel", "TS_ZERO", "TS_MAX"]
+
+
+@dataclass(frozen=True, order=False)
+class Timestamp:
+    """An MVCC timestamp: physical milliseconds plus a logical tiebreak."""
+
+    physical: float
+    logical: int = 0
+    synthetic: bool = False
+
+    def key(self):
+        return (self.physical, self.logical)
+
+    def __lt__(self, other: "Timestamp") -> bool:
+        return self.key() < other.key()
+
+    def __le__(self, other: "Timestamp") -> bool:
+        return self.key() <= other.key()
+
+    def __gt__(self, other: "Timestamp") -> bool:
+        return self.key() > other.key()
+
+    def __ge__(self, other: "Timestamp") -> bool:
+        return self.key() >= other.key()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def next(self) -> "Timestamp":
+        """The smallest timestamp strictly greater than this one."""
+        return Timestamp(self.physical, self.logical + 1, self.synthetic)
+
+    def prev(self) -> "Timestamp":
+        if self.logical > 0:
+            return Timestamp(self.physical, self.logical - 1, self.synthetic)
+        return Timestamp(self.physical - 1e-6, 1 << 30, self.synthetic)
+
+    def add(self, delta_ms: float) -> "Timestamp":
+        """This timestamp shifted ``delta_ms`` into the future (synthetic)."""
+        return Timestamp(self.physical + delta_ms, self.logical,
+                         synthetic=self.synthetic or delta_ms > 0)
+
+    def with_synthetic(self, synthetic: bool) -> "Timestamp":
+        return Timestamp(self.physical, self.logical, synthetic)
+
+    def __repr__(self) -> str:
+        mark = "?" if self.synthetic else ""
+        return f"{self.physical:.3f},{self.logical}{mark}"
+
+
+TS_ZERO = Timestamp(0.0, 0)
+TS_MAX = Timestamp(float("inf"), 0)
+
+
+class SkewModel:
+    """Assigns each node a fixed clock offset within the tolerated bound.
+
+    Offsets are drawn uniformly from ``[-max_offset/2, +max_offset/2]``
+    so any pairwise difference is at most ``max_offset``, matching the
+    paper's ``max_clock_offset`` contract.  ``skew_fraction`` scales how
+    much of the allowance is actually used (real deployments are usually
+    well inside the bound).
+    """
+
+    def __init__(self, max_offset: float, seed: int = 0, skew_fraction: float = 0.5):
+        if not 0.0 <= skew_fraction <= 1.0:
+            raise ValueError("skew_fraction must be within [0, 1]")
+        self.max_offset = max_offset
+        self.skew_fraction = skew_fraction
+        self._rng = random.Random(seed)
+        self._offsets = {}
+
+    def offset_for(self, node_id: int) -> float:
+        if node_id not in self._offsets:
+            half = self.max_offset * self.skew_fraction / 2.0
+            self._offsets[node_id] = self._rng.uniform(-half, half)
+        return self._offsets[node_id]
+
+
+class HLC:
+    """A hybrid logical clock owned by a single node.
+
+    ``physical_now`` is the node's (possibly skewed) view of wall time;
+    ``now()`` returns monotone HLC readings, and ``update`` folds in
+    timestamps observed on received messages, per the HLC algorithm.
+    """
+
+    def __init__(self, sim: Simulator, node_id: int,
+                 skew: Optional[SkewModel] = None):
+        self.sim = sim
+        self.node_id = node_id
+        self._skew = skew
+        self._last = TS_ZERO
+
+    @property
+    def max_offset(self) -> float:
+        return self._skew.max_offset if self._skew is not None else 0.0
+
+    def physical_now(self) -> float:
+        offset = self._skew.offset_for(self.node_id) if self._skew else 0.0
+        return self.sim.now + offset
+
+    def now(self) -> Timestamp:
+        physical = self.physical_now()
+        if physical > self._last.physical:
+            self._last = Timestamp(physical, 0)
+        else:
+            self._last = Timestamp(self._last.physical, self._last.logical + 1)
+        return self._last
+
+    def update(self, observed: Timestamp) -> Timestamp:
+        """Advance the clock past a timestamp seen on an incoming message.
+
+        Synthetic timestamps deliberately do *not* advance the clock:
+        they carry no claim that real time has reached them.
+        """
+        if not observed.synthetic and observed > self._last:
+            self._last = Timestamp(observed.physical, observed.logical)
+        return self.now()
+
+    def wait_until(self, target: Timestamp) -> Future:
+        """Future resolving once this clock's physical time passes ``target``.
+
+        This is *commit wait*: the caller blocks until every clock in the
+        system is guaranteed to be within ``max_offset`` of ``target``.
+        """
+        fut = Future(self.sim)
+        wait_ms = target.physical - self.physical_now()
+        if wait_ms <= 0:
+            fut.resolve(0.0)
+        else:
+            self.sim.call_after(wait_ms, fut.resolve, wait_ms)
+        return fut

@@ -1,0 +1,369 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is a classic event-heap simulator with coroutine *processes*
+layered on top.  A process is a Python generator that yields
+:class:`Future` objects; the process is resumed with the future's value
+once it resolves.  ``Simulator.sleep`` returns a future that resolves
+after a simulated delay, so protocol code reads sequentially::
+
+    def write(sim, ...):
+        yield sim.sleep(1.5)            # e.g. disk latency
+        reply = yield rpc_future        # wait for an RPC response
+        return reply                    # via StopIteration.value
+
+Everything is single-threaded and deterministic: events firing at the
+same simulated time are ordered by insertion sequence.
+
+Simulated time is measured in **milliseconds** (float) throughout the
+repository.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Future",
+    "Process",
+    "ProcessFailed",
+    "SimulationError",
+    "Simulator",
+    "all_of",
+    "settle_all",
+    "any_of",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel itself."""
+
+
+class Future:
+    """A one-shot container for a value that will exist later in sim time.
+
+    Futures may be resolved with a value (:meth:`resolve`) or rejected
+    with an exception (:meth:`reject`).  Processes wait on a future by
+    yielding it; plain callbacks can be attached with
+    :meth:`add_callback`.
+    """
+
+    __slots__ = ("sim", "_done", "_value", "_error", "_callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._done = False
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Future"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise SimulationError("future is not resolved yet")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._error if self._done else None
+
+    def resolve(self, value: Any = None) -> None:
+        """Complete the future successfully with ``value``."""
+        self._complete(value, None)
+
+    def reject(self, error: BaseException) -> None:
+        """Complete the future with an exception."""
+        self._complete(None, error)
+
+    def _complete(self, value: Any, error: Optional[BaseException]) -> None:
+        if self._done:
+            raise SimulationError("future resolved twice")
+        self._done = True
+        self._value = value
+        self._error = error
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, callback: Callable[["Future"], None]) -> None:
+        """Run ``callback(self)`` when done (immediately if already done)."""
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+
+class ProcessFailed(SimulationError):
+    """A waited-on process terminated with an exception."""
+
+
+class Process(Future):
+    """A running coroutine; also a future for the coroutine's return value.
+
+    The generator's ``return`` value resolves the process; an uncaught
+    exception rejects it.  Unwaited-on failures propagate out of
+    :meth:`Simulator.run` so that bugs never pass silently.
+    """
+
+    __slots__ = ("_generator", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+
+    def _step(self, send_value: Any = None, throw_error: Optional[BaseException] = None) -> None:
+        try:
+            if throw_error is not None:
+                target = self._generator.throw(throw_error)
+            else:
+                target = self._generator.send(send_value)
+        except StopIteration as stop:
+            self.resolve(stop.value)
+            return
+        except Exception as exc:  # noqa: BLE001 - deliberate catch-all boundary
+            had_waiters = bool(self._callbacks)
+            self.reject(exc)
+            if not had_waiters and not self.sim._swallow_orphan_failures:
+                self.sim._crash(exc)
+            return
+        if not isinstance(target, Future):
+            self.reject(SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Futures"))
+            return
+        target.add_callback(self._on_target_done)
+
+    def _on_target_done(self, fut: Future) -> None:
+        if fut.error is not None:
+            self.sim._call_soon(self._step, None, fut.error)
+        else:
+            self.sim._call_soon(self._step, fut._value, None)
+
+
+class Simulator:
+    """The event loop.  All simulated components share one instance."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: List = []
+        self._sequence = itertools.count()
+        self._pending_crash: Optional[BaseException] = None
+        self._swallow_orphan_failures = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------
+
+    def call_at(self, when: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past ({when} < {self._now})")
+        heapq.heappush(self._heap, (when, next(self._sequence), fn, args))
+
+    def call_after(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` milliseconds."""
+        self.call_at(self._now + delay, fn, *args)
+
+    def _call_soon(self, fn: Callable, *args: Any) -> None:
+        self.call_at(self._now, fn, *args)
+
+    def sleep(self, delay: float) -> Future:
+        """Future that resolves ``delay`` ms from now."""
+        fut = Future(self)
+        self.call_after(delay, fut.resolve, None)
+        return fut
+
+    def timeout(self, delay: float, error: BaseException) -> Future:
+        """Future that *rejects* with ``error`` after ``delay`` ms."""
+        fut = Future(self)
+        self.call_after(delay, fut.reject, error)
+        return fut
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process running ``generator``."""
+        process = Process(self, generator, name)
+        self._call_soon(process._step, None, None)
+        return process
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run events until the heap drains or sim time reaches ``until``."""
+        while self._heap:
+            if self._pending_crash is not None:
+                error, self._pending_crash = self._pending_crash, None
+                raise error
+            when, _seq, fn, args = self._heap[0]
+            if until is not None and when > until:
+                self._now = until
+                return
+            heapq.heappop(self._heap)
+            self._now = when
+            fn(*args)
+        if self._pending_crash is not None:
+            error, self._pending_crash = self._pending_crash, None
+            raise error
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Spawn ``generator``, run to completion, and return its value."""
+        process = self.spawn(generator, name)
+        self.run()
+        if not process.done:
+            raise SimulationError(
+                f"process {process.name!r} never completed (deadlock?)")
+        return process.value
+
+    def run_until_future(self, future: Future,
+                         limit: Optional[float] = None) -> Any:
+        """Run events until ``future`` completes; return its value.
+
+        Unlike :meth:`run`, this works with never-ending background
+        processes (heartbeats, side transports) in the event heap.
+        ``limit`` bounds simulated time as a deadlock guard.
+        """
+        while not future.done and self._heap:
+            if self._pending_crash is not None:
+                error, self._pending_crash = self._pending_crash, None
+                raise error
+            when, _seq, fn, args = heapq.heappop(self._heap)
+            if limit is not None and when > limit:
+                raise SimulationError(
+                    f"future not resolved by simulated time {limit}")
+            self._now = when
+            fn(*args)
+        if self._pending_crash is not None:
+            error, self._pending_crash = self._pending_crash, None
+            raise error
+        if not future.done:
+            raise SimulationError("event heap drained before future resolved")
+        return future.value
+
+    def _crash(self, error: BaseException) -> None:
+        # Recorded rather than raised so the failure surfaces from run()
+        # instead of unwinding through an arbitrary callback chain.
+        if self._pending_crash is None:
+            self._pending_crash = error
+
+
+def all_of(sim: Simulator, futures: Iterable[Future]) -> Future:
+    """Future resolving with a list of all values once every input is done.
+
+    Rejects with the first error observed.
+    """
+    futures = list(futures)
+    result = Future(sim)
+    if not futures:
+        result.resolve([])
+        return result
+    remaining = [len(futures)]
+
+    def on_done(_fut: Future) -> None:
+        if result.done:
+            return
+        if _fut.error is not None:
+            result.reject(_fut.error)
+            return
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            result.resolve([f._value for f in futures])
+
+    for fut in futures:
+        fut.add_callback(on_done)
+    return result
+
+
+def settle_all(sim: Simulator, futures: Iterable[Future]) -> Future:
+    """Future resolving (never rejecting) once every input has settled.
+
+    Resolves with the list of input futures; callers inspect each for
+    value or error.  Unlike :func:`all_of`, this does not give up on the
+    first failure — needed when side effects of still-pending futures
+    (e.g. replicated write intents) must be accounted for before acting
+    on the failure.
+    """
+    futures = list(futures)
+    result = Future(sim)
+    if not futures:
+        result.resolve([])
+        return result
+    remaining = [len(futures)]
+
+    def on_done(_fut: Future) -> None:
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            result.resolve(futures)
+
+    for fut in futures:
+        fut.add_callback(on_done)
+    return result
+
+
+def any_of(sim: Simulator, futures: Iterable[Future]) -> Future:
+    """Future resolving with (index, value) of the first input to resolve."""
+    futures = list(futures)
+    if not futures:
+        raise SimulationError("any_of requires at least one future")
+    result = Future(sim)
+
+    def make_callback(index: int) -> Callable[[Future], None]:
+        def on_done(fut: Future) -> None:
+            if result.done:
+                return
+            if fut.error is not None:
+                result.reject(fut.error)
+            else:
+                result.resolve((index, fut._value))
+        return on_done
+
+    for i, fut in enumerate(futures):
+        fut.add_callback(make_callback(i))
+    return result
+
+
+def quorum_of(sim: Simulator, futures: Iterable[Future], needed: int) -> Future:
+    """Future resolving once ``needed`` of the inputs have resolved.
+
+    Used for Raft quorum waits: rejections count as unreachable replicas
+    and only fail the quorum when success becomes impossible.
+    """
+    futures = list(futures)
+    result = Future(sim)
+    if needed <= 0:
+        result.resolve([])
+        return result
+    if needed > len(futures):
+        raise SimulationError("quorum larger than the group")
+    successes: List[Any] = []
+    failures = [0]
+
+    def on_done(fut: Future) -> None:
+        if result.done:
+            return
+        if fut.error is not None:
+            failures[0] += 1
+            if len(futures) - failures[0] < needed:
+                result.reject(fut.error)
+            return
+        successes.append(fut._value)
+        if len(successes) >= needed:
+            result.resolve(list(successes))
+
+    for fut in futures:
+        fut.add_callback(on_done)
+    return result
+
+
+__all__.append("quorum_of")

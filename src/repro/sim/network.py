@@ -1,0 +1,233 @@
+"""Network latency model.
+
+Latency between nodes is derived from their localities:
+
+* same node:          ~0 (loopback)
+* same zone:          LAN round trip (default 0.5 ms)
+* same region:        inter-zone round trip (default 1.0 ms)
+* different regions:  the inter-region RTT matrix
+
+The default matrix is Table 1 of the paper (measured GCP round-trip
+times in milliseconds).  Regions not present in a matrix fall back to a
+synthetic great-circle-flavoured estimate so experiments can scale to
+arbitrarily many regions (Fig 6 uses 26).
+
+The model supports per-message jitter and region-level partitions for
+failure-injection tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Generator, Iterable, Optional, Tuple
+
+from .core import Future, Process, Simulator
+
+__all__ = [
+    "TABLE1_RTT_MS",
+    "TABLE1_REGIONS",
+    "LatencyModel",
+    "Network",
+    "NetworkUnavailableError",
+    "synthetic_rtt_matrix",
+]
+
+#: Table 1 of the paper: inter-region round-trip times in milliseconds.
+TABLE1_REGIONS = (
+    "us-east1",
+    "us-west1",
+    "europe-west2",
+    "asia-northeast1",
+    "australia-southeast1",
+)
+
+_TABLE1_UPPER = {
+    ("us-east1", "us-west1"): 63.0,
+    ("us-east1", "europe-west2"): 87.0,
+    ("us-east1", "asia-northeast1"): 155.0,
+    ("us-east1", "australia-southeast1"): 198.0,
+    ("us-west1", "europe-west2"): 132.0,
+    ("us-west1", "asia-northeast1"): 90.0,
+    ("us-west1", "australia-southeast1"): 156.0,
+    ("europe-west2", "asia-northeast1"): 222.0,
+    ("europe-west2", "australia-southeast1"): 274.0,
+    ("asia-northeast1", "australia-southeast1"): 113.0,
+}
+
+
+def _symmetrize(upper: Dict[Tuple[str, str], float]) -> Dict[Tuple[str, str], float]:
+    full = {}
+    for (a, b), rtt in upper.items():
+        full[(a, b)] = rtt
+        full[(b, a)] = rtt
+    return full
+
+
+TABLE1_RTT_MS: Dict[Tuple[str, str], float] = _symmetrize(_TABLE1_UPPER)
+
+
+def synthetic_rtt_matrix(regions: Iterable[str], seed: int = 7,
+                         min_rtt: float = 20.0,
+                         max_rtt: float = 280.0) -> Dict[Tuple[str, str], float]:
+    """Generate a plausible symmetric RTT matrix for arbitrary regions.
+
+    Each region gets a point on a ring; RTT grows with ring distance,
+    spanning roughly the same 20-280 ms envelope as Table 1.  Used by the
+    Fig 6 scalability experiment, which needs 26 regions.
+    """
+    regions = list(regions)
+    rng = random.Random(seed)
+    positions = {r: i / len(regions) for i, r in enumerate(regions)}
+    matrix: Dict[Tuple[str, str], float] = {}
+    for a in regions:
+        for b in regions:
+            if a == b:
+                continue
+            distance = abs(positions[a] - positions[b])
+            distance = min(distance, 1.0 - distance) * 2.0  # 0..1 around ring
+            base = min_rtt + (max_rtt - min_rtt) * distance
+            noise = rng.uniform(0.9, 1.1)
+            key = (a, b) if a < b else (b, a)
+            if key not in matrix:
+                matrix[key] = base * noise
+    return _symmetrize(matrix)
+
+
+class NetworkUnavailableError(Exception):
+    """The destination is unreachable (partition or dead node)."""
+
+
+class LatencyModel:
+    """Computes one-way latency between two localities."""
+
+    def __init__(self,
+                 rtt_matrix: Optional[Dict[Tuple[str, str], float]] = None,
+                 same_zone_rtt: float = 0.5,
+                 same_region_rtt: float = 1.0,
+                 default_remote_rtt: float = 150.0,
+                 jitter_fraction: float = 0.05,
+                 seed: int = 0):
+        self.rtt_matrix = dict(TABLE1_RTT_MS if rtt_matrix is None else rtt_matrix)
+        self.same_zone_rtt = same_zone_rtt
+        self.same_region_rtt = same_region_rtt
+        self.default_remote_rtt = default_remote_rtt
+        self.jitter_fraction = jitter_fraction
+        self._rng = random.Random(seed)
+
+    def rtt(self, region_a: str, zone_a: str, region_b: str, zone_b: str) -> float:
+        """Nominal round-trip time between two (region, zone) localities."""
+        if region_a == region_b:
+            return self.same_zone_rtt if zone_a == zone_b else self.same_region_rtt
+        return self.rtt_matrix.get((region_a, region_b), self.default_remote_rtt)
+
+    def one_way(self, region_a: str, zone_a: str, region_b: str, zone_b: str) -> float:
+        """One-way latency for a single message, with jitter applied."""
+        base = self.rtt(region_a, zone_a, region_b, zone_b) / 2.0
+        if self.jitter_fraction <= 0:
+            return base
+        return base * (1.0 + self._rng.uniform(0.0, self.jitter_fraction))
+
+
+class Network:
+    """Message fabric connecting cluster nodes.
+
+    The primary primitive is :meth:`call`: an RPC that delivers a request
+    to the destination after one-way latency, runs a handler coroutine
+    there, and delivers the reply after another one-way latency.  Region
+    partitions cause calls to reject with
+    :class:`NetworkUnavailableError`.
+    """
+
+    #: Fixed per-message processing overhead (serialization, kernel, ...).
+    PROCESSING_MS = 0.05
+
+    def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None):
+        self.sim = sim
+        self.latency = latency or LatencyModel()
+        self._partitioned_regions = set()
+        self._dead_nodes = set()
+        self.messages_sent = 0
+        self.bytes_by_region_pair: Dict[Tuple[str, str], int] = {}
+
+    # -- failure injection ------------------------------------------------
+
+    def partition_region(self, region: str) -> None:
+        """Cut the given region off from all other regions."""
+        self._partitioned_regions.add(region)
+
+    def heal_region(self, region: str) -> None:
+        self._partitioned_regions.discard(region)
+
+    def kill_node(self, node_id: int) -> None:
+        self._dead_nodes.add(node_id)
+
+    def revive_node(self, node_id: int) -> None:
+        self._dead_nodes.discard(node_id)
+
+    def node_is_dead(self, node_id: int) -> bool:
+        return node_id in self._dead_nodes
+
+    def _reachable(self, src, dst) -> bool:
+        if dst.node_id in self._dead_nodes or src.node_id in self._dead_nodes:
+            return False
+        if src.locality.region != dst.locality.region:
+            if src.locality.region in self._partitioned_regions:
+                return False
+            if dst.locality.region in self._partitioned_regions:
+                return False
+        return True
+
+    def one_way_latency(self, src, dst) -> float:
+        if src.node_id == dst.node_id:
+            return 0.01
+        return self.latency.one_way(
+            src.locality.region, src.locality.zone,
+            dst.locality.region, dst.locality.zone) + self.PROCESSING_MS
+
+    def call(self, src, dst, handler: Callable[[], Generator],
+             payload_size: int = 1) -> Future:
+        """RPC from node ``src`` to node ``dst``.
+
+        ``handler`` is a zero-argument callable returning a generator; it
+        runs *on the destination* (in sim terms: after the request has
+        been delivered).  The returned future resolves with the handler's
+        return value after the reply propagates back, or rejects if the
+        handler raises or the destination is unreachable.
+        """
+        fut = Future(self.sim)
+        if not self._reachable(src, dst):
+            self.sim._call_soon(
+                fut.reject,
+                NetworkUnavailableError(f"node {dst.node_id} unreachable from {src.node_id}"))
+            return fut
+        self.messages_sent += 1
+        pair = (src.locality.region, dst.locality.region)
+        self.bytes_by_region_pair[pair] = (
+            self.bytes_by_region_pair.get(pair, 0) + payload_size)
+        request_delay = self.one_way_latency(src, dst)
+
+        def deliver_request() -> None:
+            if not self._reachable(src, dst):
+                fut.reject(NetworkUnavailableError(
+                    f"node {dst.node_id} died in flight"))
+                return
+            process = self.sim.spawn(handler(), name=f"rpc@{dst.node_id}")
+            process.add_callback(send_reply)
+
+        def send_reply(process: Process) -> None:
+            reply_delay = self.one_way_latency(dst, src)
+            error = process.error
+            if error is not None:
+                self.sim.call_after(reply_delay, fut.reject, error)
+            else:
+                self.sim.call_after(reply_delay, fut.resolve, process._value)
+
+        self.sim.call_after(request_delay, deliver_request)
+        return fut
+
+    def send(self, src, dst, callback: Callable[[], None]) -> None:
+        """One-way, fire-and-forget message (e.g. Raft appends)."""
+        if not self._reachable(src, dst):
+            return
+        self.messages_sent += 1
+        self.sim.call_after(self.one_way_latency(src, dst), callback)

@@ -1,0 +1,50 @@
+"""The SQL layer: dialect parser, catalog, schema changes, execution.
+
+Most users only need :class:`Engine` (and :class:`Session` objects from
+``engine.connect(region)``).
+"""
+
+from . import ast
+from .catalog import (
+    Catalog,
+    Column,
+    Database,
+    DEFAULT_PARTITION,
+    Index,
+    REGION_COLUMN,
+    RegionEnum,
+    Table,
+    TableLocality,
+)
+from .eval import EvalEnv, columns_referenced, evaluate
+from .executor import ExecContext, Executor
+from .lexer import tokenize
+from .parser import parse, parse_one
+from .schema_changes import SchemaChangeEngine
+from .session import Engine, Session, TxnHandle, parse_interval_ms
+
+__all__ = [
+    "ast",
+    "Catalog",
+    "Column",
+    "Database",
+    "DEFAULT_PARTITION",
+    "Index",
+    "REGION_COLUMN",
+    "RegionEnum",
+    "Table",
+    "TableLocality",
+    "EvalEnv",
+    "columns_referenced",
+    "evaluate",
+    "ExecContext",
+    "Executor",
+    "tokenize",
+    "parse",
+    "parse_one",
+    "SchemaChangeEngine",
+    "Engine",
+    "Session",
+    "TxnHandle",
+    "parse_interval_ms",
+]

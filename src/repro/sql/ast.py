@@ -1,0 +1,281 @@
+"""AST nodes for the multi-region SQL dialect.
+
+The dialect covers every statement the paper shows (§2) plus the DML the
+benchmarks need.  Expressions are a small tree: literals, column
+references, function calls, CASE WHEN, and boolean comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+__all__ = [
+    # expressions
+    "Literal", "ColumnRef", "FuncCall", "CaseWhen", "Comparison",
+    "LogicalAnd", "InList",
+    # locality
+    "LocalityGlobal", "LocalityRegionalByTable", "LocalityRegionalByRow",
+    # DDL
+    "ColumnDef", "CreateDatabase", "AlterDatabaseAddRegion",
+    "AlterDatabaseDropRegion", "AlterDatabaseSurvive",
+    "AlterDatabasePlacement", "AlterDatabaseSetPrimaryRegion",
+    "CreateTable", "AlterTableSetLocality", "AlterTableAddColumn",
+    "ForeignKeyDef",
+    "CreateIndex", "DropTable",
+    # DML / queries
+    "Insert", "Select", "Update", "Delete", "ShowRegions", "UseDatabase",
+    "AsOf", "Explain", "ShowRanges", "ShowZoneConfiguration",
+    "Begin", "Commit", "Rollback",
+]
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    name: str
+    args: Tuple = ()
+
+
+@dataclass(frozen=True)
+class CaseWhen:
+    """CASE WHEN <cond> THEN <expr> [WHEN ...] ELSE <expr> END."""
+    whens: Tuple  # tuple of (condition, result) expression pairs
+    default: Any  # expression
+
+
+@dataclass(frozen=True)
+class Comparison:
+    op: str  # '=', '<>', '<', '<=', '>', '>='
+    left: Any
+    right: Any
+
+
+@dataclass(frozen=True)
+class LogicalAnd:
+    parts: Tuple
+
+
+@dataclass(frozen=True)
+class InList:
+    column: ColumnRef
+    values: Tuple
+
+
+# -- table localities (§2.3) ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LocalityGlobal:
+    pass
+
+
+@dataclass(frozen=True)
+class LocalityRegionalByTable:
+    region: Optional[str] = None  # None means the PRIMARY region
+
+
+@dataclass(frozen=True)
+class LocalityRegionalByRow:
+    column: Optional[str] = None  # None means the hidden crdb_region
+
+
+# -- DDL -------------------------------------------------------------------------
+
+
+@dataclass
+class ColumnDef:
+    name: str
+    type_name: str
+    primary_key: bool = False
+    not_null: bool = False
+    unique: bool = False
+    visible: bool = True
+    default: Optional[Any] = None       # expression
+    computed: Optional[Any] = None      # AS (expr) STORED
+    on_update: Optional[Any] = None     # ON UPDATE expr
+    references: Optional[str] = None    # REFERENCES table
+
+
+@dataclass
+class CreateDatabase:
+    name: str
+    primary_region: Optional[str] = None
+    regions: List[str] = field(default_factory=list)
+
+
+@dataclass
+class AlterDatabaseAddRegion:
+    database: str
+    region: str
+
+
+@dataclass
+class AlterDatabaseDropRegion:
+    database: str
+    region: str
+
+
+@dataclass
+class AlterDatabaseSurvive:
+    database: str
+    goal: str  # 'zone' | 'region'
+
+
+@dataclass
+class AlterDatabasePlacement:
+    database: str
+    restricted: bool
+
+
+@dataclass
+class AlterDatabaseSetPrimaryRegion:
+    database: str
+    region: str
+
+
+@dataclass(frozen=True)
+class ForeignKeyDef:
+    """Table-level FOREIGN KEY (cols) REFERENCES parent (cols) with an
+    optional ON UPDATE CASCADE (collocated child rows, §2.3.2)."""
+    columns: Tuple[str, ...]
+    parent: str
+    parent_columns: Tuple[str, ...] = ()
+    on_update_cascade: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "columns", tuple(self.columns))
+        object.__setattr__(self, "parent_columns",
+                           tuple(self.parent_columns))
+
+
+@dataclass
+class CreateTable:
+    name: str
+    columns: List[ColumnDef]
+    primary_key: List[str] = field(default_factory=list)
+    unique_constraints: List[List[str]] = field(default_factory=list)
+    foreign_keys: List["ForeignKeyDef"] = field(default_factory=list)
+    locality: Optional[Any] = None
+
+
+@dataclass
+class AlterTableSetLocality:
+    table: str
+    locality: Any
+
+
+@dataclass
+class AlterTableAddColumn:
+    table: str
+    column: ColumnDef
+
+
+@dataclass
+class CreateIndex:
+    name: str
+    table: str
+    columns: List[str]
+    unique: bool = False
+
+
+@dataclass
+class DropTable:
+    name: str
+
+
+# -- DML / queries ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AsOf:
+    """AS OF SYSTEM TIME clause: exact or bounded staleness (§5.3)."""
+    kind: str       # 'exact' | 'min_timestamp' | 'max_staleness'
+    value: Any      # interval string like '-30s' or a timestamp literal
+
+
+@dataclass
+class Insert:
+    table: str
+    columns: List[str]
+    rows: List[List[Any]]  # expression lists
+
+
+@dataclass
+class Select:
+    table: str
+    columns: List[str]          # ['*'] for all visible columns
+    where: Optional[Any] = None
+    as_of: Optional[AsOf] = None
+    limit: Optional[int] = None
+    #: SELECT ... FOR UPDATE acquires write locks on matched rows,
+    #: avoiding write-too-old retries in read-modify-write transactions.
+    for_update: bool = False
+
+
+@dataclass
+class Update:
+    table: str
+    assignments: List[Tuple[str, Any]]
+    where: Optional[Any] = None
+
+
+@dataclass
+class Delete:
+    table: str
+    where: Optional[Any] = None
+
+
+@dataclass
+class ShowRegions:
+    from_database: Optional[str] = None
+
+
+@dataclass
+class UseDatabase:
+    name: str
+
+
+@dataclass
+class Explain:
+    """EXPLAIN <statement>: show the locality-aware plan (§4)."""
+    statement: Any
+
+
+@dataclass
+class Begin:
+    """BEGIN: open an explicit transaction on the session."""
+
+
+@dataclass
+class Commit:
+    """COMMIT the session's open transaction."""
+
+
+@dataclass
+class Rollback:
+    """ROLLBACK the session's open transaction."""
+
+
+@dataclass
+class ShowRanges:
+    """SHOW RANGES FROM TABLE t: replica/leaseholder placement."""
+    table: str
+
+
+@dataclass
+class ShowZoneConfiguration:
+    """SHOW ZONE CONFIGURATION FOR TABLE t (§3.2, Listing 1)."""
+    table: str

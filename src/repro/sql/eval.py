@@ -1,0 +1,141 @@
+"""SQL expression evaluation.
+
+Expressions are evaluated against a row (a dict of column values) and an
+environment carrying the gateway region and a deterministic UUID source.
+The built-ins are the ones the paper uses:
+
+* ``gateway_region()`` — the region of the node the client connected to;
+* ``gen_random_uuid()`` — default for UUID key columns (§4.1 rule 1);
+* ``rehome_row()`` — ON UPDATE marker enabling automatic rehoming
+  (§2.3.2); evaluates to the gateway region.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Set
+
+from ..errors import SchemaError
+from . import ast
+
+__all__ = ["EvalEnv", "evaluate", "columns_referenced"]
+
+
+@dataclass
+class EvalEnv:
+    """Everything an expression can observe besides the row."""
+
+    gateway_region: Optional[str] = None
+    uuid_source: Optional[Any] = None  # random.Random for determinism
+
+    def make_uuid(self) -> str:
+        if self.uuid_source is not None:
+            return str(uuid.UUID(int=self.uuid_source.getrandbits(128)))
+        return str(uuid.uuid4())
+
+
+def evaluate(expr: Any, row: Optional[Dict[str, Any]] = None,
+             env: Optional[EvalEnv] = None) -> Any:
+    """Evaluate an expression AST to a Python value."""
+    row = row or {}
+    env = env or EvalEnv()
+
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.ColumnRef):
+        if expr.name not in row:
+            raise SchemaError(f"unknown column {expr.name!r} in expression")
+        return row[expr.name]
+    if isinstance(expr, ast.FuncCall):
+        return _call_builtin(expr, row, env)
+    if isinstance(expr, ast.CaseWhen):
+        for condition, result in expr.whens:
+            if evaluate(condition, row, env):
+                return evaluate(result, row, env)
+        return evaluate(expr.default, row, env)
+    if isinstance(expr, ast.Comparison):
+        left = evaluate(expr.left, row, env)
+        right = evaluate(expr.right, row, env)
+        return _compare(expr.op, left, right)
+    if isinstance(expr, ast.LogicalAnd):
+        return all(evaluate(part, row, env) for part in expr.parts)
+    if isinstance(expr, ast.InList):
+        value = evaluate(expr.column, row, env)
+        return any(value == evaluate(v, row, env) for v in expr.values)
+    raise SchemaError(f"cannot evaluate expression {expr!r}")
+
+
+def _call_builtin(expr: ast.FuncCall, row: Dict[str, Any],
+                  env: EvalEnv) -> Any:
+    name = expr.name
+    if name == "gateway_region":
+        if env.gateway_region is None:
+            raise SchemaError("gateway_region() outside a session")
+        return env.gateway_region
+    if name == "rehome_row":
+        # ON UPDATE rehome_row(): move the row to the writing region.
+        if env.gateway_region is None:
+            raise SchemaError("rehome_row() outside a session")
+        return env.gateway_region
+    if name == "gen_random_uuid":
+        return env.make_uuid()
+    if name == "lower":
+        return str(evaluate(expr.args[0], row, env)).lower()
+    if name == "upper":
+        return str(evaluate(expr.args[0], row, env)).upper()
+    if name == "concat":
+        return "".join(str(evaluate(a, row, env)) for a in expr.args)
+    if name == "mod":
+        left = evaluate(expr.args[0], row, env)
+        right = evaluate(expr.args[1], row, env)
+        return left % right
+    raise SchemaError(f"unknown function {name!r}")
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    if left is None or right is None:
+        return False  # SQL NULL semantics (enough for this dialect)
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise SchemaError(f"unknown comparison operator {op!r}")
+
+
+def columns_referenced(expr: Any) -> Set[str]:
+    """All column names an expression depends on (for planning)."""
+    if isinstance(expr, ast.ColumnRef):
+        return {expr.name}
+    if isinstance(expr, ast.FuncCall):
+        out: Set[str] = set()
+        for arg in expr.args:
+            out |= columns_referenced(arg)
+        return out
+    if isinstance(expr, ast.CaseWhen):
+        out = columns_referenced(expr.default)
+        for condition, result in expr.whens:
+            out |= columns_referenced(condition)
+            out |= columns_referenced(result)
+        return out
+    if isinstance(expr, ast.Comparison):
+        return columns_referenced(expr.left) | columns_referenced(expr.right)
+    if isinstance(expr, ast.LogicalAnd):
+        out = set()
+        for part in expr.parts:
+            out |= columns_referenced(part)
+        return out
+    if isinstance(expr, ast.InList):
+        out = columns_referenced(expr.column)
+        for value in expr.values:
+            out |= columns_referenced(value)
+        return out
+    return set()

@@ -1,0 +1,608 @@
+"""DML execution: INSERT / SELECT / UPDATE / DELETE over table Ranges.
+
+Key encodings:
+
+* primary index:   key = (pk column values...), value = the full row dict;
+* secondary index: key = (index column values...), value = the pk tuple.
+
+REGIONAL BY ROW tables store each row (and its index entries) in the
+partition named by the row's region column; the planner decides which
+partitions a lookup must visit (§4.2) and which uniqueness checks an
+INSERT/UPDATE needs (§4.1).  Automatic rehoming (§2.3.2) moves a row
+between partitions when an UPDATE from another region fires the
+``ON UPDATE rehome_row()`` clause.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..errors import (
+    ForeignKeyViolationError,
+    SchemaError,
+    UniqueViolationError,
+)
+from ..kv.distsender import ReadRouting
+from ..optimizer.plans import (
+    FanoutMultiRead,
+    FanoutPointRead,
+    FullScan,
+    LocalityOptimizedMultiRead,
+    LocalityOptimizedRead,
+    MultiPointRead,
+    PartitionPointRead,
+    UniquenessCheck,
+)
+from . import ast
+from .catalog import DEFAULT_PARTITION, Database, Table
+from .eval import EvalEnv, evaluate
+
+__all__ = ["Executor", "ExecContext"]
+
+
+class ExecContext:
+    """Per-statement execution context."""
+
+    def __init__(self, database: Database, gateway, env: EvalEnv):
+        self.database = database
+        self.gateway = gateway
+        self.env = env
+
+    @property
+    def gateway_region(self) -> str:
+        return self.gateway.locality.region
+
+    def planner(self, table: Table):
+        # Imported here to break the sql <-> optimizer import cycle.
+        from ..optimizer.planner import Planner
+        return Planner(table, gateway_region=self.gateway_region,
+                       env=self.env)
+
+
+def _routing_for(table: Table) -> str:
+    """GLOBAL tables read from the nearest replica (§6); REGIONAL tables
+    read at the leaseholder."""
+    return (ReadRouting.NEAREST if table.locality.is_global
+            else ReadRouting.LEASEHOLDER)
+
+
+def plan_on_primary(plan, table: Table) -> bool:
+    """Does the plan look rows up directly in the primary index?"""
+    index = getattr(plan, "index", None)
+    return index is not None and index.is_primary and not \
+        isinstance(plan, FullScan)
+
+
+class Executor:
+    """Executes DML statements inside a transaction."""
+
+    def __init__(self, context: ExecContext):
+        self.context = context
+
+    # -- INSERT --------------------------------------------------------------------
+
+    def insert(self, txn, stmt: ast.Insert) -> Generator:
+        """Insert rows; returns the number of rows written."""
+        table = self.context.database.table(stmt.table)
+        count = 0
+        for value_exprs in stmt.rows:
+            row, generated = self._build_row(table, stmt.columns, value_exprs)
+            yield from self._insert_row(txn, table, row, generated)
+            count += 1
+        return count
+
+    def _build_row(self, table: Table, columns: List[str],
+                   value_exprs: List[Any]) -> Tuple[Dict[str, Any], frozenset]:
+        if len(columns) != len(value_exprs):
+            raise SchemaError("INSERT column/value count mismatch")
+        env = self.context.env
+        provided = {}
+        for name, expr in zip(columns, value_exprs):
+            table.column(name)  # existence check
+            provided[name] = evaluate(expr, {}, env)
+        row: Dict[str, Any] = {}
+        generated = set()
+        for column in table.columns.values():
+            if column.computed is not None:
+                continue
+            if column.name in provided:
+                row[column.name] = provided[column.name]
+            elif column.default is not None:
+                row[column.name] = evaluate(column.default, row, env)
+                if isinstance(column.default, ast.FuncCall) and \
+                        column.default.name == "gen_random_uuid":
+                    generated.add(column.name)
+            else:
+                row[column.name] = None
+        for column in table.columns.values():
+            if column.computed is not None:
+                row[column.name] = evaluate(column.computed, row, env)
+        for column in table.columns.values():
+            if column.not_null and row.get(column.name) is None:
+                raise SchemaError(
+                    f"null value in NOT NULL column {column.name!r}")
+        return row, frozenset(generated)
+
+    def _insert_row(self, txn, table: Table, row: Dict[str, Any],
+                    generated: frozenset) -> Generator:
+        database = self.context.database
+        region_col = table.region_column
+        if region_col is not None:
+            database.region_enum.validate_writable(row[region_col])
+        partition = (row[region_col] if region_col is not None
+                     else DEFAULT_PARTITION)
+        pk = tuple(row[c] for c in table.primary_key)
+        primary = table.primary_index
+        routing = _routing_for(table)
+
+        # Local duplicate-PK check (read-before-write in the home
+        # partition; remote partitions are covered by uniqueness checks).
+        existing = yield from txn.read(primary.partition_for(partition), pk,
+                                       routing=routing)
+        if existing is not None:
+            raise UniqueViolationError(table.name, table.primary_key, pk)
+
+        # Write the row and its index entries.
+        yield from txn.write(primary.partition_for(partition), pk, row)
+        for index in table.unique_indexes():
+            key = tuple(row[c] for c in index.key_columns)
+            yield from self._cput_index_entry(
+                txn, table, index, partition, key, pk, routing)
+
+        # Post-write uniqueness checks (§4.1), self-matches allowed.
+        planner = self.context.planner(table)
+        checks = planner.plan_uniqueness_checks(
+            row, generated_columns=generated, allow_pk=pk)
+        yield from self._run_uniqueness_checks(
+            txn, table, checks, home_partition=partition, routing=routing)
+        # Foreign keys need strongly-consistent parent reads (§2.3.3):
+        # cheap when the parent is GLOBAL (served by the local replica),
+        # potentially cross-region otherwise — the paper's motivation for
+        # GLOBAL dimension tables.
+        yield from self._validate_foreign_keys(txn, table, row)
+        return None
+
+    def _validate_foreign_keys(self, txn, table: Table,
+                               row: Dict[str, Any],
+                               changed: Optional[frozenset] = None
+                               ) -> Generator:
+        database = self.context.database
+        # Column-level ``col REFERENCES parent`` (parent pk implied).
+        for column in table.columns.values():
+            if column.references is None:
+                continue
+            if changed is not None and column.name not in changed:
+                continue
+            value = row.get(column.name)
+            if value is None:
+                continue
+            parent = database.table(column.references)
+            pairs = [(parent.primary_key[0], value)]
+            yield from self._check_parent_exists(
+                txn, table, parent, column.name, pairs)
+        # Table-level FOREIGN KEY (cols) REFERENCES parent (cols).
+        for fk in table.foreign_keys:
+            if changed is not None and not (set(fk.columns) & set(changed)):
+                continue
+            values = [row.get(c) for c in fk.columns]
+            if any(v is None for v in values):
+                continue
+            parent = database.table(fk.parent)
+            parent_columns = (fk.parent_columns
+                              or parent.primary_key[:len(fk.columns)])
+            pairs = list(zip(parent_columns, values))
+            yield from self._check_parent_exists(
+                txn, table, parent, ",".join(fk.columns), pairs)
+        return None
+
+    def _check_parent_exists(self, txn, table: Table, parent: Table,
+                             label: str, pairs) -> Generator:
+        """One strongly-consistent parent lookup (§2.3.3)."""
+        planner = self.context.planner(parent)
+        parts = tuple(
+            ast.Comparison("=", ast.ColumnRef(col), ast.Literal(value))
+            for col, value in pairs)
+        where: Any = parts[0] if len(parts) == 1 else \
+            ast.LogicalAnd(parts=parts)
+        plan = planner.plan_point_query(where)
+        parents = yield from self._lookup_rows(txn, parent, plan, where)
+        if not parents:
+            raise ForeignKeyViolationError(
+                table.name, label, tuple(value for _c, value in pairs))
+        return None
+
+    def _cascade_to_children(self, txn, table: Table,
+                             old_row: Dict[str, Any],
+                             new_row: Dict[str, Any],
+                             changed: frozenset) -> Generator:
+        """ON UPDATE CASCADE (§2.3.2): propagate changed referenced
+        columns to child rows — in particular, when the parent's region
+        column changes, collocated children move with it."""
+        database = self.context.database
+        for child in database.tables.values():
+            for fk in child.foreign_keys:
+                if fk.parent != table.name or not fk.on_update_cascade:
+                    continue
+                parent_columns = (fk.parent_columns
+                                  or table.primary_key[:len(fk.columns)])
+                touched = [
+                    (child_col, parent_col)
+                    for child_col, parent_col in zip(fk.columns,
+                                                     parent_columns)
+                    if parent_col in changed
+                ]
+                if not touched:
+                    continue
+                # Children matching the OLD parent values...
+                where = ast.LogicalAnd(parts=tuple(
+                    ast.Comparison("=", ast.ColumnRef(child_col),
+                                   ast.Literal(old_row[parent_col]))
+                    for child_col, parent_col in zip(fk.columns,
+                                                     parent_columns)))
+                # ...get the NEW values (moving partitions if the child's
+                # region column is among them).
+                update = ast.Update(
+                    table=child.name,
+                    assignments=[
+                        (child_col, ast.Literal(new_row[parent_col]))
+                        for child_col, parent_col in touched
+                    ],
+                    where=where)
+                yield from self.update(txn, update)
+        return None
+
+    def _cput_index_entry(self, txn, table: Table, index, partition: str,
+                          key, pk, routing) -> Generator:
+        """Write a unique-index entry conditionally (CRDB uses CPut):
+        an existing entry pointing at a different row is a violation."""
+        rng = index.partition_for(partition)
+        existing = yield from txn.read(rng, key, routing=routing)
+        if existing is not None and tuple(existing) != tuple(pk):
+            raise UniqueViolationError(table.name, index.key_columns, key)
+        yield from txn.write(rng, key, pk)
+        return None
+
+    def _run_uniqueness_checks(self, txn, table: Table,
+                               checks: List[UniquenessCheck],
+                               home_partition: str,
+                               routing: str) -> Generator:
+        requests = []
+        meta = []
+        for check in checks:
+            for partition in check.partitions:
+                if check.index.is_primary and partition == home_partition:
+                    continue  # already verified by the local read
+                rng = check.index.partitions.get(partition)
+                if rng is None:
+                    continue
+                requests.append((rng, check.key))
+                meta.append((check, partition))
+        if not requests:
+            return None
+        results = yield from txn.read_batch(requests, routing=routing)
+        for (check, partition), found in zip(meta, results):
+            if found is None:
+                continue
+            found_pk = found if not check.index.is_primary else \
+                tuple(found[c] for c in table.primary_key)
+            if check.allow_pk is not None and \
+                    tuple(found_pk) == tuple(check.allow_pk) and \
+                    partition == home_partition:
+                continue
+            raise UniqueViolationError(table.name, check.constraint,
+                                       check.key)
+        return None
+
+    # -- row lookup (shared by SELECT/UPDATE/DELETE) -----------------------------------
+
+    def _lookup_rows(self, txn, table: Table, plan,
+                     where: Optional[Any],
+                     locking: bool = False) -> Generator:
+        """Execute a read plan; returns a list of (row, partition).
+
+        ``locking`` (SELECT FOR UPDATE) turns primary-index point reads
+        into locking reads that pin the row in one leaseholder visit.
+        """
+        routing = _routing_for(table)
+        primary = table.primary_index
+
+        def point_read(rng, key):
+            if locking and plan.index.is_primary:
+                value = yield from txn.locking_read(rng, key)
+            else:
+                value = yield from txn.read(rng, key, routing=routing)
+            return value
+
+        if isinstance(plan, PartitionPointRead):
+            rng = plan.index.partitions.get(plan.partition)
+            if rng is None:
+                return []
+            value = yield from point_read(rng, plan.key)
+            rows = yield from self._resolve_index_hits(
+                txn, table, plan.index, [(value, plan.partition)], routing)
+            return rows
+
+        if isinstance(plan, LocalityOptimizedRead):
+            local_rng = plan.index.partitions[plan.local_partition]
+            value = yield from point_read(local_rng, plan.key)
+            if value is not None:
+                rows = yield from self._resolve_index_hits(
+                    txn, table, plan.index,
+                    [(value, plan.local_partition)], routing)
+                return rows
+            # Local miss: fan out to every remote partition in parallel.
+            requests = [(plan.index.partitions[p], plan.key)
+                        for p in plan.remote_partitions]
+            if not requests:
+                return []
+            results = yield from txn.read_batch(requests, routing=routing)
+            hits = [(value, partition) for value, partition in
+                    zip(results, plan.remote_partitions) if value is not None]
+            rows = yield from self._resolve_index_hits(
+                txn, table, plan.index, hits, routing)
+            return rows
+
+        if isinstance(plan, FanoutPointRead):
+            requests = [(plan.index.partitions[p], plan.key)
+                        for p in plan.partitions]
+            results = yield from txn.read_batch(requests, routing=routing)
+            hits = [(value, partition) for value, partition in
+                    zip(results, plan.partitions) if value is not None]
+            rows = yield from self._resolve_index_hits(
+                txn, table, plan.index, hits, routing)
+            return rows
+
+        if isinstance(plan, MultiPointRead):
+            rng = plan.index.partitions.get(plan.partition)
+            if rng is None:
+                return []
+            results = yield from txn.read_batch(
+                [(rng, key) for key in plan.keys], routing=routing)
+            hits = [(value, plan.partition) for value in results
+                    if value is not None]
+            rows = yield from self._resolve_index_hits(
+                txn, table, plan.index, hits, routing)
+            return rows
+
+        if isinstance(plan, LocalityOptimizedMultiRead):
+            # Probe every key locally in one batch; fan out only the
+            # misses (the §4.2 IN-list generalization of LOS).
+            local_rng = plan.index.partitions[plan.local_partition]
+            local_results = yield from txn.read_batch(
+                [(local_rng, key) for key in plan.keys], routing=routing)
+            hits = [(value, plan.local_partition)
+                    for value in local_results if value is not None]
+            missing = [key for key, value in zip(plan.keys, local_results)
+                       if value is None]
+            if missing:
+                requests = [(plan.index.partitions[p], key)
+                            for key in missing
+                            for p in plan.remote_partitions]
+                remote_results = yield from txn.read_batch(
+                    requests, routing=routing)
+                for (rng_key, value) in zip(requests, remote_results):
+                    if value is not None:
+                        _rng, _key = rng_key
+                        partition = next(
+                            p for p in plan.remote_partitions
+                            if plan.index.partitions[p] is _rng)
+                        hits.append((value, partition))
+            rows = yield from self._resolve_index_hits(
+                txn, table, plan.index, hits, routing)
+            return rows
+
+        if isinstance(plan, FanoutMultiRead):
+            requests = [(plan.index.partitions[p], key)
+                        for key in plan.keys for p in plan.partitions]
+            results = yield from txn.read_batch(requests, routing=routing)
+            hits = []
+            for (rng_key, value) in zip(requests, results):
+                if value is not None:
+                    _rng, _key = rng_key
+                    partition = next(p for p in plan.partitions
+                                     if plan.index.partitions[p] is _rng)
+                    hits.append((value, partition))
+            rows = yield from self._resolve_index_hits(
+                txn, table, plan.index, hits, routing)
+            return rows
+
+        if isinstance(plan, FullScan):
+            # Scans enumerate each partition's key set at the leaseholder
+            # and then read every key transactionally (so in-flight
+            # intents are handled like any other read).  Key enumeration
+            # itself is a simulation shortcut standing in for a range
+            # scan request; the per-key reads pay real latency.
+            requests = []
+            request_partitions = []
+            for partition in plan.partitions:
+                rng = primary.partitions[partition]
+                for key in sorted(rng.leaseholder_replica.store.keys()):
+                    requests.append((rng, key))
+                    request_partitions.append(partition)
+            if not requests:
+                return []
+            values = yield from txn.read_batch(requests, routing=routing)
+            env = self.context.env
+            rows = []
+            for value, partition in zip(values, request_partitions):
+                if value is None:
+                    continue
+                if where is None or evaluate(where, value, env):
+                    rows.append((value, partition))
+            return rows
+
+        raise SchemaError(f"unsupported plan {plan!r}")
+
+    def _resolve_index_hits(self, txn, table: Table, index, hits,
+                            routing) -> Generator:
+        """Map index hits to full rows (secondary indexes store the pk)."""
+        rows = []
+        primary = table.primary_index
+        for value, partition in hits:
+            if value is None:
+                continue
+            if index.is_primary:
+                rows.append((value, partition))
+            else:
+                pk = tuple(value)
+                row = yield from txn.read(primary.partitions[partition], pk,
+                                          routing=routing)
+                if row is not None:
+                    rows.append((row, partition))
+        return rows
+
+    # -- SELECT -----------------------------------------------------------------------
+
+    def select(self, txn, stmt: ast.Select) -> Generator:
+        table = self.context.database.table(stmt.table)
+        planner = self.context.planner(table)
+        plan = planner.plan_point_query(stmt.where, limit=stmt.limit)
+        locking = stmt.for_update and plan_on_primary(plan, table)
+        rows = yield from self._lookup_rows(txn, table, plan, stmt.where,
+                                            locking=locking)
+        env = self.context.env
+        out = []
+        matched = []
+        for row, partition in rows:
+            if stmt.where is not None and not evaluate(stmt.where, row, env):
+                continue
+            matched.append((row, partition))
+            out.append(self._project(table, row, stmt.columns))
+            if stmt.limit is not None and len(out) >= stmt.limit:
+                break
+        if stmt.for_update and not locking:
+            # Lookup went through a secondary index or a scan: lock the
+            # matched primary rows after the fact (may pay a refresh if
+            # another writer slipped in between, exactly like CRDB's
+            # non-primary FOR UPDATE plans).
+            primary = table.primary_index
+            for row, partition in matched:
+                pk = tuple(row[c] for c in table.primary_key)
+                yield from txn.locking_read(primary.partitions[partition],
+                                            pk)
+        return out
+
+    def _project(self, table: Table, row: Dict[str, Any],
+                 columns: List[str]) -> Dict[str, Any]:
+        if columns == ["*"]:
+            names = table.visible_columns()
+        else:
+            names = columns
+        return {name: row.get(name) for name in names}
+
+    # -- UPDATE ------------------------------------------------------------------------
+
+    def update(self, txn, stmt: ast.Update) -> Generator:
+        table = self.context.database.table(stmt.table)
+        planner = self.context.planner(table)
+        plan = planner.plan_point_query(stmt.where)
+        rows = yield from self._lookup_rows(txn, table, plan, stmt.where)
+        env = self.context.env
+        count = 0
+        for row, partition in rows:
+            if stmt.where is not None and not evaluate(stmt.where, row, env):
+                continue
+            yield from self._update_row(txn, table, row, partition, stmt)
+            count += 1
+        return count
+
+    def _update_row(self, txn, table: Table, row: Dict[str, Any],
+                    partition: str, stmt: ast.Update) -> Generator:
+        env = self.context.env
+        database = self.context.database
+        new_row = dict(row)
+        assigned = set()
+        for name, expr in stmt.assignments:
+            table.column(name)
+            new_row[name] = evaluate(expr, row, env)
+            assigned.add(name)
+        # ON UPDATE clauses fire for columns not explicitly assigned
+        # (this is how automatic rehoming triggers, §2.3.2).
+        for column in table.columns.values():
+            if column.on_update is not None and column.name not in assigned:
+                new_row[column.name] = evaluate(column.on_update, new_row, env)
+        # Recompute computed columns.
+        for column in table.columns.values():
+            if column.computed is not None:
+                new_row[column.name] = evaluate(column.computed, new_row, env)
+
+        changed = frozenset(name for name in new_row
+                            if new_row.get(name) != row.get(name))
+        if not changed:
+            return None
+        region_col = table.region_column
+        new_partition = partition
+        if region_col is not None:
+            database.region_enum.validate_writable(new_row[region_col])
+            new_partition = new_row[region_col]
+
+        old_pk = tuple(row[c] for c in table.primary_key)
+        new_pk = tuple(new_row[c] for c in table.primary_key)
+        primary = table.primary_index
+        routing = _routing_for(table)
+
+        if new_partition != partition or new_pk != old_pk:
+            # The row moves (rehoming or pk change): delete + reinsert.
+            yield from txn.delete(primary.partitions[partition], old_pk)
+            for index in table.unique_indexes():
+                old_key = tuple(row[c] for c in index.key_columns)
+                yield from txn.delete(index.partitions[partition], old_key)
+            existing = yield from txn.read(
+                primary.partitions[new_partition], new_pk, routing=routing)
+            if existing is not None:
+                raise UniqueViolationError(table.name, table.primary_key,
+                                           new_pk)
+            yield from txn.write(primary.partitions[new_partition], new_pk,
+                                 new_row)
+            for index in table.unique_indexes():
+                new_key = tuple(new_row[c] for c in index.key_columns)
+                yield from self._cput_index_entry(
+                    txn, table, index, new_partition, new_key, new_pk,
+                    routing)
+            check_changed = None  # full re-check in the new partition
+        else:
+            yield from txn.write(primary.partitions[partition], new_pk,
+                                 new_row)
+            for index in table.unique_indexes():
+                old_key = tuple(row[c] for c in index.key_columns)
+                new_key = tuple(new_row[c] for c in index.key_columns)
+                if old_key != new_key:
+                    yield from txn.delete(index.partitions[partition],
+                                          old_key)
+                    yield from self._cput_index_entry(
+                        txn, table, index, partition, new_key, new_pk,
+                        routing)
+            check_changed = changed
+
+        planner = self.context.planner(table)
+        checks = planner.plan_uniqueness_checks(
+            new_row, allow_pk=new_pk, changed_columns=check_changed)
+        yield from self._run_uniqueness_checks(
+            txn, table, checks, home_partition=new_partition,
+            routing=routing)
+        yield from self._validate_foreign_keys(txn, table, new_row,
+                                               changed=changed)
+        yield from self._cascade_to_children(txn, table, row, new_row,
+                                             changed)
+        return None
+
+    # -- DELETE -------------------------------------------------------------------------
+
+    def delete(self, txn, stmt: ast.Delete) -> Generator:
+        table = self.context.database.table(stmt.table)
+        planner = self.context.planner(table)
+        plan = planner.plan_point_query(stmt.where)
+        rows = yield from self._lookup_rows(txn, table, plan, stmt.where)
+        env = self.context.env
+        count = 0
+        for row, partition in rows:
+            if stmt.where is not None and not evaluate(stmt.where, row, env):
+                continue
+            pk = tuple(row[c] for c in table.primary_key)
+            yield from txn.delete(table.primary_index.partitions[partition],
+                                  pk)
+            for index in table.unique_indexes():
+                key = tuple(row[c] for c in index.key_columns)
+                yield from txn.delete(index.partitions[partition], key)
+            count += 1
+        return count

@@ -1,0 +1,55 @@
+"""Tokenizer for the SQL dialect."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import SqlSyntaxError
+
+__all__ = ["Token", "tokenize"]
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<qident>"(?:[^"]|"")*")
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_$]*)
+  | (?P<op><>|<=|>=|!=|=|<|>|\(|\)|,|;|\*|\.|-|\+)
+""", re.VERBOSE)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   # 'number' | 'string' | 'ident' | 'qident' | 'op' | 'eof'
+    text: str
+    pos: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Split ``sql`` into tokens; raises SqlSyntaxError on garbage."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            raise SqlSyntaxError(
+                f"unexpected character {sql[pos]!r} at offset {pos}")
+        kind = match.lastgroup
+        text = match.group()
+        if kind not in ("ws", "comment"):
+            if kind == "qident":
+                text = text[1:-1].replace('""', '"')
+                kind = "ident"
+            elif kind == "string":
+                text = text[1:-1].replace("''", "'")
+            tokens.append(Token(kind=kind, text=text, pos=pos))
+        pos = match.end()
+    tokens.append(Token(kind="eof", text="", pos=len(sql)))
+    return tokens

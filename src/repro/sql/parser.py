@@ -1,0 +1,512 @@
+"""Recursive-descent parser for the multi-region SQL dialect.
+
+Covers the paper's DDL (§2) — multi-region database management, table
+localities, survivability goals, placement — and the DML used by the
+workloads (point/limited SELECT with ``AS OF SYSTEM TIME``, INSERT,
+UPDATE, DELETE).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..errors import SqlSyntaxError
+from . import ast
+from .lexer import Token, tokenize
+
+__all__ = ["parse", "parse_one"]
+
+
+def parse(sql: str) -> List[Any]:
+    """Parse a semicolon-separated script into a list of statements."""
+    return _Parser(tokenize(sql)).parse_script()
+
+
+def parse_one(sql: str) -> Any:
+    """Parse exactly one statement."""
+    statements = parse(sql)
+    if len(statements) != 1:
+        raise SqlSyntaxError(
+            f"expected exactly one statement, found {len(statements)}")
+    return statements[0]
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._index + offset, len(self._tokens) - 1)]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _at_keyword(self, *words: str) -> bool:
+        for i, word in enumerate(words):
+            token = self._peek(i)
+            if token.kind != "ident" or token.upper != word:
+                return False
+        return True
+
+    def _accept_keyword(self, *words: str) -> bool:
+        if self._at_keyword(*words):
+            self._index += len(words)
+            return True
+        return False
+
+    def _expect_keyword(self, *words: str) -> None:
+        if not self._accept_keyword(*words):
+            token = self._peek()
+            raise SqlSyntaxError(
+                f"expected {' '.join(words)}, found {token.text!r} "
+                f"at offset {token.pos}")
+
+    def _accept_op(self, op: str) -> bool:
+        token = self._peek()
+        if token.kind == "op" and token.text == op:
+            self._index += 1
+            return True
+        return False
+
+    def _expect_op(self, op: str) -> None:
+        if not self._accept_op(op):
+            token = self._peek()
+            raise SqlSyntaxError(
+                f"expected {op!r}, found {token.text!r} at offset {token.pos}")
+
+    def _expect_ident(self) -> str:
+        token = self._next()
+        if token.kind != "ident":
+            raise SqlSyntaxError(
+                f"expected identifier, found {token.text!r} at {token.pos}")
+        return token.text
+
+    # -- entry points -------------------------------------------------------------
+
+    def parse_script(self) -> List[Any]:
+        statements = []
+        while self._peek().kind != "eof":
+            if self._accept_op(";"):
+                continue
+            statements.append(self._statement())
+            if self._peek().kind != "eof":
+                self._expect_op(";")
+        return statements
+
+    def _statement(self) -> Any:
+        if self._at_keyword("CREATE", "DATABASE"):
+            return self._create_database()
+        if self._at_keyword("CREATE", "TABLE"):
+            return self._create_table()
+        if self._at_keyword("CREATE", "UNIQUE", "INDEX") or \
+                self._at_keyword("CREATE", "INDEX"):
+            return self._create_index()
+        if self._at_keyword("ALTER", "DATABASE"):
+            return self._alter_database()
+        if self._at_keyword("ALTER", "TABLE"):
+            return self._alter_table()
+        if self._at_keyword("DROP", "TABLE"):
+            self._expect_keyword("DROP", "TABLE")
+            return ast.DropTable(name=self._expect_ident())
+        if self._at_keyword("INSERT"):
+            return self._insert()
+        if self._at_keyword("SELECT"):
+            return self._select()
+        if self._at_keyword("UPDATE"):
+            return self._update()
+        if self._at_keyword("DELETE"):
+            return self._delete()
+        if self._at_keyword("SHOW", "REGIONS"):
+            return self._show_regions()
+        if self._at_keyword("SHOW", "RANGES"):
+            self._expect_keyword("SHOW", "RANGES", "FROM", "TABLE")
+            return ast.ShowRanges(table=self._expect_ident())
+        if self._at_keyword("SHOW", "ZONE", "CONFIGURATION"):
+            self._expect_keyword("SHOW", "ZONE", "CONFIGURATION", "FOR",
+                                 "TABLE")
+            return ast.ShowZoneConfiguration(table=self._expect_ident())
+        if self._at_keyword("USE"):
+            self._expect_keyword("USE")
+            return ast.UseDatabase(name=self._expect_ident())
+        if self._at_keyword("EXPLAIN"):
+            self._expect_keyword("EXPLAIN")
+            return ast.Explain(statement=self._statement())
+        if self._accept_keyword("BEGIN"):
+            return ast.Begin()
+        if self._accept_keyword("COMMIT"):
+            return ast.Commit()
+        if self._accept_keyword("ROLLBACK"):
+            return ast.Rollback()
+        token = self._peek()
+        raise SqlSyntaxError(
+            f"unsupported statement starting with {token.text!r} "
+            f"at offset {token.pos}")
+
+    # -- databases ----------------------------------------------------------------
+
+    def _create_database(self) -> ast.CreateDatabase:
+        self._expect_keyword("CREATE", "DATABASE")
+        name = self._expect_ident()
+        primary = None
+        regions: List[str] = []
+        if self._accept_keyword("PRIMARY", "REGION"):
+            primary = self._expect_ident()
+        if self._accept_keyword("REGIONS"):
+            regions.append(self._expect_ident())
+            while self._accept_op(","):
+                regions.append(self._expect_ident())
+        return ast.CreateDatabase(name=name, primary_region=primary,
+                                  regions=regions)
+
+    def _alter_database(self) -> Any:
+        self._expect_keyword("ALTER", "DATABASE")
+        name = self._expect_ident()
+        if self._accept_keyword("ADD", "REGION"):
+            return ast.AlterDatabaseAddRegion(name, self._expect_ident())
+        if self._accept_keyword("DROP", "REGION"):
+            return ast.AlterDatabaseDropRegion(name, self._expect_ident())
+        if self._accept_keyword("SET", "PRIMARY", "REGION"):
+            return ast.AlterDatabaseSetPrimaryRegion(name, self._expect_ident())
+        if self._accept_keyword("SURVIVE", "REGION", "FAILURE"):
+            return ast.AlterDatabaseSurvive(name, goal="region")
+        if self._accept_keyword("SURVIVE", "ZONE", "FAILURE"):
+            return ast.AlterDatabaseSurvive(name, goal="zone")
+        if self._accept_keyword("PLACEMENT", "RESTRICTED"):
+            return ast.AlterDatabasePlacement(name, restricted=True)
+        if self._accept_keyword("PLACEMENT", "DEFAULT"):
+            return ast.AlterDatabasePlacement(name, restricted=False)
+        token = self._peek()
+        raise SqlSyntaxError(
+            f"unsupported ALTER DATABASE clause at {token.pos}")
+
+    # -- tables -----------------------------------------------------------------------
+
+    def _create_table(self) -> ast.CreateTable:
+        self._expect_keyword("CREATE", "TABLE")
+        name = self._expect_ident()
+        self._expect_op("(")
+        columns: List[ast.ColumnDef] = []
+        primary_key: List[str] = []
+        uniques: List[List[str]] = []
+        foreign_keys: List[ast.ForeignKeyDef] = []
+        while True:
+            if self._accept_keyword("PRIMARY", "KEY"):
+                primary_key = self._column_name_list()
+            elif self._accept_keyword("UNIQUE"):
+                uniques.append(self._column_name_list())
+            elif self._accept_keyword("FOREIGN", "KEY"):
+                fk_columns = self._column_name_list()
+                self._expect_keyword("REFERENCES")
+                parent = self._expect_ident()
+                parent_columns = []
+                if self._accept_op("("):
+                    parent_columns.append(self._expect_ident())
+                    while self._accept_op(","):
+                        parent_columns.append(self._expect_ident())
+                    self._expect_op(")")
+                cascade = False
+                while self._accept_keyword("ON"):
+                    action_kind = self._expect_ident()  # UPDATE / DELETE
+                    action = self._expect_ident()       # CASCADE / ...
+                    if action_kind.upper() == "UPDATE" and \
+                            action.upper() == "CASCADE":
+                        cascade = True
+                foreign_keys.append(ast.ForeignKeyDef(
+                    columns=fk_columns, parent=parent,
+                    parent_columns=parent_columns,
+                    on_update_cascade=cascade))
+            else:
+                columns.append(self._column_def())
+            if not self._accept_op(","):
+                break
+        self._expect_op(")")
+        locality = self._locality_clause()
+        for column in columns:
+            if column.primary_key and column.name not in primary_key:
+                primary_key.append(column.name)
+            if column.unique and [column.name] not in uniques:
+                uniques.append([column.name])
+        return ast.CreateTable(name=name, columns=columns,
+                               primary_key=primary_key,
+                               unique_constraints=uniques,
+                               foreign_keys=foreign_keys,
+                               locality=locality)
+
+    def _column_name_list(self) -> List[str]:
+        self._expect_op("(")
+        names = [self._expect_ident()]
+        while self._accept_op(","):
+            names.append(self._expect_ident())
+        self._expect_op(")")
+        return names
+
+    def _column_def(self) -> ast.ColumnDef:
+        name = self._expect_ident()
+        type_name = self._expect_ident().lower()
+        column = ast.ColumnDef(name=name, type_name=type_name)
+        while True:
+            if self._accept_keyword("PRIMARY", "KEY"):
+                column.primary_key = True
+            elif self._accept_keyword("NOT", "NULL"):
+                column.not_null = True
+            elif self._accept_keyword("NOT", "VISIBLE"):
+                column.visible = False
+            elif self._accept_keyword("UNIQUE"):
+                column.unique = True
+            elif self._accept_keyword("DEFAULT"):
+                column.default = self._expression()
+            elif self._accept_keyword("AS"):
+                self._expect_op("(")
+                column.computed = self._expression()
+                self._expect_op(")")
+                self._expect_keyword("STORED")
+            elif self._accept_keyword("ON", "UPDATE"):
+                column.on_update = self._expression()
+            elif self._accept_keyword("REFERENCES"):
+                column.references = self._expect_ident()
+                if self._accept_op("("):
+                    while not self._accept_op(")"):
+                        self._next()
+            else:
+                break
+        return column
+
+    def _locality_clause(self) -> Optional[Any]:
+        if not self._accept_keyword("LOCALITY"):
+            return None
+        return self._locality()
+
+    def _locality(self) -> Any:
+        if self._accept_keyword("GLOBAL"):
+            return ast.LocalityGlobal()
+        if self._accept_keyword("REGIONAL", "BY", "ROW"):
+            column = None
+            if self._accept_keyword("AS"):
+                column = self._expect_ident()
+            return ast.LocalityRegionalByRow(column=column)
+        if self._accept_keyword("REGIONAL", "BY", "TABLE"):
+            region = None
+            if self._accept_keyword("IN"):
+                if self._accept_keyword("PRIMARY", "REGION"):
+                    region = None
+                else:
+                    region = self._expect_ident()
+            return ast.LocalityRegionalByTable(region=region)
+        token = self._peek()
+        raise SqlSyntaxError(f"unsupported LOCALITY at offset {token.pos}")
+
+    def _alter_table(self) -> Any:
+        self._expect_keyword("ALTER", "TABLE")
+        name = self._expect_ident()
+        if self._accept_keyword("SET", "LOCALITY"):
+            return ast.AlterTableSetLocality(name, self._locality())
+        if self._accept_keyword("ADD", "COLUMN"):
+            return ast.AlterTableAddColumn(name, self._column_def())
+        token = self._peek()
+        raise SqlSyntaxError(f"unsupported ALTER TABLE clause at {token.pos}")
+
+    def _create_index(self) -> ast.CreateIndex:
+        self._expect_keyword("CREATE")
+        unique = self._accept_keyword("UNIQUE")
+        self._expect_keyword("INDEX")
+        name = self._expect_ident()
+        self._expect_keyword("ON")
+        table = self._expect_ident()
+        columns = self._column_name_list()
+        return ast.CreateIndex(name=name, table=table, columns=columns,
+                               unique=unique)
+
+    # -- DML ------------------------------------------------------------------------------
+
+    def _insert(self) -> ast.Insert:
+        self._expect_keyword("INSERT", "INTO")
+        table = self._expect_ident()
+        columns = self._column_name_list()
+        self._expect_keyword("VALUES")
+        rows = []
+        while True:
+            self._expect_op("(")
+            row = [self._expression()]
+            while self._accept_op(","):
+                row.append(self._expression())
+            self._expect_op(")")
+            rows.append(row)
+            if not self._accept_op(","):
+                break
+        return ast.Insert(table=table, columns=columns, rows=rows)
+
+    def _select(self) -> ast.Select:
+        self._expect_keyword("SELECT")
+        columns: List[str] = []
+        if self._accept_op("*"):
+            columns = ["*"]
+        else:
+            columns.append(self._expect_ident())
+            while self._accept_op(","):
+                columns.append(self._expect_ident())
+        self._expect_keyword("FROM")
+        table = self._expect_ident()
+        as_of = self._as_of_clause()
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._expression()
+        if as_of is None:
+            as_of = self._as_of_clause()
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            token = self._next()
+            if token.kind != "number":
+                raise SqlSyntaxError(f"expected LIMIT count at {token.pos}")
+            limit = int(token.text)
+        for_update = self._accept_keyword("FOR", "UPDATE")
+        return ast.Select(table=table, columns=columns, where=where,
+                          as_of=as_of, limit=limit, for_update=for_update)
+
+    def _as_of_clause(self) -> Optional[ast.AsOf]:
+        if not self._accept_keyword("AS", "OF", "SYSTEM", "TIME"):
+            return None
+        token = self._peek()
+        if token.kind == "ident" and token.upper == "WITH_MIN_TIMESTAMP":
+            self._next()
+            self._expect_op("(")
+            value = self._expression()
+            self._expect_op(")")
+            return ast.AsOf(kind="min_timestamp", value=value)
+        if token.kind == "ident" and token.upper == "WITH_MAX_STALENESS":
+            self._next()
+            self._expect_op("(")
+            value = self._expression()
+            self._expect_op(")")
+            return ast.AsOf(kind="max_staleness", value=value)
+        value = self._expression()
+        return ast.AsOf(kind="exact", value=value)
+
+    def _update(self) -> ast.Update:
+        self._expect_keyword("UPDATE")
+        table = self._expect_ident()
+        self._expect_keyword("SET")
+        assignments = []
+        while True:
+            column = self._expect_ident()
+            self._expect_op("=")
+            assignments.append((column, self._expression()))
+            if not self._accept_op(","):
+                break
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._expression()
+        return ast.Update(table=table, assignments=assignments, where=where)
+
+    def _delete(self) -> ast.Delete:
+        self._expect_keyword("DELETE", "FROM")
+        table = self._expect_ident()
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._expression()
+        return ast.Delete(table=table, where=where)
+
+    def _show_regions(self) -> ast.ShowRegions:
+        self._expect_keyword("SHOW", "REGIONS")
+        database = None
+        if self._accept_keyword("FROM", "DATABASE"):
+            database = self._expect_ident()
+        return ast.ShowRegions(from_database=database)
+
+    # -- expressions ----------------------------------------------------------------------
+
+    def _expression(self) -> Any:
+        return self._and_expr()
+
+    def _and_expr(self) -> Any:
+        parts = [self._comparison()]
+        while self._accept_keyword("AND"):
+            parts.append(self._comparison())
+        if len(parts) == 1:
+            return parts[0]
+        return ast.LogicalAnd(parts=tuple(parts))
+
+    def _comparison(self) -> Any:
+        left = self._primary()
+        if self._accept_keyword("IN"):
+            self._expect_op("(")
+            values = [self._primary()]
+            while self._accept_op(","):
+                values.append(self._primary())
+            self._expect_op(")")
+            if not isinstance(left, ast.ColumnRef):
+                raise SqlSyntaxError("IN requires a column on the left")
+            return ast.InList(column=left, values=tuple(values))
+        for op in ("<>", "!=", "<=", ">=", "=", "<", ">"):
+            if self._accept_op(op):
+                right = self._primary()
+                normalized = "<>" if op == "!=" else op
+                return ast.Comparison(op=normalized, left=left, right=right)
+        return left
+
+    def _primary(self) -> Any:
+        token = self._peek()
+        if token.kind == "op" and token.text in ("-", "+"):
+            sign = -1 if token.text == "-" else 1
+            self._next()
+            number = self._next()
+            if number.kind != "number":
+                raise SqlSyntaxError(
+                    f"expected number after {token.text!r} at {number.pos}")
+            value = (float(number.text) if "." in number.text
+                     else int(number.text))
+            return ast.Literal(sign * value)
+        if token.kind == "number":
+            self._next()
+            value = float(token.text) if "." in token.text else int(token.text)
+            return ast.Literal(value)
+        if token.kind == "string":
+            self._next()
+            return ast.Literal(token.text)
+        if token.kind == "op" and token.text == "(":
+            self._next()
+            inner = self._expression()
+            self._expect_op(")")
+            return inner
+        if token.kind == "ident":
+            upper = token.upper
+            if upper == "CASE":
+                return self._case_when()
+            if upper in ("TRUE", "FALSE"):
+                self._next()
+                return ast.Literal(upper == "TRUE")
+            if upper == "NULL":
+                self._next()
+                return ast.Literal(None)
+            # function call or column reference
+            name = self._next().text
+            if self._accept_op("("):
+                args = []
+                if not self._accept_op(")"):
+                    args.append(self._expression())
+                    while self._accept_op(","):
+                        args.append(self._expression())
+                    self._expect_op(")")
+                return ast.FuncCall(name=name.lower(), args=tuple(args))
+            return ast.ColumnRef(name=name)
+        raise SqlSyntaxError(
+            f"unexpected token {token.text!r} at offset {token.pos}")
+
+    def _case_when(self) -> ast.CaseWhen:
+        self._expect_keyword("CASE")
+        whens = []
+        while self._accept_keyword("WHEN"):
+            condition = self._expression()
+            self._expect_keyword("THEN")
+            result = self._expression()
+            whens.append((condition, result))
+        default = ast.Literal(None)
+        if self._accept_keyword("ELSE"):
+            default = self._expression()
+        self._expect_keyword("END")
+        return ast.CaseWhen(whens=tuple(whens), default=default)

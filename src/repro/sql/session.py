@@ -1,0 +1,510 @@
+"""Sessions: the public SQL entry point.
+
+Usage::
+
+    from repro.cluster import standard_cluster
+    from repro.sql import Engine
+
+    cluster = standard_cluster(["us-east1", "us-west1", "europe-west2"])
+    engine = Engine(cluster)
+    session = engine.connect("us-east1")
+    session.execute('CREATE DATABASE movr PRIMARY REGION "us-east1" '
+                    'REGIONS "us-west1", "europe-west2"')
+    session.execute("USE movr")
+    session.execute("CREATE TABLE users (id int PRIMARY KEY, "
+                    "email string UNIQUE) LOCALITY REGIONAL BY ROW")
+
+``Session.execute`` is the synchronous driver (it advances the
+simulation until the statement completes).  Workload generators running
+many concurrent clients use the coroutine API (``execute_co`` /
+``run_txn_co``) inside simulation processes instead.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import Any, Callable, Generator, List, Optional
+
+from ..errors import SchemaError, SqlSyntaxError, StaleReadBoundError
+from ..kv.distsender import ReadRouting
+from ..sim.clock import Timestamp
+from ..sim.core import all_of
+from ..txn.coordinator import TransactionCoordinator
+from . import ast
+from .catalog import Catalog, Database
+from .eval import EvalEnv, evaluate
+from .executor import ExecContext, Executor
+from .parser import parse, parse_one
+from .schema_changes import SchemaChangeEngine
+
+__all__ = ["Engine", "Session"]
+
+_DDL_TYPES = (
+    ast.CreateDatabase, ast.AlterDatabaseAddRegion,
+    ast.AlterDatabaseDropRegion, ast.AlterDatabaseSurvive,
+    ast.AlterDatabasePlacement, ast.AlterDatabaseSetPrimaryRegion,
+    ast.CreateTable, ast.AlterTableSetLocality, ast.AlterTableAddColumn,
+    ast.CreateIndex, ast.DropTable,
+)
+
+_INTERVAL_RE = re.compile(r"^(-?\d+(?:\.\d+)?)(ms|s|m|h)$")
+_INTERVAL_MS = {"ms": 1.0, "s": 1000.0, "m": 60_000.0, "h": 3_600_000.0}
+
+
+def parse_interval_ms(text: str) -> float:
+    """Parse interval strings like '-30s', '500ms', '2m' to milliseconds."""
+    match = _INTERVAL_RE.match(text.strip())
+    if not match:
+        raise SqlSyntaxError(f"bad interval {text!r}")
+    return float(match.group(1)) * _INTERVAL_MS[match.group(2)]
+
+
+class Engine:
+    """One logical SQL layer for a cluster: catalog + schema + txns."""
+
+    def __init__(self, cluster, side_transport_interval_ms: float = 100.0,
+                 closed_ts_lag_ms: Optional[float] = None,
+                 spanner_style_commit_wait: bool = False,
+                 seed: int = 0):
+        self.cluster = cluster
+        self.catalog = Catalog()
+        self.schema = SchemaChangeEngine(
+            cluster, self.catalog,
+            side_transport_interval_ms=side_transport_interval_ms,
+            closed_ts_lag_ms=closed_ts_lag_ms)
+        self.coordinator = TransactionCoordinator(
+            cluster, spanner_style_commit_wait=spanner_style_commit_wait)
+        self.uuid_source = random.Random(seed)
+
+    def connect(self, region: str, index: int = 0) -> "Session":
+        """Open a session gatewayed at a node in ``region``."""
+        gateway = self.cluster.gateway_for_region(region, index)
+        return Session(self, gateway)
+
+
+class _StaleReadTxn:
+    """Duck-typed read-only 'transaction' backed by stale reads (§5.3).
+
+    Presents the subset of the Transaction interface the executor's read
+    path uses, but serves each key with exact- or bounded-staleness
+    reads from nearby replicas.
+    """
+
+    def __init__(self, engine: Engine, gateway, kind: str,
+                 ts: Timestamp, nearest_only: bool = False):
+        self.engine = engine
+        self.gateway = gateway
+        self.kind = kind  # 'exact' | 'bounded'
+        self.read_ts = ts
+        self.nearest_only = nearest_only
+
+    def _read_future(self, rng, key):
+        ds = self.engine.coordinator.distsender
+        if self.kind == "exact":
+            return ds.exact_staleness_read(self.gateway, rng, key,
+                                           self.read_ts)
+        return ds.bounded_staleness_read(self.gateway, rng, key,
+                                         self.read_ts,
+                                         nearest_only=self.nearest_only)
+
+    def read(self, rng, key, routing=ReadRouting.NEAREST) -> Generator:
+        result = yield self._read_future(rng, key)
+        if self.kind == "bounded":
+            result = result[0]
+        return result.value
+
+    def read_batch(self, requests, routing=ReadRouting.NEAREST) -> Generator:
+        if self.kind == "bounded" and len(requests) > 1:
+            # Multi-key bounded staleness negotiates one timestamp across
+            # all touched ranges first (§5.3.2), then reads at it.
+            ds = self.engine.coordinator.distsender
+            try:
+                negotiated = yield ds.negotiate_bounded_staleness(
+                    self.gateway, requests, self.read_ts)
+            except StaleReadBoundError:
+                if self.nearest_only:
+                    raise
+                # Redirect the whole batch to leaseholders at the bound.
+                futures = [
+                    ds._leaseholder_read(self.gateway, rng, key,
+                                         self.read_ts, None, None)
+                    for rng, key in requests
+                ]
+                results = yield all_of(self.engine.cluster.sim, futures)
+                return [result.value for result, _ts in results]
+            futures = [ds.exact_staleness_read(self.gateway, rng, key,
+                                               negotiated)
+                       for rng, key in requests]
+            results = yield all_of(self.engine.cluster.sim, futures)
+            return [r.value for r in results]
+        futures = [self._read_future(rng, key) for rng, key in requests]
+        results = yield all_of(self.engine.cluster.sim, futures)
+        if self.kind == "bounded":
+            results = [r[0] for r in results]
+        return [r.value for r in results]
+
+
+class TxnHandle:
+    """Statement execution bound to one open transaction."""
+
+    def __init__(self, session: "Session", txn):
+        self.session = session
+        self.txn = txn
+
+    def execute(self, sql: str) -> Generator:
+        stmt = parse_one(sql)
+        result = yield from self.execute_stmt(stmt)
+        return result
+
+    def execute_stmt(self, stmt: Any) -> Generator:
+        executor = self.session._executor()
+        if isinstance(stmt, ast.Insert):
+            result = yield from executor.insert(self.txn, stmt)
+        elif isinstance(stmt, ast.Select):
+            if stmt.as_of is not None:
+                raise SchemaError(
+                    "AS OF SYSTEM TIME not allowed inside a read-write "
+                    "transaction")
+            result = yield from executor.select(self.txn, stmt)
+        elif isinstance(stmt, ast.Update):
+            result = yield from executor.update(self.txn, stmt)
+        elif isinstance(stmt, ast.Delete):
+            result = yield from executor.delete(self.txn, stmt)
+        else:
+            raise SchemaError(
+                f"statement not allowed in a transaction: {stmt!r}")
+        return result
+
+
+class Session:
+    """A client connection pinned to a gateway node."""
+
+    def __init__(self, engine: Engine, gateway):
+        self.engine = engine
+        self.gateway = gateway
+        self.database: Optional[Database] = None
+        #: Statements executed, split by class (Table 2 accounting).
+        self.ddl_statement_count = 0
+        self.dml_statement_count = 0
+        #: Open explicit transaction (BEGIN ... COMMIT), if any.
+        self._open_txn = None
+
+    @property
+    def region(self) -> str:
+        return self.gateway.locality.region
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _env(self) -> EvalEnv:
+        return EvalEnv(gateway_region=self.region,
+                       uuid_source=self.engine.uuid_source)
+
+    def _executor(self) -> Executor:
+        if self.database is None:
+            raise SchemaError("no database selected (USE <db>)")
+        context = ExecContext(self.database, self.gateway, self._env())
+        return Executor(context)
+
+    def _require_database(self, name: Optional[str] = None) -> Database:
+        if name is not None:
+            return self.engine.catalog.database(name)
+        if self.database is None:
+            raise SchemaError("no database selected (USE <db>)")
+        return self.database
+
+    # -- synchronous driver API ---------------------------------------------------------
+
+    def execute(self, sql: str) -> Any:
+        """Execute a SQL script synchronously (drives the simulation).
+
+        Returns the result of the last statement: rows for SELECT,
+        a row count for DML, None for DDL.
+        """
+        result = None
+        for stmt in parse(sql):
+            result = self.execute_stmt(stmt)
+        return result
+
+    def execute_stmt(self, stmt: Any) -> Any:
+        if self._apply_non_dml(stmt, dry_run=True):
+            return self._apply_non_dml(stmt)
+        process = self.engine.cluster.sim.spawn(
+            self.execute_stmt_co(stmt), name="sql-stmt")
+        return self.engine.cluster.sim.run_until_future(process)
+
+    # -- coroutine API (for workloads running inside the simulation) ----------------------
+
+    def execute_co(self, sql: str) -> Generator:
+        stmt = parse_one(sql)
+        if self._apply_non_dml(stmt, dry_run=True):
+            return self._apply_non_dml(stmt)
+        result = yield from self.execute_stmt_co(stmt)
+        return result
+
+    def run_txn_co(self, txn_body: Callable[[TxnHandle], Generator]
+                   ) -> Generator:
+        """Run a multi-statement transaction (with automatic retries)."""
+        def txn_fn(txn):
+            handle = TxnHandle(self, txn)
+            result = yield from txn_body(handle)
+            return result
+        result, _commit_ts = yield from self.engine.coordinator.run(
+            self.gateway, txn_fn)
+        return result
+
+    def execute_stmt_co(self, stmt: Any) -> Generator:
+        if isinstance(stmt, (ast.Begin, ast.Commit, ast.Rollback)):
+            result = yield from self._explicit_txn_stmt(stmt)
+            return result
+        self.dml_statement_count += 1
+        if isinstance(stmt, ast.Select) and stmt.as_of is not None:
+            if self._open_txn is not None:
+                raise SchemaError(
+                    "AS OF SYSTEM TIME not allowed inside a transaction")
+            result = yield from self._stale_select(stmt)
+            return result
+
+        if self._open_txn is not None:
+            # Inside BEGIN ... COMMIT: no automatic retry — a retryable
+            # error surfaces to the client (SQLSTATE 40001 style) and
+            # aborts the transaction, as in real SQL sessions.
+            handle = TxnHandle(self, self._open_txn)
+            try:
+                result = yield from handle.execute_stmt(stmt)
+            except Exception:
+                txn, self._open_txn = self._open_txn, None
+                yield from txn.rollback()
+                raise
+            return result
+
+        def body(handle: TxnHandle) -> Generator:
+            result = yield from handle.execute_stmt(stmt)
+            return result
+
+        result = yield from self.run_txn_co(body)
+        return result
+
+    def _explicit_txn_stmt(self, stmt: Any) -> Generator:
+        if isinstance(stmt, ast.Begin):
+            if self._open_txn is not None:
+                raise SchemaError("transaction already open")
+            self._open_txn = self.engine.coordinator.begin(self.gateway)
+            return None
+        if self._open_txn is None:
+            raise SchemaError("no transaction open")
+        txn, self._open_txn = self._open_txn, None
+        if isinstance(stmt, ast.Commit):
+            try:
+                commit_ts = yield from txn.commit()
+            except Exception:
+                yield from txn.rollback()
+                raise
+            return commit_ts
+        yield from txn.rollback()
+        return None
+
+    # -- DDL and other instantaneous statements ---------------------------------------------
+
+    def _apply_non_dml(self, stmt: Any, dry_run: bool = False) -> Any:
+        """Apply DDL/metadata statements; with dry_run, just classify."""
+        is_non_dml = isinstance(stmt, _DDL_TYPES + (
+            ast.ShowRegions, ast.UseDatabase, ast.Explain,
+            ast.ShowRanges, ast.ShowZoneConfiguration))
+        if dry_run:
+            return is_non_dml
+        if isinstance(stmt, ast.Explain):
+            return self.explain(stmt.statement)
+        if isinstance(stmt, ast.ShowRanges):
+            return self._show_ranges(stmt.table)
+        if isinstance(stmt, ast.ShowZoneConfiguration):
+            return self._show_zone_configuration(stmt.table)
+        schema = self.engine.schema
+        if isinstance(stmt, _DDL_TYPES):
+            # Let in-flight replication and intent resolution drain before
+            # schema operations that snapshot or validate table data
+            # (stands in for CRDB's online schema-change coordination).
+            sim = self.engine.cluster.sim
+            sim.run(until=sim.now + 600.0)
+        if isinstance(stmt, ast.UseDatabase):
+            self.database = self.engine.catalog.database(stmt.name)
+            return None
+        if isinstance(stmt, ast.ShowRegions):
+            if stmt.from_database is not None:
+                return self._require_database(stmt.from_database).regions
+            return self.engine.cluster.regions()
+        self.ddl_statement_count += 1
+        if isinstance(stmt, ast.CreateDatabase):
+            database = schema.create_database(stmt)
+            self.database = database
+            return None
+        if isinstance(stmt, ast.AlterDatabaseAddRegion):
+            schema.add_region(self.engine.catalog.database(stmt.database),
+                              stmt.region)
+            return None
+        if isinstance(stmt, ast.AlterDatabaseDropRegion):
+            schema.drop_region(self.engine.catalog.database(stmt.database),
+                               stmt.region)
+            return None
+        if isinstance(stmt, ast.AlterDatabaseSurvive):
+            schema.set_survival_goal(
+                self.engine.catalog.database(stmt.database), stmt.goal)
+            return None
+        if isinstance(stmt, ast.AlterDatabasePlacement):
+            schema.set_placement(
+                self.engine.catalog.database(stmt.database), stmt.restricted)
+            return None
+        if isinstance(stmt, ast.AlterDatabaseSetPrimaryRegion):
+            schema.set_primary_region(
+                self.engine.catalog.database(stmt.database), stmt.region)
+            return None
+        database = self._require_database()
+        if isinstance(stmt, ast.CreateTable):
+            schema.create_table(database, stmt)
+            return None
+        if isinstance(stmt, ast.AlterTableSetLocality):
+            schema.alter_table_locality(database,
+                                        database.table(stmt.table),
+                                        stmt.locality)
+            return None
+        if isinstance(stmt, ast.AlterTableAddColumn):
+            schema.add_column(database, database.table(stmt.table),
+                              stmt.column)
+            return None
+        if isinstance(stmt, ast.CreateIndex):
+            schema.create_secondary_index(database,
+                                          database.table(stmt.table), stmt)
+            return None
+        if isinstance(stmt, ast.DropTable):
+            schema.drop_table(database, stmt.name)
+            return None
+        raise SchemaError(f"unhandled statement {stmt!r}")
+
+    # -- EXPLAIN (§4) ------------------------------------------------------------------------
+
+    def explain(self, stmt: Any) -> List[str]:
+        """The locality-aware plan for a DML statement, as text lines.
+
+        Shows which partitions a lookup visits (point read / locality
+        optimized search / fan-out) and, for INSERTs, which uniqueness
+        checks run where and which the §4.1 rules omit.
+        """
+        database = self._require_database()
+        executor = self._executor()
+        lines: List[str] = []
+        if isinstance(stmt, (ast.Select, ast.Update, ast.Delete)):
+            table = database.table(stmt.table)
+            planner = executor.context.planner(table)
+            where = stmt.where
+            limit = getattr(stmt, "limit", None)
+            plan = planner.plan_point_query(where, limit=limit)
+            lines.append(plan.explain())
+            if isinstance(stmt, ast.Select) and stmt.for_update:
+                lines.append("lock: exclusive (FOR UPDATE)")
+            if isinstance(stmt, ast.Update):
+                changed = frozenset(name for name, _ in stmt.assignments)
+                sample = {c: None for c in table.columns}
+                region_col = table.region_column
+                if region_col:
+                    sample[region_col] = self.region
+                checks = planner.plan_uniqueness_checks(
+                    sample, changed_columns=changed)
+                for check in checks:
+                    lines.append(check.explain())
+        elif isinstance(stmt, ast.Insert):
+            table = database.table(stmt.table)
+            planner = executor.context.planner(table)
+            row, generated = executor._build_row(
+                table, stmt.columns, stmt.rows[0])
+            partition = (row.get(table.region_column)
+                         if table.region_column else "default")
+            lines.append(
+                f"insert {table.name} partition={partition or 'default'}")
+            checks = planner.plan_uniqueness_checks(
+                row, generated_columns=generated)
+            if not checks:
+                lines.append("uniqueness-checks: none")
+            for check in checks:
+                lines.append(check.explain())
+        else:
+            raise SchemaError(f"cannot EXPLAIN {type(stmt).__name__}")
+        return lines
+
+    # -- placement introspection (§3) -----------------------------------------------------
+
+    def _show_ranges(self, table_name: str) -> List[dict]:
+        """One row per Range: where its lease and replicas live."""
+        database = self._require_database()
+        table = database.table(table_name)
+        out = []
+        for index in table.indexes:
+            for partition, rng in sorted(index.partitions.items()):
+                voters = sorted(p.node.locality.region
+                                for p in rng.group.voters())
+                non_voters = sorted(p.node.locality.region
+                                    for p in rng.group.non_voters())
+                out.append({
+                    "index": index.name,
+                    "partition": partition or "default",
+                    "lease_region": rng.leaseholder_node.locality.region,
+                    "voters": voters,
+                    "non_voters": non_voters,
+                })
+        return out
+
+    def _show_zone_configuration(self, table_name: str) -> List[dict]:
+        """The derived zone config per partition (Listing 1 fields)."""
+        database = self._require_database()
+        table = database.table(table_name)
+        schema = self.engine.schema
+        out = []
+        partitions = sorted(table.primary_index.partitions)
+        for partition in partitions:
+            home = (partition if partition else
+                    table.home_region()
+                    or self.engine.cluster.regions()[0])
+            config = schema._zone_config(database, table, home)
+            out.append({
+                "partition": partition or "default",
+                "num_replicas": config.num_replicas,
+                "num_voters": config.num_voters,
+                "constraints": dict(config.constraints),
+                "voter_constraints": dict(config.voter_constraints),
+                "lease_preferences": list(config.lease_preferences),
+            })
+        return out
+
+    # -- stale reads (§5.3) ----------------------------------------------------------------
+
+    def _stale_select(self, stmt: ast.Select) -> Generator:
+        as_of = stmt.as_of
+        now = self.gateway.clock.now()
+        env = self._env()
+        if as_of.kind == "exact":
+            value = evaluate(as_of.value, {}, env)
+            ts = self._resolve_time_value(value, now)
+            stale = _StaleReadTxn(self.engine, self.gateway, "exact", ts)
+        elif as_of.kind == "min_timestamp":
+            value = evaluate(as_of.value, {}, env)
+            ts = self._resolve_time_value(value, now)
+            stale = _StaleReadTxn(self.engine, self.gateway, "bounded", ts)
+        elif as_of.kind == "max_staleness":
+            value = evaluate(as_of.value, {}, env)
+            bound_ms = (parse_interval_ms(value) if isinstance(value, str)
+                        else float(value))
+            ts = Timestamp(now.physical - abs(bound_ms))
+            stale = _StaleReadTxn(self.engine, self.gateway, "bounded", ts)
+        else:
+            raise SqlSyntaxError(f"unknown AS OF kind {as_of.kind!r}")
+        executor = self._executor()
+        query = ast.Select(table=stmt.table, columns=stmt.columns,
+                           where=stmt.where, as_of=None, limit=stmt.limit)
+        result = yield from executor.select(stale, query)
+        return result
+
+    def _resolve_time_value(self, value: Any, now: Timestamp) -> Timestamp:
+        """Interpret an AS OF operand: '-30s' intervals are relative to
+        now; bare numbers are absolute simulated milliseconds."""
+        if isinstance(value, str):
+            return Timestamp(now.physical + parse_interval_ms(value))
+        return Timestamp(float(value))

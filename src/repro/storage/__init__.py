@@ -1,0 +1,15 @@
+"""MVCC storage engine: versioned values, intents, timestamp cache."""
+
+from .locktable import LockHolder, LockTable
+from .mvcc import Intent, MVCCStore, ReadResult, Version
+from .tscache import TimestampCache
+
+__all__ = [
+    "Intent",
+    "LockHolder",
+    "LockTable",
+    "MVCCStore",
+    "ReadResult",
+    "TimestampCache",
+    "Version",
+]

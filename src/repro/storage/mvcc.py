@@ -1,0 +1,263 @@
+"""Multi-version concurrency control storage.
+
+Each replica of a Range owns one :class:`MVCCStore`.  The store keeps,
+per key, a list of committed versions (newest first) plus at most one
+*write intent* — a provisional version laid down by an in-flight
+transaction.  Raft applies the same logical commands to every replica's
+store, so followers hold the data needed for follower reads.
+
+The read path implements the paper's visibility rules:
+
+* a read at ``ts`` returns the newest committed version ``<= ts``;
+* an intent from another transaction at ``<= ts`` forces conflict
+  resolution (:class:`~repro.errors.WriteIntentError`);
+* a committed value or intent in ``(ts, ts + uncertainty]`` forces an
+  uncertainty restart
+  (:class:`~repro.errors.ReadWithinUncertaintyIntervalError`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import (
+    ReadWithinUncertaintyIntervalError,
+    WriteIntentError,
+    WriteTooOldError,
+)
+from ..sim.clock import TS_ZERO, Timestamp
+
+__all__ = ["MVCCStore", "Version", "Intent", "ReadResult"]
+
+
+@dataclass(frozen=True)
+class Version:
+    """A committed MVCC version of a key."""
+
+    ts: Timestamp
+    value: Any
+
+    @property
+    def is_tombstone(self) -> bool:
+        return self.value is None
+
+
+@dataclass
+class Intent:
+    """A provisional write by an in-flight transaction."""
+
+    txn_id: int
+    ts: Timestamp
+    value: Any
+    #: Node holding the transaction record (for conflict resolution).
+    anchor_node_id: int = -1
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Value returned by an MVCC read."""
+
+    value: Any
+    ts: Timestamp
+    from_intent: bool = False
+
+    @property
+    def exists(self) -> bool:
+        return self.value is not None
+
+
+@dataclass
+class _KeyHistory:
+    #: Committed versions sorted by timestamp ascending.
+    versions: List[Version] = field(default_factory=list)
+    intent: Optional[Intent] = None
+
+    def newest_at_or_below(self, ts: Timestamp) -> Optional[Version]:
+        keys = [v.ts for v in self.versions]
+        idx = bisect.bisect_right(keys, ts)
+        if idx == 0:
+            return None
+        return self.versions[idx - 1]
+
+    def newest(self) -> Optional[Version]:
+        return self.versions[-1] if self.versions else None
+
+    def any_in_interval(self, lo: Timestamp, hi: Timestamp) -> Optional[Version]:
+        """Newest committed version with ``lo < ts <= hi``, if any."""
+        keys = [v.ts for v in self.versions]
+        idx = bisect.bisect_right(keys, hi)
+        if idx == 0:
+            return None
+        candidate = self.versions[idx - 1]
+        return candidate if candidate.ts > lo else None
+
+
+class MVCCStore:
+    """Versioned key-value state for one replica of one Range."""
+
+    def __init__(self):
+        self._data: Dict[Any, _KeyHistory] = {}
+
+    def _history(self, key: Any) -> _KeyHistory:
+        history = self._data.get(key)
+        if history is None:
+            history = _KeyHistory()
+            self._data[key] = history
+        return history
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, key: Any, ts: Timestamp, txn_id: Optional[int] = None,
+            uncertainty_limit: Optional[Timestamp] = None) -> ReadResult:
+        """Read ``key`` at ``ts``.
+
+        ``txn_id`` lets a transaction read its own intents.
+        ``uncertainty_limit`` is the upper bound of the reader's
+        uncertainty interval; values in ``(ts, limit]`` raise
+        :class:`ReadWithinUncertaintyIntervalError`.
+        """
+        history = self._data.get(key)
+        if history is None:
+            return ReadResult(None, TS_ZERO)
+
+        intent = history.intent
+        if intent is not None:
+            if txn_id is not None and intent.txn_id == txn_id:
+                # Read-your-writes: a transaction sees its own intent.
+                return ReadResult(intent.value, intent.ts, from_intent=True)
+            if intent.ts <= ts:
+                raise WriteIntentError(key, intent.txn_id, intent.ts)
+            if uncertainty_limit is not None and intent.ts <= uncertainty_limit:
+                # An uncertain intent is both uncertain and unresolved;
+                # surface the intent conflict so the reader waits for the
+                # writer, then retries with a bumped timestamp.
+                raise WriteIntentError(key, intent.txn_id, intent.ts)
+
+        if uncertainty_limit is not None:
+            uncertain = history.any_in_interval(ts, uncertainty_limit)
+            if uncertain is not None:
+                raise ReadWithinUncertaintyIntervalError(key, uncertain.ts, ts)
+
+        version = history.newest_at_or_below(ts)
+        if version is None or version.is_tombstone:
+            return ReadResult(None, version.ts if version else TS_ZERO)
+        return ReadResult(version.value, version.ts)
+
+    def intent_for(self, key: Any) -> Optional[Intent]:
+        history = self._data.get(key)
+        return history.intent if history else None
+
+    def newest_version_ts(self, key: Any) -> Timestamp:
+        history = self._data.get(key)
+        if history is None or not history.versions:
+            return TS_ZERO
+        return history.versions[-1].ts
+
+    def changed_in_interval(self, key: Any, lo: Timestamp, hi: Timestamp,
+                            txn_id: Optional[int] = None) -> bool:
+        """Did ``key`` gain a committed version or foreign intent in
+        ``(lo, hi]``?  Used by read refreshes (paper §5.1 / §6.2)."""
+        history = self._data.get(key)
+        if history is None:
+            return False
+        if history.any_in_interval(lo, hi) is not None:
+            return True
+        intent = history.intent
+        if intent is not None and intent.txn_id != txn_id and intent.ts <= hi:
+            return True
+        return False
+
+    # -- writes ------------------------------------------------------------
+
+    def check_write(self, key: Any, ts: Timestamp,
+                    txn_id: int) -> Timestamp:
+        """Validate a proposed write; returns the minimum legal timestamp.
+
+        Raises :class:`WriteIntentError` when another transaction holds
+        an intent on the key.  Raises :class:`WriteTooOldError` when a
+        committed version exists at or above ``ts`` (the caller bumps
+        the write timestamp and retries).
+        """
+        history = self._data.get(key)
+        if history is None:
+            return ts
+        intent = history.intent
+        if intent is not None and intent.txn_id != txn_id:
+            raise WriteIntentError(key, intent.txn_id, intent.ts)
+        newest = history.newest()
+        if newest is not None and newest.ts >= ts:
+            raise WriteTooOldError(key, newest.ts, ts)
+        return ts
+
+    def put_intent(self, key: Any, ts: Timestamp, value: Any, txn_id: int,
+                   anchor_node_id: int = -1) -> None:
+        """Lay down (or replace this transaction's own) intent."""
+        history = self._history(key)
+        intent = history.intent
+        if intent is not None and intent.txn_id != txn_id:
+            raise WriteIntentError(key, intent.txn_id, intent.ts)
+        history.intent = Intent(txn_id=txn_id, ts=ts, value=value,
+                                anchor_node_id=anchor_node_id)
+
+    def resolve_intent(self, key: Any, txn_id: int,
+                       commit_ts: Optional[Timestamp]) -> bool:
+        """Commit (at ``commit_ts``) or abort (``None``) an intent.
+
+        Returns True if an intent belonging to ``txn_id`` was resolved.
+        Intent resolution is idempotent: replicas may apply it after the
+        intent is already gone.
+        """
+        history = self._data.get(key)
+        if history is None or history.intent is None:
+            return False
+        if history.intent.txn_id != txn_id:
+            return False
+        intent = history.intent
+        history.intent = None
+        if commit_ts is not None:
+            version = Version(ts=commit_ts, value=intent.value)
+            keys = [v.ts for v in history.versions]
+            idx = bisect.bisect_right(keys, commit_ts)
+            history.versions.insert(idx, version)
+        return True
+
+    def put_committed(self, key: Any, ts: Timestamp, value: Any) -> None:
+        """Directly write a committed version (bulk loads, test fixtures)."""
+        history = self._history(key)
+        keys = [v.ts for v in history.versions]
+        idx = bisect.bisect_right(keys, ts)
+        history.versions.insert(idx, Version(ts=ts, value=value))
+
+    def clone(self) -> "MVCCStore":
+        """A deep copy of this store (Raft snapshot transfer)."""
+        other = MVCCStore()
+        for key, history in self._data.items():
+            copied = _KeyHistory(versions=list(history.versions))
+            if history.intent is not None:
+                copied.intent = Intent(
+                    txn_id=history.intent.txn_id,
+                    ts=history.intent.ts,
+                    value=history.intent.value,
+                    anchor_node_id=history.intent.anchor_node_id)
+            other._data[key] = copied
+        return other
+
+    # -- introspection -------------------------------------------------------
+
+    def keys(self) -> List[Any]:
+        return list(self._data.keys())
+
+    def version_count(self, key: Any) -> int:
+        history = self._data.get(key)
+        return len(history.versions) if history else 0
+
+    def snapshot_at(self, ts: Timestamp) -> Dict[Any, Any]:
+        """The committed state visible at ``ts`` (tests/debugging)."""
+        out = {}
+        for key, history in self._data.items():
+            version = history.newest_at_or_below(ts)
+            if version is not None and not version.is_tombstone:
+                out[key] = version.value
+        return out

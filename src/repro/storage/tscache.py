@@ -1,0 +1,105 @@
+"""Timestamp cache: the read-side memory used for serializability.
+
+The leaseholder records the maximum timestamp at which each key has been
+read (or refreshed).  A later write to that key must commit at a higher
+timestamp, preventing it from invalidating a read that already returned
+(paper §6.1: "Leaseholders also advance the timestamp of writes above
+the timestamp of any previously served reads...").
+
+Entries carry the reading transaction's id (as in CRDB) so a
+transaction's own reads never force its writes to higher timestamps —
+without this, every read-modify-write would pay a needless refresh.  To
+stay sound with many readers, each key tracks both the overall maximum
+read and the maximum read by any *other* transaction than that one.
+
+The cache carries a *low-water mark*: when a new leaseholder takes over
+it initialises the mark to its lease start so reads served by prior
+leaseholders stay protected without shipping the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..sim.clock import TS_ZERO, Timestamp
+
+__all__ = ["TimestampCache"]
+
+
+class _Entry:
+    """Top read timestamp (with its reader) plus the runner-up by any
+    other reader — enough to answer "max read by anyone but txn X"."""
+
+    __slots__ = ("top_ts", "top_txn", "other_ts")
+
+    def __init__(self, ts: Timestamp, txn_id: Optional[int]):
+        self.top_ts = ts
+        self.top_txn = txn_id
+        self.other_ts = TS_ZERO
+
+    def record(self, ts: Timestamp, txn_id: Optional[int]) -> None:
+        if txn_id is not None and txn_id == self.top_txn:
+            if ts > self.top_ts:
+                self.top_ts = ts
+            return
+        if ts > self.top_ts:
+            self.other_ts = max(self.other_ts, self.top_ts)
+            self.top_ts = ts
+            self.top_txn = txn_id
+        elif ts > self.other_ts:
+            self.other_ts = ts
+
+    def floor_for(self, txn_id: Optional[int]) -> Timestamp:
+        if txn_id is not None and txn_id == self.top_txn:
+            return self.other_ts
+        return self.top_ts
+
+
+class TimestampCache:
+    """Per-key high-water marks of served reads."""
+
+    def __init__(self, low_water: Timestamp = TS_ZERO):
+        self._low_water = low_water
+        self._by_key: Dict[Any, _Entry] = {}
+
+    @property
+    def low_water(self) -> Timestamp:
+        return self._low_water
+
+    def record_read(self, key: Any, ts: Timestamp,
+                    txn_id: Optional[int] = None) -> None:
+        entry = self._by_key.get(key)
+        if entry is None:
+            self._by_key[key] = _Entry(ts, txn_id)
+        else:
+            entry.record(ts, txn_id)
+
+    def high_water(self, key: Any) -> Timestamp:
+        entry = self._by_key.get(key)
+        ts = entry.top_ts if entry else TS_ZERO
+        return max(ts, self._low_water)
+
+    def raise_low_water(self, ts: Timestamp) -> None:
+        """Advance the low-water mark (lease transfers, cache rotation)."""
+        if ts > self._low_water:
+            self._low_water = ts
+            stale = [k for k, v in self._by_key.items() if v.top_ts <= ts]
+            for key in stale:
+                del self._by_key[key]
+
+    def min_write_ts(self, key: Any, proposed: Timestamp,
+                     txn_id: Optional[int] = None) -> Timestamp:
+        """The lowest timestamp a write to ``key`` may use.
+
+        A write must exceed every read of the key by *other*
+        transactions; the writer's own reads do not count against it.
+        """
+        entry = self._by_key.get(key)
+        floor = self._low_water
+        if entry is not None:
+            entry_floor = entry.floor_for(txn_id)
+            if entry_floor > floor:
+                floor = entry_floor
+        if proposed > floor:
+            return proposed
+        return floor.next()

@@ -1,0 +1,5 @@
+"""Transaction coordination: serializable MVCC txns and commit wait."""
+
+from .coordinator import Transaction, TransactionCoordinator, TxnStats
+
+__all__ = ["Transaction", "TransactionCoordinator", "TxnStats"]

@@ -1,0 +1,417 @@
+"""Transaction coordination (paper §5, §6).
+
+The coordinator lives on the client's gateway node.  Transactions are
+serializable timestamp-based MVCC transactions:
+
+* a transaction starts with read and provisional-commit timestamps from
+  the gateway HLC;
+* reads carry an *uncertainty interval* ``(read_ts, read_ts +
+  max_clock_offset]``; observing a value inside it bumps the read
+  timestamp and refreshes previous reads (§6.1);
+* writes may be advanced by the timestamp cache, by committed values
+  (write-too-old), and — on GLOBAL ranges — past the future-time closed
+  timestamp target (§6.2.1);
+* if the provisional commit timestamp moved above the read timestamp,
+  the read set is refreshed before committing;
+* a commit timestamp above present time (a future-time / global
+  transaction, or an observed future value) requires **commit wait**:
+  the coordinator delays the client acknowledgement until its local HLC
+  passes the timestamp.  CRDB-style commit wait runs *concurrently* with
+  intent resolution (lock release); the Spanner-style variant that holds
+  locks through the wait is available as an ablation flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..errors import (
+    RangeUnavailableError,
+    ReadWithinUncertaintyIntervalError,
+    TransactionAbortedError,
+    TransactionRetryError,
+)
+from ..sim.network import NetworkUnavailableError
+from ..kv.commands import TxnStatus
+from ..kv.distsender import DistSender, ReadRouting
+from ..kv.range import Range
+from ..sim.clock import Timestamp
+from ..sim.core import all_of, settle_all
+
+__all__ = ["TransactionCoordinator", "Transaction", "TxnStats"]
+
+
+@dataclass
+class TxnStats:
+    """Aggregate coordinator statistics, for tests and benchmarks."""
+
+    begun: int = 0
+    committed: int = 0
+    aborted_retries: int = 0
+    uncertainty_restarts: int = 0
+    refreshes: int = 0
+    refresh_failures: int = 0
+    commit_waits: int = 0
+    commit_wait_ms_total: float = 0.0
+
+
+class Transaction:
+    """One attempt of a client transaction, pinned to a gateway node."""
+
+    def __init__(self, coordinator: "TransactionCoordinator", gateway,
+                 txn_id: int):
+        self.coordinator = coordinator
+        self.gateway = gateway
+        self.txn_id = txn_id
+        start = gateway.clock.now()
+        self.read_ts: Timestamp = start
+        self.write_ts: Timestamp = start
+        #: Fixed upper bound of the uncertainty interval (never moves).
+        self.uncertainty_limit: Timestamp = Timestamp(
+            start.physical + gateway.clock.max_offset, start.logical)
+        #: Keys read so far (for refreshes): list of (range, key).
+        self.read_set: List[Tuple[Range, Any]] = []
+        #: Keys written so far: (range_id, key) -> (range, key).
+        self.write_set: Dict[Tuple[int, Any], Tuple[Range, Any]] = {}
+        self.anchor: Optional[Range] = None
+        #: Commit-wait obligation from observed future-time values.
+        self.observed_future_ts: Optional[Timestamp] = None
+        self.status = TxnStatus.PENDING
+        self.commit_ts: Optional[Timestamp] = None
+
+    @property
+    def _ds(self) -> DistSender:
+        return self.coordinator.distsender
+
+    # -- reads -------------------------------------------------------------
+
+    def read(self, rng: Range, key: Any,
+             routing: str = ReadRouting.LEASEHOLDER) -> Generator:
+        """Transactional read of ``key``; returns the value (or None).
+
+        Handles uncertainty restarts internally: the read timestamp is
+        bumped to the uncertain value's timestamp, prior reads are
+        refreshed, and the read retries (paper §6.1–6.2).
+        """
+        while True:
+            # With no other spans, the serving replica may retry
+            # uncertainty restarts locally (one WAN round trip total).
+            allow_bump = not self.read_set and not self.write_set
+            try:
+                result, effective_ts = yield self._ds.read(
+                    self.gateway, rng, key, self.read_ts,
+                    txn_id=self.txn_id,
+                    uncertainty_limit=self.uncertainty_limit,
+                    routing=routing,
+                    allow_server_side_bump=allow_bump)
+            except ReadWithinUncertaintyIntervalError as err:
+                self.coordinator.stats.uncertainty_restarts += 1
+                value_ts = err.value_ts
+                yield from self._refresh_to(value_ts.with_synthetic(False))
+                if value_ts.synthetic or value_ts.physical > \
+                        self.gateway.clock.physical_now():
+                    self._note_future_observation(value_ts)
+                continue
+            if effective_ts > self.read_ts:
+                # Server-side uncertainty bump (only legal with no spans).
+                self.coordinator.stats.uncertainty_restarts += 1
+                self.read_ts = effective_ts.with_synthetic(False)
+                if self.write_ts < self.read_ts:
+                    self.write_ts = self.read_ts
+                if effective_ts.synthetic or effective_ts.physical > \
+                        self.gateway.clock.physical_now():
+                    self._note_future_observation(effective_ts)
+            self.read_set.append((rng, key))
+            return result.value
+
+    def read_batch(self, requests: List[Tuple[Range, Any]],
+                   routing: str = ReadRouting.LEASEHOLDER) -> Generator:
+        """Read several keys in parallel (one round trip to the furthest
+        replica).  Returns values in request order.  Used by fan-out
+        plans: uniqueness checks and locality-optimized-search misses."""
+        if not requests:
+            return []
+        while True:
+            futures = [
+                self._ds.read(self.gateway, rng, key, self.read_ts,
+                              txn_id=self.txn_id,
+                              uncertainty_limit=self.uncertainty_limit,
+                              routing=routing)
+                for rng, key in requests
+            ]
+            try:
+                results = yield all_of(self.coordinator.sim, futures)
+            except ReadWithinUncertaintyIntervalError as err:
+                self.coordinator.stats.uncertainty_restarts += 1
+                value_ts = err.value_ts
+                yield from self._refresh_to(value_ts.with_synthetic(False))
+                if value_ts.synthetic or value_ts.physical > \
+                        self.gateway.clock.physical_now():
+                    self._note_future_observation(value_ts)
+                continue
+            for rng, key in requests:
+                self.read_set.append((rng, key))
+            return [result.value for result, _ts in results]
+
+    def locking_read(self, rng: Range, key: Any) -> Generator:
+        """SELECT FOR UPDATE: read the latest value and lock the key.
+
+        The value corresponds to the lock timestamp, so the transaction's
+        read timestamp advances to it — free when there are no prior read
+        spans, via refresh otherwise (paper §5.1/§6.1 machinery).
+        """
+        if self.anchor is None:
+            self.anchor = rng
+        value, lock_ts = yield self._ds.locking_read(
+            self.gateway, rng, key, self.write_ts, self.txn_id,
+            anchor_node_id=self.anchor.leaseholder_node_id or -1)
+        if lock_ts > self.write_ts:
+            self.write_ts = lock_ts
+        self.write_set[(rng.range_id, key)] = (rng, key)
+        real_lock_ts = lock_ts.with_synthetic(False)
+        if real_lock_ts > self.read_ts:
+            yield from self._refresh_to(real_lock_ts)
+        if lock_ts.synthetic or lock_ts.physical > \
+                self.gateway.clock.physical_now():
+            self._note_future_observation(lock_ts)
+        self.read_set.append((rng, key))
+        return value
+
+    def _note_future_observation(self, ts: Timestamp) -> None:
+        if (self.observed_future_ts is None
+                or ts > self.observed_future_ts):
+            self.observed_future_ts = ts
+
+    # -- writes -------------------------------------------------------------
+
+    def write(self, rng: Range, key: Any, value: Any) -> Generator:
+        """Transactional write (lays an intent at the leaseholder)."""
+        if self.anchor is None:
+            self.anchor = rng
+        written_ts = yield self._ds.write(
+            self.gateway, rng, key, self.write_ts, value, self.txn_id,
+            anchor_node_id=self.anchor.leaseholder_node_id or -1)
+        if written_ts > self.write_ts:
+            self.write_ts = written_ts
+        self.write_set[(rng.range_id, key)] = (rng, key)
+        return written_ts
+
+    def write_batch(self, items: List[Tuple[Range, Any, Any]]) -> Generator:
+        """Write several (range, key, value) intents in parallel.
+
+        One round trip to the furthest leaseholder instead of a sum of
+        round trips — this is how the duplicate-indexes baseline fans a
+        write out to every region's index (paper §7.3.1).
+
+        On failure (e.g. a deadlock abort on one key) every future is
+        still awaited so that all intents actually laid are in the write
+        set before the rollback cleans them up.
+        """
+        if not items:
+            return []
+        if self.anchor is None:
+            self.anchor = items[0][0]
+        anchor_node = self.anchor.leaseholder_node_id or -1
+        futures = [
+            self._ds.write(self.gateway, rng, key, self.write_ts, value,
+                           self.txn_id, anchor_node_id=anchor_node)
+            for rng, key, value in items
+        ]
+        settled = yield settle_all(self.coordinator.sim, futures)
+        first_error: Optional[BaseException] = None
+        written: List[Timestamp] = []
+        for fut, (rng, key, _value) in zip(settled, items):
+            if fut.error is not None:
+                if first_error is None:
+                    first_error = fut.error
+                continue
+            ts = fut._value
+            written.append(ts)
+            if ts > self.write_ts:
+                self.write_ts = ts
+            self.write_set[(rng.range_id, key)] = (rng, key)
+        if first_error is not None:
+            raise first_error
+        return written
+
+    def delete(self, rng: Range, key: Any) -> Generator:
+        """Transactional delete (a tombstone write)."""
+        result = yield from self.write(rng, key, None)
+        return result
+
+    # -- refresh --------------------------------------------------------------
+
+    def _refresh_to(self, new_ts: Timestamp) -> Generator:
+        """Try to advance ``read_ts`` to ``new_ts``; raise retry on failure."""
+        if new_ts <= self.read_ts:
+            return
+        self.coordinator.stats.refreshes += 1
+        if self.read_set:
+            futures = [
+                self._ds.refresh(self.gateway, rng, key, self.read_ts,
+                                 new_ts, self.txn_id)
+                for rng, key in self.read_set
+            ]
+            results = yield all_of(self.coordinator.sim, futures)
+            if not all(results):
+                self.coordinator.stats.refresh_failures += 1
+                raise TransactionRetryError(
+                    f"txn {self.txn_id}: read refresh to {new_ts} failed",
+                    retry_ts=new_ts)
+        self.read_ts = new_ts
+        if self.write_ts < self.read_ts:
+            self.write_ts = self.read_ts
+
+    # -- commit / rollback -------------------------------------------------------
+
+    def commit(self) -> Generator:
+        """Commit the transaction; returns the commit timestamp.
+
+        Read-only transactions commit locally but may still owe a commit
+        wait for observed future-time values.
+        """
+        if self.status != TxnStatus.PENDING:
+            raise TransactionAbortedError(f"txn {self.txn_id} not pending")
+        if not self.write_set:
+            self.status = TxnStatus.COMMITTED
+            self.commit_ts = self.read_ts
+            yield from self._commit_wait_if_needed(self.observed_future_ts)
+            return self.read_ts
+
+        # Serializability check: reads must be valid at the commit ts.
+        yield from self._refresh_to(self.write_ts.with_synthetic(False))
+        commit_ts = self.write_ts
+        self.commit_ts = commit_ts
+
+        # Fast path: a transaction whose writes all hit one range commits
+        # in the write's own consensus round (CRDB's one-phase commit /
+        # parallel commits latency profile) — no separate record write.
+        # Multi-range transactions persist an explicit record on the
+        # anchor range before acknowledging.
+        single_range = len({rng.range_id
+                            for rng, _key in self.write_set.values()}) == 1
+        if not single_range:
+            yield self._ds.write_txn_record(
+                self.gateway, self.anchor, self.txn_id, TxnStatus.COMMITTED,
+                commit_ts)
+
+        wait_target = commit_ts
+        if (self.observed_future_ts is not None
+                and self.observed_future_ts > wait_target):
+            wait_target = self.observed_future_ts
+
+        if self.coordinator.spanner_style_commit_wait:
+            # Ablation: hold locks (defer intent resolution, and stay
+            # unpushable) through the commit wait, as Spanner does (§6.2).
+            yield from self._commit_wait_if_needed(wait_target)
+            self.status = TxnStatus.COMMITTED
+            self._resolve_intents_async(commit_ts)
+        else:
+            # CRDB: release locks concurrently with the wait.
+            self.status = TxnStatus.COMMITTED
+            self._resolve_intents_async(commit_ts)
+            yield from self._commit_wait_if_needed(wait_target)
+        return commit_ts
+
+    def _resolve_intents_async(self, commit_ts: Optional[Timestamp]) -> None:
+        spans = list(self.write_set.values())
+        if not spans:
+            return
+        fut = self._ds.resolve_intents(self.gateway, spans, self.txn_id,
+                                       commit_ts)
+        # Intent resolution runs in the background; swallow benign races.
+        fut.add_callback(lambda f: None if f.error is None else None)
+
+    def _commit_wait_if_needed(self, target: Optional[Timestamp]) -> Generator:
+        if target is None:
+            return
+        clock = self.gateway.clock
+        if target.physical <= clock.physical_now():
+            return
+        stats = self.coordinator.stats
+        stats.commit_waits += 1
+        waited = yield clock.wait_until(target)
+        stats.commit_wait_ms_total += waited or 0.0
+
+    def rollback(self) -> Generator:
+        """Abort: mark the record aborted and clean up intents."""
+        if self.status != TxnStatus.PENDING:
+            return
+        self.status = TxnStatus.ABORTED
+        if self.anchor is not None and self.write_set:
+            yield self._ds.write_txn_record(
+                self.gateway, self.anchor, self.txn_id, TxnStatus.ABORTED,
+                None)
+            spans = list(self.write_set.values())
+            yield self._ds.resolve_intents(self.gateway, spans, self.txn_id,
+                                           None)
+
+
+class TransactionCoordinator:
+    """Factory/runner for transactions on a cluster."""
+
+    def __init__(self, cluster, distsender: Optional[DistSender] = None,
+                 spanner_style_commit_wait: bool = False):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.distsender = distsender or DistSender(cluster)
+        self.spanner_style_commit_wait = spanner_style_commit_wait
+        self.stats = TxnStats()
+        self._next_txn_id = 1
+
+    def begin(self, gateway) -> Transaction:
+        txn = Transaction(self, gateway, self._next_txn_id)
+        self._next_txn_id += 1
+        self.stats.begun += 1
+        # Registered so lock-table pushes can learn this transaction's
+        # fate even if its intent resolution is lost to a failure.
+        self.cluster.txn_registry[txn.txn_id] = txn
+        return txn
+
+    def run(self, gateway, txn_fn: Callable[[Transaction], Generator],
+            max_attempts: int = 100) -> Generator:
+        """Run ``txn_fn`` with automatic retries; returns (result, commit_ts).
+
+        ``txn_fn(txn)`` is a coroutine performing reads/writes on ``txn``;
+        commit happens automatically after it returns.
+        """
+        last_error: Optional[Exception] = None
+        for attempt in range(max_attempts):
+            txn = self.begin(gateway)
+            try:
+                result = yield from txn_fn(txn)
+                commit_ts = yield from txn.commit()
+                self.stats.committed += 1
+                return result, commit_ts
+            except (TransactionRetryError, TransactionAbortedError,
+                    NetworkUnavailableError) as err:
+                # Retry: serializability restarts, aborts, and RPC
+                # failures (a dead leaseholder may have failed over by
+                # the next attempt — CRDB's DistSender retries these).
+                last_error = err
+                self.stats.aborted_retries += 1
+                yield from self._rollback_best_effort(txn)
+                # Brief randomless backoff to break livelock symmetry
+                # (capped: long sleeps only prolong contention windows);
+                # RPC failures wait longer for failover.
+                if isinstance(err, NetworkUnavailableError):
+                    yield self.sim.sleep(50.0 * (attempt + 1))
+                else:
+                    yield self.sim.sleep(min(0.5 * (attempt + 1), 20.0))
+            except Exception:
+                # Non-retryable failure (e.g. a uniqueness violation):
+                # clean up intents, then surface to the caller.
+                yield from self._rollback_best_effort(txn)
+                raise
+        raise TransactionRetryError(
+            f"transaction gave up after {max_attempts} attempts: {last_error}")
+
+    def _rollback_best_effort(self, txn: Transaction) -> Generator:
+        """Roll back, tolerating unreachable ranges (dead leaseholders):
+        abandoned intents are recovered by waiter pushes via the
+        transaction registry."""
+        try:
+            yield from txn.rollback()
+        except (NetworkUnavailableError, RangeUnavailableError):
+            txn.status = TxnStatus.ABORTED

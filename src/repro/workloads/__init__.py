@@ -1,0 +1,18 @@
+"""Workloads: YCSB variants, TPC-C, movr, and key distributions."""
+
+from . import movr
+from .tpcc import TPCC_TABLES, TPCCOptions, TPCCWorkload
+from .ycsb import YCSB_MODES, YCSBOptions, YCSBWorkload
+from .zipf import UniformGenerator, ZipfGenerator
+
+__all__ = [
+    "movr",
+    "TPCC_TABLES",
+    "TPCCOptions",
+    "TPCCWorkload",
+    "YCSB_MODES",
+    "YCSBOptions",
+    "YCSBWorkload",
+    "UniformGenerator",
+    "ZipfGenerator",
+]

@@ -1,0 +1,143 @@
+"""Tests for the paper's baselines: duplicate indexes and legacy DDL."""
+
+import pytest
+
+from repro.baselines import (
+    DuplicateIndexTable,
+    LegacySchema,
+    LegacyTable,
+    legacy_add_region_ddl,
+    legacy_convert_ddl,
+    legacy_drop_region_ddl,
+    legacy_new_schema_ddl,
+)
+from repro.harness.runner import build_engine
+from repro.sim.clock import Timestamp
+
+REGIONS = ["us-east1", "us-west1", "europe-west2"]
+
+
+def make_table():
+    engine = build_engine(REGIONS, jitter_fraction=0.0)
+    table = DuplicateIndexTable(engine.cluster, engine.coordinator, REGIONS)
+    table.bulk_load([((k,), f"v{k}") for k in range(10)], Timestamp(-1000.0))
+    engine.cluster.sim.run(until=500.0)
+    return engine, table
+
+
+def run(engine, gen):
+    sim = engine.cluster.sim
+    process = sim.spawn(gen)
+    return sim.run_until_future(process)
+
+
+class TestDuplicateIndexes:
+    def test_one_pinned_index_per_region(self):
+        engine, table = make_table()
+        for region, rng in table.indexes.items():
+            assert rng.leaseholder_node.locality.region == region
+
+    def test_local_read_fast_everywhere(self):
+        engine, table = make_table()
+        sim = engine.cluster.sim
+        for region in REGIONS:
+            gateway = engine.cluster.gateway_for_region(region)
+            start = sim.now
+            value = run(engine, table.read_co(gateway, (3,)))
+            assert value == "v3"
+            assert sim.now - start < 10.0, region
+
+    def test_write_fans_out_to_all_regions(self):
+        engine, table = make_table()
+        sim = engine.cluster.sim
+        gateway = engine.cluster.gateway_for_region("us-east1")
+        start = sim.now
+        run(engine, table.write_co(gateway, (3,), "updated"))
+        elapsed = sim.now - start
+        # Must reach the furthest region (europe-west2: 87 ms RTT).
+        assert elapsed >= 87.0
+        # Every region now serves the new value locally.
+        for region in REGIONS:
+            gw = engine.cluster.gateway_for_region(region)
+            assert run(engine, table.read_co(gw, (3,))) == "updated"
+
+    def test_reader_blocks_on_inflight_writer(self):
+        """The §7.3.2 tail mechanism: a read that catches the write
+        mid-flight waits for the full WAN transaction."""
+        engine, table = make_table()
+        sim = engine.cluster.sim
+        writer_gw = engine.cluster.gateway_for_region("us-east1")
+        reader_gw = engine.cluster.gateway_for_region("europe-west2")
+
+        writer = sim.spawn(table.write_co(writer_gw, (5,), "w"))
+        latency = {}
+
+        def read_later():
+            yield sim.sleep(50.0)  # the europe intent is already laid
+            start = sim.now
+            value = yield from table.read_co(reader_gw, (5,))
+            latency["ms"] = sim.now - start
+            return value
+
+        reader = sim.spawn(read_later())
+        value = sim.run_until_future(reader)
+        sim.run_until_future(writer)
+        assert value == "w"
+        # The reader waited on the writer's WAN commit, far above local.
+        assert latency["ms"] > 20.0
+
+    def test_contending_writers_serialize(self):
+        engine, table = make_table()
+        sim = engine.cluster.sim
+        gws = [engine.cluster.gateway_for_region(r) for r in REGIONS]
+        processes = [sim.spawn(table.write_co(gw, (7,), f"w{i}"))
+                     for i, gw in enumerate(gws)]
+        for process in processes:
+            sim.run_until_future(process)
+        # All three committed; the final value is one of them.
+        value = run(engine, table.read_co(gws[0], (7,)))
+        assert value in {"w0", "w1", "w2"}
+
+
+MOVR = LegacySchema("movr", tables=[
+    LegacyTable("users", "regional"),
+    LegacyTable("promo_codes", "global"),
+])
+
+
+class TestLegacyDDL:
+    def test_new_schema_statements(self):
+        statements = legacy_new_schema_ddl(MOVR, REGIONS)
+        # users: 1 partition + 3 zones; promo: 2 indexes + 3 zones.
+        assert len(statements) == 4 + 5
+        assert any("PARTITION BY LIST" in s for s in statements)
+        assert any("CREATE INDEX" in s for s in statements)
+
+    def test_convert_equals_new(self):
+        assert len(legacy_convert_ddl(MOVR, REGIONS)) == \
+            len(legacy_new_schema_ddl(MOVR, REGIONS))
+
+    def test_add_region_statements(self):
+        statements = legacy_add_region_ddl(MOVR, REGIONS, "asia-northeast1")
+        # users: repartition + zone; promo: index + zone.
+        assert len(statements) == 4
+        assert any("asia-northeast1" in s for s in statements)
+
+    def test_drop_region_statements(self):
+        statements = legacy_drop_region_ddl(MOVR, REGIONS, "us-west1")
+        assert len(statements) == 2
+        assert any("DROP INDEX" in s for s in statements)
+
+    def test_partition_column_adds_statement(self):
+        schema = LegacySchema("x", tables=[
+            LegacyTable("t", "regional", needs_partition_column=True)])
+        statements = legacy_new_schema_ddl(schema, REGIONS)
+        assert any("ADD COLUMN" in s for s in statements)
+
+    def test_index_count_scales_statements(self):
+        one = LegacySchema("a", tables=[LegacyTable("t", "regional",
+                                                    index_count=1)])
+        two = LegacySchema("b", tables=[LegacyTable("t", "regional",
+                                                    index_count=2)])
+        assert len(legacy_new_schema_ddl(two, REGIONS)) == \
+            2 * len(legacy_new_schema_ddl(one, REGIONS))

@@ -1,0 +1,176 @@
+"""Jepsen-lite: randomized operations with fault injection.
+
+Random clients run increments and reads against a REGION-survivable
+database while zones die, a whole region fails over, and nodes come
+back.  Afterwards we check the safety invariants:
+
+* no lost updates — the final counter values equal the number of
+  acknowledged increments per key;
+* no dirty/aborted data — every value read corresponds to some
+  acknowledged write.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import RangeUnavailableError, TransactionRetryError
+from repro.kv.distsender import ReadRouting
+
+from .kv_util import KVTestBed, REGIONS3
+
+
+def failover_partition(bed, rng):
+    """Move the lease to any live voter (operator failover)."""
+    live = [v for v in rng.group.voters()
+            if not bed.cluster.network.node_is_dead(v.node.node_id)]
+    if live and rng.group.has_quorum():
+        if bed.cluster.network.node_is_dead(rng.leaseholder_node_id):
+            rng.transfer_lease(live[0].node.node_id)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_chaos_increments_with_zone_failures(seed):
+    """Kill one non-leaseholder zone node mid-run: ZONE survivability
+    means nothing is lost and nobody notices."""
+    bed = KVTestBed(regions=REGIONS3, seed=seed)
+    rng_table = bed.make_range("us-east1")
+    keys = [f"k{i}" for i in range(4)]
+    for key in keys:
+        bed.do_write("us-east1", rng_table, key, 0)
+    sim = bed.sim
+    rng = random.Random(seed)
+    acknowledged = {key: 0 for key in keys}
+
+    def client(region, client_id):
+        gateway = bed.gateway(region, client_id)
+        for _ in range(5):
+            key = rng.choice(keys)
+
+            def txn_fn(txn, key=key):
+                value = yield from txn.read(rng_table, key)
+                yield from txn.write(rng_table, key, value + 1)
+                return key
+
+            result, _ts = yield from bed.coord.run(gateway, txn_fn)
+            acknowledged[result] += 1
+            yield sim.sleep(rng.uniform(1.0, 20.0))
+
+    gateway_ids = {bed.gateway(region, 0).node_id for region in REGIONS3}
+
+    def chaos():
+        yield sim.sleep(30.0)
+        victims = [v for v in rng_table.group.voters()
+                   if v.node.node_id != rng_table.leaseholder_node_id
+                   and v.node.node_id not in gateway_ids]
+        if victims:
+            bed.cluster.network.kill_node(victims[0].node.node_id)
+
+    processes = [sim.spawn(client(region, 0))
+                 for i, region in enumerate(REGIONS3 * 2)]
+    processes.append(sim.spawn(chaos()))
+    for process in processes:
+        sim.run_until_future(process)
+
+    for key in keys:
+        value, _ = bed.do_read("us-east1", rng_table, key)
+        assert value == acknowledged[key], key
+
+
+@pytest.mark.parametrize("seed", [3, 4])
+def test_chaos_region_failover_region_survivable(seed):
+    """REGION survivability: the home region dies mid-run; after lease
+    failover every acknowledged increment is still there."""
+    bed = KVTestBed(regions=REGIONS3, goal="region", seed=seed)
+    rng_table = bed.make_range("us-east1")
+    bed.do_write("us-east1", rng_table, "counter", 0)
+    bed.settle(1000.0)
+    sim = bed.sim
+    rng = random.Random(seed)
+    acknowledged = [0]
+    outage_at = 150.0
+
+    def client(region, client_id):
+        gateway = bed.gateway(region, client_id)
+        for _ in range(6):
+            def txn_fn(txn):
+                value = yield from txn.read(rng_table, "counter")
+                yield from txn.write(rng_table, "counter", value + 1)
+
+            try:
+                yield from bed.coord.run(gateway, txn_fn)
+                acknowledged[0] += 1
+            except (RangeUnavailableError, TransactionRetryError):
+                pass  # unacked: allowed to be absent
+            yield sim.sleep(rng.uniform(5.0, 40.0))
+
+    def chaos():
+        yield sim.sleep(outage_at)
+        for node in bed.cluster.nodes_in_region("us-east1"):
+            bed.cluster.network.kill_node(node.node_id)
+        failover_partition(bed, rng_table)
+
+    # Clients only in surviving regions (us-east1 gateways die with it).
+    processes = [sim.spawn(client(region, i))
+                 for i, region in enumerate(
+                     ["europe-west2", "asia-northeast1"])]
+    processes.append(sim.spawn(chaos()))
+    for process in processes:
+        sim.run_until_future(process)
+
+    value, _ = bed.do_read("europe-west2", rng_table, "counter")
+    assert value == acknowledged[0]
+    assert acknowledged[0] > 0
+
+
+@pytest.mark.parametrize("seed", [5, 6])
+def test_chaos_global_table_reads_consistent_through_zone_chaos(seed):
+    """GLOBAL table: random zone kills in non-primary regions never
+    produce a stale acknowledged read (readers fall back as needed)."""
+    bed = KVTestBed(regions=REGIONS3, seed=seed)
+    rng_table = bed.make_range("us-east1", global_reads=True)
+    bed.do_write("us-east1", rng_table, "k", 0)
+    bed.settle(2000.0)
+    sim = bed.sim
+    rng = random.Random(seed)
+    latest = [0]
+    violations = []
+
+    def writer():
+        gateway = bed.gateway("us-east1")
+        for i in range(4):
+            def txn_fn(txn, i=i):
+                yield from txn.write(rng_table, "k", i + 1)
+            yield from bed.coord.run(gateway, txn_fn)
+            latest[0] = i + 1
+            yield sim.sleep(rng.uniform(20.0, 80.0))
+
+    def reader(region):
+        gateway = bed.gateway(region)
+        for _ in range(8):
+            floor = latest[0]
+
+            def txn_fn(txn):
+                value = yield from txn.read(rng_table, "k",
+                                            routing=ReadRouting.NEAREST)
+                return value
+
+            value, _ts = yield from bed.coord.run(gateway, txn_fn)
+            if value < floor:
+                violations.append((region, value, floor))
+            yield sim.sleep(rng.uniform(10.0, 50.0))
+
+    def chaos():
+        yield sim.sleep(100.0)
+        # Kill one node in each non-primary region (zone failures).
+        for region in ("europe-west2", "asia-northeast1"):
+            node = bed.cluster.nodes_in_region(region)[-1]
+            bed.cluster.network.kill_node(node.node_id)
+
+    processes = [sim.spawn(writer()),
+                 sim.spawn(reader("europe-west2")),
+                 sim.spawn(reader("asia-northeast1")),
+                 sim.spawn(chaos())]
+    for process in processes:
+        sim.run_until_future(process)
+    assert violations == []

@@ -1,0 +1,135 @@
+"""Tests for the CLI entry point and catalog primitives."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+from repro.errors import SchemaError
+from repro.sql.catalog import (
+    Catalog,
+    Column,
+    Database,
+    RegionEnum,
+    Table,
+    TableLocality,
+)
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "274.0" in out
+
+    def test_quick_fig4b(self, capsys):
+        assert main(["fig4b", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 4b" in out
+        assert "computed" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+
+class TestRegionEnum:
+    def test_add_remove(self):
+        enum = RegionEnum(["a", "b"])
+        enum.add("c")
+        assert enum.values() == ["a", "b", "c"]
+        enum.remove("b")
+        assert enum.values() == ["a", "c"]
+
+    def test_duplicate_add_rejected(self):
+        enum = RegionEnum(["a"])
+        with pytest.raises(SchemaError):
+            enum.add("a")
+
+    def test_remove_missing_rejected(self):
+        enum = RegionEnum(["a"])
+        with pytest.raises(SchemaError):
+            enum.remove("zz")
+
+    def test_read_only_lifecycle(self):
+        enum = RegionEnum(["a", "b"])
+        enum.set_read_only("b")
+        assert enum.is_read_only("b")
+        with pytest.raises(SchemaError, match="READ ONLY"):
+            enum.validate_writable("b")
+        enum.set_read_only("b", False)
+        enum.validate_writable("b")  # no raise
+
+    def test_validate_unknown_region(self):
+        enum = RegionEnum(["a"])
+        with pytest.raises(SchemaError):
+            enum.validate_writable("mars")
+
+    def test_remove_clears_read_only(self):
+        enum = RegionEnum(["a", "b"])
+        enum.set_read_only("b")
+        enum.remove("b")
+        enum.add("b")
+        assert not enum.is_read_only("b")
+
+
+class TestCatalogStructures:
+    def test_database_region_ordering(self):
+        database = Database("d", primary_region="p", regions=["a", "p", "b"])
+        # Primary first, duplicates collapsed, insertion order kept.
+        assert database.regions == ["p", "a", "b"]
+
+    def test_duplicate_table_rejected(self):
+        database = Database("d")
+        database.add_table(Table("t", database))
+        with pytest.raises(SchemaError):
+            database.add_table(Table("t", database))
+
+    def test_unknown_table_raises(self):
+        database = Database("d")
+        with pytest.raises(SchemaError):
+            database.table("ghost")
+
+    def test_catalog_database_lookup(self):
+        catalog = Catalog()
+        catalog.add_database(Database("d"))
+        assert catalog.database("d").name == "d"
+        with pytest.raises(SchemaError):
+            catalog.database("x")
+        with pytest.raises(SchemaError):
+            catalog.add_database(Database("d"))
+
+    def test_table_columns(self):
+        database = Database("d")
+        table = Table("t", database)
+        table.add_column(Column("a", "int"))
+        table.add_column(Column("hidden", "int", visible=False))
+        assert table.visible_columns() == ["a"]
+        with pytest.raises(SchemaError):
+            table.add_column(Column("a", "int"))
+        with pytest.raises(SchemaError):
+            table.column("zz")
+
+    def test_locality_kinds(self):
+        locality = TableLocality(TableLocality.GLOBAL)
+        assert locality.is_global
+        assert not locality.is_regional_by_row
+        locality = TableLocality(TableLocality.REGIONAL_BY_ROW,
+                                 column="crdb_region")
+        assert locality.is_regional_by_row
+
+    def test_home_region_rules(self):
+        database = Database("d", primary_region="p", regions=["a"])
+        table = Table("t", database)
+        table.locality = TableLocality(TableLocality.GLOBAL)
+        assert table.home_region() == "p"
+        table.locality = TableLocality(TableLocality.REGIONAL_BY_TABLE,
+                                       region="a")
+        assert table.home_region() == "a"
+        table.locality = TableLocality(TableLocality.REGIONAL_BY_ROW)
+        assert table.home_region() is None

@@ -1,0 +1,133 @@
+"""Unit tests for SQL expression evaluation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.sql import ast
+from repro.sql.eval import EvalEnv, columns_referenced, evaluate
+
+
+def lit(v):
+    return ast.Literal(v)
+
+
+def col(name):
+    return ast.ColumnRef(name)
+
+
+class TestLiteralAndColumns:
+    def test_literal(self):
+        assert evaluate(lit(42)) == 42
+        assert evaluate(lit("x")) == "x"
+        assert evaluate(lit(None)) is None
+
+    def test_column_lookup(self):
+        assert evaluate(col("a"), {"a": 7}) == 7
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            evaluate(col("missing"), {"a": 1})
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("op,left,right,expected", [
+        ("=", 1, 1, True), ("=", 1, 2, False),
+        ("<>", 1, 2, True), ("<>", 1, 1, False),
+        ("<", 1, 2, True), ("<=", 2, 2, True),
+        (">", 3, 2, True), (">=", 1, 2, False),
+    ])
+    def test_operators(self, op, left, right, expected):
+        expr = ast.Comparison(op, lit(left), lit(right))
+        assert evaluate(expr) is expected
+
+    def test_null_comparisons_false(self):
+        assert evaluate(ast.Comparison("=", lit(None), lit(None))) is False
+        assert evaluate(ast.Comparison("<", lit(None), lit(1))) is False
+
+    def test_logical_and(self):
+        expr = ast.LogicalAnd(parts=(
+            ast.Comparison("=", lit(1), lit(1)),
+            ast.Comparison("=", lit(2), lit(2))))
+        assert evaluate(expr) is True
+        expr = ast.LogicalAnd(parts=(
+            ast.Comparison("=", lit(1), lit(1)),
+            ast.Comparison("=", lit(2), lit(3))))
+        assert evaluate(expr) is False
+
+    def test_in_list(self):
+        expr = ast.InList(column=col("a"), values=(lit(1), lit(2)))
+        assert evaluate(expr, {"a": 2}) is True
+        assert evaluate(expr, {"a": 3}) is False
+
+
+class TestCaseWhen:
+    def test_branches(self):
+        expr = ast.CaseWhen(
+            whens=((ast.Comparison("=", col("state"), lit("CA")),
+                    lit("us-west1")),),
+            default=lit("us-east1"))
+        assert evaluate(expr, {"state": "CA"}) == "us-west1"
+        assert evaluate(expr, {"state": "NY"}) == "us-east1"
+
+    def test_first_matching_branch_wins(self):
+        expr = ast.CaseWhen(
+            whens=((ast.Comparison("<", col("x"), lit(10)), lit("small")),
+                   (ast.Comparison("<", col("x"), lit(100)), lit("mid"))),
+            default=lit("big"))
+        assert evaluate(expr, {"x": 5}) == "small"
+        assert evaluate(expr, {"x": 50}) == "mid"
+        assert evaluate(expr, {"x": 500}) == "big"
+
+
+class TestBuiltins:
+    def test_gateway_region(self):
+        env = EvalEnv(gateway_region="us-west1")
+        assert evaluate(ast.FuncCall("gateway_region"), {}, env) == \
+            "us-west1"
+
+    def test_gateway_region_requires_session(self):
+        with pytest.raises(SchemaError):
+            evaluate(ast.FuncCall("gateway_region"))
+
+    def test_rehome_row_returns_gateway(self):
+        env = EvalEnv(gateway_region="eu")
+        assert evaluate(ast.FuncCall("rehome_row"), {}, env) == "eu"
+
+    def test_gen_random_uuid_deterministic_with_source(self):
+        import random
+        env1 = EvalEnv(uuid_source=random.Random(1))
+        env2 = EvalEnv(uuid_source=random.Random(1))
+        u1 = evaluate(ast.FuncCall("gen_random_uuid"), {}, env1)
+        u2 = evaluate(ast.FuncCall("gen_random_uuid"), {}, env2)
+        assert u1 == u2
+        assert len(u1) == 36
+
+    def test_string_functions(self):
+        assert evaluate(ast.FuncCall("lower", (lit("AbC"),))) == "abc"
+        assert evaluate(ast.FuncCall("upper", (lit("x"),))) == "X"
+        assert evaluate(ast.FuncCall("concat", (lit("a"), lit("b")))) == "ab"
+
+    def test_mod(self):
+        assert evaluate(ast.FuncCall("mod", (lit(7), lit(3)))) == 1
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(SchemaError):
+            evaluate(ast.FuncCall("no_such_fn"))
+
+
+class TestColumnsReferenced:
+    def test_column_ref(self):
+        assert columns_referenced(col("a")) == {"a"}
+
+    def test_nested(self):
+        expr = ast.CaseWhen(
+            whens=((ast.Comparison("=", col("a"), col("b")), col("c")),),
+            default=ast.FuncCall("mod", (col("d"), lit(2))))
+        assert columns_referenced(expr) == {"a", "b", "c", "d"}
+
+    def test_in_list(self):
+        expr = ast.InList(column=col("x"), values=(lit(1), col("y")))
+        assert columns_referenced(expr) == {"x", "y"}
+
+    def test_literal_empty(self):
+        assert columns_referenced(lit(5)) == set()

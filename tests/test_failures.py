@@ -1,0 +1,155 @@
+"""Failure injection: survivability goals under zone and region loss."""
+
+import pytest
+
+from repro.errors import RangeUnavailableError
+from repro.sql import DEFAULT_PARTITION
+
+from .sql_util import REGIONS3, connect, movr_engine
+
+
+def kill_region(engine, region):
+    for node in engine.cluster.nodes_in_region(region):
+        engine.cluster.network.kill_node(node.node_id)
+
+
+def kill_one_zone_node(engine, rng):
+    """Kill a non-leaseholder voter in the range's home region."""
+    victims = [v for v in rng.group.voters()
+               if v.node.node_id != rng.leaseholder_node_id]
+    engine.cluster.network.kill_node(victims[0].node.node_id)
+
+
+class TestZoneSurvival:
+    def test_writes_survive_zone_failure(self):
+        engine, session = movr_engine()
+        table = engine.catalog.database("movr").table("users")
+        rng = table.primary_index.partitions["us-east1"]
+        kill_one_zone_node(engine, rng)
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (1, 'a@x', 'A')")
+        assert session.execute("SELECT name FROM users WHERE id = 1") == \
+            [{"name": "A"}]
+
+    def test_reads_survive_zone_failure(self):
+        engine, session = movr_engine()
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (1, 'a@x', 'A')")
+        table = engine.catalog.database("movr").table("users")
+        rng = table.primary_index.partitions["us-east1"]
+        kill_one_zone_node(engine, rng)
+        assert session.execute("SELECT name FROM users WHERE id = 1") == \
+            [{"name": "A"}]
+
+    def test_zone_survival_loses_quorum_on_region_failure(self):
+        engine, session = movr_engine()
+        table = engine.catalog.database("movr").table("users")
+        rng = table.primary_index.partitions["us-west1"]
+        kill_region(engine, "us-west1")
+        assert not rng.group.has_quorum()
+
+    def test_stale_reads_still_served_after_home_region_failure(self):
+        """Partitioned/failed home region: non-voters elsewhere can still
+        serve stale reads (paper §6.2.2 for the regional case)."""
+        engine, session = movr_engine(closed_ts_lag_ms=100.0)
+        west = connect(engine, "us-west1")
+        west.execute("INSERT INTO users (id, email, name) "
+                     "VALUES (5, 'w@x', 'W')")
+        sim = engine.cluster.sim
+        sim.run(until=sim.now + 4000.0)
+        kill_region(engine, "us-west1")
+        east = connect(engine, "us-east1")
+        rows = east.execute(
+            "SELECT name FROM users AS OF SYSTEM TIME '-2s' "
+            "WHERE id = 5 AND crdb_region = 'us-west1'")
+        assert rows == [{"name": "W"}]
+
+
+class TestRegionSurvival:
+    def _region_survival_engine(self):
+        engine, session = movr_engine()
+        session.execute("ALTER DATABASE movr SURVIVE REGION FAILURE")
+        return engine, session
+
+    def test_failover_after_home_region_loss(self):
+        """With REGION survivability, losing the home region keeps
+        quorum; after a lease transfer the partition serves again."""
+        engine, session = self._region_survival_engine()
+        west = connect(engine, "us-west1")
+        west.execute("INSERT INTO users (id, email, name) "
+                     "VALUES (2, 'w@x', 'W')")
+        table = engine.catalog.database("movr").table("users")
+        partitions = [index.partitions["us-west1"]
+                      for index in table.indexes]
+        kill_region(engine, "us-west1")
+        for rng in partitions:
+            assert rng.group.has_quorum()
+            survivor = [v for v in rng.group.voters()
+                        if not engine.cluster.network.node_is_dead(
+                            v.node.node_id)][0]
+            rng.transfer_lease(survivor.node.node_id)
+        east = connect(engine, "us-east1")
+        rows = east.execute("SELECT name FROM users WHERE id = 2")
+        assert rows == [{"name": "W"}]
+
+    def test_global_table_survives_primary_region_loss(self):
+        engine, session = self._region_survival_engine()
+        session.execute("INSERT INTO promo_codes (code, description) "
+                        "VALUES ('P', 'd')")
+        table = engine.catalog.database("movr").table("promo_codes")
+        rng = table.primary_index.partitions[DEFAULT_PARTITION]
+        kill_region(engine, "us-east1")
+        assert rng.group.has_quorum()
+        survivor = [v for v in rng.group.voters()
+                    if not engine.cluster.network.node_is_dead(
+                        v.node.node_id)][0]
+        rng.transfer_lease(survivor.node.node_id)
+        west = connect(engine, "us-west1")
+        rows = west.execute(
+            "SELECT description FROM promo_codes WHERE code = 'P'")
+        assert rows == [{"description": "d"}]
+
+
+class TestLeaseTransfers:
+    def test_reads_after_lease_transfer_see_data(self):
+        engine, session = movr_engine()
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (3, 'c@x', 'C')")
+        sim = engine.cluster.sim
+        sim.run(until=sim.now + 1000.0)
+        table = engine.catalog.database("movr").table("users")
+        for index in table.indexes:
+            rng = index.partitions["us-east1"]
+            other = [v for v in rng.group.voters()
+                     if v.node.node_id != rng.leaseholder_node_id][0]
+            rng.transfer_lease(other.node.node_id)
+        assert session.execute("SELECT name FROM users WHERE id = 3") == \
+            [{"name": "C"}]
+
+    def test_writes_after_lease_transfer(self):
+        engine, session = movr_engine()
+        table = engine.catalog.database("movr").table("users")
+        for index in table.indexes:
+            rng = index.partitions["us-east1"]
+            other = [v for v in rng.group.voters()
+                     if v.node.node_id != rng.leaseholder_node_id][0]
+            rng.transfer_lease(other.node.node_id)
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (4, 'd@x', 'D')")
+        assert session.execute("SELECT name FROM users WHERE id = 4") == \
+            [{"name": "D"}]
+
+    def test_tscache_low_water_after_transfer(self):
+        """The new leaseholder's timestamp cache must cover reads the old
+        lease could have served (no write-below-read anomalies)."""
+        engine, session = movr_engine()
+        table = engine.catalog.database("movr").table("users")
+        rng = table.primary_index.partitions["us-east1"]
+        old_low = rng.ts_cache.low_water
+        other = [v for v in rng.group.voters()
+                 if v.node.node_id != rng.leaseholder_node_id][0]
+        rng.transfer_lease(other.node.node_id)
+        new_clock = other.node.clock
+        assert rng.ts_cache.low_water.physical >= \
+            new_clock.physical_now()
+        assert rng.ts_cache.low_water > old_low

@@ -1,0 +1,98 @@
+"""ON UPDATE CASCADE collocation (§2.3.2): child rows follow their
+parent's region."""
+
+import pytest
+
+from repro.errors import ForeignKeyViolationError
+
+from .sql_util import connect, movr_engine
+
+
+def setup(session):
+    session.execute(
+        "CREATE TABLE parents (id int PRIMARY KEY, name string, "
+        "crdb_region crdb_internal_region NOT VISIBLE NOT NULL "
+        "DEFAULT gateway_region()) LOCALITY REGIONAL BY ROW")
+    session.execute(
+        "CREATE TABLE children (id int PRIMARY KEY, parent_id int, "
+        "v string, crdb_region crdb_internal_region NOT VISIBLE NOT NULL "
+        "DEFAULT gateway_region(), "
+        "FOREIGN KEY (parent_id, crdb_region) REFERENCES parents "
+        "(id, crdb_region) ON UPDATE CASCADE) LOCALITY REGIONAL BY ROW")
+    # Keep the measurement clean of uniqueness fan-outs.
+    for name in ("parents", "children"):
+        session.engine.catalog.database("movr").table(name) \
+            .suppress_uniqueness_checks = True
+
+
+class TestCascadeCollocation:
+    def test_children_follow_rehomed_parent(self):
+        engine, session = movr_engine()
+        setup(session)
+        session.execute("INSERT INTO parents (id, name) VALUES (1, 'P')")
+        session.execute(
+            "INSERT INTO children (id, parent_id, v) VALUES "
+            "(10, 1, 'a'), (11, 1, 'b')")
+        # Move the parent to us-west1; the cascade moves the children.
+        session.execute(
+            "UPDATE parents SET crdb_region = 'us-west1' WHERE id = 1")
+        homes = session.execute(
+            "SELECT crdb_region FROM children WHERE parent_id = 1 "
+            "AND crdb_region = 'us-west1'")
+        assert len(homes) == 2
+        # And the children are now local to a us-west1 client.
+        west = connect(engine, "us-west1")
+        sim = engine.cluster.sim
+        start = sim.now
+        rows = west.execute(
+            "SELECT v FROM children WHERE id = 10 AND "
+            "crdb_region = 'us-west1'")
+        assert rows == [{"v": "a"}]
+        assert sim.now - start < 10.0
+
+    def test_unrelated_children_unmoved(self):
+        engine, session = movr_engine()
+        setup(session)
+        session.execute("INSERT INTO parents (id, name) VALUES "
+                        "(1, 'P1'), (2, 'P2')")
+        session.execute(
+            "INSERT INTO children (id, parent_id, v) VALUES "
+            "(10, 1, 'a'), (20, 2, 'b')")
+        session.execute(
+            "UPDATE parents SET crdb_region = 'us-west1' WHERE id = 1")
+        other = session.execute(
+            "SELECT crdb_region FROM children WHERE id = 20")
+        assert other == [{"crdb_region": "us-east1"}]
+
+    def test_non_region_parent_update_no_move(self):
+        engine, session = movr_engine()
+        setup(session)
+        session.execute("INSERT INTO parents (id, name) VALUES (1, 'P')")
+        session.execute(
+            "INSERT INTO children (id, parent_id, v) VALUES (10, 1, 'a')")
+        session.execute("UPDATE parents SET name = 'P2' WHERE id = 1")
+        rows = session.execute(
+            "SELECT crdb_region FROM children WHERE id = 10")
+        assert rows == [{"crdb_region": "us-east1"}]
+
+    def test_table_level_fk_validated_on_insert(self):
+        engine, session = movr_engine()
+        setup(session)
+        session.execute("INSERT INTO parents (id, name) VALUES (1, 'P')")
+        with pytest.raises(ForeignKeyViolationError):
+            session.execute(
+                "INSERT INTO children (id, parent_id, v) VALUES "
+                "(30, 99, 'x')")
+
+    def test_fk_with_matching_region_validates_locally(self):
+        """The collocated FK's parent lookup pins the region column, so
+        validation is a single-partition point read."""
+        engine, session = movr_engine()
+        setup(session)
+        west = connect(engine, "us-west1")
+        west.execute("INSERT INTO parents (id, name) VALUES (5, 'W')")
+        sim = engine.cluster.sim
+        start = sim.now
+        west.execute(
+            "INSERT INTO children (id, parent_id, v) VALUES (50, 5, 'c')")
+        assert sim.now - start < 10.0

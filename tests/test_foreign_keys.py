@@ -1,0 +1,99 @@
+"""Foreign-key validation and the facts/dimensions pattern (§2.3.3)."""
+
+import pytest
+
+from repro.errors import ForeignKeyViolationError
+
+from .sql_util import connect, movr_engine
+
+
+def setup_tables(session, parent_locality: str):
+    session.execute(
+        f"CREATE TABLE owners (id int PRIMARY KEY, name string) "
+        f"LOCALITY {parent_locality}")
+    session.execute(
+        "CREATE TABLE pets (id int PRIMARY KEY, "
+        "owner_id int REFERENCES owners, name string) "
+        "LOCALITY REGIONAL BY ROW")
+    session.execute("INSERT INTO owners (id, name) VALUES (1, 'O')")
+
+
+class TestForeignKeys:
+    def test_valid_reference_accepted(self):
+        engine, session = movr_engine()
+        setup_tables(session, "GLOBAL")
+        session.execute(
+            "INSERT INTO pets (id, owner_id, name) VALUES (1, 1, 'Rex')")
+        rows = session.execute("SELECT name FROM pets WHERE id = 1")
+        assert rows == [{"name": "Rex"}]
+
+    def test_missing_parent_rejected(self):
+        engine, session = movr_engine()
+        setup_tables(session, "GLOBAL")
+        with pytest.raises(ForeignKeyViolationError):
+            session.execute(
+                "INSERT INTO pets (id, owner_id, name) VALUES (2, 99, 'X')")
+
+    def test_rejected_insert_leaves_no_row(self):
+        engine, session = movr_engine()
+        setup_tables(session, "GLOBAL")
+        with pytest.raises(ForeignKeyViolationError):
+            session.execute(
+                "INSERT INTO pets (id, owner_id, name) VALUES (3, 99, 'X')")
+        assert session.execute("SELECT * FROM pets WHERE id = 3") == []
+
+    def test_null_fk_allowed(self):
+        engine, session = movr_engine()
+        setup_tables(session, "GLOBAL")
+        session.execute(
+            "INSERT INTO pets (id, owner_id, name) VALUES (4, NULL, 'N')")
+        assert session.execute("SELECT * FROM pets WHERE id = 4")
+
+    def test_update_validates_changed_fk(self):
+        engine, session = movr_engine()
+        setup_tables(session, "GLOBAL")
+        session.execute(
+            "INSERT INTO pets (id, owner_id, name) VALUES (5, 1, 'P')")
+        with pytest.raises(ForeignKeyViolationError):
+            session.execute("UPDATE pets SET owner_id = 42 WHERE id = 5")
+
+    def test_update_of_other_columns_skips_fk_check(self):
+        engine, session = movr_engine()
+        setup_tables(session, "GLOBAL")
+        session.execute(
+            "INSERT INTO pets (id, owner_id, name) VALUES (6, 1, 'P')")
+        # Even if the parent disappears, updating unrelated columns works
+        # (no FK re-validation for unchanged columns).
+        session.execute("DELETE FROM owners WHERE id = 1")
+        assert session.execute(
+            "UPDATE pets SET name = 'Q' WHERE id = 6") == 1
+
+
+class TestFactDimensionPattern:
+    """§2.3.3: 'a transaction writing to a REGIONAL BY ROW table and
+    reading other tables is only guaranteed to be local if the other
+    tables are GLOBAL.'"""
+
+    def _insert_latency(self, parent_locality: str) -> float:
+        engine, session = movr_engine()
+        setup_tables(session, parent_locality)
+        # Remove unrelated costs: pk uniqueness fan-out is suppressed so
+        # the FK parent read dominates the measurement.
+        engine.catalog.database("movr").table("pets") \
+            .suppress_uniqueness_checks = True
+        sim = engine.cluster.sim
+        sim.run(until=sim.now + 2000.0)
+        west = connect(engine, "us-west1")
+        start = sim.now
+        west.execute(
+            "INSERT INTO pets (id, owner_id, name) VALUES (10, 1, 'W')")
+        return sim.now - start
+
+    def test_global_dimension_keeps_fact_inserts_local(self):
+        global_latency = self._insert_latency("GLOBAL")
+        regional_latency = self._insert_latency(
+            'REGIONAL BY TABLE IN "us-east1"')
+        # GLOBAL parent: the FK read is served by the local replica.
+        assert global_latency < 10.0
+        # REGIONAL parent homed elsewhere: the FK read crosses the WAN.
+        assert regional_latency >= 60.0

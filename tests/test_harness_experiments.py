@@ -1,0 +1,94 @@
+"""Tiny-scale runs of every experiment, checking structure and claims.
+
+The full-size runs live in ``benchmarks/``; these keep the experiment
+code itself covered by the regular test suite.
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    run_fig3,
+    run_fig4a,
+    run_fig4b,
+    run_fig4c,
+    run_fig5,
+    run_fig6,
+    run_table1,
+    run_table2,
+)
+
+
+class TestFig3:
+    def test_tiny_run_has_all_configs(self):
+        result = run_fig3(clients_per_region=1, ops_per_client=10)
+        assert set(result.recorders) == {"global", "regional_latest",
+                                         "regional_stale"}
+        table_text = result.table().render()
+        assert "global" in table_text
+
+    def test_subset_of_configs(self):
+        result = run_fig3(clients_per_region=1, ops_per_client=6,
+                          configs=("global",))
+        assert list(result.recorders) == ["global"]
+        assert result.summary("global", "read", primary=True).count > 0
+
+
+class TestFig4:
+    def test_fig4a_variants_present(self):
+        result = run_fig4a(clients_per_region=1, ops_per_client=15,
+                           localities=(0.5,), warmup_ops=5)
+        variants = {variant for variant, _loc in result.recorders}
+        assert variants == {"unoptimized", "default", "rehoming",
+                            "baseline"}
+
+    def test_fig4b_insert_labels(self):
+        result = run_fig4b(clients_per_region=1, ops_per_client=25,
+                           variants=("computed", "default"))
+        assert result.insert_summary("computed").count > 0
+        assert result.insert_summary("default").count > 0
+
+    def test_fig4c_config_labels(self):
+        result = run_fig4c(contending_clients=(1, 2), ops_per_client=15,
+                           warmup_ops=5)
+        assert set(result.recorders) == {"rehoming_c1", "rehoming_c2",
+                                         "default"}
+
+
+class TestFig5:
+    def test_tiny_run_tail_claim(self):
+        result = run_fig5(clients_per_region=2, ops_per_client=15,
+                          keys_per_region=30,
+                          configs=("global_250", "dup_idx"))
+        # Even tiny runs preserve the common-case claim.
+        assert result.summary("global_250", "read").p50 < 10.0
+        assert result.summary("dup_idx", "read").p50 < 10.0
+        assert result.summary("dup_idx", "write").p50 > 100.0
+        assert result.cdf("global_250", "write")
+
+
+class TestFig6:
+    def test_two_point_scaling(self):
+        result = run_fig6(region_counts=(3, 5), clients_per_region=1,
+                          txns_per_client=6)
+        assert len(result.points) == 2
+        small, large = result.points
+        assert large.new_orders >= 0
+        assert large.warehouses > small.warehouses
+        # Efficiency is computable and positive.
+        assert result.efficiency(large) > 0.5
+        assert "tpmC" in result.table().render()
+
+
+class TestTables:
+    def test_table1_renders_paper_values(self):
+        text = run_table1().render()
+        assert "63.0" in text and "274.0" in text
+
+    def test_table2_counts_positive_and_improving(self):
+        result = run_table2()
+        assert len(result.counts) == 12
+        for (schema, op), (before, after) in result.counts.items():
+            assert before >= 1 and after >= 1
+            assert after <= before
+        text = result.table().render()
+        assert "movr" in text

@@ -1,0 +1,184 @@
+"""Unit tests for KV-layer pieces: policies, routing, replicas, ranges."""
+
+import pytest
+
+from repro.errors import FollowerReadNotAvailableError, RangeUnavailableError
+from repro.kv.closedts import (
+    DEFAULT_CLOSED_TS_LAG_MS,
+    LagPolicy,
+    LeadPolicy,
+)
+from repro.kv.commands import (
+    PutIntentCommand,
+    ResolveIntentCommand,
+    SetTxnRecordCommand,
+    TxnStatus,
+)
+from repro.sim.clock import Timestamp
+
+from .kv_util import KVTestBed, REGIONS3, REGIONS5
+
+
+def ts(physical, logical=0, synthetic=False):
+    return Timestamp(physical, logical, synthetic)
+
+
+class TestClosedTsPolicies:
+    def test_lag_policy_targets_past(self):
+        policy = LagPolicy(lag_ms=3000.0)
+        target = policy.target(ts(10_000.0))
+        assert target == ts(7000.0)
+        assert not policy.leads
+        assert not target.synthetic
+
+    def test_default_lag_matches_crdb(self):
+        assert LagPolicy().lag_ms == DEFAULT_CLOSED_TS_LAG_MS == 3000.0
+
+    def test_lead_policy_targets_future_synthetic(self):
+        policy = LeadPolicy(lead_ms=500.0)
+        target = policy.target(ts(1000.0))
+        assert target.physical == 1500.0
+        assert target.synthetic
+        assert policy.leads
+
+    def test_for_range_formula(self):
+        policy = LeadPolicy.for_range(
+            raft_latency_ms=5.0, replicate_latency_ms=100.0,
+            max_clock_offset=250.0, side_transport_interval_ms=200.0,
+            skew_allowance_ms=10.0, slack_ms=5.0)
+        assert policy.lead_ms == 5.0 + 100.0 + 250.0 + 200.0 + 10.0 + 5.0
+
+
+class TestDistSenderRouting:
+    def test_nearest_replica_prefers_same_region(self):
+        bed = KVTestBed(regions=REGIONS5)
+        rng = bed.make_range("us-east1")
+        for region in REGIONS5:
+            gateway = bed.gateway(region)
+            replica = bed.ds.nearest_replica(gateway, rng)
+            assert replica.node.locality.region == region
+
+    def test_nearest_replica_skips_dead_nodes(self):
+        bed = KVTestBed(regions=REGIONS3)
+        rng = bed.make_range("us-east1")
+        gateway = bed.gateway("europe-west2")
+        local = bed.ds.nearest_replica(gateway, rng)
+        bed.cluster.network.kill_node(local.node.node_id)
+        fallback = bed.ds.nearest_replica(gateway, rng)
+        assert fallback.node.node_id != local.node.node_id
+
+    def test_no_live_replicas_raises(self):
+        bed = KVTestBed(regions=REGIONS3)
+        rng = bed.make_range("us-east1")
+        for replica in rng.replicas.values():
+            bed.cluster.network.kill_node(replica.node.node_id)
+        with pytest.raises(FollowerReadNotAvailableError):
+            bed.ds.nearest_replica(bed.gateway("us-east1"), rng)
+
+
+class TestReplica:
+    def test_apply_unknown_command_raises(self):
+        bed = KVTestBed(regions=REGIONS3)
+        rng = bed.make_range("us-east1")
+        replica = rng.leaseholder_replica
+        with pytest.raises(TypeError):
+            replica.apply(("weird",))
+
+    def test_apply_commands_roundtrip(self):
+        bed = KVTestBed(regions=REGIONS3)
+        rng = bed.make_range("us-east1")
+        replica = rng.leaseholder_replica
+        replica.apply(PutIntentCommand(key="k", ts=ts(5), value="v",
+                                       txn_id=1, anchor_node_id=1))
+        assert replica.store.intent_for("k") is not None
+        replica.apply(SetTxnRecordCommand(txn_id=1,
+                                          status=TxnStatus.COMMITTED,
+                                          commit_ts=ts(5)))
+        assert replica.txn_records[1].status == TxnStatus.COMMITTED
+        replica.apply(ResolveIntentCommand(key="k", txn_id=1,
+                                           commit_ts=ts(5)))
+        assert replica.store.intent_for("k") is None
+        assert replica.store.get("k", ts(6)).value == "v"
+
+    def test_follower_cannot_serve_above_closed(self):
+        bed = KVTestBed(regions=REGIONS3)
+        rng = bed.make_range("us-east1")
+        bed.settle(500.0)
+        follower = [r for r in rng.replicas.values()
+                    if not r.is_leaseholder][0]
+        future_ts = Timestamp(bed.sim.now + 60_000.0)
+        with pytest.raises(FollowerReadNotAvailableError):
+            follower.follower_read("k", future_ts)
+
+    def test_max_servable_ts_considers_intents(self):
+        bed = KVTestBed(regions=REGIONS3)
+        rng = bed.make_range("us-east1")
+        bed.settle(5000.0)
+        follower = [r for r in rng.replicas.values()
+                    if not r.is_leaseholder][0]
+        closed = follower.closed_ts
+        assert follower.max_servable_ts("k") == closed
+        # An intent below the closed timestamp caps servability.
+        intent_ts = Timestamp(closed.physical - 1.0)
+        follower.store.put_intent("k", intent_ts, "v", txn_id=9)
+        assert follower.max_servable_ts("k") < intent_ts
+
+
+class TestRangeHelpers:
+    def test_latency_estimates_zone_survival(self):
+        bed = KVTestBed(regions=REGIONS5)
+        rng = bed.make_range("us-east1")
+        # Quorum is intra-region: ~1 ms RTT + disk.
+        assert rng.raft_latency_ms() < 5.0
+        # Furthest member is australia: 198/2 = 99 ms one way.
+        assert rng.replicate_latency_ms() == pytest.approx(99.0)
+
+    def test_latency_estimates_region_survival(self):
+        bed = KVTestBed(regions=REGIONS5, goal="region")
+        rng = bed.make_range("us-east1")
+        # Quorum (3 of 5) needs at least one other region: >= 63/..RTT.
+        assert rng.raft_latency_ms() >= 60.0
+
+    def test_no_leaseholder_raises(self):
+        from repro.kv.range import Range
+        bed = KVTestBed(regions=REGIONS3)
+        rng = Range(bed.cluster)
+        with pytest.raises(RangeUnavailableError):
+            _ = rng.leaseholder_replica
+
+    def test_closed_target_monotone(self):
+        bed = KVTestBed(regions=REGIONS3)
+        rng = bed.make_range("us-east1", global_reads=True)
+        first = rng.closed_target()
+        rng._note_closed(first)
+        bed.settle(1.0)
+        assert rng.closed_target() >= first
+
+    def test_destroyed_range_stops_side_transport(self):
+        bed = KVTestBed(regions=REGIONS3)
+        rng = bed.make_range("us-east1")
+        rng.destroy()
+        bed.settle(1000.0)  # transport loop must exit without error
+
+
+class TestTxnRegistryStatus:
+    def test_unknown_txn(self):
+        bed = KVTestBed(regions=REGIONS3)
+        assert bed.cluster.txn_status(424242) is None
+
+    def test_lifecycle(self):
+        bed = KVTestBed(regions=REGIONS3)
+        rng = bed.make_range("us-east1")
+        txn = bed.coord.begin(bed.gateway("us-east1"))
+        assert bed.cluster.txn_status(txn.txn_id) == (False, None)
+
+        def run():
+            yield from txn.write(rng, "k", "v")
+            commit_ts = yield from txn.commit()
+            return commit_ts
+
+        process = bed.sim.spawn(run())
+        commit_ts = bed.sim.run_until_future(process)
+        final, recorded_ts = bed.cluster.txn_status(txn.txn_id)
+        assert final
+        assert recorded_ts == commit_ts

@@ -1,0 +1,119 @@
+"""Tests for latency recording, summaries, CDFs, and result tables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import LatencyRecorder, ResultTable, Summary, cdf_points
+
+
+class TestSummary:
+    def test_empty(self):
+        summary = Summary([])
+        assert summary.count == 0
+        assert summary.p50 == 0.0
+
+    def test_single_sample(self):
+        summary = Summary([42.0])
+        assert summary.count == 1
+        assert summary.p50 == 42.0
+        assert summary.max == 42.0
+
+    def test_percentile_ordering(self):
+        samples = list(range(1, 101))
+        summary = Summary(samples)
+        assert summary.p50 <= summary.p90 <= summary.p95 <= summary.p99 \
+            <= summary.max
+
+    def test_known_values(self):
+        summary = Summary([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.p50 == 3.0
+        assert summary.mean == 3.0
+        assert summary.min == 1.0
+
+    def test_row_keys(self):
+        row = Summary([1.0]).row()
+        assert set(row) == {"count", "mean", "p50", "p90", "p95", "p99",
+                            "max"}
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200))
+    def test_property_bounds(self, samples):
+        summary = Summary(samples)
+        assert summary.min <= summary.p50 <= summary.max
+        assert min(samples) == summary.min
+        assert max(samples) == summary.max
+
+
+class TestCdfPoints:
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+    def test_monotone(self):
+        points = cdf_points([5.0, 1.0, 3.0, 2.0, 4.0])
+        latencies = [p[0] for p in points]
+        fractions = [p[1] for p in points]
+        assert latencies == sorted(latencies)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_downsampling(self):
+        points = cdf_points(list(range(10_000)), points=50)
+        assert len(points) <= 50
+
+
+class TestLatencyRecorder:
+    def test_record_and_fetch(self):
+        recorder = LatencyRecorder()
+        recorder.record(("read", "local"), 1.0)
+        recorder.record(("read", "remote"), 100.0)
+        recorder.record(("write", "local"), 5.0)
+        assert recorder.samples("read") == [1.0, 100.0]
+        assert recorder.samples("read", "local") == [1.0]
+        assert recorder.count("write") == 1
+
+    def test_prefix_matching(self):
+        recorder = LatencyRecorder()
+        recorder.record(("read", "local", "us-east1"), 1.0)
+        recorder.record(("read", "local", "us-west1"), 2.0)
+        assert len(recorder.samples("read", "local")) == 2
+        assert recorder.samples("read", "local", "us-west1") == [2.0]
+
+    def test_labels_sorted(self):
+        recorder = LatencyRecorder()
+        recorder.record(("b",), 1.0)
+        recorder.record(("a",), 1.0)
+        assert recorder.labels() == [("a",), ("b",)]
+
+    def test_throughput(self):
+        recorder = LatencyRecorder()
+        recorder.started_at = 0.0
+        recorder.finished_at = 2000.0
+        for _ in range(10):
+            recorder.record(("op",), 1.0)
+        assert recorder.throughput_per_s() == pytest.approx(5.0)
+
+    def test_throughput_without_window(self):
+        assert LatencyRecorder().throughput_per_s() == 0.0
+
+    def test_merged(self):
+        a = LatencyRecorder()
+        b = LatencyRecorder()
+        a.record(("x",), 1.0)
+        b.record(("x",), 2.0)
+        merged = a.merged(b)
+        assert merged.samples("x") == [1.0, 2.0]
+
+
+class TestResultTable:
+    def test_render_contains_rows(self):
+        table = ResultTable("t", ["a", "b"])
+        table.add_row("x", 1.25)
+        text = table.render()
+        assert "x" in text
+        assert "1.2" in text
+        assert "== t ==" in text
+
+    def test_row_arity_checked(self):
+        table = ResultTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")

@@ -1,0 +1,195 @@
+"""Tests for zone configs, survivability translation, and the allocator."""
+
+import pytest
+
+from repro.cluster import standard_cluster
+from repro.errors import ConfigurationError
+from repro.placement import (
+    Allocator,
+    SurvivalGoal,
+    ZoneConfig,
+    provision_range,
+    zone_config_for_home,
+)
+from repro.raft.group import ReplicaType
+
+REGIONS5 = ["us-east1", "us-west1", "europe-west2", "asia-northeast1",
+            "australia-southeast1"]
+
+
+class TestZoneConfig:
+    def test_non_voter_count(self):
+        config = ZoneConfig(num_replicas=7, num_voters=3)
+        assert config.num_non_voters == 4
+
+    def test_rejects_voters_exceeding_replicas(self):
+        with pytest.raises(ConfigurationError):
+            ZoneConfig(num_replicas=2, num_voters=3)
+
+    def test_rejects_overconstrained_voters(self):
+        with pytest.raises(ConfigurationError):
+            ZoneConfig(num_replicas=5, num_voters=3,
+                       voter_constraints={"a": 2, "b": 2})
+
+    def test_rejects_overconstrained_total(self):
+        with pytest.raises(ConfigurationError):
+            ZoneConfig(num_replicas=3, num_voters=3,
+                       constraints={"a": 2, "b": 2})
+
+
+class TestSurvivabilityTranslation:
+    def test_zone_survival_shape(self):
+        """§3.3.2: 3 voters in home, one non-voter per other region."""
+        config = zone_config_for_home("us-east1", REGIONS5,
+                                      SurvivalGoal.ZONE)
+        assert config.num_voters == 3
+        assert config.num_replicas == 3 + 4
+        assert config.voter_constraints == {"us-east1": 3}
+        assert config.lease_preferences == ["us-east1"]
+        for region in REGIONS5[1:]:
+            assert config.constraints[region] == 1
+
+    def test_zone_survival_placement_restricted(self):
+        """§3.3.4: no replicas outside the home region."""
+        config = zone_config_for_home("us-east1", REGIONS5,
+                                      SurvivalGoal.ZONE,
+                                      placement_restricted=True)
+        assert config.num_replicas == 3
+        assert config.constraints == {"us-east1": 3}
+
+    def test_region_survival_shape(self):
+        """§3.3.3: 5 voters, 2 in home, >= 1 replica in every region."""
+        config = zone_config_for_home("us-east1", REGIONS5,
+                                      SurvivalGoal.REGION)
+        assert config.num_voters == 5
+        assert config.num_replicas == max(2 + 4, 5)
+        assert config.voter_constraints == {"us-east1": 2}
+        assert all(config.constraints[r] >= 1 for r in REGIONS5)
+
+    def test_region_survival_three_regions(self):
+        config = zone_config_for_home("a", ["a", "b", "c"],
+                                      SurvivalGoal.REGION)
+        assert config.num_voters == 5
+        assert config.num_replicas == 5  # max(2 + 2, 5)
+
+    def test_region_survival_needs_three_regions(self):
+        with pytest.raises(ConfigurationError):
+            zone_config_for_home("a", ["a", "b"], SurvivalGoal.REGION)
+
+    def test_region_survival_rejects_placement_restricted(self):
+        with pytest.raises(ConfigurationError):
+            zone_config_for_home("a", ["a", "b", "c"], SurvivalGoal.REGION,
+                                 placement_restricted=True)
+
+    def test_home_must_be_a_region(self):
+        with pytest.raises(ConfigurationError):
+            zone_config_for_home("nowhere", REGIONS5)
+
+    def test_unknown_goal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            zone_config_for_home("us-east1", REGIONS5, goal="galaxy")
+
+
+class TestAllocator:
+    def test_zone_survival_placement(self):
+        cluster = standard_cluster(REGIONS5, nodes_per_region=3)
+        config = zone_config_for_home("us-east1", REGIONS5)
+        placement = Allocator(cluster).place(config)
+        assert len(placement.voters) == 3
+        assert all(v.locality.region == "us-east1" for v in placement.voters)
+        # Voters spread across distinct zones.
+        zones = {v.locality.zone for v in placement.voters}
+        assert len(zones) == 3
+        # One non-voter in each other region.
+        nv_regions = sorted(n.locality.region for n in placement.non_voters)
+        assert nv_regions == sorted(REGIONS5[1:])
+        assert placement.leaseholder.locality.region == "us-east1"
+
+    def test_region_survival_placement(self):
+        cluster = standard_cluster(REGIONS5, nodes_per_region=3)
+        config = zone_config_for_home("us-east1", REGIONS5,
+                                      SurvivalGoal.REGION)
+        placement = Allocator(cluster).place(config)
+        home_voters = [v for v in placement.voters
+                       if v.locality.region == "us-east1"]
+        assert len(home_voters) == 2
+        # Every region hosts at least one replica.
+        assert sorted(placement.regions()) == sorted(REGIONS5)
+
+    def test_no_node_reuse(self):
+        cluster = standard_cluster(REGIONS5, nodes_per_region=3)
+        config = zone_config_for_home("us-east1", REGIONS5,
+                                      SurvivalGoal.REGION)
+        placement = Allocator(cluster).place(config)
+        ids = [n.node_id for n in placement.all_nodes()]
+        assert len(ids) == len(set(ids))
+
+    def test_unsatisfiable_constraints(self):
+        cluster = standard_cluster(["a"], nodes_per_region=2)
+        config = ZoneConfig(num_replicas=3, num_voters=3,
+                            voter_constraints={"a": 3})
+        with pytest.raises(ConfigurationError):
+            Allocator(cluster).place(config)
+
+    def test_load_balancing_across_ranges(self):
+        """Many ranges with the same config should spread over nodes."""
+        cluster = standard_cluster(["a", "b"], nodes_per_region=4,
+                                   zones_per_region=4)
+        config = zone_config_for_home("a", ["a", "b"])
+        for _ in range(8):
+            provision_range(cluster, config)
+        counts = [len(n.replicas) for n in cluster.nodes_in_region("a")]
+        assert max(counts) - min(counts) <= 2
+
+
+class TestProvision:
+    def test_provision_zone_survival(self):
+        cluster = standard_cluster(REGIONS5, nodes_per_region=3)
+        config = zone_config_for_home("us-east1", REGIONS5)
+        rng = provision_range(cluster, config)
+        assert len(rng.group.voters()) == 3
+        assert len(rng.group.non_voters()) == 4
+        assert rng.leaseholder_node.locality.region == "us-east1"
+        assert rng.group.quorum_size() == 2
+
+    def test_provision_global_uses_lead_policy(self):
+        cluster = standard_cluster(REGIONS5, nodes_per_region=3,
+                                   max_clock_offset=250.0)
+        config = zone_config_for_home("us-east1", REGIONS5)
+        rng = provision_range(cluster, config, global_reads=True)
+        assert rng.policy.leads
+        # Lead >= L_raft + L_replicate + max_offset; the furthest member
+        # from us-east1 is australia (198/2 = 99 ms one-way).
+        assert rng.policy.lead_ms >= 99.0 + 250.0
+
+    def test_provision_regional_uses_lag_policy(self):
+        cluster = standard_cluster(REGIONS5, nodes_per_region=3)
+        config = zone_config_for_home("us-east1", REGIONS5)
+        rng = provision_range(cluster, config)
+        assert not rng.policy.leads
+
+    def test_zone_survival_tolerates_zone_failure(self):
+        cluster = standard_cluster(REGIONS5, nodes_per_region=3)
+        config = zone_config_for_home("us-east1", REGIONS5)
+        rng = provision_range(cluster, config)
+        victim = [v for v in rng.group.voters()
+                  if v.node.node_id != rng.leaseholder_node_id][0]
+        cluster.network.kill_node(victim.node.node_id)
+        assert rng.group.has_quorum()
+
+    def test_zone_survival_does_not_tolerate_region_failure(self):
+        cluster = standard_cluster(REGIONS5, nodes_per_region=3)
+        config = zone_config_for_home("us-east1", REGIONS5)
+        rng = provision_range(cluster, config)
+        for node in cluster.nodes_in_region("us-east1"):
+            cluster.network.kill_node(node.node_id)
+        assert not rng.group.has_quorum()
+
+    def test_region_survival_tolerates_region_failure(self):
+        cluster = standard_cluster(REGIONS5, nodes_per_region=3)
+        config = zone_config_for_home("us-east1", REGIONS5,
+                                      SurvivalGoal.REGION)
+        rng = provision_range(cluster, config)
+        for node in cluster.nodes_in_region("us-east1"):
+            cluster.network.kill_node(node.node_id)
+        assert rng.group.has_quorum()

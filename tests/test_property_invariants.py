@@ -1,0 +1,182 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import standard_cluster
+from repro.errors import ConfigurationError
+from repro.placement import Allocator, SurvivalGoal, zone_config_for_home
+from repro.sim.clock import Timestamp, TS_ZERO
+from repro.sim.core import Simulator
+from repro.storage.locktable import WaitGraph
+from repro.storage.mvcc import MVCCStore
+from repro.storage.tscache import TimestampCache
+from repro.workloads.zipf import ZipfGenerator
+
+ts_strategy = st.builds(
+    Timestamp,
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    st.integers(min_value=0, max_value=100),
+)
+
+
+class TestTimestampCacheProperties:
+    @given(st.lists(st.tuples(ts_strategy,
+                              st.integers(min_value=1, max_value=5)),
+                    max_size=40),
+           ts_strategy,
+           st.integers(min_value=1, max_value=5))
+    def test_min_write_ts_exceeds_all_foreign_reads(self, reads, proposed,
+                                                    writer):
+        """The chosen write timestamp is >= every read by another txn."""
+        cache = TimestampCache()
+        for read_ts, txn in reads:
+            cache.record_read("k", read_ts, txn)
+        chosen = cache.min_write_ts("k", proposed, writer)
+        assert chosen >= proposed
+        for read_ts, txn in reads:
+            if txn != writer:
+                # The serializability invariant: the write lands strictly
+                # above every other transaction's read.
+                assert chosen > read_ts
+
+    @given(st.lists(ts_strategy, min_size=1, max_size=40))
+    def test_high_water_is_max(self, reads):
+        cache = TimestampCache()
+        for read_ts in reads:
+            cache.record_read("k", read_ts, txn_id=None)
+        assert cache.high_water("k") == max(reads)
+
+    @given(st.lists(st.tuples(ts_strategy,
+                              st.integers(min_value=1, max_value=3)),
+                    max_size=30),
+           ts_strategy)
+    def test_low_water_respected(self, reads, low_water):
+        """No write may land at or below the low-water mark, regardless
+        of what the per-key entries say (own reads included)."""
+        cache = TimestampCache(low_water=low_water)
+        for read_ts, txn in reads:
+            cache.record_read("k", read_ts, txn)
+        for writer in (99, 1, 2, 3):
+            assert cache.min_write_ts("k", TS_ZERO, txn_id=writer) > low_water
+
+
+class TestMVCCProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=50),
+                              st.integers(min_value=0, max_value=9)),
+                    min_size=1, max_size=50),
+           st.integers(min_value=0, max_value=50))
+    def test_snapshot_matches_pointwise_reads(self, writes, read_at):
+        """snapshot_at(T) agrees with get(key, T) for every key."""
+        store = MVCCStore()
+        logical = {}
+        for physical, value in writes:
+            key = f"key-{value % 3}"
+            logical[physical] = logical.get(physical, 0) + 1
+            store.put_committed(key, Timestamp(float(physical),
+                                               logical[physical]), value)
+        at = Timestamp(float(read_at), 1 << 20)
+        snapshot = store.snapshot_at(at)
+        for key in store.keys():
+            result = store.get(key, at)
+            if result.value is None:
+                assert key not in snapshot
+            else:
+                assert snapshot[key] == result.value
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1,
+                    max_size=30))
+    def test_resolve_commit_then_read_back(self, physicals):
+        """Laying and committing intents sequentially always leaves the
+        last committed value visible."""
+        store = MVCCStore()
+        last_value = None
+        ts = Timestamp(0.0)
+        for i, physical in enumerate(sorted(physicals)):
+            ts = max(ts, Timestamp(float(physical))).next()
+            store.put_intent("k", ts, f"v{i}", txn_id=i + 1)
+            assert store.resolve_intent("k", i + 1, ts)
+            last_value = f"v{i}"
+        result = store.get("k", ts)
+        assert result.value == last_value
+
+
+class TestWaitGraphProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=8),
+                              st.integers(min_value=1, max_value=8)),
+                    max_size=30))
+    def test_no_cycle_ever_inserted(self, attempts):
+        """Following the would_cycle discipline keeps the graph acyclic."""
+        graph = WaitGraph()
+        edges = []
+        for waiter, holder in attempts:
+            if waiter == holder:
+                continue
+            if not graph.would_cycle(waiter, holder):
+                graph.add_edge(waiter, holder)
+                edges.append((waiter, holder))
+        # The final graph must be acyclic: no node reaches itself.
+        adjacency = {}
+        for waiter, holder in edges:
+            adjacency.setdefault(waiter, set()).add(holder)
+
+        def reaches(start, target, seen):
+            for nxt in adjacency.get(start, ()):
+                if nxt == target:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    if reaches(nxt, target, seen):
+                        return True
+            return False
+
+        for node in adjacency:
+            assert not reaches(node, node, set())
+
+
+class TestAllocatorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=3, max_value=6),
+           st.integers(min_value=3, max_value=5),
+           st.sampled_from([SurvivalGoal.ZONE, SurvivalGoal.REGION]),
+           st.integers(min_value=0, max_value=10))
+    def test_placement_satisfies_constraints(self, n_regions,
+                                             nodes_per_region, goal,
+                                             home_index):
+        regions = [f"r{i}" for i in range(n_regions)]
+        home = regions[home_index % n_regions]
+        cluster = standard_cluster(regions,
+                                   nodes_per_region=nodes_per_region)
+        config = zone_config_for_home(home, regions, goal)
+        placement = Allocator(cluster).place(config)
+
+        assert len(placement.voters) == config.num_voters
+        assert len(placement.non_voters) == config.num_non_voters
+        # No node reused.
+        ids = [n.node_id for n in placement.all_nodes()]
+        assert len(ids) == len(set(ids))
+        # Per-region constraint counts met exactly or exceeded.
+        by_region = {}
+        for node in placement.all_nodes():
+            by_region[node.locality.region] = \
+                by_region.get(node.locality.region, 0) + 1
+        for region, count in config.constraints.items():
+            assert by_region.get(region, 0) >= count
+        voters_by_region = {}
+        for node in placement.voters:
+            voters_by_region[node.locality.region] = \
+                voters_by_region.get(node.locality.region, 0) + 1
+        for region, count in config.voter_constraints.items():
+            assert voters_by_region.get(region, 0) >= count
+        # Leaseholder in the preferred region.
+        assert placement.leaseholder.locality.region == home
+
+
+class TestZipfProperties:
+    @given(st.integers(min_value=2, max_value=500),
+           st.integers(min_value=0, max_value=1000))
+    def test_draws_in_range(self, n, seed):
+        gen = ZipfGenerator(n, seed=seed)
+        for _ in range(50):
+            assert 0 <= gen.next() < n

@@ -1,0 +1,160 @@
+"""Whole-system isolation checks.
+
+Serializability: run many concurrent read-modify-write transactions on
+a small key set, then verify the final database state is exactly what
+*some* serial order produces — specifically the commit-timestamp order,
+which is the serial order a timestamp-based MVCC system promises.
+
+Linearizability (single key, GLOBAL tables): once a write is
+acknowledged, every subsequently-issued read must observe it (paper
+§6.1/§6.2) — even from other regions, even with clock skew.
+"""
+
+import random
+
+import pytest
+
+from repro.kv.distsender import ReadRouting
+
+from .kv_util import KVTestBed, REGIONS3, REGIONS5
+
+PRIMARY = "us-east1"
+
+
+class TestSerializability:
+    @pytest.mark.parametrize("global_reads,seed", [
+        (False, 1), (False, 2), (True, 3), (False, 4), (True, 5),
+    ])
+    def test_concurrent_increments_match_serial_order(self, global_reads,
+                                                      seed):
+        """Counters incremented concurrently from every region: the sum
+        of all committed increments must equal the final counter values
+        (no lost updates), and per-key history must be contiguous."""
+        bed = KVTestBed(regions=REGIONS3, skew_fraction=0.5, seed=seed)
+        rng_table = bed.make_range(PRIMARY, global_reads=global_reads)
+        keys = ["k0", "k1", "k2"]
+        for key in keys:
+            bed.do_write(PRIMARY, rng_table, key, 0)
+        bed.settle(2000.0)
+
+        sim = bed.sim
+        committed = []
+        rng = random.Random(seed)
+        routing = (ReadRouting.NEAREST if global_reads
+                   else ReadRouting.LEASEHOLDER)
+
+        def client(region, client_id, n_txns):
+            gateway = bed.gateway(region, client_id)
+            for i in range(n_txns):
+                key = rng.choice(keys)
+
+                def txn_fn(txn, key=key):
+                    value = yield from txn.read(rng_table, key,
+                                                routing=routing)
+                    yield sim.sleep(rng.uniform(0.0, 5.0))
+                    yield from txn.write(rng_table, key, value + 1)
+                    return key
+
+                result, commit_ts = yield from bed.coord.run(gateway, txn_fn)
+                committed.append((result, commit_ts))
+
+        processes = []
+        for r_i, region in enumerate(REGIONS3):
+            for c in range(2):
+                processes.append(sim.spawn(client(region, c, 4)))
+        for process in processes:
+            sim.run_until_future(process)
+
+        # Every committed increment is reflected: final value per key ==
+        # number of commits that incremented it (serializability: the
+        # read inside each txn saw every earlier committed increment).
+        expected = {key: 0 for key in keys}
+        for key, _ts in committed:
+            expected[key] += 1
+        for key in keys:
+            value, _ = bed.do_read(PRIMARY, rng_table, key)
+            assert value == expected[key], key
+
+    def test_commit_timestamps_totally_ordered_per_key(self):
+        """Commit timestamps of conflicting (same-key) transactions are
+        distinct — the serial order is well-defined."""
+        bed = KVTestBed(regions=REGIONS3, seed=9)
+        rng_table = bed.make_range(PRIMARY)
+        bed.do_write(PRIMARY, rng_table, "k", 0)
+        sim = bed.sim
+        commit_timestamps = []
+
+        def incr(txn):
+            value = yield from txn.read(rng_table, "k")
+            yield from txn.write(rng_table, "k", value + 1)
+
+        def client(region, index):
+            gateway = bed.gateway(region, index)
+            for _ in range(3):
+                _res, ts = yield from bed.coord.run(gateway, incr)
+                commit_timestamps.append(ts)
+
+        processes = [sim.spawn(client(region, 0)) for region in REGIONS3]
+        for process in processes:
+            sim.run_until_future(process)
+        assert len(set(commit_timestamps)) == len(commit_timestamps)
+
+
+class TestLinearizability:
+    @pytest.mark.parametrize("skew_fraction", [0.05, 0.5, 1.0])
+    def test_acknowledged_global_write_visible_everywhere(self,
+                                                          skew_fraction):
+        """The §6.2 guarantee under increasing (bounded) clock skew: a
+        read issued after the writer's ack — from any region — sees the
+        write."""
+        bed = KVTestBed(regions=REGIONS5, skew_fraction=skew_fraction,
+                        seed=11)
+        rng_table = bed.make_range(PRIMARY, global_reads=True)
+        bed.do_write(PRIMARY, rng_table, "k", "v0")
+        bed.settle(2000.0)
+
+        for i in range(3):
+            bed.do_write(PRIMARY, rng_table, "k", f"v{i + 1}")
+            for region in REGIONS5:
+                value, _ = bed.do_read(region, rng_table, "k",
+                                       routing=ReadRouting.NEAREST)
+                assert value == f"v{i + 1}", (region, skew_fraction)
+
+    def test_monotonic_reads_across_regions(self):
+        """Reads issued one after another (in real time) from different
+        regions never observe older values than an earlier read did."""
+        bed = KVTestBed(regions=REGIONS3, skew_fraction=1.0, seed=13)
+        rng_table = bed.make_range(PRIMARY, global_reads=True)
+        bed.do_write(PRIMARY, rng_table, "k", 0)
+        bed.settle(2000.0)
+        sim = bed.sim
+
+        observed = []
+
+        def writer():
+            gateway = bed.gateway(PRIMARY)
+            for i in range(4):
+                def txn_fn(txn, i=i):
+                    yield from txn.write(rng_table, "k", i + 1)
+                yield from bed.coord.run(gateway, txn_fn)
+                yield sim.sleep(50.0)
+
+        def reader():
+            regions = REGIONS3 * 6
+            for region in regions:
+                gateway = bed.gateway(region)
+
+                def txn_fn(txn):
+                    value = yield from txn.read(
+                        rng_table, "k", routing=ReadRouting.NEAREST)
+                    return value
+
+                value, _ = yield from bed.coord.run(gateway, txn_fn)
+                observed.append(value)
+                yield sim.sleep(30.0)
+
+        wp = sim.spawn(writer())
+        rp = sim.spawn(reader())
+        sim.run_until_future(rp)
+        sim.run_until_future(wp)
+        assert observed == sorted(observed), observed

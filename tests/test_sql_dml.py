@@ -1,0 +1,357 @@
+"""DML semantics tests: inserts, LOS reads, uniqueness, rehoming."""
+
+import pytest
+
+from repro.errors import SchemaError, UniqueViolationError
+from repro.sql import REGION_COLUMN
+
+from .sql_util import REGIONS3, connect, make_engine, movr_engine
+
+
+class TestInsert:
+    def test_insert_and_select_by_pk(self):
+        engine, session = movr_engine()
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (1, 'a@x', 'A')")
+        assert session.execute("SELECT name FROM users WHERE id = 1") == \
+            [{"name": "A"}]
+
+    def test_insert_homes_row_in_gateway_region(self):
+        """§2.3.2: crdb_region defaults to the INSERT's origin region."""
+        engine, session = movr_engine()
+        west = connect(engine, "us-west1")
+        west.execute("INSERT INTO users (id, email, name) "
+                     "VALUES (2, 'w@x', 'W')")
+        rows = west.execute("SELECT crdb_region FROM users WHERE id = 2")
+        assert rows == [{"crdb_region": "us-west1"}]
+
+    def test_hidden_column_not_in_star(self):
+        """Hidden columns are invisible to SELECT * but named access works."""
+        engine, session = movr_engine()
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (3, 'c@x', 'C')")
+        star = session.execute("SELECT * FROM users WHERE id = 3")[0]
+        assert REGION_COLUMN not in star
+        named = session.execute(
+            f"SELECT {REGION_COLUMN} FROM users WHERE id = 3")[0]
+        assert named[REGION_COLUMN] == "us-east1"
+
+    def test_explicit_region_override(self):
+        engine, session = movr_engine()
+        session.execute(
+            "INSERT INTO users (id, email, name, crdb_region) "
+            "VALUES (4, 'e@x', 'E', 'europe-west2')")
+        rows = session.execute("SELECT crdb_region FROM users WHERE id = 4")
+        assert rows == [{"crdb_region": "europe-west2"}]
+
+    def test_invalid_region_value_rejected(self):
+        engine, session = movr_engine()
+        with pytest.raises(SchemaError):
+            session.execute(
+                "INSERT INTO users (id, email, name, crdb_region) "
+                "VALUES (5, 'x@x', 'X', 'mars')")
+
+    def test_duplicate_pk_rejected(self):
+        engine, session = movr_engine()
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (6, 'f@x', 'F')")
+        with pytest.raises(UniqueViolationError):
+            session.execute("INSERT INTO users (id, email, name) "
+                            "VALUES (6, 'other@x', 'F2')")
+
+    def test_duplicate_pk_rejected_across_regions(self):
+        """Global PK uniqueness on a partitioned table (§4.1)."""
+        engine, session = movr_engine()
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (7, 'g@x', 'G')")
+        west = connect(engine, "us-west1")
+        with pytest.raises(UniqueViolationError):
+            west.execute("INSERT INTO users (id, email, name) "
+                         "VALUES (7, 'h@x', 'H')")
+
+    def test_global_unique_email_across_regions(self):
+        """The movr example: email must be globally unique even though
+        the table is partitioned by region and email is not."""
+        engine, session = movr_engine()
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (8, 'dup@x', 'D1')")
+        west = connect(engine, "us-west1")
+        with pytest.raises(UniqueViolationError):
+            west.execute("INSERT INTO users (id, email, name) "
+                         "VALUES (9, 'dup@x', 'D2')")
+
+    def test_not_null_enforced(self):
+        engine, session = movr_engine()
+        session.execute("CREATE TABLE strict (id int PRIMARY KEY, "
+                        "v string NOT NULL)")
+        with pytest.raises(SchemaError):
+            session.execute("INSERT INTO strict (id) VALUES (1)")
+
+    def test_multi_row_insert(self):
+        engine, session = movr_engine()
+        count = session.execute(
+            "INSERT INTO users (id, email, name) "
+            "VALUES (10, 'j@x', 'J'), (11, 'k@x', 'K')")
+        assert count == 2
+
+
+class TestLocalityOptimizedSearch:
+    def test_local_hit_is_fast(self):
+        """§4.2: a row homed locally is found without leaving the region."""
+        engine, session = movr_engine()
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (1, 'a@x', 'A')")
+        sim = engine.cluster.sim
+        start = sim.now
+        rows = session.execute("SELECT * FROM users WHERE id = 1")
+        assert rows
+        assert sim.now - start < 10.0
+
+    def test_remote_row_found_by_fanout(self):
+        engine, session = movr_engine()
+        west = connect(engine, "us-west1")
+        west.execute("INSERT INTO users (id, email, name) "
+                     "VALUES (2, 'w@x', 'W')")
+        sim = engine.cluster.sim
+        start = sim.now
+        rows = session.execute("SELECT * FROM users WHERE id = 2")
+        elapsed = sim.now - start
+        assert rows == [{"id": 2, "email": "w@x", "name": "W"}]
+        # Local miss then parallel remote fan-out: at least one WAN RTT.
+        assert elapsed >= 63.0
+
+    def test_select_by_unique_email(self):
+        engine, session = movr_engine()
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (3, 'find@x', 'F')")
+        rows = session.execute(
+            "SELECT id FROM users WHERE email = 'find@x'")
+        assert rows == [{"id": 3}]
+
+    def test_missing_row_returns_empty(self):
+        engine, session = movr_engine()
+        assert session.execute("SELECT * FROM users WHERE id = 404") == []
+
+    def test_los_disabled_always_fans_out(self):
+        """The Unoptimized variant of Fig 4a."""
+        engine, session = movr_engine()
+        table = engine.catalog.database("movr").table("users")
+        table.locality_optimized_search = False
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (4, 'l@x', 'L')")
+        sim = engine.cluster.sim
+        start = sim.now
+        session.execute("SELECT * FROM users WHERE id = 4")
+        # Fan-out pays the furthest-region RTT even for a local row.
+        assert sim.now - start >= 87.0
+
+
+class TestComputedRegion:
+    def _engine(self):
+        engine, session = movr_engine()
+        session.execute(
+            "CREATE TABLE accounts (id int PRIMARY KEY, state string, "
+            "crdb_region crdb_internal_region AS "
+            "(CASE WHEN state = 'CA' THEN 'us-west1' ELSE 'us-east1' END) "
+            "STORED) LOCALITY REGIONAL BY ROW")
+        return engine, session
+
+    def test_computed_column_homes_row(self):
+        engine, session = self._engine()
+        session.execute(
+            "INSERT INTO accounts (id, state) VALUES (1, 'CA')")
+        rows = session.execute(
+            "SELECT crdb_region FROM accounts WHERE id = 1")
+        assert rows == [{"crdb_region": "us-west1"}]
+
+    def test_determinant_in_where_stays_single_region(self):
+        """§2.3.2: queries naming the determinant column hit one region."""
+        engine, session = self._engine()
+        west = connect(engine, "us-west1")
+        west.execute("INSERT INTO accounts (id, state) VALUES (2, 'CA')")
+        sim = engine.cluster.sim
+        start = sim.now
+        rows = west.execute(
+            "SELECT id FROM accounts WHERE id = 2 AND state = 'CA'")
+        assert rows == [{"id": 2}]
+        assert sim.now - start < 10.0
+
+
+class TestUpdateDelete:
+    def test_update_by_pk(self):
+        engine, session = movr_engine()
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (1, 'a@x', 'A')")
+        count = session.execute("UPDATE users SET name = 'AA' WHERE id = 1")
+        assert count == 1
+        assert session.execute("SELECT name FROM users WHERE id = 1") == \
+            [{"name": "AA"}]
+
+    def test_update_unique_column_checks_globally(self):
+        engine, session = movr_engine()
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (1, 'a@x', 'A'), (2, 'b@x', 'B')")
+        with pytest.raises(UniqueViolationError):
+            session.execute("UPDATE users SET email = 'a@x' WHERE id = 2")
+
+    def test_update_secondary_index_maintained(self):
+        engine, session = movr_engine()
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (1, 'old@x', 'A')")
+        session.execute("UPDATE users SET email = 'new@x' WHERE id = 1")
+        assert session.execute(
+            "SELECT id FROM users WHERE email = 'new@x'") == [{"id": 1}]
+        assert session.execute(
+            "SELECT id FROM users WHERE email = 'old@x'") == []
+
+    def test_delete_removes_row_and_index(self):
+        engine, session = movr_engine()
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (1, 'a@x', 'A')")
+        assert session.execute("DELETE FROM users WHERE id = 1") == 1
+        assert session.execute("SELECT * FROM users WHERE id = 1") == []
+        assert session.execute(
+            "SELECT * FROM users WHERE email = 'a@x'") == []
+
+    def test_update_missing_row_zero(self):
+        engine, session = movr_engine()
+        assert session.execute(
+            "UPDATE users SET name = 'X' WHERE id = 404") == 0
+
+
+class TestRehoming:
+    def _engine(self):
+        engine, session = movr_engine()
+        session.execute(
+            "CREATE TABLE events (id int PRIMARY KEY, v string, "
+            "crdb_region crdb_internal_region NOT VISIBLE NOT NULL "
+            "DEFAULT gateway_region() ON UPDATE rehome_row()) "
+            "LOCALITY REGIONAL BY ROW")
+        return engine, session
+
+    def test_update_rehomes_row(self):
+        """§2.3.2: UPDATEs move the row to the writing region."""
+        engine, session = self._engine()
+        session.execute("INSERT INTO events (id, v) VALUES (1, 'x')")
+        west = connect(engine, "us-west1")
+        west.execute("UPDATE events SET v = 'y' WHERE id = 1")
+        rows = session.execute(
+            "SELECT crdb_region FROM events WHERE id = 1")
+        assert rows == [{"crdb_region": "us-west1"}]
+
+    def test_rehomed_row_now_local_to_writer(self):
+        engine, session = self._engine()
+        session.execute("INSERT INTO events (id, v) VALUES (2, 'x')")
+        west = connect(engine, "us-west1")
+        west.execute("UPDATE events SET v = 'y' WHERE id = 2")
+        sim = engine.cluster.sim
+        start = sim.now
+        rows = west.execute("SELECT v FROM events WHERE id = 2")
+        assert rows == [{"v": "y"}]
+        assert sim.now - start < 10.0
+
+    def test_no_rehoming_without_on_update(self):
+        engine, session = movr_engine()
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (9, 'z@x', 'Z')")
+        west = connect(engine, "us-west1")
+        west.execute("UPDATE users SET name = 'ZZ' WHERE id = 9")
+        rows = session.execute(
+            "SELECT crdb_region FROM users WHERE id = 9")
+        assert rows == [{"crdb_region": "us-east1"}]
+
+
+class TestStaleSelects:
+    def test_exact_staleness(self):
+        engine, session = movr_engine(closed_ts_lag_ms=100.0)
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (1, 'a@x', 'A')")
+        sim = engine.cluster.sim
+        sim.run(until=sim.now + 4000.0)
+        west = connect(engine, "us-west1")
+        start = sim.now
+        rows = west.execute(
+            "SELECT name FROM users AS OF SYSTEM TIME '-2s' WHERE id = 1")
+        assert rows == [{"name": "A"}]
+        assert sim.now - start < 10.0  # served by local replicas
+
+    def test_max_staleness(self):
+        engine, session = movr_engine(closed_ts_lag_ms=100.0)
+        session.execute("INSERT INTO promo_codes (code, description) "
+                        "VALUES ('P', 'promo')")
+        sim = engine.cluster.sim
+        sim.run(until=sim.now + 4000.0)
+        west = connect(engine, "us-west1")
+        rows = west.execute(
+            "SELECT description FROM promo_codes "
+            "AS OF SYSTEM TIME with_max_staleness('30s') WHERE code = 'P'")
+        assert rows == [{"description": "promo"}]
+
+    def test_stale_read_misses_recent_write(self):
+        engine, session = movr_engine(closed_ts_lag_ms=100.0)
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (1, 'a@x', 'A')")
+        sim = engine.cluster.sim
+        sim.run(until=sim.now + 5000.0)
+        session.execute("UPDATE users SET name = 'A2' WHERE id = 1")
+        rows = session.execute(
+            "SELECT name FROM users AS OF SYSTEM TIME '-3s' WHERE id = 1")
+        assert rows == [{"name": "A"}]
+
+
+class TestGlobalTablesSQL:
+    def test_global_read_fast_from_all_regions(self):
+        engine, session = movr_engine()
+        session.execute("INSERT INTO promo_codes (code, description) "
+                        "VALUES ('GO', 'x')")
+        sim = engine.cluster.sim
+        sim.run(until=sim.now + 2000.0)
+        for region in REGIONS3:
+            client = connect(engine, region)
+            start = sim.now
+            rows = client.execute(
+                "SELECT * FROM promo_codes WHERE code = 'GO'")
+            assert rows, region
+            assert sim.now - start < 10.0, region
+
+    def test_global_write_slow(self):
+        engine, session = movr_engine()
+        sim = engine.cluster.sim
+        start = sim.now
+        session.execute("INSERT INTO promo_codes (code, description) "
+                        "VALUES ('W', 'x')")
+        assert sim.now - start >= 250.0  # commit wait dominates
+
+
+class TestTransactions:
+    def test_multi_statement_txn(self):
+        engine, session = movr_engine()
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (1, 'a@x', 'A')")
+        sim = engine.cluster.sim
+
+        def body(handle):
+            rows = yield from handle.execute(
+                "SELECT name FROM users WHERE id = 1")
+            name = rows[0]["name"]
+            yield from handle.execute(
+                f"UPDATE users SET name = '{name}+' WHERE id = 1")
+            return name
+
+        process = sim.spawn(session.run_txn_co(body))
+        result = sim.run_until_future(process)
+        assert result == "A"
+        assert session.execute("SELECT name FROM users WHERE id = 1") == \
+            [{"name": "A+"}]
+
+    def test_stale_read_rejected_in_txn(self):
+        engine, session = movr_engine()
+        sim = engine.cluster.sim
+
+        def body(handle):
+            yield from handle.execute(
+                "SELECT * FROM users AS OF SYSTEM TIME '-1s' WHERE id = 1")
+
+        process = sim.spawn(session.run_txn_co(body))
+        with pytest.raises(SchemaError):
+            sim.run_until_future(process)

@@ -1,0 +1,218 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast, parse, parse_one, tokenize
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT * FROM t WHERE id = 5;")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["ident", "op", "ident", "ident", "ident", "ident",
+                         "op", "number", "op", "eof"]
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"us-east1"')
+        assert tokens[0].kind == "ident"
+        assert tokens[0].text == "us-east1"
+
+    def test_string_literal_with_escape(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind == "string"
+        assert tokens[0].text == "it's"
+
+    def test_comment_skipped(self):
+        tokens = tokenize("SELECT 1 -- a comment\n")
+        assert [t.kind for t in tokens] == ["ident", "number", "eof"]
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @ FROM t")
+
+
+class TestCreateDatabase:
+    def test_paper_example(self):
+        stmt = parse_one(
+            'CREATE DATABASE movr PRIMARY REGION "us-east1" '
+            'REGIONS "us-west1", "europe-west1"')
+        assert stmt.name == "movr"
+        assert stmt.primary_region == "us-east1"
+        assert stmt.regions == ["us-west1", "europe-west1"]
+
+    def test_no_regions(self):
+        stmt = parse_one("CREATE DATABASE plain")
+        assert stmt.primary_region is None
+        assert stmt.regions == []
+
+
+class TestAlterDatabase:
+    def test_add_region(self):
+        stmt = parse_one('ALTER DATABASE movr ADD REGION "australia-southeast1"')
+        assert isinstance(stmt, ast.AlterDatabaseAddRegion)
+        assert stmt.region == "australia-southeast1"
+
+    def test_drop_region(self):
+        stmt = parse_one('ALTER DATABASE movr DROP REGION "us-west1"')
+        assert isinstance(stmt, ast.AlterDatabaseDropRegion)
+
+    def test_survive_region_failure(self):
+        stmt = parse_one("ALTER DATABASE movr SURVIVE REGION FAILURE")
+        assert stmt.goal == "region"
+
+    def test_survive_zone_failure(self):
+        stmt = parse_one("ALTER DATABASE movr SURVIVE ZONE FAILURE")
+        assert stmt.goal == "zone"
+
+    def test_placement(self):
+        assert parse_one("ALTER DATABASE movr PLACEMENT RESTRICTED").restricted
+        assert not parse_one("ALTER DATABASE movr PLACEMENT DEFAULT").restricted
+
+
+class TestCreateTable:
+    def test_localities(self):
+        stmt = parse_one(
+            'CREATE TABLE west_coast_users (id int PRIMARY KEY) '
+            'LOCALITY REGIONAL BY TABLE IN "us-west1"')
+        assert isinstance(stmt.locality, ast.LocalityRegionalByTable)
+        assert stmt.locality.region == "us-west1"
+
+        stmt = parse_one("CREATE TABLE users (id int PRIMARY KEY) "
+                         "LOCALITY REGIONAL BY ROW")
+        assert isinstance(stmt.locality, ast.LocalityRegionalByRow)
+
+        stmt = parse_one("CREATE TABLE promo_codes (id int PRIMARY KEY) "
+                         "LOCALITY GLOBAL")
+        assert isinstance(stmt.locality, ast.LocalityGlobal)
+
+    def test_in_primary_region(self):
+        stmt = parse_one("CREATE TABLE t (id int PRIMARY KEY) "
+                         "LOCALITY REGIONAL BY TABLE IN PRIMARY REGION")
+        assert stmt.locality.region is None
+
+    def test_column_attributes(self):
+        stmt = parse_one(
+            "CREATE TABLE t (id uuid PRIMARY KEY DEFAULT gen_random_uuid(), "
+            "email string UNIQUE NOT NULL, "
+            "crdb_region crdb_internal_region NOT VISIBLE NOT NULL "
+            "DEFAULT gateway_region() ON UPDATE rehome_row()) "
+            "LOCALITY REGIONAL BY ROW")
+        by_name = {c.name: c for c in stmt.columns}
+        assert isinstance(by_name["id"].default, ast.FuncCall)
+        assert by_name["id"].default.name == "gen_random_uuid"
+        assert by_name["email"].unique and by_name["email"].not_null
+        region = by_name["crdb_region"]
+        assert not region.visible
+        assert region.on_update.name == "rehome_row"
+        assert stmt.primary_key == ["id"]
+        assert ["email"] in stmt.unique_constraints
+
+    def test_computed_region_column(self):
+        stmt = parse_one(
+            "CREATE TABLE t (id int PRIMARY KEY, state string, "
+            "crdb_region crdb_internal_region AS "
+            "(CASE WHEN state = 'CA' THEN 'us-west1' ELSE 'us-east1' END) "
+            "STORED) LOCALITY REGIONAL BY ROW")
+        region = [c for c in stmt.columns if c.name == "crdb_region"][0]
+        assert isinstance(region.computed, ast.CaseWhen)
+
+    def test_table_level_constraints(self):
+        stmt = parse_one(
+            "CREATE TABLE t (a int, b int, c int, PRIMARY KEY (a, b), "
+            "UNIQUE (c))")
+        assert stmt.primary_key == ["a", "b"]
+        assert ["c"] in stmt.unique_constraints
+
+    def test_foreign_key_parsed_and_ignored(self):
+        stmt = parse_one(
+            "CREATE TABLE t (a int PRIMARY KEY, b int, "
+            "FOREIGN KEY (b) REFERENCES parent (id) ON UPDATE CASCADE)")
+        assert [c.name for c in stmt.columns] == ["a", "b"]
+
+
+class TestAlterTable:
+    def test_set_locality(self):
+        stmt = parse_one("ALTER TABLE promo_codes SET LOCALITY GLOBAL")
+        assert isinstance(stmt, ast.AlterTableSetLocality)
+        assert isinstance(stmt.locality, ast.LocalityGlobal)
+
+    def test_add_column_paper_example(self):
+        stmt = parse_one(
+            "ALTER TABLE users ADD COLUMN crdb_region crdb_internal_region "
+            "NOT VISIBLE NOT NULL DEFAULT gateway_region()")
+        assert isinstance(stmt, ast.AlterTableAddColumn)
+        assert stmt.column.name == "crdb_region"
+        assert not stmt.column.visible
+
+
+class TestDML:
+    def test_insert_multi_row(self):
+        stmt = parse_one(
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 2
+
+    def test_select_star_where(self):
+        stmt = parse_one("SELECT * FROM users WHERE email = 'some-email'")
+        assert stmt.columns == ["*"]
+        assert isinstance(stmt.where, ast.Comparison)
+
+    def test_select_with_limit(self):
+        stmt = parse_one("SELECT a FROM t WHERE b = 1 LIMIT 5")
+        assert stmt.limit == 5
+
+    def test_select_in_list(self):
+        stmt = parse_one("SELECT * FROM t WHERE id IN (1, 2, 3)")
+        assert isinstance(stmt.where, ast.InList)
+        assert len(stmt.where.values) == 3
+
+    def test_select_and_conditions(self):
+        stmt = parse_one("SELECT * FROM t WHERE a = 1 AND b = 2")
+        assert isinstance(stmt.where, ast.LogicalAnd)
+
+    def test_as_of_exact(self):
+        stmt = parse_one("SELECT * FROM t AS OF SYSTEM TIME '-30s'")
+        assert stmt.as_of.kind == "exact"
+
+    def test_as_of_min_timestamp(self):
+        stmt = parse_one("SELECT * FROM t AS OF SYSTEM TIME "
+                         "with_min_timestamp('2021-01-02')")
+        assert stmt.as_of.kind == "min_timestamp"
+
+    def test_as_of_max_staleness(self):
+        stmt = parse_one("SELECT * FROM t AS OF SYSTEM TIME "
+                         "with_max_staleness('30s') WHERE id = 1")
+        assert stmt.as_of.kind == "max_staleness"
+        assert stmt.where is not None
+
+    def test_update(self):
+        stmt = parse_one("UPDATE t SET a = 1, b = 'x' WHERE id = 9")
+        assert stmt.assignments[0] == ("a", ast.Literal(1))
+        assert len(stmt.assignments) == 2
+
+    def test_delete(self):
+        stmt = parse_one("DELETE FROM t WHERE id = 3")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_show_regions(self):
+        stmt = parse_one("SHOW REGIONS FROM DATABASE movr")
+        assert stmt.from_database == "movr"
+
+
+class TestScripts:
+    def test_multi_statement_script(self):
+        statements = parse("CREATE DATABASE a; CREATE DATABASE b;")
+        assert len(statements) == 2
+
+    def test_parse_one_rejects_scripts(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_one("SELECT * FROM a; SELECT * FROM b")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_one("GRANT ALL ON t TO bob")
+
+    def test_error_reports_offset(self):
+        with pytest.raises(SqlSyntaxError, match="offset"):
+            parse_one("SELECT FROM WHERE")

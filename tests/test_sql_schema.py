@@ -1,0 +1,264 @@
+"""Tests for multi-region schema changes (paper §2, §3.3)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SchemaError
+from repro.sql import DEFAULT_PARTITION, REGION_COLUMN, TableLocality
+
+from .sql_util import REGIONS3, REGIONS5, connect, make_engine, movr_engine
+
+
+class TestCreateDatabase:
+    def test_regions_recorded(self):
+        engine, session = movr_engine()
+        database = engine.catalog.database("movr")
+        assert database.primary_region == "us-east1"
+        assert database.regions == REGIONS3
+
+    def test_region_must_have_nodes(self):
+        engine = make_engine()
+        session = engine.connect("us-east1")
+        with pytest.raises(SchemaError):
+            session.execute('CREATE DATABASE bad PRIMARY REGION "mars"')
+
+    def test_show_regions(self):
+        engine, session = movr_engine()
+        assert session.execute("SHOW REGIONS FROM DATABASE movr") == REGIONS3
+
+
+class TestTableLocalities:
+    def test_regional_by_table_default(self):
+        """REGIONAL BY TABLE in the PRIMARY region is the default (§2.3.1)."""
+        engine, session = movr_engine()
+        session.execute("CREATE TABLE plain (id int PRIMARY KEY)")
+        table = engine.catalog.database("movr").table("plain")
+        assert table.locality.is_regional_by_table
+        assert table.home_region() == "us-east1"
+
+    def test_regional_by_table_in_region(self):
+        engine, session = movr_engine()
+        session.execute('CREATE TABLE west (id int PRIMARY KEY) '
+                        'LOCALITY REGIONAL BY TABLE IN "us-west1"')
+        table = engine.catalog.database("movr").table("west")
+        assert table.home_region() == "us-west1"
+        rng = table.primary_index.partitions[DEFAULT_PARTITION]
+        assert rng.leaseholder_node.locality.region == "us-west1"
+
+    def test_regional_by_row_creates_hidden_column(self):
+        """§2.3.2: crdb_region appears, hidden, defaulting to
+        gateway_region()."""
+        engine, session = movr_engine()
+        table = engine.catalog.database("movr").table("users")
+        column = table.columns[REGION_COLUMN]
+        assert not column.visible
+        assert column.not_null
+        assert column.default.name == "gateway_region"
+
+    def test_regional_by_row_partitions_per_region(self):
+        engine, session = movr_engine()
+        table = engine.catalog.database("movr").table("users")
+        for index in table.indexes:
+            assert sorted(index.partitions.keys()) == sorted(REGIONS3)
+
+    def test_regional_by_row_secondary_indexes_partitioned(self):
+        """§2.5: secondary indexes are partitioned like the primary."""
+        engine, session = movr_engine()
+        table = engine.catalog.database("movr").table("users")
+        email_index = [i for i in table.indexes if not i.is_primary][0]
+        assert email_index.partitioned
+        assert sorted(email_index.partitions.keys()) == sorted(REGIONS3)
+
+    def test_regional_by_row_leaseholders_in_home_region(self):
+        engine, session = movr_engine()
+        table = engine.catalog.database("movr").table("users")
+        for region, rng in table.primary_index.partitions.items():
+            assert rng.leaseholder_node.locality.region == region
+
+    def test_global_table_lead_policy(self):
+        engine, session = movr_engine()
+        table = engine.catalog.database("movr").table("promo_codes")
+        rng = table.primary_index.partitions[DEFAULT_PARTITION]
+        assert rng.policy.leads
+        assert rng.leaseholder_node.locality.region == "us-east1"
+
+    def test_global_table_replica_in_every_region(self):
+        engine, session = movr_engine()
+        table = engine.catalog.database("movr").table("promo_codes")
+        rng = table.primary_index.partitions[DEFAULT_PARTITION]
+        regions = {r.node.locality.region for r in rng.replicas.values()}
+        assert regions == set(REGIONS3)
+
+    def test_primary_key_required(self):
+        engine, session = movr_engine()
+        with pytest.raises(SchemaError):
+            session.execute("CREATE TABLE nopk (a int)")
+
+
+class TestAlterLocality:
+    def test_alter_to_global(self):
+        engine, session = movr_engine()
+        session.execute("CREATE TABLE ref (id int PRIMARY KEY, v string)")
+        session.execute("INSERT INTO ref (id, v) VALUES (1, 'one')")
+        session.execute("ALTER TABLE ref SET LOCALITY GLOBAL")
+        table = engine.catalog.database("movr").table("ref")
+        assert table.locality.is_global
+        rng = table.primary_index.partitions[DEFAULT_PARTITION]
+        assert rng.policy.leads
+        # Data survived the rebuild.
+        assert session.execute("SELECT v FROM ref WHERE id = 1") == \
+            [{"v": "one"}]
+
+    def test_alter_to_regional_by_row(self):
+        """§2.4.2: converting re-partitions all indexes; existing rows
+        land in the PRIMARY region."""
+        engine, session = movr_engine()
+        session.execute("CREATE TABLE t (id int PRIMARY KEY, v string)")
+        session.execute("INSERT INTO t (id, v) VALUES (7, 'x')")
+        session.execute("ALTER TABLE t SET LOCALITY REGIONAL BY ROW")
+        table = engine.catalog.database("movr").table("t")
+        assert table.locality.is_regional_by_row
+        assert sorted(table.primary_index.partitions.keys()) == \
+            sorted(REGIONS3)
+        rows = session.execute("SELECT * FROM t WHERE id = 7")
+        assert rows == [{"id": 7, "v": "x"}]
+        # The row is homed in the primary region.
+        hidden = session.execute(
+            "SELECT crdb_region FROM t WHERE id = 7")
+        assert hidden == [{"crdb_region": "us-east1"}]
+
+    def test_alter_rbr_to_regional_by_table(self):
+        engine, session = movr_engine()
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (1, 'a@x', 'A')")
+        session.execute("ALTER TABLE users SET LOCALITY "
+                        'REGIONAL BY TABLE IN "us-west1"')
+        table = engine.catalog.database("movr").table("users")
+        assert table.locality.is_regional_by_table
+        assert session.execute("SELECT name FROM users WHERE id = 1") == \
+            [{"name": "A"}]
+
+
+class TestAddDropRegion:
+    def test_add_region_extends_partitions(self):
+        engine, session = movr_engine(regions=REGIONS5[:4])
+        session.execute('ALTER DATABASE movr DROP REGION "asia-northeast1"')
+        session.execute('ALTER DATABASE movr ADD REGION "asia-northeast1"')
+        database = engine.catalog.database("movr")
+        assert "asia-northeast1" in database.regions
+        table = database.table("users")
+        assert "asia-northeast1" in table.primary_index.partitions
+
+    def test_add_region_needs_nodes(self):
+        engine, session = movr_engine()
+        with pytest.raises(SchemaError):
+            session.execute('ALTER DATABASE movr ADD REGION "nowhere"')
+
+    def test_drop_region_removes_partition(self):
+        engine, session = movr_engine()
+        session.execute('ALTER DATABASE movr DROP REGION "europe-west2"')
+        database = engine.catalog.database("movr")
+        assert "europe-west2" not in database.regions
+        assert "europe-west2" not in \
+            database.table("users").primary_index.partitions
+
+    def test_drop_region_with_rows_fails_atomically(self):
+        """§2.4.1: validation fails => rollback, region stays writable."""
+        engine, session = movr_engine()
+        west = connect(engine, "us-west1")
+        west.execute("INSERT INTO users (id, email, name) "
+                     "VALUES (5, 'w@x', 'W')")
+        with pytest.raises(SchemaError, match="still has"):
+            session.execute('ALTER DATABASE movr DROP REGION "us-west1"')
+        database = engine.catalog.database("movr")
+        assert "us-west1" in database.regions
+        assert not database.region_enum.is_read_only("us-west1")
+        # Still writable afterwards.
+        west.execute("INSERT INTO users (id, email, name) "
+                     "VALUES (6, 'w2@x', 'W2')")
+
+    def test_drop_primary_region_rejected(self):
+        engine, session = movr_engine()
+        with pytest.raises(SchemaError):
+            session.execute('ALTER DATABASE movr DROP REGION "us-east1"')
+
+    def test_read_only_region_value_rejected_on_write(self):
+        engine, session = movr_engine()
+        database = engine.catalog.database("movr")
+        database.region_enum.set_read_only("us-west1", True)
+        west = connect(engine, "us-west1")
+        with pytest.raises(SchemaError, match="READ ONLY"):
+            west.execute("INSERT INTO users (id, email, name) "
+                         "VALUES (9, 'r@x', 'R')")
+
+
+class TestSurvivabilityChanges:
+    def test_survive_region_failure_reconfigures(self):
+        engine, session = movr_engine()
+        session.execute("ALTER DATABASE movr SURVIVE REGION FAILURE")
+        database = engine.catalog.database("movr")
+        assert database.survival_goal == "region"
+        table = database.table("users")
+        for region, rng in table.primary_index.partitions.items():
+            assert len(rng.group.voters()) == 5
+            home_voters = [v for v in rng.group.voters()
+                           if v.node.locality.region == region]
+            assert len(home_voters) == 2
+
+    def test_survive_region_needs_three_regions(self):
+        engine = make_engine(["us-east1", "us-west1"])
+        session = engine.connect("us-east1")
+        session.execute('CREATE DATABASE d PRIMARY REGION "us-east1" '
+                        'REGIONS "us-west1"')
+        with pytest.raises(ConfigurationError):
+            session.execute("ALTER DATABASE d SURVIVE REGION FAILURE")
+
+    def test_region_survival_tolerates_home_region_loss(self):
+        engine, session = movr_engine()
+        session.execute("ALTER DATABASE movr SURVIVE REGION FAILURE")
+        table = engine.catalog.database("movr").table("users")
+        rng = table.primary_index.partitions["us-east1"]
+        for node in engine.cluster.nodes_in_region("us-east1"):
+            engine.cluster.network.kill_node(node.node_id)
+        assert rng.group.has_quorum()
+
+
+class TestPlacementRestricted:
+    def test_restricted_removes_remote_replicas(self):
+        """§3.3.4: no replicas outside the home region for REGIONAL
+        tables under PLACEMENT RESTRICTED."""
+        engine, session = movr_engine()
+        session.execute("ALTER DATABASE movr PLACEMENT RESTRICTED")
+        table = engine.catalog.database("movr").table("users")
+        for region, rng in table.primary_index.partitions.items():
+            regions = {r.node.locality.region for r in rng.replicas.values()}
+            assert regions == {region}
+
+    def test_restricted_does_not_affect_global_tables(self):
+        engine, session = movr_engine()
+        session.execute("ALTER DATABASE movr PLACEMENT RESTRICTED")
+        table = engine.catalog.database("movr").table("promo_codes")
+        rng = list(table.primary_index.partitions.values())[0]
+        regions = {r.node.locality.region for r in rng.replicas.values()}
+        assert regions == set(REGIONS3)
+
+    def test_restricted_incompatible_with_region_survival(self):
+        engine, session = movr_engine()
+        session.execute("ALTER DATABASE movr SURVIVE REGION FAILURE")
+        with pytest.raises(ConfigurationError):
+            session.execute("ALTER DATABASE movr PLACEMENT RESTRICTED")
+
+
+class TestSecondaryIndexes:
+    def test_create_unique_index_backfills(self):
+        engine, session = movr_engine()
+        session.execute("INSERT INTO users (id, email, name) "
+                        "VALUES (1, 'a@x', 'A')")
+        session.execute("CREATE UNIQUE INDEX by_name ON users (name)")
+        rows = session.execute("SELECT email FROM users WHERE name = 'A'")
+        assert rows == [{"email": "a@x"}]
+
+    def test_drop_table(self):
+        engine, session = movr_engine()
+        session.execute("DROP TABLE promo_codes")
+        with pytest.raises(SchemaError):
+            session.execute("SELECT * FROM promo_codes WHERE code = 'x'")

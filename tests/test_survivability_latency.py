@@ -1,0 +1,53 @@
+"""§2.2's latency contract for survivability goals.
+
+"REGION survivability ... comes at a cost: write latency is increased
+by at least the round-trip time to the nearest region. Read performance
+is unaffected."
+"""
+
+import pytest
+
+from .kv_util import KVTestBed, REGIONS5
+
+PRIMARY = "us-east1"
+
+
+def _latencies(goal):
+    bed = KVTestBed(regions=REGIONS5, goal=goal, jitter_fraction=0.0)
+    rng = bed.make_range(PRIMARY)
+    _, write_ms = bed.do_write(PRIMARY, rng, "k", "v")
+    # Let intent resolution finish (under REGION survival it needs a
+    # cross-region quorum; a read racing it would block on the lock —
+    # tail behaviour, not the steady-state §2.2 talks about).
+    bed.settle(500.0)
+    _, read_ms = bed.do_read(PRIMARY, rng, "k")
+    return write_ms, read_ms
+
+
+class TestSurvivabilityLatency:
+    def test_zone_survival_writes_local(self):
+        write_ms, _read = _latencies("zone")
+        assert write_ms < 10.0
+
+    def test_region_survival_writes_pay_nearest_region_rtt(self):
+        write_ms, _read = _latencies("region")
+        # Nearest region to us-east1 is us-west1 (63 ms RTT): the quorum
+        # (3 of 5, two voters local) needs one remote ack.
+        assert write_ms >= 63.0
+        # But not the furthest region's RTT: quorum, not full replication.
+        assert write_ms < 150.0
+
+    def test_reads_unaffected_by_goal(self):
+        _w_zone, read_zone = _latencies("zone")
+        _w_region, read_region = _latencies("region")
+        assert read_zone < 10.0
+        assert read_region < 10.0
+
+    def test_commit_acknowledged_before_full_replication(self):
+        """The quorum ack (not the furthest replica) gates the client."""
+        bed = KVTestBed(regions=REGIONS5, goal="region",
+                        jitter_fraction=0.0)
+        rng = bed.make_range(PRIMARY)
+        _, write_ms = bed.do_write(PRIMARY, rng, "k", "v")
+        furthest_one_way = rng.replicate_latency_ms()
+        assert write_ms < 2 * furthest_one_way

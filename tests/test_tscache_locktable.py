@@ -1,0 +1,199 @@
+"""Tests for the timestamp cache and the lock table."""
+
+import pytest
+
+from repro.errors import TransactionAbortedError
+from repro.sim.clock import Timestamp, TS_ZERO
+from repro.sim.core import Simulator
+from repro.storage.locktable import LockTable
+from repro.storage.tscache import TimestampCache
+
+
+def ts(physical, logical=0):
+    return Timestamp(physical, logical)
+
+
+class TestTimestampCache:
+    def test_empty_returns_low_water(self):
+        cache = TimestampCache(low_water=ts(5))
+        assert cache.high_water("k") == ts(5)
+
+    def test_record_and_lookup(self):
+        cache = TimestampCache()
+        cache.record_read("k", ts(10))
+        assert cache.high_water("k") == ts(10)
+
+    def test_record_keeps_max(self):
+        cache = TimestampCache()
+        cache.record_read("k", ts(10))
+        cache.record_read("k", ts(5))
+        assert cache.high_water("k") == ts(10)
+
+    def test_min_write_ts_above_reads(self):
+        cache = TimestampCache()
+        cache.record_read("k", ts(10))
+        bumped = cache.min_write_ts("k", ts(7))
+        assert bumped > ts(10)
+
+    def test_min_write_ts_unchanged_when_clear(self):
+        cache = TimestampCache()
+        assert cache.min_write_ts("k", ts(7)) == ts(7)
+
+    def test_write_at_exact_read_ts_bumped(self):
+        cache = TimestampCache()
+        cache.record_read("k", ts(10))
+        assert cache.min_write_ts("k", ts(10)) == ts(10).next()
+
+    def test_raise_low_water_compacts(self):
+        cache = TimestampCache()
+        cache.record_read("a", ts(3))
+        cache.record_read("b", ts(30))
+        cache.raise_low_water(ts(10))
+        assert cache.high_water("a") == ts(10)
+        assert cache.high_water("b") == ts(30)
+
+    def test_low_water_never_regresses(self):
+        cache = TimestampCache(low_water=ts(50))
+        cache.raise_low_water(ts(10))
+        assert cache.low_water == ts(50)
+
+
+class TestLockTable:
+    def test_wait_with_no_holder_resolves_immediately(self):
+        sim = Simulator()
+        table = LockTable(sim)
+
+        def proc():
+            yield table.wait_for("k", waiter_txn_id=1)
+            return sim.now
+
+        assert sim.run_process(proc()) == 0.0
+
+    def test_wait_until_release(self):
+        sim = Simulator()
+        table = LockTable(sim)
+        table.note_holder("k", 1, ts(5))
+
+        def waiter():
+            yield table.wait_for("k", waiter_txn_id=2)
+            return sim.now
+
+        process = sim.spawn(waiter())
+        sim.call_after(10.0, table.release, "k", 1)
+        sim.run()
+        assert process.value == 10.0
+
+    def test_release_by_non_holder_ignored(self):
+        sim = Simulator()
+        table = LockTable(sim)
+        table.note_holder("k", 1, ts(5))
+        table.release("k", 99)
+        assert table.holder_of("k").txn_id == 1
+
+    def test_multiple_waiters_all_released(self):
+        sim = Simulator()
+        table = LockTable(sim)
+        table.note_holder("k", 1, ts(5))
+        done = []
+
+        def waiter(name):
+            yield table.wait_for("k", waiter_txn_id=None)
+            done.append(name)
+
+        sim.spawn(waiter("a"))
+        sim.spawn(waiter("b"))
+        sim.call_after(5.0, table.release, "k", 1)
+        sim.run()
+        assert sorted(done) == ["a", "b"]
+
+    def test_waiter_count(self):
+        sim = Simulator()
+        table = LockTable(sim)
+        table.note_holder("k", 1, ts(5))
+        table.wait_for("k", 2)
+        table.wait_for("k", 3)
+        assert table.waiter_count("k") == 2
+        table.release("k", 1)
+        assert table.waiter_count("k") == 0
+
+    def test_deadlock_detected(self):
+        sim = Simulator()
+        table = LockTable(sim)
+        # txn 1 holds a; txn 2 holds b; txn 1 waits for b; txn 2 waits
+        # for a -> cycle, second waiter must be rejected.
+        table.note_holder("a", 1, ts(1))
+        table.note_holder("b", 2, ts(1))
+        table.wait_for("b", waiter_txn_id=1)
+
+        def proc():
+            try:
+                yield table.wait_for("a", waiter_txn_id=2)
+            except TransactionAbortedError:
+                return "deadlock"
+            return "ok"
+
+        assert sim.run_process(proc()) == "deadlock"
+
+    def test_three_party_deadlock_detected(self):
+        sim = Simulator()
+        table = LockTable(sim)
+        table.note_holder("a", 1, ts(1))
+        table.note_holder("b", 2, ts(1))
+        table.note_holder("c", 3, ts(1))
+        table.wait_for("b", waiter_txn_id=1)
+        table.wait_for("c", waiter_txn_id=2)
+
+        def proc():
+            try:
+                yield table.wait_for("a", waiter_txn_id=3)
+            except TransactionAbortedError:
+                return "deadlock"
+            return "ok"
+
+        assert sim.run_process(proc()) == "deadlock"
+
+    def test_no_false_deadlock_for_chain(self):
+        sim = Simulator()
+        table = LockTable(sim)
+        table.note_holder("a", 1, ts(1))
+        table.note_holder("b", 2, ts(1))
+        # txn 3 waits on a (held by 1); txn 1 waits on b (held by 2);
+        # no cycle.
+        done = []
+
+        def waiter(key, txn):
+            yield table.wait_for(key, waiter_txn_id=txn)
+            done.append(txn)
+
+        sim.spawn(waiter("a", 3))
+        sim.spawn(waiter("b", 1))
+        sim.call_after(1.0, table.release, "a", 1)
+        sim.call_after(2.0, table.release, "b", 2)
+        sim.run()
+        assert sorted(done) == [1, 3]
+
+    def test_wait_edges_cleared_after_release(self):
+        sim = Simulator()
+        table = LockTable(sim)
+        table.note_holder("a", 1, ts(1))
+
+        def waiter():
+            yield table.wait_for("a", waiter_txn_id=2)
+            return "done"
+
+        process = sim.spawn(waiter())
+        sim.call_after(1.0, table.release, "a", 1)
+        sim.run()
+        assert process.value == "done"
+        # txn 2 no longer waits; a new wait by txn 1 on a lock held by 2
+        # must not be a false positive.
+        table.note_holder("x", 2, ts(2))
+
+        def proc():
+            result_holder = []
+            fut = table.wait_for("x", waiter_txn_id=1)
+            table.release("x", 2)
+            yield fut
+            return "ok"
+
+        assert sim.run_process(proc()) == "ok"
