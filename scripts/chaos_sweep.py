@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Tier-2 chaos sweep: every built-in nemesis scenario across N seeds.
+
+Usage::
+
+    python scripts/chaos_sweep.py [--seeds N] [--scenario NAME] [-v]
+
+Prints one line per run plus the full report for any failure, and
+exits non-zero if any invariant is violated or any run crashes.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.chaos import SCENARIOS, run_scenario  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=5,
+                        help="seeds 0..N-1 per scenario (default 5)")
+    parser.add_argument("--scenario", default=None,
+                        help="run only this scenario (default: all)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print the full report for every run")
+    args = parser.parse_args(argv)
+
+    names = sorted(SCENARIOS) if args.scenario is None else [args.scenario]
+    for name in names:
+        if name not in SCENARIOS:
+            print(f"unknown scenario {name!r}; known: "
+                  f"{', '.join(sorted(SCENARIOS))}", file=sys.stderr)
+            return 2
+
+    failures = 0
+    for name in names:
+        for seed in range(args.seeds):
+            start = time.time()
+            try:
+                result = run_scenario(name, seed)
+            except Exception as exc:  # noqa: BLE001 - report and keep going
+                failures += 1
+                print(f"CRASH  {name:16s} seed={seed}: "
+                      f"{type(exc).__name__}: {exc}")
+                continue
+            wall = time.time() - start
+            verdict = "ok    " if result.ok else "FAIL  "
+            counts = result.history.counts()
+            print(f"{verdict} {name:16s} seed={seed} "
+                  f"ops={len(result.history.ops)} "
+                  f"ok/fail/amb={counts['ok']}/{counts['fail']}/"
+                  f"{counts['indeterminate']} "
+                  f"failovers={result.stats.get('failovers', 0)} "
+                  f"[{wall:.1f}s]")
+            if args.verbose or not result.ok:
+                print(result.render())
+            if not result.ok:
+                failures += 1
+    total = len(names) * args.seeds
+    print(f"\n{total - failures}/{total} runs clean")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,14 @@ Usage::
     python -m repro table1
     python -m repro fig3 [--quick]
     python -m repro all [--quick]
+    python -m repro chaos list
+    python -m repro chaos region-blackout [--seed N]
+    python -m repro chaos all --seeds 5
 
 ``--quick`` shrinks client/op counts (~5x faster, coarser percentiles).
+``chaos`` runs a nemesis fault-injection scenario and prints the
+invariant report plus an availability/latency timeline; it exits
+non-zero if any invariant is violated.
 """
 
 from __future__ import annotations
@@ -97,7 +103,47 @@ EXPERIMENTS: Dict[str, Callable[[bool], None]] = {
 }
 
 
+def _chaos_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Run a nemesis chaos scenario and audit invariants.")
+    parser.add_argument("scenario",
+                        help="scenario name, 'all', or 'list'")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="single seed to run (default 0)")
+    parser.add_argument("--seeds", type=int, default=1, metavar="K",
+                        help="run seeds 0..K-1 instead of --seed")
+    args = parser.parse_args(argv)
+
+    from .chaos import SCENARIOS, run_scenario
+
+    if args.scenario == "list":
+        for name in sorted(SCENARIOS):
+            print(name)
+        return 0
+    names = sorted(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    for name in names:
+        if name not in SCENARIOS:
+            print(f"unknown scenario {name!r} (try 'list')", file=sys.stderr)
+            return 2
+    seeds = list(range(args.seeds)) if args.seeds > 1 else [args.seed]
+    violated = False
+    for name in names:
+        for seed in seeds:
+            start = time.time()
+            result = run_scenario(name, seed)
+            print(result.render())
+            print(f"[{name} seed={seed} finished in "
+                  f"{time.time() - start:.1f}s wall]\n")
+            violated = violated or not result.ok
+    return 1 if violated else 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "chaos":
+        return _chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's evaluation tables and figures.")

@@ -27,8 +27,12 @@ class Cluster:
                  skew_fraction: float = 0.5, seed: int = 0):
         self.sim = sim
         self.network = network
+        self.seed = seed
         self.skew = SkewModel(max_clock_offset, seed=seed,
                               skew_fraction=skew_fraction)
+        # Crash-restart support: a restarted node keeps its durable
+        # state but must catch up on Raft traffic it missed.
+        network.on_node_restart(self._catch_up_restarted_node)
         self.nodes: List[Node] = []
         #: Shared wait-for graph for cross-range deadlock detection.
         self.wait_graph = WaitGraph()
@@ -69,6 +73,24 @@ class Cluster:
     def remove_node(self, node: Node) -> None:
         node.alive = False
         self.network.kill_node(node.node_id)
+
+    # -- crash / restart ---------------------------------------------------
+
+    def crash_node(self, node_id: int) -> None:
+        """Crash a node: unreachable, but its durable state survives."""
+        self.network.crash_node(node_id)
+
+    def restart_node(self, node_id: int) -> None:
+        """Restart a crashed node; it rejoins and catches up on Raft."""
+        self.network.restart_node(node_id)
+
+    def _catch_up_restarted_node(self, node_id: int) -> None:
+        try:
+            node = self.node_by_id(node_id)
+        except KeyError:
+            return
+        for replica in node.replicas.values():
+            replica.range.group.resync_peer(node_id)
 
     def allocate_range_id(self) -> int:
         range_id = self._next_range_id
@@ -126,7 +148,7 @@ def standard_cluster(regions: Sequence[str],
     sim = Simulator()
     latency = LatencyModel(rtt_matrix=rtt_matrix, seed=seed,
                            jitter_fraction=jitter_fraction)
-    network = Network(sim, latency)
+    network = Network(sim, latency, seed=seed)
     cluster = Cluster(sim, network, max_clock_offset=max_clock_offset,
                       skew_fraction=skew_fraction, seed=seed)
     for region in regions:

@@ -16,6 +16,7 @@ __all__ = [
     "WriteTooOldError",
     "TransactionRetryError",
     "TransactionAbortedError",
+    "AmbiguousCommitError",
     "RangeUnavailableError",
     "NotLeaseholderError",
     "FollowerReadNotAvailableError",
@@ -80,6 +81,23 @@ class TransactionRetryError(DatabaseError):
 
 class TransactionAbortedError(DatabaseError):
     """The transaction was aborted (pushed or explicitly)."""
+
+
+class AmbiguousCommitError(DatabaseError):
+    """The commit RPC failed after the commit may have applied.
+
+    Raised when the transaction-record write is lost to a network
+    failure and the coordinator cannot prove either outcome.  Clients
+    must treat the transaction as *indeterminate* — retrying it blindly
+    could double-apply its effects (CRDB's ``AmbiguousResultError``).
+    """
+
+    def __init__(self, txn_id: int, commit_ts=None):
+        super().__init__(
+            f"txn {txn_id}: commit outcome unknown (RPC failed after "
+            f"the commit may have replicated)")
+        self.txn_id = txn_id
+        self.commit_ts = commit_ts
 
 
 class RangeUnavailableError(DatabaseError):

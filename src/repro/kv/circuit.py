@@ -1,0 +1,104 @@
+"""Per-replica circuit breaker for the DistSender.
+
+Mirrors CockroachDB's per-replica circuit breakers: a replica that
+repeatedly fails RPCs is skipped for a cooldown window, after which a
+single probe request is let through; a successful probe closes the
+breaker, a failed one re-opens it.  This keeps gray (slow-but-alive)
+and freshly-dead replicas off the hot path without waiting out a full
+RPC timeout per request.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["CircuitBreaker", "BreakerState"]
+
+
+class BreakerState:
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-counting breaker for one destination node."""
+
+    def __init__(self, failure_threshold: int = 3,
+                 cooldown_ms: float = 500.0):
+        self.failure_threshold = failure_threshold
+        self.cooldown_ms = cooldown_ms
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_ms = 0.0
+        self.trips = 0
+        self._probe_inflight = False
+
+    def allow(self, now_ms: float) -> bool:
+        """May a request be sent now?  Transitions OPEN → HALF_OPEN when
+        the cooldown has elapsed (the caller becomes the probe)."""
+        if self.state == BreakerState.CLOSED:
+            return True
+        if self.state == BreakerState.OPEN:
+            if now_ms - self.opened_at_ms < self.cooldown_ms:
+                return False
+            self.state = BreakerState.HALF_OPEN
+            self._probe_inflight = False
+        # HALF_OPEN: exactly one probe at a time.
+        if self._probe_inflight:
+            return False
+        self._probe_inflight = True
+        return True
+
+    def record_success(self) -> None:
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self._probe_inflight = False
+
+    def record_failure(self, now_ms: float) -> None:
+        self.consecutive_failures += 1
+        self._probe_inflight = False
+        if self.state == BreakerState.HALF_OPEN:
+            # Failed probe: back to a full cooldown.
+            self.state = BreakerState.OPEN
+            self.opened_at_ms = now_ms
+            return
+        if (self.state == BreakerState.CLOSED
+                and self.consecutive_failures >= self.failure_threshold):
+            self.state = BreakerState.OPEN
+            self.opened_at_ms = now_ms
+            self.trips += 1
+
+    @property
+    def is_open(self) -> bool:
+        return self.state == BreakerState.OPEN
+
+    def blocked(self, now_ms: float) -> bool:
+        """Non-mutating probe-free check (for replica *selection*; use
+        :meth:`allow` on the actual send path)."""
+        return (self.state == BreakerState.OPEN
+                and now_ms - self.opened_at_ms < self.cooldown_ms)
+
+
+class BreakerSet:
+    """Lazy per-node breaker collection."""
+
+    def __init__(self, failure_threshold: int = 3,
+                 cooldown_ms: float = 500.0):
+        self.failure_threshold = failure_threshold
+        self.cooldown_ms = cooldown_ms
+        self._breakers: Dict[int, CircuitBreaker] = {}
+
+    def for_node(self, node_id: int) -> CircuitBreaker:
+        breaker = self._breakers.get(node_id)
+        if breaker is None:
+            breaker = CircuitBreaker(self.failure_threshold,
+                                     self.cooldown_ms)
+            self._breakers[node_id] = breaker
+        return breaker
+
+    def total_trips(self) -> int:
+        return sum(b.trips for b in self._breakers.values())
+
+
+__all__.append("BreakerSet")

@@ -12,6 +12,7 @@ Fresh writes always go to the leaseholder.  Reads are routed by policy:
 
 from __future__ import annotations
 
+import random
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from ..errors import (
@@ -20,8 +21,11 @@ from ..errors import (
     WriteIntentError,
 )
 from ..sim.clock import Timestamp
-from ..sim.core import Future, all_of
+from ..sim.core import Future, all_of, with_timeout
+from ..sim.network import NetworkUnavailableError, RpcTimeoutError
+from ..sim.retry import ExponentialBackoff
 from ..storage.mvcc import ReadResult
+from .circuit import BreakerSet
 from .range import Range
 
 __all__ = ["DistSender", "ReadRouting"]
@@ -49,24 +53,57 @@ class DistSender:
     paper's deployed behaviour).
     """
 
-    def __init__(self, cluster, adaptive_follower_wait_ms: float = 0.0):
+    #: Per-RPC timeout for leaseholder calls; generous so only genuinely
+    #: lost RPCs (dropped packets, gray nodes) trip it, never a slow but
+    #: progressing consensus round or lock wait.
+    RPC_TIMEOUT_MS = 5000.0
+
+    def __init__(self, cluster, adaptive_follower_wait_ms: float = 0.0,
+                 rpc_timeout_ms: Optional[float] = RPC_TIMEOUT_MS,
+                 rpc_max_attempts: int = 3,
+                 auto_failover: bool = True,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown_ms: float = 500.0):
         self.cluster = cluster
         self.network = cluster.network
         self.adaptive_follower_wait_ms = adaptive_follower_wait_ms
+        self.rpc_timeout_ms = rpc_timeout_ms
+        self.rpc_max_attempts = max(1, rpc_max_attempts)
+        self.auto_failover = auto_failover
+        self.breakers = BreakerSet(breaker_threshold, breaker_cooldown_ms)
+        self._retry_rng = random.Random(
+            (getattr(cluster, "seed", 0) << 8) ^ 0xD157)
         #: Counters for tests/ablations.
         self.follower_read_fallbacks = 0
         self.follower_reads_served = 0
+        self.rpc_retries = 0
+        self.failovers_triggered = 0
 
     # -- replica selection -----------------------------------------------------
 
     def nearest_replica(self, gateway, rng: Range):
-        """The live replica cheapest to reach from ``gateway``."""
+        """The live, reachable replica cheapest to reach from ``gateway``.
+
+        Replicas behind an open circuit breaker or an (asymmetric)
+        partition are skipped so chaos cannot route reads into a black
+        hole."""
         latency = self.network.latency
+        now = self.cluster.sim.now
+        # A dead gateway node is still a valid locality vantage point
+        # (the client process is separate from the store): only filter
+        # on reachability when the gateway itself is up.
+        gateway_up = not self.network.node_is_dead(gateway.node_id)
         best = None
         best_cost = None
         for replica in rng.replicas.values():
             node = replica.node
             if self.network.node_is_dead(node.node_id):
+                continue
+            if gateway_up and node.node_id != gateway.node_id and not (
+                    self.network.reachable(gateway, node)
+                    and self.network.reachable(node, gateway)):
+                continue
+            if self.breakers.for_node(node.node_id).blocked(now):
                 continue
             if node.node_id == gateway.node_id:
                 cost = 0.0
@@ -79,6 +116,67 @@ class DistSender:
         if best is None:
             raise FollowerReadNotAvailableError(rng.range_id, None, None)
         return best
+
+    # -- hardened leaseholder RPC ----------------------------------------------
+
+    def _leaseholder_call(self, gateway, rng: Range, handler) -> Future:
+        """Send ``handler`` to the range's leaseholder with the full
+        robustness kit: per-RPC timeout, seeded exponential backoff with
+        jitter between attempts, a per-replica circuit breaker, and
+        automatic lease failover when the leaseholder is unreachable but
+        quorum survives (paper §4.1 — previously an operator action).
+        """
+        sim = self.cluster.sim
+
+        def attempts() -> Generator:
+            backoff = ExponentialBackoff(rng=self._retry_rng,
+                                         base_ms=10.0, max_ms=400.0)
+            last_error: Optional[BaseException] = None
+            for _attempt in range(self.rpc_max_attempts):
+                if self.network.node_is_dead(gateway.node_id):
+                    # The client's own gateway store is down: fail fast
+                    # instead of blaming (and failing over) a healthy
+                    # leaseholder for our local outage.
+                    raise NetworkUnavailableError(
+                        f"gateway node {gateway.node_id} is down")
+                dst = rng.leaseholder_node
+                breaker = self.breakers.for_node(dst.node_id)
+                if not breaker.allow(sim.now):
+                    # Known-bad leaseholder: try to move the lease right
+                    # away rather than burning a timeout on it.
+                    if self.auto_failover and rng.maybe_failover(
+                            from_node=gateway, force=True):
+                        self.failovers_triggered += 1
+                        continue
+                    last_error = NetworkUnavailableError(
+                        f"node {dst.node_id}: circuit breaker open")
+                    yield sim.sleep(backoff.next_delay())
+                    continue
+                call = self.network.call(gateway, dst, handler)
+                if self.rpc_timeout_ms is not None:
+                    call = with_timeout(
+                        sim, call, self.rpc_timeout_ms,
+                        RpcTimeoutError(
+                            f"rpc to node {dst.node_id} timed out"))
+                try:
+                    value = yield call
+                except NetworkUnavailableError as err:
+                    breaker.record_failure(sim.now)
+                    last_error = err
+                    self.rpc_retries += 1
+                    if self.auto_failover and rng.maybe_failover(
+                            from_node=gateway, force=breaker.is_open):
+                        self.failovers_triggered += 1
+                    yield sim.sleep(backoff.next_delay())
+                    continue
+                except Exception:
+                    # The node answered; the failure is application-level.
+                    breaker.record_success()
+                    raise
+                breaker.record_success()
+                return value
+            raise last_error
+        return sim.spawn(attempts(), name=f"rpc-retry@{gateway.node_id}")
 
     # -- reads -------------------------------------------------------------------
 
@@ -108,9 +206,8 @@ class DistSender:
     def _leaseholder_read(self, gateway, rng: Range, key, ts, txn_id,
                           uncertainty_limit,
                           allow_server_side_bump: bool = False) -> Future:
-        leaseholder = rng.leaseholder_node
-        return self.network.call(
-            gateway, leaseholder,
+        return self._leaseholder_call(
+            gateway, rng,
             lambda: rng.serve_read(key, ts, txn_id, uncertainty_limit,
                                    allow_server_side_bump))
 
@@ -139,9 +236,16 @@ class DistSender:
                 result.resolve(fut._value)
                 return
             if isinstance(error, (FollowerReadNotAvailableError,
-                                  WriteIntentError)):
+                                  WriteIntentError,
+                                  NetworkUnavailableError)):
                 # Redirect to the leaseholder for conflict resolution /
-                # an up-to-date read (paper §5.1.1).
+                # an up-to-date read (paper §5.1.1), or because the
+                # follower died / got cut off mid-read — in which case
+                # its breaker keeps later reads away until it recovers.
+                if isinstance(error, NetworkUnavailableError):
+                    self.breakers.for_node(
+                        replica.node.node_id).record_failure(
+                            self.cluster.sim.now)
                 self.follower_read_fallbacks += 1
                 fallback = self._leaseholder_read(
                     gateway, rng, key, ts, txn_id, uncertainty_limit,
@@ -200,7 +304,8 @@ class DistSender:
             if error is None:
                 result.resolve(fut._value)
                 return
-            if isinstance(error, StaleReadBoundError) and not nearest_only:
+            if isinstance(error, (StaleReadBoundError,
+                                  NetworkUnavailableError)) and not nearest_only:
                 # Route to the leaseholder using the staleness bound as
                 # the read timestamp (paper §5.3.2).
                 fallback = self._leaseholder_read(
@@ -255,39 +360,37 @@ class DistSender:
 
     def write(self, gateway, rng: Range, key: Any, ts: Timestamp, value: Any,
               txn_id: int, anchor_node_id: int) -> Future:
-        """Write an intent; resolves with the timestamp it was laid at."""
-        leaseholder = rng.leaseholder_node
-        return self.network.call(
-            gateway, leaseholder,
+        """Write an intent; resolves with the timestamp it was laid at.
+
+        Safe to retry: re-laying the same transaction's intent is
+        idempotent (it replaces its own intent)."""
+        return self._leaseholder_call(
+            gateway, rng,
             lambda: rng.serve_write(key, ts, value, txn_id, anchor_node_id))
 
     def locking_read(self, gateway, rng: Range, key: Any, ts: Timestamp,
                      txn_id: int, anchor_node_id: int) -> Future:
         """SELECT FOR UPDATE read: resolves with (value, lock_ts)."""
-        leaseholder = rng.leaseholder_node
-        return self.network.call(
-            gateway, leaseholder,
+        return self._leaseholder_call(
+            gateway, rng,
             lambda: rng.serve_locking_read(key, ts, txn_id, anchor_node_id))
 
     def refresh(self, gateway, rng: Range, key: Any, lo: Timestamp,
                 hi: Timestamp, txn_id: int) -> Future:
-        leaseholder = rng.leaseholder_node
-        return self.network.call(
-            gateway, leaseholder,
+        return self._leaseholder_call(
+            gateway, rng,
             lambda: rng.serve_refresh(key, lo, hi, txn_id))
 
     def write_txn_record(self, gateway, rng: Range, txn_id: int, status: str,
                          commit_ts: Optional[Timestamp]) -> Future:
-        leaseholder = rng.leaseholder_node
-        return self.network.call(
-            gateway, leaseholder,
+        return self._leaseholder_call(
+            gateway, rng,
             lambda: rng.serve_txn_record(txn_id, status, commit_ts))
 
     def resolve_intent(self, gateway, rng: Range, key: Any, txn_id: int,
                        commit_ts: Optional[Timestamp]) -> Future:
-        leaseholder = rng.leaseholder_node
-        return self.network.call(
-            gateway, leaseholder,
+        return self._leaseholder_call(
+            gateway, rng,
             lambda: rng.serve_resolve_intent(key, txn_id, commit_ts))
 
     def resolve_intents(self, gateway, spans: Iterable[Tuple[Range, Any]],

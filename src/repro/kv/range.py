@@ -71,6 +71,8 @@ class Range:
         self.lock_table = LockTable(cluster.sim, cluster.wait_graph)
         #: Highest closed timestamp this leaseholder has promised.
         self.closed_emitted: Timestamp = TS_ZERO
+        #: Automatic (non-cooperative) lease failovers performed.
+        self.failovers = 0
         self._side_transport_started = False
         self._destroyed = False
 
@@ -106,11 +108,87 @@ class Range:
         low-water mark covers every read the old lease could have served.
         """
         self.group.transfer_leadership(node_id)
+        self._install_lease(node_id)
+
+    def _install_lease(self, node_id: int) -> None:
         self.leaseholder_node_id = node_id
         new_clock = self.replicas[node_id].node.clock
         low_water = new_clock.now().add(new_clock.max_offset).with_synthetic(False)
         self.ts_cache = TimestampCache(low_water=low_water)
-        self.lock_table = LockTable(self.sim, self.cluster.wait_graph)
+        # The lock table survives the lease move: an in-flight writer's
+        # lock spans evaluation through replication (CRDB's latch span),
+        # and dropping it would let the new leaseholder evaluate a
+        # conflicting write against an intent still in the Raft pipeline.
+        # Orphaned entries are reaped by the waiters' push machinery.
+
+    def failover_lease(self, node_id: Optional[int] = None) -> int:
+        """Non-cooperative lease movement after losing the leaseholder.
+
+        Unlike :meth:`transfer_lease` (a cooperative handoff between two
+        live nodes), this elects a new Raft leader among the surviving
+        voters, repairs the log, and installs the lease on the winner.
+        """
+        winner = self.group.fail_over(node_id)
+        self._install_lease(winner)
+        self.failovers += 1
+        return winner
+
+    def maybe_failover(self, from_node=None, force: bool = False) -> bool:
+        """Automatic lease failover (paper §4.1 survivability).
+
+        Invoked by the DistSender when a leaseholder RPC fails: if the
+        leaseholder is genuinely unreachable (or ``force``, for gray
+        leaseholders that time out while nominally reachable) and a
+        quorum of voters survives, move the lease to the best surviving
+        voter.  Returns True if the lease moved.
+
+        ``from_node`` scopes reachability to the requester's vantage
+        point: a gateway cut off in a minority partition cannot steal
+        the lease away from a healthy majority.
+        """
+        network = self.cluster.network
+        # A dead gateway node is vantage-only (the client process is
+        # separate from the store): don't let its own death make every
+        # candidate look unreachable.
+        if from_node is not None and network.node_is_dead(from_node.node_id):
+            from_node = None
+        lh_id = self.leaseholder_node_id
+        if lh_id is not None and not force:
+            lh_node = self.replicas[lh_id].node
+            if not network.node_is_dead(lh_id) and (
+                    from_node is None
+                    or (network.reachable(from_node, lh_node)
+                        and network.reachable(lh_node, from_node))):
+                return False  # leaseholder looks healthy from here
+        best = None
+        best_key = None
+        quorum = self.group.quorum_size()
+        voters = self.group.voters()
+        for peer in voters:
+            node = peer.node
+            if network.node_is_dead(node.node_id):
+                continue
+            if not self.group.log_complete(peer):
+                continue  # missing committed entries: cannot lead
+            if from_node is not None and not (
+                    network.reachable(from_node, node)
+                    and network.reachable(node, from_node)):
+                continue
+            # The candidate must see a quorum of voters both ways.
+            mutual = sum(
+                1 for other in voters
+                if not network.node_is_dead(other.node.node_id)
+                and network.reachable(node, other.node)
+                and network.reachable(other.node, node))
+            if mutual < quorum:
+                continue
+            key = (peer.last_term, peer.last_index, -node.node_id)
+            if best_key is None or key > best_key:
+                best, best_key = peer, key
+        if best is None or best.node.node_id == lh_id:
+            return False
+        self.failover_lease(best.node.node_id)
+        return True
 
     @property
     def leaseholder_replica(self) -> Replica:

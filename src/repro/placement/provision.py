@@ -23,14 +23,21 @@ __all__ = ["provision_range", "reconfigure_range"]
 def provision_range(cluster, config: ZoneConfig, global_reads: bool = False,
                     name: str = "",
                     side_transport_interval_ms: Optional[float] = None,
-                    closed_ts_lag_ms: Optional[float] = None) -> Range:
+                    closed_ts_lag_ms: Optional[float] = None,
+                    proposal_timeout_ms: Optional[float] = None,
+                    retransmit_interval_ms: Optional[float] = None) -> Range:
     """Create a Range placed per ``config``.
 
     ``global_reads`` selects the future-time closed timestamp policy
     (GLOBAL tables); otherwise the standard lag policy applies.
+
+    ``proposal_timeout_ms`` bounds Raft proposals (needed so writes fail
+    cleanly instead of hanging when quorum is lost) and
+    ``retransmit_interval_ms`` enables leader append retries — both are
+    off by default and switched on by chaos provisioning.
     """
     placement = Allocator(cluster).place(config)
-    rng = Range(cluster, name=name)
+    rng = Range(cluster, name=name, proposal_timeout_ms=proposal_timeout_ms)
     for node in placement.voters:
         rng.add_replica(node, ReplicaType.VOTER)
     for node in placement.non_voters:
@@ -39,6 +46,8 @@ def provision_range(cluster, config: ZoneConfig, global_reads: bool = False,
     _assign_policy(cluster, rng, global_reads, closed_ts_lag_ms,
                    side_transport_interval_ms)
     rng.start_side_transport(side_transport_interval_ms)
+    if retransmit_interval_ms is not None:
+        rng.group.start_retransmission(retransmit_interval_ms)
     return rng
 
 

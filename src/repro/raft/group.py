@@ -50,8 +50,8 @@ class PeerState:
     log: List[Entry] = field(default_factory=list)
     applied_index: int = 0
     closed_ts: Timestamp = TS_ZERO
-    #: Entries received out of order, keyed by index.
-    _staged: Dict[int, Entry] = field(default_factory=dict)
+    #: Out-of-order appends, keyed by index: (entry, predecessor).
+    _staged: Dict[int, Any] = field(default_factory=dict)
     #: Highest commit index this peer has heard of.
     known_commit_index: int = 0
 
@@ -59,12 +59,56 @@ class PeerState:
     def last_index(self) -> int:
         return self.log[-1].index if self.log else 0
 
-    def stage(self, entry: Entry) -> None:
+    @property
+    def last_term(self) -> int:
+        return self.log[-1].term if self.log else 0
+
+    def stage(self, entry: Entry, prev: Optional[Entry] = None,
+              authoritative: bool = False) -> None:
+        """Stage an appended entry; append once contiguous.
+
+        ``prev`` is the sender's log entry immediately before ``entry``
+        (Raft's AppendEntries consistency check): an entry only chains
+        onto a log whose tail *is* that predecessor, so replicas can
+        never build a log mixing stale and current-term suffixes.
+
+        ``authoritative`` marks a delivery from the *current* leader at
+        the *current* term.  Only such a delivery may overwrite a
+        conflicting suffix (Raft's log-matching repair); anything else
+        — a delayed append from a deposed leader — must not clobber the
+        log the current leader is building.
+        """
         if entry.index <= self.last_index:
-            return  # duplicate
-        self._staged[entry.index] = entry
-        while self.last_index + 1 in self._staged:
-            self.log.append(self._staged.pop(self.last_index + 1))
+            existing = self.log[entry.index - 1]
+            if existing is entry:
+                return  # duplicate delivery of an entry we already hold
+            if entry.index <= max(self.applied_index,
+                                  self.known_commit_index):
+                # Known-committed entries are immutable even before they
+                # are applied: rewriting one would let _apply_ready feed
+                # the wrong branch's command to the state machine.
+                return
+            if not authoritative:
+                return  # stale sender may never rewrite a suffix
+            if prev is not (self.log[entry.index - 2]
+                            if entry.index >= 2 else None):
+                return  # predecessor mismatch: wait for a deeper resync
+            # Conflicting suffix was never committed — truncate, take
+            # the current leader's entry instead.
+            del self.log[entry.index - 1:]
+        staged = self._staged.get(entry.index)
+        if staged is None or authoritative:
+            self._staged[entry.index] = (entry, prev)
+        while True:
+            nxt = self._staged.get(self.last_index + 1)
+            if nxt is None:
+                break
+            nxt_entry, nxt_prev = nxt
+            tail = self.log[-1] if self.log else None
+            if nxt_prev is not tail:
+                break  # predecessor mismatch: wait for a resync
+            self.log.append(nxt_entry)
+            del self._staged[nxt_entry.index]
 
 
 class RaftGroup:
@@ -91,6 +135,8 @@ class RaftGroup:
         #: index -> (future, acks set)
         self._inflight: Dict[int, Any] = {}
         self.proposals_committed = 0
+        #: The entry at the current commit index (leader completeness).
+        self._last_committed: Optional[Entry] = None
 
     # -- membership --------------------------------------------------------
 
@@ -122,6 +168,152 @@ class RaftGroup:
         """Move leadership (used for lease transfers and failover)."""
         self.term += 1
         self.set_leader(node_id)
+
+    def fail_over(self, node_id: Optional[int] = None) -> int:
+        """Elect a new leader after losing the old one.
+
+        Candidates are live voters; per Raft's leader-completeness
+        argument the one with the longest log wins (ties break to the
+        lowest node id for determinism).  Proposals the new leader never
+        received are rejected (their clients retry); its uncommitted
+        tail is re-driven under the new term so the commit index can
+        keep advancing.  Returns the new leader's node id.
+        """
+        if node_id is not None:
+            candidate = self.peers.get(node_id)
+            if candidate is None or candidate.replica_type != ReplicaType.VOTER:
+                raise RangeUnavailableError(
+                    f"r{self.range_id}: node {node_id} cannot lead")
+            if not self.log_complete(candidate):
+                # Leader completeness: electing a log that misses
+                # committed entries would lose acknowledged writes.
+                raise RangeUnavailableError(
+                    f"r{self.range_id}: node {node_id} log misses "
+                    f"committed entries (commit {self.commit_index})")
+        else:
+            live = [p for p in self.voters()
+                    if not self.network.node_is_dead(p.node.node_id)
+                    and self.log_complete(p)]
+            if not live:
+                raise RangeUnavailableError(
+                    f"r{self.range_id}: no electable live voter")
+            candidate = max(live, key=lambda p: (p.last_term, p.last_index,
+                                                 -p.node.node_id))
+        self.term += 1
+        self.leader_node_id = candidate.node.node_id
+        # Proposals the new leader does not hold — by index, or by a
+        # *different* entry at the same index (a divergent branch won) —
+        # were never committed (commit requires a quorum, and the new
+        # leader has the most complete live log): their proposers get a
+        # definite failure instead of a phantom ack when the winning
+        # branch's entry at that index commits.
+        for index in sorted(self._inflight):
+            record = self._inflight[index]
+            if (index <= candidate.last_index
+                    and candidate.log[index - 1] is record[2]):
+                continue
+            self._inflight.pop(index)
+            if not record[0].done:
+                record[0].reject(RangeUnavailableError(
+                    f"r{self.range_id}: proposal {index} lost in "
+                    f"failover to node {candidate.node.node_id}"))
+        self._next_index = candidate.last_index + 1
+        candidate.known_commit_index = max(candidate.known_commit_index,
+                                           self.commit_index)
+        self._apply_ready(candidate)
+        # Re-drive the uncommitted tail: count the new leader's durable
+        # copy as an ack and re-replicate to everyone else.
+        for entry in candidate.log[self.commit_index:]:
+            if entry.index not in self._inflight:
+                self._inflight[entry.index] = [Future(self.sim), {}, entry]
+            self.sim.call_after(self.DISK_APPEND_MS, self._on_ack,
+                                entry.index, candidate.node.node_id,
+                                entry.term)
+        for peer in self.peers.values():
+            if peer is not candidate:
+                self.resync_peer(peer.node.node_id)
+        return candidate.node.node_id
+
+    def log_complete(self, peer: PeerState) -> bool:
+        """Does ``peer``'s log contain every committed entry?
+
+        Stands in for the vote-quorum up-to-date check of a real Raft
+        election: a deposed leader's replica can have a *longer* log
+        than an up-to-date one (a stale uncommitted tail) — electing it
+        anyway would silently drop acknowledged writes.
+        """
+        last = self._last_committed
+        return (last is None
+                or (peer.last_index >= last.index
+                    and peer.log[last.index - 1] is last))
+
+    def resync_peer(self, node_id: int) -> None:
+        """Re-send a lagging peer everything it is missing.
+
+        Used for crash-restart catch-up and post-failover repair: the
+        peer receives every log entry past its last index plus the
+        current commit index; duplicate deliveries are idempotent
+        (:meth:`PeerState.stage` drops them).
+        """
+        if self.leader_node_id is None or node_id == self.leader_node_id:
+            return
+        leader = self.peers[self.leader_node_id]
+        peer = self.peers.get(node_id)
+        if peer is None:
+            return
+        # Start from the first point where the logs diverge — a peer
+        # with a stale (post-failover) tail needs those indices
+        # re-sent, not just everything past its last index.
+        start = min(peer.last_index, leader.last_index)
+        while start > 0 and peer.log[start - 1] is not leader.log[start - 1]:
+            start -= 1
+        for entry in leader.log[start:]:
+            self._send_append(leader, peer, entry)
+        self._send_commit_update(leader, peer, self.commit_index)
+
+    def start_retransmission(self, interval_ms: float = 150.0) -> None:
+        """Leader keep-alive: periodically resync every lagging peer.
+
+        Raft's append retries, modelled coarsely: without this, a single
+        dropped append or ack under packet loss would stall the commit
+        index forever.  Off by default (seed experiments count
+        messages); chaos provisioning turns it on.
+        """
+        if getattr(self, "_retransmit_started", False):
+            return
+        self._retransmit_started = True
+
+        def retransmit():
+            while True:
+                yield self.sim.sleep(interval_ms)
+                leader_id = self.leader_node_id
+                if leader_id is None or self.network.node_is_dead(leader_id):
+                    continue
+                leader = self.peers.get(leader_id)
+                if leader is None:
+                    continue
+                tail = leader.log[self.commit_index:]
+                for peer in self.peers.values():
+                    if peer is leader or self.network.node_is_dead(
+                            peer.node.node_id):
+                        continue
+                    if (peer.last_index < leader.last_index
+                            or peer.known_commit_index < self.commit_index):
+                        self.resync_peer(peer.node.node_id)
+                    elif any(peer.node.node_id not in
+                             self._inflight[e.index][1]
+                             for e in tail if e.index in self._inflight):
+                        # The peer has the entries but its acks were
+                        # lost: re-send the tail, which re-acks dups.
+                        for entry in tail:
+                            self._send_append(leader, peer, entry)
+                # Re-ack the leader's own uncommitted tail so commit can
+                # advance once quorum reappears.
+                for entry in tail:
+                    if entry.index in self._inflight:
+                        self._on_ack(entry.index, leader_id, entry.term)
+
+        self.sim.spawn(retransmit(), name=f"r{self.range_id}-retransmit")
 
     @property
     def leader(self) -> PeerState:
@@ -161,14 +353,25 @@ class RaftGroup:
                       command=command, closed_ts=closed_ts)
         self._next_index += 1
         fut = Future(self.sim)
-        self._inflight[entry.index] = [fut, {leader.node.node_id: False}]
+        self._inflight[entry.index] = [fut, {leader.node.node_id: False},
+                                       entry]
         if self.proposal_timeout_ms is not None:
             self.sim.call_after(self.proposal_timeout_ms,
                                 self._maybe_timeout, entry.index)
         # Local append (counts as the leader's own ack after disk latency).
-        leader.stage(entry)
-        self.sim.call_after(self.DISK_APPEND_MS,
-                            self._on_ack, entry.index, leader.node.node_id)
+        # The leader's log is canonical at its own term: a stale in-flight
+        # append from a deposed leader may have extended it past the
+        # proposal point, and staging against that tail would wedge the
+        # chain once the conflict is truncated.  Drop the stale suffix
+        # first, then append.
+        if leader.last_index >= entry.index:
+            del leader.log[entry.index - 1:]
+            leader._staged = {i: s for i, s in leader._staged.items()
+                              if i < entry.index}
+        leader.stage(entry, leader.log[-1] if leader.log else None,
+                     authoritative=True)
+        self.sim.call_after(self.DISK_APPEND_MS, self._on_ack,
+                            entry.index, leader.node.node_id, entry.term)
         # Stream to every other peer, voters and learners alike.
         for peer in self.peers.values():
             if peer.node.node_id == leader.node.node_id:
@@ -177,39 +380,90 @@ class RaftGroup:
         return fut
 
     def _maybe_timeout(self, index: int) -> None:
-        inflight = self._inflight.pop(index, None)
+        # Reject the waiting client but keep the ack tracking: the entry
+        # is still in the log, and late acks (a healed partition, a
+        # retransmission) must be able to commit it — otherwise every
+        # later entry stalls behind the gap forever.
+        inflight = self._inflight.get(index)
         if inflight is not None and not inflight[0].done:
             inflight[0].reject(RangeUnavailableError(
                 f"r{self.range_id}: proposal {index} timed out (no quorum)"))
 
     def _send_append(self, leader: PeerState, peer: PeerState,
                      entry: Entry) -> None:
+        prev = (leader.log[entry.index - 2]
+                if 2 <= entry.index <= leader.last_index + 1 else None)
+        msg_term = self.term
+
         def on_deliver() -> None:
-            peer.stage(entry)
+            before = peer.last_index
+            peer.stage(entry, prev, authoritative=(
+                msg_term == self.term
+                and self.leader_node_id == leader.node.node_id))
             self._apply_ready(peer)
-            # Ack after the peer's disk append.
-            self.sim.call_after(
-                self.DISK_APPEND_MS, self._send_ack, peer, entry.index)
+            # Ack whatever actually landed in the log (after the peer's
+            # disk append) — never a merely-staged entry, whose prefix
+            # the peer does not yet have durably.
+            if peer.last_index > before:
+                for index in range(before + 1, peer.last_index + 1):
+                    landed = peer.log[index - 1]
+                    self.sim.call_after(self.DISK_APPEND_MS, self._send_ack,
+                                        peer, index, landed.term)
+            elif (entry.index <= peer.last_index
+                  and peer.log[entry.index - 1] is entry):
+                # Duplicate delivery (retransmission): the original ack
+                # may have been lost — re-ack.
+                self.sim.call_after(self.DISK_APPEND_MS, self._send_ack,
+                                    peer, entry.index, entry.term)
         self.network.send(leader.node, peer.node, on_deliver)
 
-    def _send_ack(self, peer: PeerState, index: int) -> None:
+    def _send_ack(self, peer: PeerState, index: int,
+                  term: Optional[int] = None) -> None:
         leader = self.peers.get(self.leader_node_id)
         if leader is None:
             return
         self.network.send(
             peer.node, leader.node,
-            lambda: self._on_ack(index, peer.node.node_id))
+            lambda: self._on_ack(index, peer.node.node_id, term))
 
-    def _on_ack(self, index: int, from_node_id: int) -> None:
+    def _on_ack(self, index: int, from_node_id: int,
+                term: Optional[int] = None) -> None:
         inflight = self._inflight.get(index)
         if inflight is None:
             return
-        _fut, acks = inflight
+        if term is not None:
+            # A stale ack (for an entry replaced after failover) must
+            # not count toward the entry now occupying this index.
+            leader = self.peers.get(self.leader_node_id)
+            if (leader is None or index > leader.last_index
+                    or leader.log[index - 1].term != term):
+                return
+        acks = inflight[1]
         acks[from_node_id] = True
-        voter_ids = {p.node.node_id for p in self.voters()}
-        voter_acks = sum(1 for nid in acks if nid in voter_ids)
-        if voter_acks >= self.quorum_size() and index == self.commit_index + 1:
+        if (self._live_quorum_acks(index, acks) >= self.quorum_size()
+                and index == self.commit_index + 1):
             self._advance_commit(index)
+
+    def _live_quorum_acks(self, index: int, acks: Dict[int, bool]) -> int:
+        """Count voter acks for ``index`` that are still *valid*: the
+        acking replica's log must currently hold the leader's exact
+        entry at that index.  An ack recorded before the peer's suffix
+        was truncated in a failover is a phantom — counting it would
+        commit an entry that no quorum actually stores."""
+        leader = self.peers.get(self.leader_node_id)
+        if leader is None or index > leader.last_index:
+            return 0
+        entry = leader.log[index - 1]
+        voter_ids = {p.node.node_id for p in self.voters()}
+        count = 0
+        for nid, acked in acks.items():
+            if not acked or nid not in voter_ids:
+                continue
+            peer = self.peers.get(nid)
+            if (peer is not None and peer.last_index >= index
+                    and peer.log[index - 1] is entry):
+                count += 1
+        return count
 
     def _advance_commit(self, index: int) -> None:
         """Commit ``index`` and any consecutive successors already acked."""
@@ -217,12 +471,20 @@ class RaftGroup:
             self.commit_index = index
             self.proposals_committed += 1
             leader = self.leader
+            self._last_committed = leader.log[index - 1]
             leader.known_commit_index = index
             self._apply_ready(leader)
             inflight = self._inflight.pop(index, None)
             if inflight is not None and not inflight[0].done:
                 entry = leader.log[index - 1]
-                inflight[0].resolve(entry)
+                if inflight[2] is entry:
+                    inflight[0].resolve(entry)
+                else:
+                    # A divergent branch's entry won this index; the
+                    # original proposal was lost in a failover.
+                    inflight[0].reject(RangeUnavailableError(
+                        f"r{self.range_id}: proposal {index} superseded "
+                        f"after failover"))
             # Broadcast the new commit index (enables follower application).
             for peer in self.peers.values():
                 if peer.node.node_id == leader.node.node_id:
@@ -231,19 +493,30 @@ class RaftGroup:
             nxt = self._inflight.get(index + 1)
             if nxt is None:
                 break
-            voter_ids = {p.node.node_id for p in self.voters()}
-            voter_acks = sum(1 for nid in nxt[1] if nid in voter_ids)
-            if voter_acks < self.quorum_size():
+            if self._live_quorum_acks(index + 1, nxt[1]) < self.quorum_size():
                 break
             index += 1
 
     def _send_commit_update(self, leader: PeerState, peer: PeerState,
                             index: int) -> None:
+        entry = (leader.log[index - 1]
+                 if 0 < index <= leader.last_index else None)
+
         def on_deliver() -> None:
-            if index > peer.known_commit_index:
-                peer.known_commit_index = index
-            self._apply_ready(peer)
+            self._learn_commit(peer, index, entry)
         self.network.send(leader.node, peer.node, on_deliver)
+
+    def _learn_commit(self, peer: PeerState, index: int,
+                      entry: Optional[Entry]) -> None:
+        """Advance a peer's known commit index — but only if its log
+        actually holds the committed entry at that index.  A replica
+        with a stale (replaced-after-failover) entry there must resync
+        first, or it would apply the wrong command."""
+        if index > peer.known_commit_index:
+            if entry is None or (peer.last_index >= index
+                                 and peer.log[index - 1] is entry):
+                peer.known_commit_index = index
+        self._apply_ready(peer)
 
     def _apply_ready(self, peer: PeerState) -> None:
         """Apply every log entry that is both local and known-committed."""
@@ -271,13 +544,13 @@ class RaftGroup:
                 continue
             # Valid only if the peer is caught up on application; otherwise
             # it would claim data it does not yet have.
-            def make_update(p: PeerState, ts: Timestamp, commit: int):
+            def make_update(p: PeerState, ts: Timestamp, commit: int,
+                            committed: Optional[Entry]):
                 def on_deliver() -> None:
-                    if commit > p.known_commit_index:
-                        p.known_commit_index = commit
-                    self._apply_ready(p)
+                    self._learn_commit(p, commit, committed)
                     if p.applied_index >= commit and ts > p.closed_ts:
                         p.closed_ts = ts
                 return on_deliver
             self.network.send(leader.node, peer.node,
-                              make_update(peer, closed_ts, self.commit_index))
+                              make_update(peer, closed_ts, self.commit_index,
+                                          self._last_committed))

@@ -10,15 +10,19 @@ from .core import (
     all_of,
     any_of,
     quorum_of,
+    with_timeout,
 )
 from .network import (
+    FaultPlane,
     LatencyModel,
     Network,
     NetworkUnavailableError,
+    RpcTimeoutError,
     TABLE1_REGIONS,
     TABLE1_RTT_MS,
     synthetic_rtt_matrix,
 )
+from .retry import ExponentialBackoff
 
 __all__ = [
     "HLC",
@@ -34,9 +38,13 @@ __all__ = [
     "all_of",
     "any_of",
     "quorum_of",
+    "with_timeout",
+    "ExponentialBackoff",
+    "FaultPlane",
     "LatencyModel",
     "Network",
     "NetworkUnavailableError",
+    "RpcTimeoutError",
     "TABLE1_REGIONS",
     "TABLE1_RTT_MS",
     "synthetic_rtt_matrix",

@@ -333,6 +333,37 @@ def any_of(sim: Simulator, futures: Iterable[Future]) -> Future:
     return result
 
 
+def with_timeout(sim: Simulator, future: Future, delay_ms: float,
+                 error: BaseException) -> Future:
+    """Mirror ``future`` unless ``delay_ms`` elapses first.
+
+    The returned future resolves/rejects with ``future``'s outcome, or
+    rejects with ``error`` at the deadline.  A late outcome on the inner
+    future is consumed silently (the caller has already moved on) — this
+    is the per-RPC timeout primitive for hardened client paths.
+    """
+    result = Future(sim)
+
+    def on_done(fut: Future) -> None:
+        if result.done:
+            return
+        if fut.error is not None:
+            result.reject(fut.error)
+        else:
+            result.resolve(fut._value)
+
+    def on_deadline() -> None:
+        if not result.done:
+            result.reject(error)
+
+    future.add_callback(on_done)
+    sim.call_after(delay_ms, on_deadline)
+    return result
+
+
+__all__.append("with_timeout")
+
+
 def quorum_of(sim: Simulator, futures: Iterable[Future], needed: int) -> Future:
     """Future resolving once ``needed`` of the inputs have resolved.
 

@@ -12,23 +12,30 @@ times in milliseconds).  Regions not present in a matrix fall back to a
 synthetic great-circle-flavoured estimate so experiments can scale to
 arbitrarily many regions (Fig 6 uses 26).
 
-The model supports per-message jitter and region-level partitions for
-failure-injection tests.
+The model supports per-message jitter and, through the
+:class:`FaultPlane`, a full chaos-engineering fault surface: symmetric
+region partitions (legacy), *asymmetric* per-link cuts (node-pair or
+region-pair, one direction at a time), seeded per-link packet loss,
+latency multipliers (gray/slow nodes and congested links), and node
+crash-restart cycles.  All fault sampling is deterministic under the
+plane's seed.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Generator, Iterable, Optional, Tuple
+from typing import Callable, Dict, Generator, Iterable, List, Optional, Tuple, Union
 
 from .core import Future, Process, Simulator
 
 __all__ = [
     "TABLE1_RTT_MS",
     "TABLE1_REGIONS",
+    "FaultPlane",
     "LatencyModel",
     "Network",
     "NetworkUnavailableError",
+    "RpcTimeoutError",
     "synthetic_rtt_matrix",
 ]
 
@@ -97,6 +104,162 @@ class NetworkUnavailableError(Exception):
     """The destination is unreachable (partition or dead node)."""
 
 
+class RpcTimeoutError(NetworkUnavailableError):
+    """An RPC gave no answer in time (lost packet, gray node, hang).
+
+    Subclasses :class:`NetworkUnavailableError` so every retry/failover
+    path that tolerates partitions also tolerates timeouts."""
+
+
+#: Link endpoints are node ids (int) or region names (str).
+LinkEnd = Union[int, str]
+
+
+class FaultPlane:
+    """Deterministic fault state consulted on every message.
+
+    Directional by design: ``cut_link(a, b)`` blocks only a→b traffic,
+    which is what makes asymmetric-partition scenarios (acks lost while
+    appends still flow) expressible.  Loss and latency factors compose:
+    a message samples loss once per matching link rule, and its latency
+    is multiplied by every matching factor.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed ^ 0x5EED_FA17)
+        self.dead_nodes = set()
+        #: Directional cuts: (src_node_id, dst_node_id).
+        self.cut_node_links = set()
+        #: Directional cuts: (src_region, dst_region).
+        self.cut_region_links = set()
+        #: Legacy symmetric region blackout.
+        self.partitioned_regions = set()
+        #: Directional loss probability per link.
+        self.loss_node_links: Dict[Tuple[int, int], float] = {}
+        self.loss_region_links: Dict[Tuple[str, str], float] = {}
+        #: Directional latency multipliers per link.
+        self.latency_node_links: Dict[Tuple[int, int], float] = {}
+        self.latency_region_links: Dict[Tuple[str, str], float] = {}
+        #: Per-node latency multiplier (gray node: slow in and out).
+        self.slow_nodes: Dict[int, float] = {}
+        #: node_id -> number of completed crash/restart cycles.
+        self.restart_counts: Dict[int, int] = {}
+
+    # -- node faults --------------------------------------------------------
+
+    def kill_node(self, node_id: int) -> None:
+        self.dead_nodes.add(node_id)
+
+    def revive_node(self, node_id: int) -> None:
+        if node_id in self.dead_nodes:
+            self.dead_nodes.discard(node_id)
+            self.restart_counts[node_id] = (
+                self.restart_counts.get(node_id, 0) + 1)
+
+    def node_is_dead(self, node_id: int) -> bool:
+        return node_id in self.dead_nodes
+
+    def slow_node(self, node_id: int, factor: float) -> None:
+        """Gray node: every message in or out takes ``factor`` x longer."""
+        self.slow_nodes[node_id] = factor
+
+    def restore_node_speed(self, node_id: int) -> None:
+        self.slow_nodes.pop(node_id, None)
+
+    # -- link faults --------------------------------------------------------
+
+    @staticmethod
+    def _links(src: LinkEnd, dst: LinkEnd,
+               bidirectional: bool) -> List[Tuple[LinkEnd, LinkEnd]]:
+        return [(src, dst), (dst, src)] if bidirectional else [(src, dst)]
+
+    def cut_link(self, src: LinkEnd, dst: LinkEnd,
+                 bidirectional: bool = False) -> None:
+        """Cut src→dst traffic (node ids or region names)."""
+        for a, b in self._links(src, dst, bidirectional):
+            if isinstance(a, str):
+                self.cut_region_links.add((a, b))
+            else:
+                self.cut_node_links.add((a, b))
+
+    def heal_link(self, src: LinkEnd, dst: LinkEnd,
+                  bidirectional: bool = False) -> None:
+        for a, b in self._links(src, dst, bidirectional):
+            if isinstance(a, str):
+                self.cut_region_links.discard((a, b))
+            else:
+                self.cut_node_links.discard((a, b))
+
+    def set_loss(self, src: LinkEnd, dst: LinkEnd, probability: float,
+                 bidirectional: bool = True) -> None:
+        """Drop src→dst messages with the given probability (0 clears)."""
+        for a, b in self._links(src, dst, bidirectional):
+            table = (self.loss_region_links if isinstance(a, str)
+                     else self.loss_node_links)
+            if probability <= 0.0:
+                table.pop((a, b), None)
+            else:
+                table[(a, b)] = probability
+
+    def set_latency_factor(self, src: LinkEnd, dst: LinkEnd, factor: float,
+                           bidirectional: bool = True) -> None:
+        """Multiply src→dst latency by ``factor`` (1.0 clears)."""
+        for a, b in self._links(src, dst, bidirectional):
+            table = (self.latency_region_links if isinstance(a, str)
+                     else self.latency_node_links)
+            if factor == 1.0:
+                table.pop((a, b), None)
+            else:
+                table[(a, b)] = factor
+
+    def heal_all_links(self) -> None:
+        """Clear every link-level fault (cuts, loss, latency); leave
+        dead nodes and legacy region partitions to their own heals."""
+        self.cut_node_links.clear()
+        self.cut_region_links.clear()
+        self.loss_node_links.clear()
+        self.loss_region_links.clear()
+        self.latency_node_links.clear()
+        self.latency_region_links.clear()
+        self.slow_nodes.clear()
+
+    # -- queries ------------------------------------------------------------
+
+    def blocked(self, src, dst) -> bool:
+        """Is src→dst traffic blocked (directional)?"""
+        if src.node_id in self.dead_nodes or dst.node_id in self.dead_nodes:
+            return True
+        if (src.node_id, dst.node_id) in self.cut_node_links:
+            return True
+        src_region = src.locality.region
+        dst_region = dst.locality.region
+        if (src_region, dst_region) in self.cut_region_links:
+            return True
+        if src_region != dst_region:
+            if src_region in self.partitioned_regions:
+                return True
+            if dst_region in self.partitioned_regions:
+                return True
+        return False
+
+    def should_drop(self, src, dst) -> bool:
+        """Sample packet loss for one src→dst message (seeded)."""
+        p = self.loss_node_links.get((src.node_id, dst.node_id), 0.0)
+        if p > 0.0 and self._rng.random() < p:
+            return True
+        p = self.loss_region_links.get(
+            (src.locality.region, dst.locality.region), 0.0)
+        return p > 0.0 and self._rng.random() < p
+
+    def latency_factor(self, src, dst) -> float:
+        factor = self.latency_node_links.get((src.node_id, dst.node_id), 1.0)
+        factor *= self.latency_region_links.get(
+            (src.locality.region, dst.locality.region), 1.0)
+        factor *= self.slow_nodes.get(src.node_id, 1.0)
+        factor *= self.slow_nodes.get(dst.node_id, 1.0)
+        return factor
+
+
 class LatencyModel:
     """Computes one-way latency between two localities."""
 
@@ -140,49 +303,72 @@ class Network:
 
     #: Fixed per-message processing overhead (serialization, kernel, ...).
     PROCESSING_MS = 0.05
+    #: How long a caller waits before concluding a lost packet killed the
+    #: RPC (models TCP retransmission giving up, keeps futures settling).
+    LOSS_TIMEOUT_MS = 200.0
 
-    def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None):
+    def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None,
+                 seed: int = 0):
         self.sim = sim
         self.latency = latency or LatencyModel()
-        self._partitioned_regions = set()
-        self._dead_nodes = set()
+        self.faults = FaultPlane(seed)
         self.messages_sent = 0
+        #: Messages lost to partitions, dead nodes, or packet loss —
+        #: includes `send`'s previously-silent drops.
+        self.messages_dropped = 0
         self.bytes_by_region_pair: Dict[Tuple[str, str], int] = {}
+        #: Callbacks fired with a node_id when that node restarts.
+        self._restart_listeners: List[Callable[[int], None]] = []
 
     # -- failure injection ------------------------------------------------
 
     def partition_region(self, region: str) -> None:
         """Cut the given region off from all other regions."""
-        self._partitioned_regions.add(region)
+        self.faults.partitioned_regions.add(region)
 
     def heal_region(self, region: str) -> None:
-        self._partitioned_regions.discard(region)
+        self.faults.partitioned_regions.discard(region)
 
     def kill_node(self, node_id: int) -> None:
-        self._dead_nodes.add(node_id)
+        self.faults.kill_node(node_id)
 
     def revive_node(self, node_id: int) -> None:
-        self._dead_nodes.discard(node_id)
+        self.faults.revive_node(node_id)
+
+    def crash_node(self, node_id: int) -> None:
+        """Crash (same as kill; named for crash-restart cycles)."""
+        self.faults.kill_node(node_id)
+
+    def restart_node(self, node_id: int) -> None:
+        """Revive a crashed node and notify restart listeners.
+
+        The node rejoins with all durable state (Raft logs, MVCC data)
+        intact; listeners — wired by the Cluster — trigger Raft
+        catch-up so the node re-acks and rejoins quorum."""
+        self.faults.revive_node(node_id)
+        for listener in self._restart_listeners:
+            listener(node_id)
+
+    def on_node_restart(self, listener: Callable[[int], None]) -> None:
+        self._restart_listeners.append(listener)
 
     def node_is_dead(self, node_id: int) -> bool:
-        return node_id in self._dead_nodes
+        return self.faults.node_is_dead(node_id)
+
+    def reachable(self, src, dst) -> bool:
+        """Public directional reachability check (fault plane view)."""
+        return not self.faults.blocked(src, dst)
 
     def _reachable(self, src, dst) -> bool:
-        if dst.node_id in self._dead_nodes or src.node_id in self._dead_nodes:
-            return False
-        if src.locality.region != dst.locality.region:
-            if src.locality.region in self._partitioned_regions:
-                return False
-            if dst.locality.region in self._partitioned_regions:
-                return False
-        return True
+        return not self.faults.blocked(src, dst)
 
     def one_way_latency(self, src, dst) -> float:
         if src.node_id == dst.node_id:
             return 0.01
-        return self.latency.one_way(
+        base = self.latency.one_way(
             src.locality.region, src.locality.zone,
             dst.locality.region, dst.locality.zone) + self.PROCESSING_MS
+        return base * self.faults.latency_factor(src, dst)
 
     def call(self, src, dst, handler: Callable[[], Generator],
              payload_size: int = 1) -> Future:
@@ -196,9 +382,17 @@ class Network:
         """
         fut = Future(self.sim)
         if not self._reachable(src, dst):
+            self.messages_dropped += 1
             self.sim._call_soon(
                 fut.reject,
                 NetworkUnavailableError(f"node {dst.node_id} unreachable from {src.node_id}"))
+            return fut
+        if self.faults.should_drop(src, dst):
+            # Request lost in flight: the caller only learns via timeout.
+            self.messages_dropped += 1
+            self.sim.call_after(self.LOSS_TIMEOUT_MS, self._reject_if_pending,
+                                fut, RpcTimeoutError(
+                                    f"request to node {dst.node_id} lost"))
             return fut
         self.messages_sent += 1
         pair = (src.locality.region, dst.locality.region)
@@ -208,6 +402,7 @@ class Network:
 
         def deliver_request() -> None:
             if not self._reachable(src, dst):
+                self.messages_dropped += 1
                 fut.reject(NetworkUnavailableError(
                     f"node {dst.node_id} died in flight"))
                 return
@@ -215,6 +410,23 @@ class Network:
             process.add_callback(send_reply)
 
         def send_reply(process: Process) -> None:
+            # The handler ran on the destination; re-check the *reply*
+            # direction — a partition or node death during handler
+            # execution must not deliver the answer.  (The handler's
+            # side effects, e.g. a laid intent, stand: that asymmetry
+            # is what ambiguous-commit handling exists for.)
+            if not self._reachable(dst, src):
+                self.messages_dropped += 1
+                self.sim._call_soon(fut.reject, NetworkUnavailableError(
+                    f"reply from node {dst.node_id} undeliverable"))
+                return
+            if self.faults.should_drop(dst, src):
+                self.messages_dropped += 1
+                self.sim.call_after(
+                    self.LOSS_TIMEOUT_MS, self._reject_if_pending, fut,
+                    RpcTimeoutError(f"reply from node {dst.node_id} lost"))
+                return
+            self.messages_sent += 1
             reply_delay = self.one_way_latency(dst, src)
             error = process.error
             if error is not None:
@@ -225,9 +437,15 @@ class Network:
         self.sim.call_after(request_delay, deliver_request)
         return fut
 
+    @staticmethod
+    def _reject_if_pending(fut: Future, error: BaseException) -> None:
+        if not fut.done:
+            fut.reject(error)
+
     def send(self, src, dst, callback: Callable[[], None]) -> None:
         """One-way, fire-and-forget message (e.g. Raft appends)."""
-        if not self._reachable(src, dst):
+        if not self._reachable(src, dst) or self.faults.should_drop(src, dst):
+            self.messages_dropped += 1
             return
         self.messages_sent += 1
         self.sim.call_after(self.one_way_latency(src, dst), callback)

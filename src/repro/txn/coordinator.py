@@ -23,16 +23,19 @@ serializable timestamp-based MVCC transactions:
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..errors import (
+    AmbiguousCommitError,
     RangeUnavailableError,
     ReadWithinUncertaintyIntervalError,
     TransactionAbortedError,
     TransactionRetryError,
 )
 from ..sim.network import NetworkUnavailableError
+from ..sim.retry import ExponentialBackoff
 from ..kv.commands import TxnStatus
 from ..kv.distsender import DistSender, ReadRouting
 from ..kv.range import Range
@@ -54,6 +57,7 @@ class TxnStats:
     refresh_failures: int = 0
     commit_waits: int = 0
     commit_wait_ms_total: float = 0.0
+    ambiguous_commits: int = 0
 
 
 class Transaction:
@@ -292,9 +296,21 @@ class Transaction:
         single_range = len({rng.range_id
                             for rng, _key in self.write_set.values()}) == 1
         if not single_range:
-            yield self._ds.write_txn_record(
-                self.gateway, self.anchor, self.txn_id, TxnStatus.COMMITTED,
-                commit_ts)
+            try:
+                yield self._ds.write_txn_record(
+                    self.gateway, self.anchor, self.txn_id,
+                    TxnStatus.COMMITTED, commit_ts)
+            except NetworkUnavailableError:
+                # The record write was lost in flight — it may or may
+                # not have replicated.  Consult the replicated records
+                # (the sim stand-in for CRDB's txn recovery protocol).
+                if not self._recover_commit_outcome():
+                    # Unknowable: mark aborted locally so lock-table
+                    # pushes unblock waiters, but do NOT write an
+                    # ABORTED record over a possibly-committed one.
+                    self.status = TxnStatus.ABORTED
+                    self.coordinator.stats.ambiguous_commits += 1
+                    raise AmbiguousCommitError(self.txn_id, commit_ts)
 
         wait_target = commit_ts
         if (self.observed_future_ts is not None
@@ -313,6 +329,20 @@ class Transaction:
             self._resolve_intents_async(commit_ts)
             yield from self._commit_wait_if_needed(wait_target)
         return commit_ts
+
+    def _recover_commit_outcome(self) -> bool:
+        """Did the commit record replicate despite the lost RPC?
+
+        Peeks the anchor range's replicated transaction records — any
+        replica that applied a COMMITTED record proves the outcome.
+        """
+        if self.anchor is None:
+            return False
+        for replica in self.anchor.replicas.values():
+            record = replica.txn_records.get(self.txn_id)
+            if record is not None and record.status == TxnStatus.COMMITTED:
+                return True
+        return False
 
     def _resolve_intents_async(self, commit_ts: Optional[Timestamp]) -> None:
         spans = list(self.write_set.values())
@@ -359,6 +389,11 @@ class TransactionCoordinator:
         self.spanner_style_commit_wait = spanner_style_commit_wait
         self.stats = TxnStats()
         self._next_txn_id = 1
+        # Shared with the DistSender's retry helper in spirit: seeded
+        # jittered backoff so contended retries cannot livelock in
+        # lockstep (chaos runs livelocked with the old fixed backoff).
+        self._retry_rng = random.Random(
+            (getattr(cluster, "seed", 0) << 8) ^ 0x7C0)
 
     def begin(self, gateway) -> Transaction:
         txn = Transaction(self, gateway, self._next_txn_id)
@@ -377,6 +412,13 @@ class TransactionCoordinator:
         commit happens automatically after it returns.
         """
         last_error: Optional[Exception] = None
+        # Seeded jittered backoff (capped: long sleeps only prolong
+        # contention windows); RPC failures back off longer to leave
+        # room for lease failover.
+        contention_backoff = ExponentialBackoff(
+            rng=self._retry_rng, base_ms=0.5, max_ms=20.0)
+        network_backoff = ExponentialBackoff(
+            rng=self._retry_rng, base_ms=25.0, max_ms=500.0)
         for attempt in range(max_attempts):
             txn = self.begin(gateway)
             try:
@@ -384,6 +426,11 @@ class TransactionCoordinator:
                 commit_ts = yield from txn.commit()
                 self.stats.committed += 1
                 return result, commit_ts
+            except AmbiguousCommitError:
+                # The commit may have applied: retrying could double-
+                # apply, rolling back could overwrite a committed
+                # record.  Surface as-is.
+                raise
             except (TransactionRetryError, TransactionAbortedError,
                     NetworkUnavailableError) as err:
                 # Retry: serializability restarts, aborts, and RPC
@@ -392,13 +439,10 @@ class TransactionCoordinator:
                 last_error = err
                 self.stats.aborted_retries += 1
                 yield from self._rollback_best_effort(txn)
-                # Brief randomless backoff to break livelock symmetry
-                # (capped: long sleeps only prolong contention windows);
-                # RPC failures wait longer for failover.
                 if isinstance(err, NetworkUnavailableError):
-                    yield self.sim.sleep(50.0 * (attempt + 1))
+                    yield self.sim.sleep(network_backoff.next_delay())
                 else:
-                    yield self.sim.sleep(min(0.5 * (attempt + 1), 20.0))
+                    yield self.sim.sleep(contention_backoff.next_delay())
             except Exception:
                 # Non-retryable failure (e.g. a uniqueness violation):
                 # clean up intents, then surface to the caller.

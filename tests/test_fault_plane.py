@@ -1,0 +1,178 @@
+"""Tests for the fault plane: asymmetric cuts, seeded loss, latency
+multipliers, crash-restart catch-up, and the RPC circuit breaker."""
+
+import pytest
+
+from repro.cluster import standard_cluster
+from repro.kv.circuit import BreakerState, CircuitBreaker
+from repro.placement.goals import SurvivalGoal
+from repro.sim.network import FaultPlane, NetworkUnavailableError
+
+from .kv_util import KVTestBed, REGIONS3
+
+
+def _east_west_cluster():
+    cluster = standard_cluster(["us-east1", "us-west1"], nodes_per_region=1,
+                               jitter_fraction=0.0)
+    return cluster, cluster.nodes[0], cluster.nodes[1]
+
+
+class TestAsymmetricCuts:
+    def test_cut_is_directional(self):
+        cluster, east, west = _east_west_cluster()
+        faults = cluster.network.faults
+        faults.cut_link("us-east1", "us-west1", bidirectional=False)
+        assert not cluster.network.reachable(east, west)
+        assert cluster.network.reachable(west, east)
+
+    def test_bidirectional_cut_and_heal(self):
+        cluster, east, west = _east_west_cluster()
+        faults = cluster.network.faults
+        faults.cut_link("us-east1", "us-west1", bidirectional=True)
+        assert not cluster.network.reachable(east, west)
+        assert not cluster.network.reachable(west, east)
+        faults.heal_link("us-east1", "us-west1", bidirectional=True)
+        assert cluster.network.reachable(east, west)
+        assert cluster.network.reachable(west, east)
+
+    def test_node_level_cut(self):
+        cluster, east, west = _east_west_cluster()
+        faults = cluster.network.faults
+        faults.cut_link(east.node_id, west.node_id)
+        assert not cluster.network.reachable(east, west)
+        assert cluster.network.reachable(west, east)
+
+    def test_reply_direction_blocked_rejects_call(self):
+        """The request flows, the handler runs, but the reply can't come
+        back: the caller must get an error (and an ambiguous outcome),
+        not a silently-delivered answer through a one-way cut."""
+        cluster, east, west = _east_west_cluster()
+        faults = cluster.network.faults
+        faults.cut_link("us-west1", "us-east1", bidirectional=False)
+        ran = []
+        dropped_before = cluster.network.messages_dropped
+
+        def handler():
+            ran.append(True)
+            return 42
+            yield  # pragma: no cover
+
+        def main():
+            with pytest.raises(NetworkUnavailableError):
+                yield cluster.network.call(east, west, handler)
+
+        process = cluster.sim.spawn(main())
+        cluster.sim.run_until_future(process)
+        assert ran == [True]  # side effects on the destination stand
+        assert cluster.network.messages_dropped > dropped_before
+
+
+class TestSeededLossAndLatency:
+    def test_loss_sampling_is_deterministic_per_seed(self):
+        def sample(seed):
+            cluster, east, west = _east_west_cluster()
+            faults = FaultPlane(seed=seed)
+            faults.set_loss("us-east1", "us-west1", 0.5)
+            return [faults.should_drop(east, west) for _ in range(64)]
+
+        assert sample(7) == sample(7)
+        assert sample(7) != sample(8)
+        assert any(sample(7)) and not all(sample(7))
+
+    def test_loss_zero_clears_rule(self):
+        cluster, east, west = _east_west_cluster()
+        faults = cluster.network.faults
+        faults.set_loss("us-east1", "us-west1", 0.9)
+        faults.set_loss("us-east1", "us-west1", 0.0)
+        assert not any(faults.should_drop(east, west) for _ in range(64))
+
+    def test_latency_factor_scales_one_way(self):
+        cluster, east, west = _east_west_cluster()
+        base = cluster.network.one_way_latency(east, west)
+        cluster.network.faults.set_latency_factor(
+            "us-east1", "us-west1", 3.0)
+        assert cluster.network.one_way_latency(east, west) == \
+            pytest.approx(3.0 * base)
+
+    def test_gray_node_slows_both_directions(self):
+        cluster, east, west = _east_west_cluster()
+        base_out = cluster.network.one_way_latency(east, west)
+        base_in = cluster.network.one_way_latency(west, east)
+        cluster.network.faults.slow_node(east.node_id, 10.0)
+        assert cluster.network.one_way_latency(east, west) == \
+            pytest.approx(10.0 * base_out)
+        assert cluster.network.one_way_latency(west, east) == \
+            pytest.approx(10.0 * base_in)
+
+    def test_heal_all_links_scrubs_everything(self):
+        cluster, east, west = _east_west_cluster()
+        faults = cluster.network.faults
+        faults.cut_link("us-east1", "us-west1")
+        faults.set_loss("us-east1", "us-west1", 0.5)
+        faults.set_latency_factor("us-east1", "us-west1", 2.0)
+        faults.slow_node(east.node_id, 5.0)
+        faults.heal_all_links()
+        assert cluster.network.reachable(east, west)
+        assert not faults.should_drop(east, west)
+        assert faults.latency_factor(east, west) == 1.0
+
+
+class TestCrashRestartCatchUp:
+    def test_restarted_follower_catches_up(self):
+        """A follower that crashes, misses writes, and restarts must
+        resync: its log and applied state converge on the leader's."""
+        bed = KVTestBed(regions=REGIONS3, goal=SurvivalGoal.REGION, seed=3)
+        rng = bed.make_range("us-east1")
+        rng.group.start_retransmission(interval_ms=150.0)
+        bed.do_write("us-east1", rng, "k", 0)
+
+        follower = next(
+            peer.node.node_id for peer in rng.group.voters()
+            if peer.node.node_id != rng.leaseholder_node_id)
+        bed.cluster.crash_node(follower)
+        for value in range(1, 4):
+            bed.do_write("us-east1", rng, "k", value)
+        leader_last = rng.group.peers[rng.leaseholder_node_id].last_index
+        assert rng.group.peers[follower].last_index < leader_last
+
+        bed.cluster.restart_node(follower)
+        bed.sim.run(until=bed.sim.now + 2000.0)
+        peer = rng.group.peers[follower]
+        leader = rng.group.peers[rng.leaseholder_node_id]
+        assert peer.last_index == leader.last_index
+        assert peer.applied_index == leader.applied_index
+        assert peer.log[-1] is leader.log[-1]
+        assert bed.cluster.network.faults.restart_counts[follower] == 1
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_ms=500.0)
+        for _ in range(2):
+            breaker.record_failure(now_ms=100.0)
+        assert breaker.state == BreakerState.CLOSED
+        breaker.record_failure(now_ms=100.0)
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow(now_ms=200.0)
+
+    def test_half_open_single_probe_then_close(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_ms=500.0)
+        breaker.record_failure(now_ms=0.0)
+        assert breaker.blocked(now_ms=499.0)
+        # Cooldown elapsed: exactly one probe allowed.
+        assert breaker.allow(now_ms=600.0)
+        assert breaker.state == BreakerState.HALF_OPEN
+        assert not breaker.allow(now_ms=601.0)
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.allow(now_ms=602.0)
+
+    def test_failed_probe_reopens_full_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_ms=500.0)
+        breaker.record_failure(now_ms=0.0)
+        assert breaker.allow(now_ms=600.0)
+        breaker.record_failure(now_ms=600.0)
+        assert breaker.state == BreakerState.OPEN
+        assert not breaker.allow(now_ms=1000.0)
+        assert breaker.allow(now_ms=1101.0)
