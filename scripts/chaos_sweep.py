@@ -50,12 +50,16 @@ def main(argv=None) -> int:
             wall = time.time() - start
             verdict = "ok    " if result.ok else "FAIL  "
             counts = result.history.counts()
+            repair = ""
+            if "repair_actions" in result.stats:
+                repair = (f" repairs={result.stats['repair_actions']}"
+                          f" ttr={result.stats.get('time_to_repair_ms', 0):.0f}ms")
             print(f"{verdict} {name:16s} seed={seed} "
                   f"ops={len(result.history.ops)} "
                   f"ok/fail/amb={counts['ok']}/{counts['fail']}/"
                   f"{counts['indeterminate']} "
-                  f"failovers={result.stats.get('failovers', 0)} "
-                  f"[{wall:.1f}s]")
+                  f"failovers={result.stats.get('failovers', 0)}"
+                  f"{repair} [{wall:.1f}s]")
             if args.verbose or not result.ok:
                 print(result.render())
             if not result.ok:

@@ -8,17 +8,21 @@ Usage::
     python -m repro all [--quick]
     python -m repro chaos list
     python -m repro chaos region-blackout [--seed N]
-    python -m repro chaos all --seeds 5
+    python -m repro chaos all --seeds 5 [--json]
+    python -m repro repair [--seed N] [--scenario NAME]
 
 ``--quick`` shrinks client/op counts (~5x faster, coarser percentiles).
 ``chaos`` runs a nemesis fault-injection scenario and prints the
-invariant report plus an availability/latency timeline; it exits
-non-zero if any invariant is violated.
+invariant report plus an availability/latency timeline (or, with
+``--json``, a machine-readable report); it exits non-zero if any
+invariant is violated.  ``repair`` runs the self-healing scenarios and
+reports liveness transitions, repair actions, and time-to-repair.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable, Dict
@@ -113,6 +117,9 @@ def _chaos_main(argv) -> int:
                         help="single seed to run (default 0)")
     parser.add_argument("--seeds", type=int, default=1, metavar="K",
                         help="run seeds 0..K-1 instead of --seed")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one machine-readable JSON report for "
+                             "all runs instead of the text rendering")
     args = parser.parse_args(argv)
 
     from .chaos import SCENARIOS, run_scenario
@@ -128,14 +135,77 @@ def _chaos_main(argv) -> int:
             return 2
     seeds = list(range(args.seeds)) if args.seeds > 1 else [args.seed]
     violated = False
+    runs = []
     for name in names:
         for seed in seeds:
             start = time.time()
             result = run_scenario(name, seed)
-            print(result.render())
-            print(f"[{name} seed={seed} finished in "
-                  f"{time.time() - start:.1f}s wall]\n")
+            if args.json:
+                record = result.to_json()
+                record["wall_s"] = round(time.time() - start, 2)
+                runs.append(record)
+            else:
+                print(result.render())
+                print(f"[{name} seed={seed} finished in "
+                      f"{time.time() - start:.1f}s wall]\n")
             violated = violated or not result.ok
+    if args.json:
+        print(json.dumps({"ok": not violated, "runs": runs}, indent=2))
+    return 1 if violated else 0
+
+
+REPAIR_SCENARIOS = ("kill-node-repair", "region-loss-repair")
+
+
+def _repair_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro repair",
+        description="Run the self-healing scenarios and report store "
+                    "liveness, repair actions, and time-to-repair.")
+    parser.add_argument("--scenario", default=None,
+                        choices=list(REPAIR_SCENARIOS),
+                        help="run only this repair scenario (default both)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    from .chaos import run_scenario
+    from .metrics.histogram import Summary
+
+    names = [args.scenario] if args.scenario else list(REPAIR_SCENARIOS)
+    violated = False
+    for name in names:
+        result = run_scenario(name, args.seed)
+        harness = result.harness
+        liveness = harness.liveness
+        metrics = harness.repair_queue.metrics
+        guard = harness.range.group.config_guard
+        print(f"repair scenario {name!r} (seed={args.seed}) — "
+              f"{result.duration_ms:.0f}ms sim")
+        print("  liveness transitions:")
+        if liveness.transitions:
+            for when, node_id, old, new in liveness.transitions:
+                print(f"    t={when:8.1f}ms  n{node_id}: {old} -> {new}")
+        else:
+            print("    (none)")
+        print("  repair actions:")
+        for kind in sorted(set(metrics.actions) | set(metrics.failures)):
+            done = metrics.actions.get(kind, 0)
+            failed = metrics.failures.get(kind, 0)
+            print(f"    {kind:28s} done={done} failed={failed}")
+        if not metrics.actions and not metrics.failures:
+            print("    (none)")
+        ttr = Summary(metrics.time_to_repair_ms)
+        print(f"  time-to-repair: n={ttr.count} p50={ttr.p50:.0f}ms "
+              f"max={ttr.max:.0f}ms (detection-to-healthy, scan-quantized)")
+        print(f"  scans={metrics.scans} "
+              f"under-replicated={metrics.under_replicated_ranges} "
+              f"config-changes={guard.changes} "
+              f"max-inflight-changes={guard.max_inflight}")
+        verdict = "OK" if result.ok else "INVARIANT VIOLATIONS"
+        print("  invariants:")
+        print(result.report.render())
+        print(f"  => {verdict}\n")
+        violated = violated or not result.ok
     return 1 if violated else 0
 
 
@@ -144,6 +214,8 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "chaos":
         return _chaos_main(argv[1:])
+    if argv and argv[0] == "repair":
+        return _repair_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's evaluation tables and figures.")

@@ -24,7 +24,7 @@ from .invariants import (
     render_timeline,
 )
 from .nemesis import FaultEvent, Nemesis
-from .scenarios import SCENARIOS, ScenarioResult, run_scenario
+from .scenarios import ChaosHarness, SCENARIOS, ScenarioResult, run_scenario
 
 __all__ = [
     "FAIL",
@@ -36,6 +36,7 @@ __all__ = [
     "availability_timeline",
     "check_history",
     "render_timeline",
+    "ChaosHarness",
     "FaultEvent",
     "Nemesis",
     "SCENARIOS",

@@ -66,10 +66,14 @@ class Nemesis:
             event.heal()
         self.timeline.append((self.sim.now, "heal", event.name))
 
-    def heal_all(self) -> None:
+    def heal_all(self, restart_dead: bool = True) -> None:
         """Run outstanding heals and scrub the fault plane completely —
-        link cuts, loss, latency, gray nodes, partitions, dead nodes
-        (restarted so they catch up).  Used before the final audit."""
+        link cuts, loss, latency, gray nodes, partitions, and (unless
+        ``restart_dead`` is False) dead nodes, restarted so they catch
+        up.  Used before the final audit.  Repair scenarios pass
+        ``restart_dead=False``: their node/region loss is *permanent*,
+        and reviving the victims would hand the replicate queue its
+        repair for free."""
         network = self.cluster.network
         for event in list(self._active):
             self._active.remove(event)
@@ -80,8 +84,9 @@ class Nemesis:
         faults.heal_all_links()
         faults.partitioned_regions.clear()
         faults.slow_nodes.clear()
-        for node_id in list(faults.dead_nodes):
-            network.restart_node(node_id)
+        if restart_dead:
+            for node_id in list(faults.dead_nodes):
+                network.restart_node(node_id)
         self.timeline.append((self.sim.now, "heal", "heal-all"))
 
     @property

@@ -16,7 +16,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from ..cluster import standard_cluster
+from ..cluster import StoreLiveness, standard_cluster
 from ..errors import (
     AmbiguousCommitError,
     FollowerReadNotAvailableError,
@@ -25,7 +25,13 @@ from ..errors import (
     TransactionRetryError,
 )
 from ..kv.distsender import ReadRouting
-from ..placement import SurvivalGoal, provision_range, zone_config_for_home
+from ..placement import (
+    ReplicateQueue,
+    SurvivalGoal,
+    placement_violations,
+    provision_range,
+    zone_config_for_home,
+)
 from ..sim.network import NetworkUnavailableError
 from ..txn import TransactionCoordinator
 from .invariants import (
@@ -63,6 +69,32 @@ class ScenarioResult:
     final_values: Dict[str, int]
     duration_ms: float
     stats: Dict[str, float] = field(default_factory=dict)
+    #: The harness that produced this result (liveness + repair metrics
+    #: live here for the ``repair`` CLI report); None for custom runs.
+    harness: Optional["ChaosHarness"] = None
+
+    def to_json(self) -> Dict[str, object]:
+        """Machine-readable summary for CI tooling."""
+        counts = self.history.counts()
+        return {
+            "scenario": self.name,
+            "seed": self.seed,
+            "ok": self.ok,
+            "duration_ms": round(self.duration_ms, 1),
+            "ops": {
+                "total": len(self.history.ops),
+                "ok": counts.get(OK, 0),
+                "fail": counts.get(FAIL, 0),
+                "indeterminate": counts.get(INDETERMINATE, 0),
+            },
+            "stats": dict(self.stats),
+            "final_values": dict(self.final_values),
+            "checks_run": list(self.report.checks_run),
+            "violations": list(self.report.violations),
+            "nemesis_timeline": [
+                {"at_ms": round(when, 1), "action": action, "fault": fault}
+                for when, action, fault in self.nemesis_timeline],
+        }
 
     @property
     def ok(self) -> bool:
@@ -94,7 +126,11 @@ class ChaosHarness:
     def __init__(self, seed: int, regions: Optional[List[str]] = None,
                  home: str = HOME, goal: str = SurvivalGoal.REGION,
                  proposal_timeout_ms: float = 1000.0,
-                 retransmit_interval_ms: float = 150.0):
+                 retransmit_interval_ms: float = 150.0,
+                 enable_repair: bool = False,
+                 heartbeat_interval_ms: float = 100.0,
+                 time_until_store_dead_ms: float = 600.0,
+                 repair_interval_ms: float = 200.0):
         self.seed = seed
         self.regions = list(regions or REGIONS)
         self.home = home
@@ -102,6 +138,7 @@ class ChaosHarness:
         self.coord = TransactionCoordinator(self.cluster)
         self.ds = self.coord.distsender
         config = zone_config_for_home(home, self.cluster.regions(), goal)
+        self.config = config
         # Chaos provisioning turns on the hardening that seed
         # experiments leave off: bounded Raft proposals (writes fail
         # cleanly instead of hanging without quorum) and leader
@@ -113,6 +150,21 @@ class ChaosHarness:
             retransmit_interval_ms=retransmit_interval_ms)
         self.history = History()
         self.rng = random.Random((seed << 4) ^ 0xC4A05)
+        # Self-healing: store liveness + the replicate queue, watching
+        # the chaos range.  ``time_until_store_dead_ms`` is scaled to
+        # the scenario's compressed clock (CRDB's default is 5 min).
+        self.liveness: Optional[StoreLiveness] = None
+        self.repair_queue: Optional[ReplicateQueue] = None
+        if enable_repair:
+            self.liveness = StoreLiveness(
+                self.cluster,
+                heartbeat_interval_ms=heartbeat_interval_ms,
+                time_until_store_dead_ms=time_until_store_dead_ms)
+            self.repair_queue = ReplicateQueue(
+                self.cluster, self.liveness,
+                interval_ms=repair_interval_ms)
+            self.repair_queue.manage(self.range, config)
+            self.repair_queue.start()
 
     @property
     def sim(self):
@@ -181,7 +233,9 @@ class ChaosHarness:
     def run(self, name: str, events: List[FaultEvent],
             inc_ops: int = 14, read_ops: int = 14,
             read_routing: str = ReadRouting.LEASEHOLDER,
-            client_regions: Optional[List[str]] = None) -> ScenarioResult:
+            client_regions: Optional[List[str]] = None,
+            restart_dead_on_heal: bool = True,
+            audit_regions: Optional[List[str]] = None) -> ScenarioResult:
         sim = self.sim
         # Seed the counters before chaos starts.
         for key in KEYS:
@@ -208,10 +262,11 @@ class ChaosHarness:
             sim.run_until_future(process)
         duration = sim.now - start_ms
 
-        # Heal the world, let replication catch up, then audit.
-        nemesis.heal_all()
+        # Heal the world (permanent losses stay lost), let replication
+        # and any in-flight repair catch up, then audit.
+        nemesis.heal_all(restart_dead=restart_dead_on_heal)
         sim.run(until=sim.now + 2000.0)
-        final_values = self._audit()
+        final_values = self._audit(audit_regions)
         report = check_history(self.history, final_values)
         group = self.range.group
         stats = {
@@ -223,18 +278,54 @@ class ChaosHarness:
             "txn_retries": self.coord.stats.aborted_retries,
             "raft_term": group.term,
         }
+        if self.repair_queue is not None:
+            self._check_placement(report, stats)
         return ScenarioResult(
             name=name, seed=self.seed, history=self.history, report=report,
             nemesis_timeline=nemesis.timeline, final_values=final_values,
-            duration_ms=duration, stats=stats)
+            duration_ms=duration, stats=stats, harness=self)
 
-    def _audit(self) -> Dict[str, int]:
-        """Strong-read every key from every region; they must agree."""
+    def _check_placement(self, report: InvariantReport,
+                         stats: Dict[str, float]) -> None:
+        """Repair-scenario extras: the healed placement must satisfy the
+        zone config (constraints, diversity, lease) given the nodes that
+        still exist, and the repair metrics ride along in the stats."""
+        violations = placement_violations(
+            self.range, self.config, self.cluster, self.liveness)
+        report.violations.extend(violations)
+        report.checks_run.append(
+            "placement: post-repair constraints + diversity + lease "
+            "satisfied on surviving nodes")
+        metrics = self.repair_queue.metrics
+        guard = self.range.group.config_guard
+        stats.update({
+            "repair_actions": metrics.total_actions(),
+            "repair_failures": sum(metrics.failures.values()),
+            "under_replicated": metrics.under_replicated_ranges,
+            "config_changes": guard.changes,
+            "max_inflight_changes": guard.max_inflight,
+            "liveness_transitions": len(self.liveness.transitions),
+        })
+        if metrics.time_to_repair_ms:
+            stats["time_to_repair_ms"] = round(
+                max(metrics.time_to_repair_ms), 1)
+
+    def _audit(self, audit_regions: Optional[List[str]] = None
+               ) -> Dict[str, int]:
+        """Strong-read every key from every auditable region; they must
+        agree.  Regions with no live node (permanent loss) are skipped —
+        clients there no longer exist either."""
         values: Dict[str, int] = {}
+        network = self.cluster.network
+        gateways = []
+        for region in (audit_regions or self.regions):
+            live = [n for n in self.cluster.nodes_in_region(region)
+                    if not network.node_is_dead(n.node_id)]
+            if live:
+                gateways.append(live[0])
         for key in KEYS:
             observed = []
-            for region in self.regions:
-                gateway = self.cluster.gateway_for_region(region)
+            for gateway in gateways:
 
                 def read_fn(txn, key=key):
                     value = yield from txn.read(self.range, key)
@@ -358,6 +449,61 @@ def _crash_restart(seed: int) -> ScenarioResult:
     return harness.run("crash-restart", events)
 
 
+def _kill_node_repair(seed: int) -> ScenarioResult:
+    """A non-leaseholder voter dies *permanently* — no heal ever comes.
+
+    Store liveness must walk it LIVE → SUSPECT → DEAD, and the replicate
+    queue must re-replicate its voter slot onto a constraint-satisfying,
+    diversity-maximizing survivor through the safe learner → snapshot →
+    promote pipeline, with zero lost acked writes.
+    """
+    harness = ChaosHarness(seed, enable_repair=True)
+    cluster = harness.cluster
+    lease_node = harness.range.leaseholder_node_id
+    candidates = [p.node for p in harness.range.group.voters()
+                  if p.node.node_id != lease_node]
+
+    def is_gateway(node) -> bool:
+        # Clients connect to the first two nodes of each region; prefer
+        # a victim that isn't someone's gateway so availability dips
+        # reflect the range, not a dead client connection.
+        peers = cluster.nodes_in_region(node.locality.region)
+        return node in peers[:2]
+
+    victim = sorted(candidates,
+                    key=lambda n: (is_gateway(n), n.node_id))[0].node_id
+    events = [FaultEvent(
+        name=f"kill:{victim}",
+        at_ms=300.0,
+        inject=lambda: cluster.crash_node(victim))]
+    return harness.run("kill-node-repair", events,
+                       restart_dead_on_heal=False)
+
+
+def _region_loss_repair(seed: int) -> ScenarioResult:
+    """The home region (leaseholder included) is lost *permanently*.
+
+    The lease must fail over to a survivor, and the repair queue must
+    rebuild full REGION-survivable replication on the two remaining
+    regions — back to 5 constraint- and diversity-satisfying voters —
+    within ``time_until_store_dead`` + a few repair intervals, with
+    zero lost acked writes.  Clients and the final audit live only in
+    the surviving regions.
+    """
+    harness = ChaosHarness(seed, enable_repair=True)
+    cluster = harness.cluster
+    victims = [n.node_id for n in cluster.nodes_in_region(HOME)]
+    survivors = [r for r in harness.regions if r != HOME]
+    events = [FaultEvent(
+        name=f"region-loss:{HOME}",
+        at_ms=300.0,
+        inject=lambda: [cluster.crash_node(n) for n in victims])]
+    return harness.run("region-loss-repair", events,
+                       client_regions=survivors,
+                       restart_dead_on_heal=False,
+                       audit_regions=survivors)
+
+
 SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {
     "region-blackout": _region_blackout,
     "rolling-zones": _rolling_zones,
@@ -365,6 +511,8 @@ SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {
     "gray-follower": _gray_follower,
     "asym-partition": _asym_partition,
     "crash-restart": _crash_restart,
+    "kill-node-repair": _kill_node_repair,
+    "region-loss-repair": _region_loss_repair,
 }
 
 

@@ -1,7 +1,15 @@
-"""Cluster topology: localities, nodes, and cluster membership."""
+"""Cluster topology: localities, nodes, membership, and store liveness."""
 
+from .liveness import LivenessStatus, StoreLiveness
 from .locality import Locality
 from .node import Node
 from .topology import Cluster, standard_cluster
 
-__all__ = ["Locality", "Node", "Cluster", "standard_cluster"]
+__all__ = [
+    "Cluster",
+    "LivenessStatus",
+    "Locality",
+    "Node",
+    "StoreLiveness",
+    "standard_cluster",
+]

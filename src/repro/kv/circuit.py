@@ -69,6 +69,17 @@ class CircuitBreaker:
             self.opened_at_ms = now_ms
             self.trips += 1
 
+    def reset(self) -> None:
+        """Forget all failure state (the destination node restarted).
+
+        Also clears a stranded in-flight probe: if the probe RPC was
+        abandoned when the node died, ``_probe_inflight`` would
+        otherwise deny every request forever.  ``trips`` is a lifetime
+        counter and survives."""
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self._probe_inflight = False
+
     @property
     def is_open(self) -> bool:
         return self.state == BreakerState.OPEN
@@ -96,6 +107,12 @@ class BreakerSet:
                                      self.cooldown_ms)
             self._breakers[node_id] = breaker
         return breaker
+
+    def reset(self, node_id: int) -> None:
+        """Reset the breaker for ``node_id`` (no-op if none exists)."""
+        breaker = self._breakers.get(node_id)
+        if breaker is not None:
+            breaker.reset()
 
     def total_trips(self) -> int:
         return sum(b.trips for b in self._breakers.values())

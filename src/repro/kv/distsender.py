@@ -71,6 +71,10 @@ class DistSender:
         self.rpc_max_attempts = max(1, rpc_max_attempts)
         self.auto_failover = auto_failover
         self.breakers = BreakerSet(breaker_threshold, breaker_cooldown_ms)
+        # A restarted node deserves a clean slate: accumulated failures
+        # (and any probe stranded when it died) belong to the previous
+        # incarnation.
+        self.network.on_node_restart(self.breakers.reset)
         self._retry_rng = random.Random(
             (getattr(cluster, "seed", 0) << 8) ^ 0xD157)
         #: Counters for tests/ablations.

@@ -27,6 +27,7 @@ from ..errors import (
     WriteTooOldError,
 )
 from ..raft.group import RaftGroup, ReplicaType
+from ..raft.membership import ConfigChangeError
 from ..sim.clock import TS_ZERO, Timestamp
 from ..storage.locktable import LockTable
 from ..storage.mvcc import ReadResult
@@ -54,6 +55,12 @@ class Range:
     SIDE_TRANSPORT_INTERVAL_MS = 200.0
     #: How long a waiter blocks before pushing the lock holder's txn.
     PUSH_INTERVAL_MS = 50.0
+    #: Snapshot transfer fixed cost + per-log-entry replay cost (ms).
+    SNAPSHOT_BASE_MS = 10.0
+    SNAPSHOT_PER_ENTRY_MS = 0.05
+    #: Learner catch-up poll cadence and give-up horizon (ms).
+    CATCHUP_POLL_MS = 25.0
+    CATCHUP_TIMEOUT_MS = 5000.0
 
     def __init__(self, cluster: "Cluster", policy: Optional[ClosedTimestampPolicy] = None,
                  name: str = "", proposal_timeout_ms: Optional[float] = None):
@@ -96,6 +103,109 @@ class Range:
         self.replicas.pop(node.node_id, None)
         self.group.remove_peer(node.node_id)
         node.remove_replica(self.range_id)
+
+    def add_replica_safely(self, node: "Node",
+                           replica_type: str = ReplicaType.VOTER) -> Generator:
+        """Coroutine: the safe membership-change pipeline (repair path).
+
+        The replica joins as an *empty learner*, receives a leader-driven
+        snapshot over the network (paying real transfer latency, unlike
+        :meth:`add_replica`'s instant provisioning shortcut), catches up
+        on the live Raft stream, and only then — if it is to be a voter —
+        is promoted.  The range's config guard is held across the entire
+        pipeline, so any overlapping membership change raises
+        :class:`ConfigChangeError` instead of composing unsafely.  At no
+        point does the voter set change in a way that could lose a live
+        quorum: the learner phase never affects quorum arithmetic, and
+        promotion re-checks quorum before taking effect.
+
+        Returns the new :class:`Replica`; on any failure the half-added
+        learner is rolled back so the range is exactly as before.
+        """
+        guard = self.group.config_guard
+        guard.acquire(f"safe-add-{replica_type}@n{node.node_id}",
+                      self.sim.now)
+        node_id = node.node_id
+        try:
+            replica = Replica(self, node)
+            self.replicas[node_id] = replica
+            node.add_replica(replica)
+            self.group.add_learner(node)
+            leader_node = self.leaseholder_node
+            source = self.replicas[self.leaseholder_node_id]
+            entries = len(self.group.leader.log)
+            transfer_ms = (self.SNAPSHOT_BASE_MS
+                           + self.SNAPSHOT_PER_ENTRY_MS * entries)
+
+            def install() -> Generator:
+                # Runs on the joining node after the request arrives;
+                # the sleep models streaming + sideloading the snapshot.
+                yield self.sim.sleep(transfer_ms)
+                replica.store = source.store.clone()
+                replica.txn_records = dict(source.txn_records)
+                return self.group.install_snapshot(node_id)
+
+            yield self.cluster.network.call(leader_node, node, install,
+                                            payload_size=max(1, entries))
+            yield from self._wait_caught_up(node_id)
+            if replica_type == ReplicaType.VOTER:
+                # No sim time passes between the caught-up check and the
+                # promotion, so the learner still holds every committed
+                # entry when it joins the electorate.
+                self.group.promote_learner(node_id)
+            return replica
+        except BaseException:
+            # Roll back the half-added learner directly (the guard is
+            # still held, so the guarded remove path cannot be used).
+            self.replicas.pop(node_id, None)
+            self.group.peers.pop(node_id, None)
+            node.remove_replica(self.range_id)
+            raise
+        finally:
+            guard.release(self.sim.now)
+
+    def _wait_caught_up(self, node_id: int,
+                        timeout_ms: Optional[float] = None) -> Generator:
+        """Poll until the learner's log reaches the commit index."""
+        deadline = self.sim.now + (timeout_ms or self.CATCHUP_TIMEOUT_MS)
+        while True:
+            peer = self.group.peers.get(node_id)
+            if peer is None:
+                raise RangeUnavailableError(
+                    f"{self.name}: learner {node_id} vanished mid-catch-up")
+            if (peer.last_index >= self.group.commit_index
+                    and self.group.log_complete(peer)):
+                return None
+            if self.sim.now >= deadline:
+                raise RangeUnavailableError(
+                    f"{self.name}: learner {node_id} failed to catch up "
+                    f"(at {peer.last_index}, commit "
+                    f"{self.group.commit_index})")
+            self.group.resync_peer(node_id)
+            yield self.sim.sleep(self.CATCHUP_POLL_MS)
+
+    def remove_replica_safely(self, node_id: int) -> None:
+        """Quorum-safe replica removal (repair path).
+
+        Refuses to remove the leaseholder (transfer the lease first) and
+        refuses any voter removal that would leave the remaining voter
+        set without a live quorum.
+        """
+        if node_id == self.leaseholder_node_id:
+            raise ConfigChangeError(
+                f"{self.name}: cannot remove the leaseholder replica")
+        peer = self.group.peers.get(node_id)
+        if peer is None:
+            return
+        if (peer.replica_type == ReplicaType.VOTER
+                and not self.group.would_retain_quorum_without(node_id)):
+            raise ConfigChangeError(
+                f"{self.name}: removing voter n{node_id} would drop the "
+                f"range below a live quorum")
+        replica = self.replicas.pop(node_id, None)
+        self.group.remove_peer(node_id)
+        if replica is not None:
+            replica.node.remove_replica(self.range_id)
 
     def set_leaseholder(self, node_id: int) -> None:
         self.group.set_leader(node_id)

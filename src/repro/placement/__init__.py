@@ -7,13 +7,25 @@ from .goals import (
     zone_config_for_home,
 )
 from .provision import provision_range, reconfigure_range
+from .repair import (
+    RepairAction,
+    RepairActionKind,
+    RepairMetrics,
+    ReplicateQueue,
+    placement_violations,
+)
 from .zoneconfig import ZoneConfig
 
 __all__ = [
     "Allocator",
     "Placement",
     "REGION_SURVIVAL_MIN_REGIONS",
+    "RepairAction",
+    "RepairActionKind",
+    "RepairMetrics",
+    "ReplicateQueue",
     "SurvivalGoal",
+    "placement_violations",
     "zone_config_for_home",
     "provision_range",
     "reconfigure_range",

@@ -111,6 +111,52 @@ class Allocator:
             placement, config.lease_preferences)
         return placement
 
+    def pick_addition(self, config: ZoneConfig, existing_nodes: Sequence,
+                      exclude_ids: Sequence[int] = (),
+                      live_filter=None):
+        """Choose one node to add to an *existing* placement (repair path).
+
+        Regions whose constraint count is not yet met by
+        ``existing_nodes`` are tried first, most-deficient first; if all
+        constraints are met (or their regions hold no eligible node —
+        e.g. a lost region), any node may be chosen.  Within a pool the
+        pick maximizes failure-domain diversity against the survivors,
+        then balances load, exactly like initial placement.  Returns
+        ``None`` when no eligible node exists.
+
+        ``live_filter`` lets the caller exclude nodes its liveness view
+        considers unusable (the cluster's ``alive`` flag only reflects
+        explicit decommissioning, not network death).
+        """
+        exclude = set(exclude_ids) | {n.node_id for n in existing_nodes}
+
+        def eligible(node) -> bool:
+            if node.node_id in exclude or not node.alive:
+                return False
+            return live_filter is None or live_filter(node)
+
+        def score(node) -> tuple:
+            diversity = sum(node.locality.diversity_from(c.locality)
+                            for c in existing_nodes)
+            return (-diversity, len(node.replicas), node.node_id)
+
+        counts: Dict[str, int] = {}
+        for node in existing_nodes:
+            region = node.locality.region
+            counts[region] = counts.get(region, 0) + 1
+        deficits = {region: want - counts.get(region, 0)
+                    for region, want in config.constraints.items()
+                    if want > counts.get(region, 0)}
+        pools = []
+        for region in sorted(deficits, key=lambda r: (-deficits[r], r)):
+            pools.append(self.cluster.nodes_in_region(region))
+        pools.append(list(self.cluster.nodes))
+        for pool in pools:
+            options = [n for n in pool if eligible(n)]
+            if options:
+                return min(options, key=score)
+        return None
+
     def _choose_leaseholder(self, placement: Placement,
                             preferences: Sequence[str]):
         for region in preferences:

@@ -89,21 +89,46 @@ def reconfigure_range(cluster, rng: Range, config: ZoneConfig,
 
     # Lease must land on a new voter before dropping the old leaseholder.
     new_lease_node = placement.leaseholder
+    guard = rng.group.config_guard
 
     current_ids = set(rng.replicas)
-    # Add new members first (they snapshot from the leader).
+    # 1. Add new members, one config change each (instant snapshot from
+    #    the leader — the provisioning shortcut; the repair path pays
+    #    real transfer latency instead).  Learners first would be
+    #    strictly more faithful, but each add here is a complete,
+    #    caught-up single change, so quorum is never at risk.
     for node in placement.all_nodes():
         if node.node_id not in current_ids:
             rng.add_replica(node, desired[node.node_id])
-    # Retype survivors.
+    # 2. Promote surviving non-voters one at a time.  A synchronous
+    #    reconfigure cannot wait for the live stream, so each promotion
+    #    is preceded by an instant snapshot-catch-up; the promotion then
+    #    passes the learner-completeness and quorum checks for real.
     for node_id, replica_type in desired.items():
         peer = rng.group.peers.get(node_id)
-        if peer is not None and peer.replica_type != replica_type:
-            peer.replica_type = replica_type
-    # Move the lease if needed, then drop stragglers.
+        if (peer is not None and replica_type == ReplicaType.VOTER
+                and peer.replica_type != ReplicaType.VOTER):
+            guard.acquire(f"promote@n{node_id}", cluster.sim.now)
+            try:
+                rng.group.install_snapshot(node_id)
+                rng.group.promote_learner(node_id)
+            finally:
+                guard.release(cluster.sim.now)
+    # 3. Move the lease off any voter about to be demoted or removed.
     if rng.leaseholder_node_id != new_lease_node.node_id:
         rng.transfer_lease(new_lease_node.node_id)
+    # 4. Demote surviving voters one at a time (quorum-checked).
+    for node_id, replica_type in desired.items():
+        peer = rng.group.peers.get(node_id)
+        if (peer is not None and replica_type == ReplicaType.NON_VOTER
+                and peer.replica_type == ReplicaType.VOTER):
+            guard.acquire(f"demote@n{node_id}", cluster.sim.now)
+            try:
+                rng.group.demote_voter(node_id)
+            finally:
+                guard.release(cluster.sim.now)
+    # 5. Drop stragglers via the quorum-safe removal path.
     for node_id in list(current_ids - set(desired)):
-        rng.remove_replica(cluster.node_by_id(node_id))
+        rng.remove_replica_safely(node_id)
     _assign_policy(cluster, rng, global_reads, closed_ts_lag_ms)
     return rng

@@ -2,5 +2,13 @@
 
 from .group import PeerState, RaftGroup, ReplicaType
 from .log import Entry
+from .membership import ConfigChangeError, ConfigChangeGuard
 
-__all__ = ["Entry", "PeerState", "RaftGroup", "ReplicaType"]
+__all__ = [
+    "ConfigChangeError",
+    "ConfigChangeGuard",
+    "Entry",
+    "PeerState",
+    "RaftGroup",
+    "ReplicaType",
+]

@@ -30,6 +30,7 @@ from ..errors import RangeUnavailableError
 from ..sim.clock import TS_ZERO, Timestamp
 from ..sim.core import Future, Simulator
 from .log import Entry
+from .membership import ConfigChangeError, ConfigChangeGuard
 
 __all__ = ["RaftGroup", "PeerState", "ReplicaType"]
 
@@ -137,23 +138,139 @@ class RaftGroup:
         self.proposals_committed = 0
         #: The entry at the current commit index (leader completeness).
         self._last_committed: Optional[Entry] = None
+        #: One-at-a-time membership-change enforcement.
+        self.config_guard = ConfigChangeGuard(range_id)
 
     # -- membership --------------------------------------------------------
 
     def add_peer(self, node, replica_type: str) -> PeerState:
-        peer = PeerState(node=node, replica_type=replica_type)
-        # New peers catch up from the leader's log (snapshot shortcut).
-        if self.leader_node_id is not None:
-            leader = self.peers[self.leader_node_id]
-            peer.log = list(leader.log)
-            peer.applied_index = leader.applied_index
-            peer.closed_ts = leader.closed_ts
-            peer.known_commit_index = self.commit_index
+        """Instant-snapshot membership add (provisioning shortcut).
+
+        Counts as a complete config change: it conflicts with any
+        long-running learner/snapshot change already in flight.
+        """
+        self.config_guard.acquire(f"add-{replica_type}@n{node.node_id}",
+                                  self.sim.now)
+        try:
+            peer = PeerState(node=node, replica_type=replica_type)
+            # New peers catch up from the leader's log (snapshot shortcut).
+            if self.leader_node_id is not None:
+                leader = self.peers[self.leader_node_id]
+                peer.log = list(leader.log)
+                peer.applied_index = leader.applied_index
+                peer.closed_ts = leader.closed_ts
+                peer.known_commit_index = self.commit_index
+            self.peers[node.node_id] = peer
+            return peer
+        finally:
+            self.config_guard.release(self.sim.now)
+
+    def remove_peer(self, node_id: int) -> None:
+        self.config_guard.acquire(f"remove@n{node_id}", self.sim.now)
+        try:
+            self.peers.pop(node_id, None)
+        finally:
+            self.config_guard.release(self.sim.now)
+
+    # Guardless primitives below are the building blocks of the safe
+    # learner → snapshot → promote pipeline; the *composite* operation
+    # (Range.add_replica_safely) holds the config guard across the whole
+    # multi-step change, so the primitives must not re-acquire it.
+
+    def add_learner(self, node) -> PeerState:
+        """Join as an empty learner: receives the live stream but holds
+        no data until :meth:`install_snapshot` lands."""
+        if node.node_id in self.peers:
+            raise ConfigChangeError(
+                f"r{self.range_id}: node {node.node_id} is already a member")
+        peer = PeerState(node=node, replica_type=ReplicaType.NON_VOTER)
         self.peers[node.node_id] = peer
         return peer
 
-    def remove_peer(self, node_id: int) -> None:
-        self.peers.pop(node_id, None)
+    def install_snapshot(self, node_id: int) -> int:
+        """Complete a leader-driven snapshot transfer onto a learner.
+
+        Copies the leader's log (entry identity preserved, so later
+        appends chain), applied index, closed timestamp, and commit
+        knowledge, then drains any live-stream entries that arrived
+        while the snapshot was in transit.  Returns the peer's new last
+        index.  The caller is responsible for having moved the state
+        machine (the MVCC store) alongside.
+        """
+        leader = self.leader
+        peer = self.peers.get(node_id)
+        if peer is None:
+            raise ConfigChangeError(
+                f"r{self.range_id}: snapshot for non-member {node_id}")
+        peer.log = list(leader.log)
+        peer.applied_index = leader.applied_index
+        peer.closed_ts = leader.closed_ts
+        peer.known_commit_index = max(peer.known_commit_index,
+                                      self.commit_index)
+        # Entries the live stream delivered during the transfer: drop
+        # what the snapshot already covers, chain the rest.
+        peer._staged = {i: s for i, s in peer._staged.items()
+                        if i > peer.last_index}
+        while True:
+            nxt = peer._staged.get(peer.last_index + 1)
+            if nxt is None:
+                break
+            nxt_entry, nxt_prev = nxt
+            tail = peer.log[-1] if peer.log else None
+            if nxt_prev is not tail:
+                break
+            peer.log.append(nxt_entry)
+            del peer._staged[nxt_entry.index]
+        self._apply_ready(peer)
+        return peer.last_index
+
+    def promote_learner(self, node_id: int) -> PeerState:
+        """Promote a caught-up learner to voter.
+
+        Refuses if the learner misses committed entries (promoting it
+        would let an incomplete log into the electorate) or if the
+        promotion would leave the *new* voter set without a live quorum.
+        """
+        peer = self.peers.get(node_id)
+        if peer is None or peer.replica_type != ReplicaType.NON_VOTER:
+            raise ConfigChangeError(
+                f"r{self.range_id}: node {node_id} is not a learner")
+        if peer.last_index < self.commit_index or not self.log_complete(peer):
+            raise ConfigChangeError(
+                f"r{self.range_id}: learner {node_id} not caught up "
+                f"(at {peer.last_index}, commit {self.commit_index})")
+        peer.replica_type = ReplicaType.VOTER
+        if not self.has_quorum():
+            peer.replica_type = ReplicaType.NON_VOTER
+            raise ConfigChangeError(
+                f"r{self.range_id}: promoting {node_id} would enlarge the "
+                f"voter set beyond its live quorum")
+        return peer
+
+    def demote_voter(self, node_id: int) -> PeerState:
+        """Voter → learner (the first half of a safe voter removal)."""
+        peer = self.peers.get(node_id)
+        if peer is None or peer.replica_type != ReplicaType.VOTER:
+            raise ConfigChangeError(
+                f"r{self.range_id}: node {node_id} is not a voter")
+        if node_id == self.leader_node_id:
+            raise ConfigChangeError(
+                f"r{self.range_id}: cannot demote the leader")
+        if not self.would_retain_quorum_without(node_id):
+            raise ConfigChangeError(
+                f"r{self.range_id}: demoting {node_id} would lose quorum")
+        peer.replica_type = ReplicaType.NON_VOTER
+        return peer
+
+    def would_retain_quorum_without(self, node_id: int) -> bool:
+        """Would the voter set minus ``node_id`` still have a live quorum?"""
+        remaining = [p for p in self.voters() if p.node.node_id != node_id]
+        if not remaining:
+            return False
+        quorum = len(remaining) // 2 + 1
+        live = sum(1 for p in remaining
+                   if not self.network.node_is_dead(p.node.node_id))
+        return live >= quorum
 
     def set_leader(self, node_id: int) -> None:
         if node_id not in self.peers:

@@ -1,0 +1,67 @@
+"""One-at-a-time Raft membership-change discipline.
+
+CockroachDB (like etcd/raft) serializes configuration changes: at most
+one replica may be entering or leaving a range's configuration at any
+moment.  Overlapping changes are where classic quorum-loss bugs live —
+two "safe" single changes composed concurrently can leave a joint
+majority that no longer exists.  The :class:`ConfigChangeGuard` is the
+simulation's enforcement point: every mutation of a group's membership
+(learner add, promotion, demotion, removal — including the instant
+snapshot-shortcut paths) must hold the guard for its duration, and a
+second acquisition while one is outstanding raises instead of queueing,
+surfacing the violation loudly in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import DatabaseError
+
+__all__ = ["ConfigChangeError", "ConfigChangeGuard"]
+
+
+class ConfigChangeError(DatabaseError):
+    """A membership change violated the one-at-a-time/quorum rules."""
+
+
+class ConfigChangeGuard:
+    """Mutual exclusion for a single group's config changes.
+
+    Not a lock that callers wait on: a conflicting acquire *raises*.
+    Replica-repair code paths are expected to observe the conflict and
+    retry on their next scan; silently queueing would hide the very
+    interleavings the one-at-a-time rule exists to prevent.
+    """
+
+    def __init__(self, range_id: int):
+        self.range_id = range_id
+        self._holder: Optional[str] = None
+        #: Total completed config changes (for tests/metrics).
+        self.changes = 0
+        #: High-water mark of concurrently held changes (must stay <= 1).
+        self.max_inflight = 0
+        #: (description, start_ms, end_ms) completed-change log.
+        self.history: List[Tuple[str, float, float]] = []
+        self._started_at = 0.0
+
+    @property
+    def in_flight(self) -> Optional[str]:
+        return self._holder
+
+    def acquire(self, description: str, now_ms: float = 0.0) -> None:
+        if self._holder is not None:
+            raise ConfigChangeError(
+                f"r{self.range_id}: config change {description!r} while "
+                f"{self._holder!r} is still in flight")
+        self._holder = description
+        self._started_at = now_ms
+        self.max_inflight = max(self.max_inflight, 1)
+
+    def release(self, now_ms: float = 0.0) -> None:
+        if self._holder is None:
+            raise ConfigChangeError(
+                f"r{self.range_id}: release without an in-flight change")
+        self.history.append((self._holder, self._started_at, now_ms))
+        self._holder = None
+        self.changes += 1

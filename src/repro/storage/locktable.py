@@ -20,7 +20,7 @@ from ..errors import TransactionAbortedError
 from ..sim.clock import Timestamp
 from ..sim.core import Future, Simulator
 
-__all__ = ["LockTable", "LockHolder"]
+__all__ = ["LockTable", "LockHolder", "WaitGraph"]
 
 
 @dataclass(frozen=True)
@@ -120,6 +120,28 @@ class LockTable:
                 self._graph.remove_edge(waiter_txn_id, held_by)
             if not fut.done:
                 fut.resolve(None)
+
+    def cancel_wait(self, key: Any, waiter_txn_id: int) -> None:
+        """A waiter aborted while queued: drop its entry and wait-for
+        edges for ``key`` so a stale edge cannot fabricate a deadlock
+        cycle against transactions that are no longer waiting."""
+        waiters = self._waiters.get(key)
+        if not waiters:
+            return
+        remaining = []
+        for entry in waiters:
+            entry_txn_id, fut, held_by = entry
+            if entry_txn_id == waiter_txn_id:
+                self._graph.remove_edge(entry_txn_id, held_by)
+                if not fut.done:
+                    fut.reject(TransactionAbortedError(
+                        f"txn {waiter_txn_id} abandoned its wait on {key!r}"))
+            else:
+                remaining.append(entry)
+        if remaining:
+            self._waiters[key] = remaining
+        else:
+            del self._waiters[key]
 
     def waiter_count(self, key: Any) -> int:
         return len(self._waiters.get(key, []))

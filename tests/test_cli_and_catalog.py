@@ -1,5 +1,7 @@
 """Tests for the CLI entry point and catalog primitives."""
 
+import json
+
 import pytest
 
 from repro.__main__ import EXPERIMENTS, main
@@ -36,6 +38,55 @@ class TestCLI:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["not-an-experiment"])
+
+
+class TestChaosCLI:
+    def test_list_scenarios(self, capsys):
+        assert main(["chaos", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "region-blackout" in out
+        assert "kill-node-repair" in out
+        assert "region-loss-repair" in out
+
+    def test_unknown_scenario_exits_nonzero(self, capsys):
+        assert main(["chaos", "not-a-scenario"]) == 2
+
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["chaos", "crash-restart", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "[pass]" in out
+
+    def test_json_report_is_machine_readable(self, capsys):
+        assert main(["chaos", "kill-node-repair", "--seed", "0",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        (run,) = report["runs"]
+        assert run["scenario"] == "kill-node-repair"
+        assert run["seed"] == 0
+        assert run["ops"]["total"] == (run["ops"]["ok"] + run["ops"]["fail"]
+                                       + run["ops"]["indeterminate"])
+        assert run["violations"] == []
+        assert run["stats"]["repair_actions"] >= 1
+        assert run["stats"]["max_inflight_changes"] == 1
+        assert isinstance(run["wall_s"], float)
+        assert any(e["action"] == "inject" for e in run["nemesis_timeline"])
+
+
+class TestRepairCLI:
+    def test_repair_report(self, capsys):
+        assert main(["repair", "--scenario", "kill-node-repair",
+                     "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "liveness transitions" in out
+        assert "replace_dead_voter" in out
+        assert "time-to-repair" in out
+        assert "max-inflight-changes=1" in out
+        assert "=> OK" in out
+
+    def test_unknown_repair_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["repair", "--scenario", "not-a-scenario"])
 
 
 class TestRegionEnum:

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import TransactionAbortedError
 from repro.sim.clock import Timestamp, TS_ZERO
 from repro.sim.core import Simulator
-from repro.storage.locktable import LockTable
+from repro.storage.locktable import LockTable, WaitGraph
 from repro.storage.tscache import TimestampCache
 
 
@@ -197,3 +197,76 @@ class TestLockTable:
             return "ok"
 
         assert sim.run_process(proc()) == "ok"
+
+
+class TestWaitGraphCycles:
+    def test_three_transaction_cycle_detected_at_closing_edge(self):
+        graph = WaitGraph()
+        # 1 -> 2 -> 3; only the edge that closes the triangle cycles.
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        assert not graph.would_cycle(1, 3)   # shortcut edge: still a DAG
+        assert not graph.would_cycle(3, 4)   # disjoint holder
+        assert graph.would_cycle(3, 1)       # 3 -> 1 -> 2 -> 3
+
+    def test_edge_removal_breaks_the_cycle(self):
+        graph = WaitGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        graph.remove_edge(2, 3)
+        assert not graph.would_cycle(3, 1)
+        # Unknown edges are ignored quietly.
+        graph.remove_edge(7, 8)
+
+    def test_parallel_waits_tracked_as_edge_sets(self):
+        graph = WaitGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(1, 3)
+        graph.remove_edge(1, 2)
+        # The 1 -> 3 edge must survive its sibling's removal.
+        assert graph.would_cycle(3, 1)
+
+    def test_cancel_wait_cleans_edges_for_aborted_waiter(self):
+        sim = Simulator()
+        graph = WaitGraph()
+        table = LockTable(sim, wait_graph=graph)
+        # txn 1 holds a and waits on b (held by 2); txn 2 waits on c
+        # (held by 3).  txn 3 waiting on a would close a 3-txn cycle.
+        table.note_holder("a", 1, ts(1))
+        table.note_holder("b", 2, ts(1))
+        table.note_holder("c", 3, ts(1))
+        fut1 = table.wait_for("b", waiter_txn_id=1)
+        table.wait_for("c", waiter_txn_id=2)
+        assert graph.would_cycle(3, 1)
+        # txn 1 aborts while queued: its wait and its 1 -> 2 edge go.
+        table.cancel_wait("b", waiter_txn_id=1)
+        assert fut1.error is not None
+        assert isinstance(fut1.error, TransactionAbortedError)
+        assert table.waiter_count("b") == 0
+        # The stale edge no longer fabricates a deadlock: txn 3 may wait.
+        assert not graph.would_cycle(3, 1)
+
+        def proc():
+            fut = table.wait_for("a", waiter_txn_id=3)
+            table.release("a", 1)
+            yield fut
+            return "ok"
+
+        assert sim.run_process(proc()) == "ok"
+
+    def test_cancel_wait_leaves_other_waiters_queued(self):
+        sim = Simulator()
+        table = LockTable(sim)
+        table.note_holder("k", 1, ts(1))
+        table.wait_for("k", waiter_txn_id=2)
+        kept = table.wait_for("k", waiter_txn_id=3)
+        table.cancel_wait("k", waiter_txn_id=2)
+        assert table.waiter_count("k") == 1
+        table.release("k", 1)
+        assert kept.done and kept.error is None
+
+    def test_cancel_wait_on_idle_key_is_noop(self):
+        sim = Simulator()
+        table = LockTable(sim)
+        table.cancel_wait("ghost", waiter_txn_id=1)
+        assert table.waiter_count("ghost") == 0
