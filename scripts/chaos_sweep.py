@@ -4,12 +4,16 @@
 Usage::
 
     python scripts/chaos_sweep.py [--seeds N] [--scenario NAME] [-v]
+                                  [--metrics-out DIR]
 
 Prints one line per run plus the full report for any failure, and
 exits non-zero if any invariant is violated or any run crashes.
+``--metrics-out DIR`` additionally writes each run's full metrics
+registry snapshot to ``DIR/<scenario>-seed<N>.json``.
 """
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -27,7 +31,12 @@ def main(argv=None) -> int:
                         help="run only this scenario (default: all)")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="print the full report for every run")
+    parser.add_argument("--metrics-out", default=None, metavar="DIR",
+                        help="dump each run's metrics registry snapshot "
+                             "to DIR/<scenario>-seed<N>.json")
     args = parser.parse_args(argv)
+    if args.metrics_out:
+        os.makedirs(args.metrics_out, exist_ok=True)
 
     names = sorted(SCENARIOS) if args.scenario is None else [args.scenario]
     for name in names:
@@ -48,6 +57,12 @@ def main(argv=None) -> int:
                       f"{type(exc).__name__}: {exc}")
                 continue
             wall = time.time() - start
+            if args.metrics_out and result.metrics_snapshot is not None:
+                path = os.path.join(args.metrics_out,
+                                    f"{name}-seed{seed}.json")
+                with open(path, "w") as fh:
+                    json.dump(result.metrics_snapshot, fh, indent=2,
+                              sort_keys=True)
             verdict = "ok    " if result.ok else "FAIL  "
             counts = result.history.counts()
             repair = ""

@@ -10,6 +10,8 @@ Usage::
     python -m repro chaos region-blackout [--seed N]
     python -m repro chaos all --seeds 5 [--json]
     python -m repro repair [--seed N] [--scenario NAME]
+    python -m repro trace [--workload movr] [--scenario NAME] [--seed N]
+    python -m repro metrics [--workload movr] [--scenario NAME] [--json]
 
 ``--quick`` shrinks client/op counts (~5x faster, coarser percentiles).
 ``chaos`` runs a nemesis fault-injection scenario and prints the
@@ -17,6 +19,9 @@ invariant report plus an availability/latency timeline (or, with
 ``--json``, a machine-readable report); it exits non-zero if any
 invariant is violated.  ``repair`` runs the self-healing scenarios and
 reports liveness transitions, repair actions, and time-to-repair.
+``trace`` runs a deterministic workload (or chaos scenario) and prints
+the span tree with the critical path and commit-wait breakdown;
+``metrics`` prints the unified registry snapshot for the same runs.
 """
 
 from __future__ import annotations
@@ -209,6 +214,115 @@ def _repair_main(argv) -> int:
     return 1 if violated else 0
 
 
+def _observed_run(args):
+    """Run the workload or scenario named by ``args``; returns
+    (title, Observability) with the run's spans and metrics attached."""
+    if args.scenario is not None:
+        from .chaos import SCENARIOS, run_scenario
+        if args.scenario not in SCENARIOS:
+            raise SystemExit(
+                f"unknown scenario {args.scenario!r} "
+                f"(try: {', '.join(sorted(SCENARIOS))})")
+        result = run_scenario(args.scenario, args.seed)
+        return f"chaos scenario {args.scenario!r}", result.harness.sim.obs
+    from .harness.tracing import run_traced_workload
+    engine = run_traced_workload(args.workload, seed=args.seed)
+    return f"workload {args.workload!r}", engine.cluster.sim.obs
+
+
+def _run_parser(prog: str, description: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog=prog, description=description)
+    parser.add_argument("--workload", default="movr",
+                        choices=["movr", "kv"],
+                        help="traced workload to run (default movr)")
+    parser.add_argument("--scenario", default=None, metavar="NAME",
+                        help="observe a chaos scenario instead of a "
+                             "workload")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON")
+    return parser
+
+
+def _trace_main(argv) -> int:
+    parser = _run_parser(
+        "python -m repro trace",
+        "Run a deterministic workload (or chaos scenario) and render "
+        "its span tree, critical path, and commit-wait breakdown.")
+    args = parser.parse_args(argv)
+
+    from .obs import (containment_violations, critical_path, render_tree,
+                      spans_named)
+
+    title, obs = _observed_run(args)
+    tracer = obs.tracer
+    if args.json:
+        print(tracer.to_json())
+        return 0
+    roots = tracer.roots
+    print(f"trace for {title} (seed={args.seed}) — "
+          f"{len(roots)} root spans")
+    for root in roots:
+        print(render_tree(root))
+
+    slowest = max(roots, key=lambda r: (r.duration_ms, -r.span_id))
+    print(f"critical path (slowest root, "
+          f"{slowest.duration_ms:.3f}ms total):")
+    for span in critical_path(slowest):
+        print(f"  {span.name} #{span.span_id} {span.duration_ms:.3f}ms")
+
+    waits = [s for r in roots for s in spans_named(r, "txn.commit_wait")]
+    txns = [s for r in roots for s in spans_named(r, "txn")]
+    print("commit-wait breakdown:")
+    if waits:
+        total_wait = sum(s.duration_ms for s in waits)
+        total_txn = sum(s.duration_ms for s in txns)
+        for span in waits:
+            txn_root = span.root()
+            share = (100.0 * span.duration_ms / txn_root.duration_ms
+                     if txn_root.duration_ms else 0.0)
+            print(f"  txn {span.tags.get('txn_id')}: waited "
+                  f"{span.duration_ms:.3f}ms "
+                  f"({share:.0f}% of its root span)")
+        print(f"  total: {total_wait:.3f}ms commit wait across "
+              f"{total_txn:.3f}ms of transaction time")
+    else:
+        print("  (no commit waits)")
+
+    violations = [v for r in roots for v in containment_violations(r)]
+    if violations:
+        print(f"containment warnings ({len(violations)}):")
+        for violation in violations:
+            print(f"  {violation}")
+    return 0
+
+
+def _metrics_main(argv) -> int:
+    parser = _run_parser(
+        "python -m repro metrics",
+        "Run a deterministic workload (or chaos scenario) and print "
+        "the unified metrics registry snapshot.")
+    parser.add_argument("--prefix", default=None, metavar="NAME",
+                        help="only instruments whose name starts here "
+                             "(e.g. 'raft.' or 'txn.')")
+    args = parser.parse_args(argv)
+
+    title, obs = _observed_run(args)
+    registry = obs.registry
+    if args.json:
+        snapshot = registry.snapshot()
+        if args.prefix:
+            snapshot = {
+                kind: {key: value for key, value in table.items()
+                       if key.startswith(args.prefix)}
+                for kind, table in snapshot.items()}
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    print(f"metrics for {title} (seed={args.seed})")
+    print(registry.render(prefix=args.prefix))
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -216,6 +330,10 @@ def main(argv=None) -> int:
         return _chaos_main(argv[1:])
     if argv and argv[0] == "repair":
         return _repair_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
+    if argv and argv[0] == "metrics":
+        return _metrics_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's evaluation tables and figures.")

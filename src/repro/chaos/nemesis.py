@@ -54,17 +54,22 @@ class Nemesis:
             if event.heal_at_ms is not None:
                 self.sim.call_at(base + event.heal_at_ms, self._heal, event)
 
+    def _record(self, action: str, name: str) -> None:
+        self.timeline.append((self.sim.now, action, name))
+        self.sim.obs.registry.counter("nemesis.events", action=action,
+                                      fault=name).inc()
+
     def _inject(self, event: FaultEvent) -> None:
         event.inject()
         self._active.append(event)
-        self.timeline.append((self.sim.now, "inject", event.name))
+        self._record("inject", event.name)
 
     def _heal(self, event: FaultEvent) -> None:
         if event in self._active:
             self._active.remove(event)
         if event.heal is not None:
             event.heal()
-        self.timeline.append((self.sim.now, "heal", event.name))
+        self._record("heal", event.name)
 
     def heal_all(self, restart_dead: bool = True) -> None:
         """Run outstanding heals and scrub the fault plane completely —
@@ -79,7 +84,7 @@ class Nemesis:
             self._active.remove(event)
             if event.heal is not None:
                 event.heal()
-            self.timeline.append((self.sim.now, "heal", event.name))
+            self._record("heal", event.name)
         faults = network.faults
         faults.heal_all_links()
         faults.partitioned_regions.clear()
@@ -87,7 +92,7 @@ class Nemesis:
         if restart_dead:
             for node_id in list(faults.dead_nodes):
                 network.restart_node(node_id)
-        self.timeline.append((self.sim.now, "heal", "heal-all"))
+        self._record("heal", "heal-all")
 
     @property
     def active_faults(self) -> List[str]:

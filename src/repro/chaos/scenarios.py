@@ -72,6 +72,8 @@ class ScenarioResult:
     #: The harness that produced this result (liveness + repair metrics
     #: live here for the ``repair`` CLI report); None for custom runs.
     harness: Optional["ChaosHarness"] = None
+    #: Full registry snapshot taken at the end of the run.
+    metrics_snapshot: Optional[Dict[str, Dict[str, object]]] = None
 
     def to_json(self) -> Dict[str, object]:
         """Machine-readable summary for CI tooling."""
@@ -283,7 +285,8 @@ class ChaosHarness:
         return ScenarioResult(
             name=name, seed=self.seed, history=self.history, report=report,
             nemesis_timeline=nemesis.timeline, final_values=final_values,
-            duration_ms=duration, stats=stats, harness=self)
+            duration_ms=duration, stats=stats, harness=self,
+            metrics_snapshot=sim.obs.registry.snapshot())
 
     def _check_placement(self, report: InvariantReport,
                          stats: Dict[str, float]) -> None:

@@ -76,7 +76,9 @@ class StoreLiveness:
         #: (time_ms, node_id, old_status, new_status) aggregate changes.
         self.transitions: List[Tuple[float, int, str, str]] = []
         self._last_aggregate: Dict[int, str] = {}
-        self.heartbeats_sent = 0
+        self._registry = cluster.sim.obs.registry
+        self._c_heartbeats = self._registry.counter(
+            "liveness.heartbeats_sent")
         self._started = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -97,6 +99,9 @@ class StoreLiveness:
                     # Grace period: nobody is declared dead at startup.
                     view[other.node_id] = (self._epochs[other.node_id], now)
         self.network.on_node_restart(self._on_restart)
+        for node in nodes:
+            self._status_gauge(node.node_id).set(
+                self._STATUS_LEVELS[LivenessStatus.LIVE])
         # Stagger senders deterministically so heartbeats don't arrive
         # as one synchronized burst per interval.
         for index, node in enumerate(nodes):
@@ -112,7 +117,7 @@ class StoreLiveness:
                 for other in self.cluster.nodes:
                     if other.node_id == node.node_id or not other.alive:
                         continue
-                    self.heartbeats_sent += 1
+                    self._c_heartbeats.inc()
                     self.network.send(
                         node, other,
                         lambda o=other.node_id, s=node.node_id, e=epoch:
@@ -141,6 +146,17 @@ class StoreLiveness:
                 view[other.node_id] = (epoch, now)
 
     # -- queries -----------------------------------------------------------
+
+    #: Gauge encoding of the status enum (0 reads as healthy).
+    _STATUS_LEVELS = {LivenessStatus.LIVE: 0, LivenessStatus.SUSPECT: 1,
+                      LivenessStatus.DEAD: 2}
+
+    @property
+    def heartbeats_sent(self) -> int:
+        return int(self._c_heartbeats.value)
+
+    def _status_gauge(self, node_id: int):
+        return self._registry.gauge("liveness.status", node=node_id)
 
     def epoch(self, node_id: int) -> int:
         return self._epochs.get(node_id, 1)
@@ -198,6 +214,9 @@ class StoreLiveness:
             self.transitions.append(
                 (self.sim.now, subject_id, previous, verdict))
             self._last_aggregate[subject_id] = verdict
+            self._registry.counter("liveness.transitions",
+                                   to=verdict).inc()
+            self._status_gauge(subject_id).set(self._STATUS_LEVELS[verdict])
         return verdict
 
     def is_live(self, node_id: int) -> bool:

@@ -2,6 +2,7 @@
 
 from . import experiments
 from .runner import build_engine, run_clients, sessions_per_region
+from .tracing import run_traced_workload
 
 __all__ = ["experiments", "build_engine", "run_clients",
-           "sessions_per_region"]
+           "sessions_per_region", "run_traced_workload"]

@@ -90,7 +90,7 @@ def run_fig3(regions=TABLE1_REGIONS, clients_per_region: int = 3,
         workload = YCSBWorkload(engine, regions, options)
         workload.setup()
         workload.load()
-        recorder = LatencyRecorder()
+        recorder = LatencyRecorder(engine.cluster.sim.obs.registry)
         sessions = sessions_per_region(engine, regions, clients_per_region,
                                        "ycsb")
         clients = [

@@ -38,7 +38,7 @@ def _run_ycsb(regions, options: YCSBOptions, clients_per_region: int,
     workload = YCSBWorkload(engine, list(regions), options)
     workload.setup()
     workload.load()
-    recorder = LatencyRecorder()
+    recorder = LatencyRecorder(engine.cluster.sim.obs.registry)
     sessions = sessions_per_region(engine, list(regions),
                                    clients_per_region, "ycsb")
     clients = []
@@ -175,7 +175,7 @@ def _run_contended(regions, mode: str, contenders: int,
     workload = YCSBWorkload(engine, regions, options)
     workload.setup()
     workload.load()
-    recorder = LatencyRecorder()
+    recorder = LatencyRecorder(engine.cluster.sim.obs.registry)
     clients = []
     for i in range(contenders):
         region = regions[(i + 1) % len(regions)]

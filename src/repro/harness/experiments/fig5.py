@@ -79,7 +79,7 @@ def _run_dup_idx(regions, clients_per_region: int, ops_per_client: int,
     from ...sim.clock import Timestamp
     load_ts = Timestamp(-1000.0)
     table.bulk_load([((k,), f"value-{k}") for k in range(keys)], load_ts)
-    recorder = LatencyRecorder()
+    recorder = LatencyRecorder(engine.cluster.sim.obs.registry)
     sim = cluster.sim
 
     def make_client(region: str, client_id: int):
@@ -118,7 +118,7 @@ def _run_sql_config(regions, mode: str, staleness_ms, clients_per_region,
     workload = YCSBWorkload(engine, list(regions), options)
     workload.setup()
     workload.load()
-    recorder = LatencyRecorder()
+    recorder = LatencyRecorder(engine.cluster.sim.obs.registry)
     sessions = sessions_per_region(engine, list(regions),
                                    clients_per_region, "ycsb")
     clients = [

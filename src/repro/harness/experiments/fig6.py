@@ -101,7 +101,7 @@ def _run_point(n_regions: int, clients_per_region: int,
         session.execute(f"ALTER DATABASE {workload.database} "
                         f"PLACEMENT RESTRICTED")
     workload.load()
-    recorder = LatencyRecorder()
+    recorder = LatencyRecorder(engine.cluster.sim.obs.registry)
     sessions = sessions_per_region(engine, regions, clients_per_region,
                                    workload.database)
     clients = [

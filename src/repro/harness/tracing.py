@@ -1,0 +1,83 @@
+"""Traced workloads for the ``python -m repro trace`` CLI.
+
+Runs a small, fully deterministic workload against a fresh engine and
+returns it with the trace still attached (``engine.cluster.sim.obs``).
+The movr workload is built to exercise every span-producing layer at
+least once: a REGIONAL BY ROW write (local consensus), a GLOBAL-table
+write (future-time closed timestamps, hence an explicit
+``txn.commit_wait`` span), a local read, and a remote-region read of
+the GLOBAL table (served from a nearby replica).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..sql.session import Engine
+from ..workloads.movr import new_multi_region_schema_ddl
+from .runner import build_engine
+
+__all__ = ["DEFAULT_REGIONS", "run_traced_workload", "trace_roots"]
+
+DEFAULT_REGIONS = ["us-east1", "us-west1", "europe-west2"]
+
+
+def run_traced_workload(workload: str = "movr", seed: int = 0,
+                        regions: Optional[Sequence[str]] = None) -> Engine:
+    """Run ``workload`` to completion; returns the engine (with trace)."""
+    regions = list(regions or DEFAULT_REGIONS)
+    engine = build_engine(regions, seed=seed)
+    if workload == "movr":
+        _run_movr(engine, regions)
+    elif workload == "kv":
+        _run_kv(engine, regions)
+    else:
+        raise ValueError(f"unknown trace workload {workload!r} "
+                         "(expected 'movr' or 'kv')")
+    return engine
+
+
+def _settle(engine: Engine, ms: float = 1000.0) -> None:
+    """Let closed timestamps propagate before measuring."""
+    sim = engine.cluster.sim
+    sim.run(until=sim.now + ms)
+
+
+def _run_movr(engine: Engine, regions: List[str]) -> None:
+    home = engine.connect(regions[0])
+    for stmt in new_multi_region_schema_ddl(regions):
+        home.execute(stmt)
+    home.execute("USE movr")
+    _settle(engine)
+    home.execute("INSERT INTO users (id, city, name) "
+                 "VALUES (1, 'new york', 'alice')")
+    # The GLOBAL-table write: its commit timestamp lands in the future
+    # (paper §6.2.1), so the coordinator owes an explicit commit wait.
+    home.execute("INSERT INTO promo_codes (code, description) "
+                 "VALUES ('global_5pct', '5% off every ride')")
+    home.execute("SELECT name FROM users WHERE id = 1")
+    remote = engine.connect(regions[-1])
+    remote.execute("USE movr")
+    _settle(engine)
+    remote.execute("SELECT description FROM promo_codes "
+                   "WHERE code = 'global_5pct'")
+
+
+def _run_kv(engine: Engine, regions: List[str]) -> None:
+    """Minimal single-table workload: one write, one read per region."""
+    others = ", ".join(f'"{r}"' for r in regions[1:])
+    home = engine.connect(regions[0])
+    home.execute(f'CREATE DATABASE kv PRIMARY REGION "{regions[0]}"'
+                 + (f" REGIONS {others}" if others else ""))
+    home.execute("CREATE TABLE kv (k int PRIMARY KEY, v string)")
+    _settle(engine)
+    home.execute("INSERT INTO kv (k, v) VALUES (1, 'one')")
+    for index, region in enumerate(regions):
+        session = engine.connect(region, index=1)
+        session.execute("USE kv")
+        session.execute("SELECT v FROM kv WHERE k = 1")
+
+
+def trace_roots(engine: Engine) -> List:
+    """The workload's root spans, in start order."""
+    return list(engine.cluster.sim.obs.tracer.roots)

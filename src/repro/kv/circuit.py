@@ -10,7 +10,7 @@ RPC timeout per request.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 __all__ = ["CircuitBreaker", "BreakerState"]
 
@@ -25,7 +25,8 @@ class CircuitBreaker:
     """Failure-counting breaker for one destination node."""
 
     def __init__(self, failure_threshold: int = 3,
-                 cooldown_ms: float = 500.0):
+                 cooldown_ms: float = 500.0,
+                 on_transition: Optional[Callable[[str, str], None]] = None):
         self.failure_threshold = failure_threshold
         self.cooldown_ms = cooldown_ms
         self.state = BreakerState.CLOSED
@@ -33,6 +34,17 @@ class CircuitBreaker:
         self.opened_at_ms = 0.0
         self.trips = 0
         self._probe_inflight = False
+        #: Called with (old_state, new_state) on every state change so
+        #: the owner can mirror breaker activity onto the metrics
+        #: registry without the breaker importing it.
+        self._on_transition = on_transition
+
+    def _set_state(self, new_state: str) -> None:
+        if new_state == self.state:
+            return
+        old_state, self.state = self.state, new_state
+        if self._on_transition is not None:
+            self._on_transition(old_state, new_state)
 
     def allow(self, now_ms: float) -> bool:
         """May a request be sent now?  Transitions OPEN → HALF_OPEN when
@@ -42,7 +54,7 @@ class CircuitBreaker:
         if self.state == BreakerState.OPEN:
             if now_ms - self.opened_at_ms < self.cooldown_ms:
                 return False
-            self.state = BreakerState.HALF_OPEN
+            self._set_state(BreakerState.HALF_OPEN)
             self._probe_inflight = False
         # HALF_OPEN: exactly one probe at a time.
         if self._probe_inflight:
@@ -51,7 +63,7 @@ class CircuitBreaker:
         return True
 
     def record_success(self) -> None:
-        self.state = BreakerState.CLOSED
+        self._set_state(BreakerState.CLOSED)
         self.consecutive_failures = 0
         self._probe_inflight = False
 
@@ -60,12 +72,12 @@ class CircuitBreaker:
         self._probe_inflight = False
         if self.state == BreakerState.HALF_OPEN:
             # Failed probe: back to a full cooldown.
-            self.state = BreakerState.OPEN
+            self._set_state(BreakerState.OPEN)
             self.opened_at_ms = now_ms
             return
         if (self.state == BreakerState.CLOSED
                 and self.consecutive_failures >= self.failure_threshold):
-            self.state = BreakerState.OPEN
+            self._set_state(BreakerState.OPEN)
             self.opened_at_ms = now_ms
             self.trips += 1
 
@@ -76,7 +88,7 @@ class CircuitBreaker:
         abandoned when the node died, ``_probe_inflight`` would
         otherwise deny every request forever.  ``trips`` is a lifetime
         counter and survives."""
-        self.state = BreakerState.CLOSED
+        self._set_state(BreakerState.CLOSED)
         self.consecutive_failures = 0
         self._probe_inflight = False
 
@@ -92,19 +104,40 @@ class CircuitBreaker:
 
 
 class BreakerSet:
-    """Lazy per-node breaker collection."""
+    """Lazy per-node breaker collection.
+
+    With a ``registry`` every breaker state change is mirrored onto
+    counters (``breaker.transitions{node,to}``) and a per-node state
+    gauge (``breaker.open{node}``: 1 while open, else 0), so chaos
+    scenarios can see *when* and *where* breakers fired, not just the
+    lifetime trip total.
+    """
 
     def __init__(self, failure_threshold: int = 3,
-                 cooldown_ms: float = 500.0):
+                 cooldown_ms: float = 500.0, registry=None):
         self.failure_threshold = failure_threshold
         self.cooldown_ms = cooldown_ms
+        self.registry = registry
         self._breakers: Dict[int, CircuitBreaker] = {}
+
+    def _transition_hook(self, node_id: int):
+        registry = self.registry
+        if registry is None:
+            return None
+
+        def on_transition(old_state: str, new_state: str) -> None:
+            registry.counter("breaker.transitions",
+                             node=node_id, to=new_state).inc()
+            registry.gauge("breaker.open", node=node_id).set(
+                1 if new_state == BreakerState.OPEN else 0)
+        return on_transition
 
     def for_node(self, node_id: int) -> CircuitBreaker:
         breaker = self._breakers.get(node_id)
         if breaker is None:
             breaker = CircuitBreaker(self.failure_threshold,
-                                     self.cooldown_ms)
+                                     self.cooldown_ms,
+                                     on_transition=self._transition_hook(node_id))
             self._breakers[node_id] = breaker
         return breaker
 

@@ -70,18 +70,37 @@ class DistSender:
         self.rpc_timeout_ms = rpc_timeout_ms
         self.rpc_max_attempts = max(1, rpc_max_attempts)
         self.auto_failover = auto_failover
-        self.breakers = BreakerSet(breaker_threshold, breaker_cooldown_ms)
+        registry = cluster.sim.obs.registry
+        self.breakers = BreakerSet(breaker_threshold, breaker_cooldown_ms,
+                                   registry=registry)
         # A restarted node deserves a clean slate: accumulated failures
         # (and any probe stranded when it died) belong to the previous
         # incarnation.
         self.network.on_node_restart(self.breakers.reset)
         self._retry_rng = random.Random(
             (getattr(cluster, "seed", 0) << 8) ^ 0xD157)
-        #: Counters for tests/ablations.
-        self.follower_read_fallbacks = 0
-        self.follower_reads_served = 0
-        self.rpc_retries = 0
-        self.failovers_triggered = 0
+        #: Counters for tests/ablations, backed by registry instruments
+        #: (read through the int properties below).
+        self._c_fallbacks = registry.counter("distsender.follower_read_fallbacks")
+        self._c_follower_served = registry.counter("distsender.follower_reads_served")
+        self._c_retries = registry.counter("distsender.rpc_retries")
+        self._c_failovers = registry.counter("distsender.failovers_triggered")
+
+    @property
+    def follower_read_fallbacks(self) -> int:
+        return int(self._c_fallbacks.value)
+
+    @property
+    def follower_reads_served(self) -> int:
+        return int(self._c_follower_served.value)
+
+    @property
+    def rpc_retries(self) -> int:
+        return int(self._c_retries.value)
+
+    @property
+    def failovers_triggered(self) -> int:
+        return int(self._c_failovers.value)
 
     # -- replica selection -----------------------------------------------------
 
@@ -123,63 +142,93 @@ class DistSender:
 
     # -- hardened leaseholder RPC ----------------------------------------------
 
-    def _leaseholder_call(self, gateway, rng: Range, handler) -> Future:
+    def _leaseholder_call(self, gateway, rng: Range, handler,
+                          span=None, op: str = "rpc") -> Future:
         """Send ``handler`` to the range's leaseholder with the full
         robustness kit: per-RPC timeout, seeded exponential backoff with
         jitter between attempts, a per-replica circuit breaker, and
         automatic lease failover when the leaseholder is unreachable but
         quorum survives (paper §4.1 — previously an operator action).
+
+        ``handler`` takes one argument: the per-attempt span (or None),
+        which it threads into the serve-side coroutine.  The call is
+        traced as a ``kv.<op>`` span (child of ``span``) with one
+        ``rpc.attempt`` child per try, annotated with breaker, backoff
+        and failover decisions.
         """
         sim = self.cluster.sim
+        tracer = sim.obs.tracer
 
         def attempts() -> Generator:
-            backoff = ExponentialBackoff(rng=self._retry_rng,
-                                         base_ms=10.0, max_ms=400.0)
-            last_error: Optional[BaseException] = None
-            for _attempt in range(self.rpc_max_attempts):
-                if self.network.node_is_dead(gateway.node_id):
-                    # The client's own gateway store is down: fail fast
-                    # instead of blaming (and failing over) a healthy
-                    # leaseholder for our local outage.
-                    raise NetworkUnavailableError(
-                        f"gateway node {gateway.node_id} is down")
-                dst = rng.leaseholder_node
-                breaker = self.breakers.for_node(dst.node_id)
-                if not breaker.allow(sim.now):
-                    # Known-bad leaseholder: try to move the lease right
-                    # away rather than burning a timeout on it.
-                    if self.auto_failover and rng.maybe_failover(
-                            from_node=gateway, force=True):
-                        self.failovers_triggered += 1
+            op_span = tracer.start_span(f"kv.{op}", parent=span,
+                                        range=rng.name)
+            try:
+                backoff = ExponentialBackoff(rng=self._retry_rng,
+                                             base_ms=10.0, max_ms=400.0)
+                last_error: Optional[BaseException] = None
+                for attempt in range(self.rpc_max_attempts):
+                    if self.network.node_is_dead(gateway.node_id):
+                        # The client's own gateway store is down: fail fast
+                        # instead of blaming (and failing over) a healthy
+                        # leaseholder for our local outage.
+                        op_span.annotate(error="gateway_down")
+                        raise NetworkUnavailableError(
+                            f"gateway node {gateway.node_id} is down")
+                    dst = rng.leaseholder_node
+                    breaker = self.breakers.for_node(dst.node_id)
+                    attempt_span = tracer.start_span(
+                        "rpc.attempt", parent=op_span, attempt=attempt + 1,
+                        dst=dst.node_id)
+                    if not breaker.allow(sim.now):
+                        # Known-bad leaseholder: try to move the lease right
+                        # away rather than burning a timeout on it.
+                        attempt_span.annotate(breaker="open")
+                        if self.auto_failover and rng.maybe_failover(
+                                from_node=gateway, force=True):
+                            self._c_failovers.inc()
+                            attempt_span.finish(failover=True)
+                            continue
+                        last_error = NetworkUnavailableError(
+                            f"node {dst.node_id}: circuit breaker open")
+                        delay = backoff.next_delay()
+                        attempt_span.finish(backoff_ms=round(delay, 3))
+                        yield sim.sleep(delay)
                         continue
-                    last_error = NetworkUnavailableError(
-                        f"node {dst.node_id}: circuit breaker open")
-                    yield sim.sleep(backoff.next_delay())
-                    continue
-                call = self.network.call(gateway, dst, handler)
-                if self.rpc_timeout_ms is not None:
-                    call = with_timeout(
-                        sim, call, self.rpc_timeout_ms,
-                        RpcTimeoutError(
-                            f"rpc to node {dst.node_id} timed out"))
-                try:
-                    value = yield call
-                except NetworkUnavailableError as err:
-                    breaker.record_failure(sim.now)
-                    last_error = err
-                    self.rpc_retries += 1
-                    if self.auto_failover and rng.maybe_failover(
-                            from_node=gateway, force=breaker.is_open):
-                        self.failovers_triggered += 1
-                    yield sim.sleep(backoff.next_delay())
-                    continue
-                except Exception:
-                    # The node answered; the failure is application-level.
+                    call = self.network.call(
+                        gateway, dst,
+                        lambda _span=attempt_span: handler(_span),
+                        span=attempt_span)
+                    if self.rpc_timeout_ms is not None:
+                        call = with_timeout(
+                            sim, call, self.rpc_timeout_ms,
+                            RpcTimeoutError(
+                                f"rpc to node {dst.node_id} timed out"))
+                    try:
+                        value = yield call
+                    except NetworkUnavailableError as err:
+                        breaker.record_failure(sim.now)
+                        last_error = err
+                        self._c_retries.inc()
+                        attempt_span.annotate(error=type(err).__name__)
+                        if self.auto_failover and rng.maybe_failover(
+                                from_node=gateway, force=breaker.is_open):
+                            self._c_failovers.inc()
+                            attempt_span.annotate(failover=True)
+                        delay = backoff.next_delay()
+                        attempt_span.finish(backoff_ms=round(delay, 3))
+                        yield sim.sleep(delay)
+                        continue
+                    except Exception as err:
+                        # The node answered; the failure is application-level.
+                        breaker.record_success()
+                        attempt_span.finish(error=type(err).__name__)
+                        raise
                     breaker.record_success()
-                    raise
-                breaker.record_success()
-                return value
-            raise last_error
+                    attempt_span.finish()
+                    return value
+                raise last_error
+            finally:
+                op_span.finish()
         return sim.spawn(attempts(), name=f"rpc-retry@{gateway.node_id}")
 
     # -- reads -------------------------------------------------------------------
@@ -188,7 +237,7 @@ class DistSender:
              txn_id: Optional[int] = None,
              uncertainty_limit: Optional[Timestamp] = None,
              routing: str = ReadRouting.LEASEHOLDER,
-             allow_server_side_bump: bool = False) -> Future:
+             allow_server_side_bump: bool = False, span=None) -> Future:
         """Read ``key`` at ``ts``; resolves with (ReadResult, effective_ts).
 
         ``allow_server_side_bump`` lets the serving replica retry
@@ -202,23 +251,31 @@ class DistSender:
             if not replica.is_leaseholder:
                 return self._follower_read_with_fallback(
                     gateway, rng, replica, key, ts, txn_id,
-                    uncertainty_limit, allow_server_side_bump)
+                    uncertainty_limit, allow_server_side_bump, span=span)
         return self._leaseholder_read(gateway, rng, key, ts, txn_id,
                                       uncertainty_limit,
-                                      allow_server_side_bump)
+                                      allow_server_side_bump, span=span)
 
     def _leaseholder_read(self, gateway, rng: Range, key, ts, txn_id,
                           uncertainty_limit,
-                          allow_server_side_bump: bool = False) -> Future:
+                          allow_server_side_bump: bool = False,
+                          span=None) -> Future:
         return self._leaseholder_call(
             gateway, rng,
-            lambda: rng.serve_read(key, ts, txn_id, uncertainty_limit,
-                                   allow_server_side_bump))
+            lambda _span=None: rng.serve_read(key, ts, txn_id,
+                                              uncertainty_limit,
+                                              allow_server_side_bump,
+                                              span=_span),
+            span=span, op="read")
 
     def _follower_read_with_fallback(self, gateway, rng: Range, replica,
                                      key, ts, txn_id, uncertainty_limit,
-                                     allow_server_side_bump: bool) -> Future:
+                                     allow_server_side_bump: bool,
+                                     span=None) -> Future:
         result = Future(self.cluster.sim)
+        follower_span = self.cluster.sim.obs.tracer.start_span(
+            "kv.read.follower", parent=span, range=rng.name,
+            replica=replica.node.node_id)
         if self.adaptive_follower_wait_ms > 0:
             handler = (lambda: replica.follower_read_waiting(
                 key, ts, txn_id=txn_id,
@@ -231,12 +288,14 @@ class DistSender:
                     key, ts, txn_id=txn_id,
                     uncertainty_limit=uncertainty_limit,
                     allow_server_side_bump=allow_server_side_bump)))
-        attempt = self.network.call(gateway, replica.node, handler)
+        attempt = self.network.call(gateway, replica.node, handler,
+                                    span=follower_span)
 
         def on_done(fut: Future) -> None:
             error = fut.error
             if error is None:
-                self.follower_reads_served += 1
+                self._c_follower_served.inc()
+                follower_span.finish(served=True)
                 result.resolve(fut._value)
                 return
             if isinstance(error, (FollowerReadNotAvailableError,
@@ -250,14 +309,16 @@ class DistSender:
                     self.breakers.for_node(
                         replica.node.node_id).record_failure(
                             self.cluster.sim.now)
-                self.follower_read_fallbacks += 1
+                self._c_fallbacks.inc()
+                follower_span.finish(fallback=type(error).__name__)
                 fallback = self._leaseholder_read(
                     gateway, rng, key, ts, txn_id, uncertainty_limit,
-                    allow_server_side_bump)
+                    allow_server_side_bump, span=span)
                 fallback.add_callback(
                     lambda f: result.reject(f.error) if f.error is not None
                     else result.resolve(f._value))
                 return
+            follower_span.finish(error=type(error).__name__)
             result.reject(error)
 
         attempt.add_callback(on_done)
@@ -266,13 +327,14 @@ class DistSender:
     # -- stale reads ----------------------------------------------------------------
 
     def exact_staleness_read(self, gateway, rng: Range, key: Any,
-                             ts: Timestamp) -> Future:
+                             ts: Timestamp, span=None) -> Future:
         """``AS OF SYSTEM TIME <ts>`` single-key read (paper §5.3.1).
 
         Resolves with the bare ReadResult (the timestamp is the caller's
         and never moves — stale reads have no uncertainty interval).
         """
-        inner = self.read(gateway, rng, key, ts, routing=ReadRouting.NEAREST)
+        inner = self.read(gateway, rng, key, ts, routing=ReadRouting.NEAREST,
+                          span=span)
         result = Future(self.cluster.sim)
         inner.add_callback(
             lambda f: result.reject(f.error) if f.error is not None
@@ -281,7 +343,8 @@ class DistSender:
 
     def bounded_staleness_read(self, gateway, rng: Range, key: Any,
                                min_ts: Timestamp,
-                               nearest_only: bool = False) -> Future:
+                               nearest_only: bool = False,
+                               span=None) -> Future:
         """``with_min_timestamp(...)`` read (paper §5.3.2).
 
         One RPC to the nearest replica negotiates the highest locally
@@ -290,6 +353,9 @@ class DistSender:
         the leaseholder at ``min_ts`` or fails (``nearest_only``).
         """
         replica = self.nearest_replica(gateway, rng)
+        read_span = self.cluster.sim.obs.tracer.start_span(
+            "kv.read.bounded_staleness", parent=span, range=rng.name,
+            replica=replica.node.node_id)
 
         def negotiate_and_read():
             servable = replica.max_servable_ts(key)
@@ -301,23 +367,26 @@ class DistSender:
         result = Future(self.cluster.sim)
         attempt = self.network.call(
             gateway, replica.node,
-            lambda: _value_generator(negotiate_and_read))
+            lambda: _value_generator(negotiate_and_read), span=read_span)
 
         def on_done(fut: Future) -> None:
             error = fut.error
             if error is None:
+                read_span.finish()
                 result.resolve(fut._value)
                 return
             if isinstance(error, (StaleReadBoundError,
                                   NetworkUnavailableError)) and not nearest_only:
                 # Route to the leaseholder using the staleness bound as
                 # the read timestamp (paper §5.3.2).
+                read_span.finish(fallback=type(error).__name__)
                 fallback = self._leaseholder_read(
-                    gateway, rng, key, min_ts, None, None)
+                    gateway, rng, key, min_ts, None, None, span=span)
                 fallback.add_callback(
                     lambda f: result.reject(f.error) if f.error is not None
                     else result.resolve(f._value))
                 return
+            read_span.finish(error=type(error).__name__)
             result.reject(error)
 
         attempt.add_callback(on_done)
@@ -325,7 +394,7 @@ class DistSender:
 
     def negotiate_bounded_staleness(self, gateway,
                                     spans: Iterable[Tuple[Range, Any]],
-                                    min_ts: Timestamp) -> Future:
+                                    min_ts: Timestamp, span=None) -> Future:
         """The §5.3.2 negotiation phase for multi-key bounded-staleness
         reads: ask the nearest replica of every touched range for its
         maximum locally-servable timestamp and take the minimum.
@@ -336,25 +405,31 @@ class DistSender:
         leaseholders at ``min_ts`` instead).
         """
         spans = list(spans)
+        negotiate_span = self.cluster.sim.obs.tracer.start_span(
+            "kv.negotiate_staleness", parent=span, spans=len(spans))
         futures = []
         for rng, key in spans:
             replica = self.nearest_replica(gateway, rng)
             futures.append(self.network.call(
                 gateway, replica.node,
                 lambda replica=replica, key=key: _value_generator(
-                    lambda: replica.max_servable_ts(key))))
+                    lambda: replica.max_servable_ts(key)),
+                span=negotiate_span))
         result = Future(self.cluster.sim)
         gathered = all_of(self.cluster.sim, futures)
 
         def on_done(fut: Future) -> None:
             if fut.error is not None:
+                negotiate_span.finish(error=type(fut.error).__name__)
                 result.reject(fut.error)
                 return
             negotiated = min(fut._value) if fut._value else min_ts
             if negotiated < min_ts:
+                negotiate_span.finish(error="below_bound")
                 result.reject(StaleReadBoundError(
                     f"negotiated {negotiated} below bound {min_ts}"))
             else:
+                negotiate_span.finish()
                 result.resolve(negotiated)
 
         gathered.add_callback(on_done)
@@ -363,44 +438,57 @@ class DistSender:
     # -- writes -------------------------------------------------------------------
 
     def write(self, gateway, rng: Range, key: Any, ts: Timestamp, value: Any,
-              txn_id: int, anchor_node_id: int) -> Future:
+              txn_id: int, anchor_node_id: int, span=None) -> Future:
         """Write an intent; resolves with the timestamp it was laid at.
 
         Safe to retry: re-laying the same transaction's intent is
         idempotent (it replaces its own intent)."""
         return self._leaseholder_call(
             gateway, rng,
-            lambda: rng.serve_write(key, ts, value, txn_id, anchor_node_id))
+            lambda _span=None: rng.serve_write(key, ts, value, txn_id,
+                                               anchor_node_id, span=_span),
+            span=span, op="write")
 
     def locking_read(self, gateway, rng: Range, key: Any, ts: Timestamp,
-                     txn_id: int, anchor_node_id: int) -> Future:
+                     txn_id: int, anchor_node_id: int, span=None) -> Future:
         """SELECT FOR UPDATE read: resolves with (value, lock_ts)."""
         return self._leaseholder_call(
             gateway, rng,
-            lambda: rng.serve_locking_read(key, ts, txn_id, anchor_node_id))
+            lambda _span=None: rng.serve_locking_read(key, ts, txn_id,
+                                                      anchor_node_id,
+                                                      span=_span),
+            span=span, op="locking_read")
 
     def refresh(self, gateway, rng: Range, key: Any, lo: Timestamp,
-                hi: Timestamp, txn_id: int) -> Future:
+                hi: Timestamp, txn_id: int, span=None) -> Future:
         return self._leaseholder_call(
             gateway, rng,
-            lambda: rng.serve_refresh(key, lo, hi, txn_id))
+            lambda _span=None: rng.serve_refresh(key, lo, hi, txn_id,
+                                                 span=_span),
+            span=span, op="refresh")
 
     def write_txn_record(self, gateway, rng: Range, txn_id: int, status: str,
-                         commit_ts: Optional[Timestamp]) -> Future:
+                         commit_ts: Optional[Timestamp], span=None) -> Future:
         return self._leaseholder_call(
             gateway, rng,
-            lambda: rng.serve_txn_record(txn_id, status, commit_ts))
+            lambda _span=None: rng.serve_txn_record(txn_id, status, commit_ts,
+                                                    span=_span),
+            span=span, op="txn_record")
 
     def resolve_intent(self, gateway, rng: Range, key: Any, txn_id: int,
-                       commit_ts: Optional[Timestamp]) -> Future:
+                       commit_ts: Optional[Timestamp], span=None) -> Future:
         return self._leaseholder_call(
             gateway, rng,
-            lambda: rng.serve_resolve_intent(key, txn_id, commit_ts))
+            lambda _span=None: rng.serve_resolve_intent(key, txn_id,
+                                                        commit_ts,
+                                                        span=_span),
+            span=span, op="resolve_intent")
 
     def resolve_intents(self, gateway, spans: Iterable[Tuple[Range, Any]],
-                        txn_id: int,
-                        commit_ts: Optional[Timestamp]) -> Future:
+                        txn_id: int, commit_ts: Optional[Timestamp],
+                        span=None) -> Future:
         """Resolve a batch of intents in parallel; resolves when all do."""
-        futures = [self.resolve_intent(gateway, rng, key, txn_id, commit_ts)
+        futures = [self.resolve_intent(gateway, rng, key, txn_id, commit_ts,
+                                       span=span)
                    for rng, key in spans]
         return all_of(self.cluster.sim, futures)

@@ -136,6 +136,9 @@ class Range:
             entries = len(self.group.leader.log)
             transfer_ms = (self.SNAPSHOT_BASE_MS
                            + self.SNAPSHOT_PER_ENTRY_MS * entries)
+            snap_span = self.sim.obs.tracer.start_span(
+                "raft.snapshot", range=self.name, to=node_id,
+                entries=entries)
 
             def install() -> Generator:
                 # Runs on the joining node after the request arrives;
@@ -145,9 +148,13 @@ class Range:
                 replica.txn_records = dict(source.txn_records)
                 return self.group.install_snapshot(node_id)
 
-            yield self.cluster.network.call(leader_node, node, install,
-                                            payload_size=max(1, entries))
-            yield from self._wait_caught_up(node_id)
+            try:
+                yield self.cluster.network.call(leader_node, node, install,
+                                                payload_size=max(1, entries),
+                                                span=snap_span)
+                yield from self._wait_caught_up(node_id)
+            finally:
+                snap_span.finish()
             if replica_type == ReplicaType.VOTER:
                 # No sim time passes between the caught-up check and the
                 # promotion, so the learner still holds every committed
@@ -241,6 +248,8 @@ class Range:
         winner = self.group.fail_over(node_id)
         self._install_lease(winner)
         self.failovers += 1
+        self.sim.obs.registry.counter("kv.lease_failovers",
+                                      range=self.name).inc()
         return winner
 
     def maybe_failover(self, from_node=None, force: bool = False) -> bool:
@@ -388,10 +397,10 @@ class Range:
 
     # -- proposal helper ----------------------------------------------------------
 
-    def _propose(self, command: Any):
+    def _propose(self, command: Any, span=None):
         closed = self.closed_target()
         self._note_closed(closed)
-        return self.group.propose(command, closed)
+        return self.group.propose(command, closed, span=span)
 
     def _apply(self, node: "Node", command: Any) -> None:
         replica = self.replicas.get(node.node_id)
@@ -401,7 +410,7 @@ class Range:
     # -- leaseholder request serving (coroutines) ----------------------------------
 
     def _wait_or_push(self, key: Any, waiter_txn_id: Optional[int],
-                      holder_txn_id: int) -> Generator:
+                      holder_txn_id: int, span=None) -> Generator:
         """Wait for the lock on ``key``; periodically *push* the holder.
 
         CRDB's txnwait/push mechanism: a waiter that has blocked for a
@@ -412,37 +421,52 @@ class Range:
         cluster's transaction registry — the simulation stand-in for
         CRDB's txn records + heartbeats."""
         from ..sim.core import any_of
-        fut = self.lock_table.wait_for(key, waiter_txn_id)
-        while not fut.done:
-            index, _value = yield any_of(
-                self.sim, [fut, self.sim.sleep(self.PUSH_INTERVAL_MS)])
-            if index == 0:
+        obs = self.sim.obs
+        wait_span = obs.tracer.start_span(
+            "lock.wait", parent=span, range=self.name, key=str(key),
+            waiter=waiter_txn_id, holder=holder_txn_id)
+        started = self.sim.now
+        try:
+            fut = self.lock_table.wait_for(key, waiter_txn_id)
+            while not fut.done:
+                index, _value = yield any_of(
+                    self.sim, [fut, self.sim.sleep(self.PUSH_INTERVAL_MS)])
+                if index == 0:
+                    return None
+                status = self.cluster.txn_status(holder_txn_id)
+                if status is None:
+                    continue
+                final, commit_ts = status
+                if not final:
+                    continue  # holder still pending: keep waiting
+                # Push succeeded: resolve the orphaned intent ourselves.
+                wait_span.annotate(pushed=True)
+                yield self._propose(ResolveIntentCommand(
+                    key=key, txn_id=holder_txn_id, commit_ts=commit_ts),
+                    span=wait_span)
+                if not fut.done:
+                    # The lock entry may have belonged to a never-applied
+                    # intent; release it directly.
+                    self.lock_table.release(key, holder_txn_id)
                 return None
-            status = self.cluster.txn_status(holder_txn_id)
-            if status is None:
-                continue
-            final, commit_ts = status
-            if not final:
-                continue  # holder still pending: keep waiting
-            # Push succeeded: resolve the orphaned intent ourselves.
-            yield self._propose(ResolveIntentCommand(
-                key=key, txn_id=holder_txn_id, commit_ts=commit_ts))
-            if not fut.done:
-                # The lock entry may have belonged to a never-applied
-                # intent; release it directly.
-                self.lock_table.release(key, holder_txn_id)
+            yield fut  # propagate a deadlock rejection, or no-op if resolved
             return None
-        yield fut  # propagate a deadlock rejection, or no-op if resolved
-        return None
+        finally:
+            obs.registry.histogram("lock.wait_ms",
+                                   range=self.name).observe(
+                                       self.sim.now - started)
+            wait_span.finish()
 
     def serve_write(self, key: Any, ts: Timestamp, value: Any, txn_id: int,
-                    anchor_node_id: int) -> Generator:
+                    anchor_node_id: int, span=None) -> Generator:
         """Evaluate and replicate a transactional write; returns the
         (possibly advanced) timestamp the intent was written at."""
+        self.sim.obs.registry.counter("kv.writes", range=self.name).inc()
         while True:
             holder = self.lock_table.holder_of(key)
             if holder is not None and holder.txn_id != txn_id:
-                yield from self._wait_or_push(key, txn_id, holder.txn_id)
+                yield from self._wait_or_push(key, txn_id, holder.txn_id,
+                                              span=span)
                 continue
             try:
                 self.leaseholder_replica.store.check_write(key, ts, txn_id)
@@ -450,7 +474,8 @@ class Range:
                 # Applied intent without a lock-table entry (lease moved):
                 # reconstruct the holder so the wait is released on resolve.
                 self.lock_table.note_holder(key, err.txn_id, err.intent_ts)
-                yield from self._wait_or_push(key, txn_id, err.txn_id)
+                yield from self._wait_or_push(key, txn_id, err.txn_id,
+                                              span=span)
                 continue
             except WriteTooOldError as err:
                 ts = err.existing_ts.next()
@@ -464,12 +489,12 @@ class Range:
         self.lock_table.note_holder(key, txn_id, ts)
         entry = yield self._propose(PutIntentCommand(
             key=key, ts=ts, value=value, txn_id=txn_id,
-            anchor_node_id=anchor_node_id))
+            anchor_node_id=anchor_node_id), span=span)
         del entry
         return ts
 
     def serve_locking_read(self, key: Any, ts: Timestamp, txn_id: int,
-                           anchor_node_id: int) -> Generator:
+                           anchor_node_id: int, span=None) -> Generator:
         """A locking read (SELECT FOR UPDATE): wait for conflicting
         locks, read the *latest* committed value, and lay an exclusive
         intent over it in one leaseholder visit.
@@ -483,13 +508,15 @@ class Range:
         while True:
             holder = self.lock_table.holder_of(key)
             if holder is not None and holder.txn_id != txn_id:
-                yield from self._wait_or_push(key, txn_id, holder.txn_id)
+                yield from self._wait_or_push(key, txn_id, holder.txn_id,
+                                              span=span)
                 continue
             try:
                 self.leaseholder_replica.store.check_write(key, ts, txn_id)
             except WriteIntentError as err:
                 self.lock_table.note_holder(key, err.txn_id, err.intent_ts)
-                yield from self._wait_or_push(key, txn_id, err.txn_id)
+                yield from self._wait_or_push(key, txn_id, err.txn_id,
+                                              span=span)
                 continue
             except WriteTooOldError as err:
                 ts = err.existing_ts.next()
@@ -504,13 +531,14 @@ class Range:
         self.lock_table.note_holder(key, txn_id, ts)
         yield self._propose(PutIntentCommand(
             key=key, ts=ts, value=newest.value, txn_id=txn_id,
-            anchor_node_id=anchor_node_id))
+            anchor_node_id=anchor_node_id), span=span)
         self.ts_cache.record_read(key, ts, txn_id)
         return newest.value, ts
 
     def serve_read(self, key: Any, ts: Timestamp, txn_id: Optional[int],
                    uncertainty_limit: Optional[Timestamp],
-                   allow_server_side_bump: bool = False) -> Generator:
+                   allow_server_side_bump: bool = False,
+                   span=None) -> Generator:
         """Leaseholder read at ``ts``; blocks on conflicting locks.
 
         Returns ``(ReadResult, effective_read_ts)``.  With
@@ -520,19 +548,22 @@ class Range:
         otherwise ``ReadWithinUncertaintyIntervalError`` propagates and
         the coordinator refreshes.
         """
+        self.sim.obs.registry.counter("kv.reads", range=self.name).inc()
         horizon = uncertainty_limit if uncertainty_limit is not None else ts
         while True:
             holder = self.lock_table.holder_of(key)
             if (holder is not None and holder.txn_id != txn_id
                     and holder.ts <= horizon):
-                yield from self._wait_or_push(key, txn_id, holder.txn_id)
+                yield from self._wait_or_push(key, txn_id, holder.txn_id,
+                                              span=span)
                 continue
             try:
                 result = self.leaseholder_replica.store.get(
                     key, ts, txn_id=txn_id, uncertainty_limit=uncertainty_limit)
             except WriteIntentError as err:
                 self.lock_table.note_holder(key, err.txn_id, err.intent_ts)
-                yield from self._wait_or_push(key, txn_id, err.txn_id)
+                yield from self._wait_or_push(key, txn_id, err.txn_id,
+                                              span=span)
                 continue
             except ReadWithinUncertaintyIntervalError as err:
                 if not allow_server_side_bump:
@@ -545,7 +576,7 @@ class Range:
             return result, ts
 
     def serve_refresh(self, key: Any, lo: Timestamp, hi: Timestamp,
-                      txn_id: int) -> Generator:
+                      txn_id: int, span=None) -> Generator:
         """Read refresh (paper §5.1/§6.1): is ``key`` unchanged in (lo, hi]?
 
         On success the refreshed timestamp is recorded in the timestamp
@@ -562,18 +593,20 @@ class Range:
         yield  # pragma: no cover - marks this function as a generator
 
     def serve_txn_record(self, txn_id: int, status: str,
-                         commit_ts: Optional[Timestamp]) -> Generator:
+                         commit_ts: Optional[Timestamp],
+                         span=None) -> Generator:
         """Write the transaction record (commit/abort) on the anchor range."""
         entry = yield self._propose(SetTxnRecordCommand(
-            txn_id=txn_id, status=status, commit_ts=commit_ts))
+            txn_id=txn_id, status=status, commit_ts=commit_ts), span=span)
         del entry
         return None
 
     def serve_resolve_intent(self, key: Any, txn_id: int,
-                             commit_ts: Optional[Timestamp]) -> Generator:
+                             commit_ts: Optional[Timestamp],
+                             span=None) -> Generator:
         """Replicate intent resolution; lock waiters release on apply."""
         entry = yield self._propose(ResolveIntentCommand(
-            key=key, txn_id=txn_id, commit_ts=commit_ts))
+            key=key, txn_id=txn_id, commit_ts=commit_ts), span=span)
         del entry
         return None
 

@@ -36,7 +36,7 @@ class Replica:
         self.range = rng
         self.range_id = rng.range_id
         self.node = node
-        self.store = MVCCStore()
+        self.store = MVCCStore(registry=rng.sim.obs.registry)
         #: Transaction records anchored on this range (replicated state).
         self.txn_records: Dict[int, TxnRecord] = {}
 

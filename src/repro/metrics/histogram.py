@@ -1,10 +1,21 @@
-"""Latency recording and summarization for experiments."""
+"""Latency recording and summarization for experiments.
+
+:class:`LatencyRecorder` is a thin view over
+:class:`~repro.obs.metrics.Histogram` instruments on a metrics
+registry: each label tuple maps to one ``latency_ms`` histogram whose
+raw samples back :class:`Summary` and :func:`cdf_points` exactly as the
+old private sample lists did.  Recorders used by the fig3–fig6 harness
+attach to the simulation's shared registry, so the same numbers show up
+in ``python -m repro metrics``.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..obs import Histogram, MetricsRegistry
 
 __all__ = ["LatencyRecorder", "Summary", "cdf_points"]
 
@@ -53,26 +64,40 @@ class LatencyRecorder:
 
     Labels are free-form, e.g. ``("read", "local")`` or
     ``("write", "us-east1")``.  Throughput is derived from the recorded
-    operation count and the simulated duration.
+    operation count and the simulated duration.  Samples live in
+    ``latency_ms`` histograms on ``registry`` (a private registry when
+    none is given, so standalone recorders keep working).
     """
 
-    def __init__(self):
-        self._samples: Dict[Tuple, List[float]] = {}
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = (registry if registry is not None
+                         else MetricsRegistry())
+        #: label tuple -> backing histogram (the registry key flattens
+        #: the tuple, so the real tuples are tracked here).
+        self._hists: Dict[Tuple, Histogram] = {}
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
 
+    def _hist(self, label: Tuple) -> Histogram:
+        hist = self._hists.get(label)
+        if hist is None:
+            hist = self.registry.histogram(
+                "latency_ms", label="/".join(str(p) for p in label))
+            self._hists[label] = hist
+        return hist
+
     def record(self, label: Tuple, latency_ms: float) -> None:
-        self._samples.setdefault(tuple(label), []).append(latency_ms)
+        self._hist(tuple(label)).observe(latency_ms)
 
     def labels(self) -> List[Tuple]:
-        return sorted(self._samples.keys())
+        return sorted(self._hists.keys())
 
     def samples(self, *label_parts) -> List[float]:
         """All samples whose label starts with ``label_parts``."""
         out: List[float] = []
-        for label, values in self._samples.items():
+        for label in sorted(self._hists):
             if label[:len(label_parts)] == tuple(label_parts):
-                out.extend(values)
+                out.extend(self._hists[label].samples)
         return out
 
     def summary(self, *label_parts) -> Summary:
@@ -82,7 +107,7 @@ class LatencyRecorder:
         return len(self.samples(*label_parts))
 
     def total_ops(self) -> int:
-        return sum(len(v) for v in self._samples.values())
+        return sum(hist.count for hist in self._hists.values())
 
     def throughput_per_s(self) -> float:
         if self.started_at is None or self.finished_at is None:
@@ -93,8 +118,21 @@ class LatencyRecorder:
         return self.total_ops() / (elapsed_ms / 1000.0)
 
     def merged(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        """A new standalone recorder holding both sample sets.
+
+        The recording window is the union of the inputs' windows, so
+        ``throughput_per_s`` stays meaningful on the merge (it used to
+        come back 0.0 because the window was dropped).
+        """
         out = LatencyRecorder()
         for src in (self, other):
-            for label, values in src._samples.items():
-                out._samples.setdefault(label, []).extend(values)
+            for label, hist in src._hists.items():
+                for value in hist.samples:
+                    out.record(label, value)
+        starts = [s.started_at for s in (self, other)
+                  if s.started_at is not None]
+        finishes = [s.finished_at for s in (self, other)
+                    if s.finished_at is not None]
+        out.started_at = min(starts) if starts else None
+        out.finished_at = max(finishes) if finishes else None
         return out

@@ -1,0 +1,29 @@
+"""Observability spine: one metrics registry + tracer per simulation.
+
+Every :class:`~repro.sim.core.Simulator` owns an :class:`Observability`
+(as ``sim.obs``); components reach it through the ``sim`` handle they
+already hold.  This package imports nothing from ``repro.sim`` so the
+simulator core can depend on it without a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .metrics import (Counter, Gauge, Histogram, Instrument,
+                      MetricsRegistry, format_key)
+from .trace import (Span, Tracer, containment_violations, critical_path,
+                    render_tree, spans_named)
+
+__all__ = ["Observability", "MetricsRegistry", "Counter", "Gauge",
+           "Histogram", "Instrument", "format_key", "Span", "Tracer",
+           "render_tree", "critical_path", "containment_violations",
+           "spans_named"]
+
+
+class Observability:
+    """Registry + tracer bundle attached to a simulator."""
+
+    def __init__(self, now_fn: Callable[[], float]):
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(now_fn)

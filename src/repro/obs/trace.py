@@ -1,0 +1,206 @@
+"""Request tracing: spans with deterministic, seed-stable IDs.
+
+A :class:`Span` is a named interval of *simulated* time with tags and a
+parent; a :class:`Tracer` mints them.  Span IDs come from a plain
+monotonic counter — because the simulation itself is deterministic, the
+N-th span of two same-seed runs is the same span, so traces (and their
+rendered trees) are byte-identical across runs.  No wall-clock, no
+randomness.
+
+The tracer takes a ``now_fn`` callable rather than a Simulator so that
+``repro.sim.core`` can import this module without a cycle.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Span", "Tracer", "render_tree", "critical_path",
+           "containment_violations", "spans_named"]
+
+
+class Span:
+    """One traced operation over an interval of sim time."""
+
+    __slots__ = ("span_id", "name", "parent", "children",
+                 "start_ms", "end_ms", "tags", "_now_fn")
+
+    def __init__(self, span_id: int, name: str, parent: Optional["Span"],
+                 start_ms: float, tags: Dict[str, object],
+                 now_fn: Callable[[], float]):
+        self.span_id = span_id
+        self.name = name
+        self.parent = parent
+        self.children: List["Span"] = []
+        self.start_ms = start_ms
+        self.end_ms: Optional[float] = None
+        self.tags = tags
+        self._now_fn = now_fn
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def annotate(self, **tags) -> "Span":
+        """Attach tags; later values win."""
+        self.tags.update(tags)
+        return self
+
+    def finish(self, **tags) -> "Span":
+        """End the span at the current sim time.  Idempotent: only the
+        first call sets the end; late finishes (e.g. an ack arriving
+        after the proposal resolved) are no-ops."""
+        if tags:
+            self.tags.update(tags)
+        if self.end_ms is None:
+            self.end_ms = max(self.start_ms, self._now_fn())
+        return self
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.end_ms is not None
+
+    @property
+    def duration_ms(self) -> float:
+        end = self.end_ms if self.end_ms is not None else self._now_fn()
+        return max(0.0, end - self.start_ms)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, depth-first in creation order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def root(self) -> "Span":
+        span = self
+        while span.parent is not None:
+            span = span.parent
+        return span
+
+    def to_dict(self) -> Dict:
+        out = {"span_id": self.span_id, "name": self.name,
+               "start_ms": round(self.start_ms, 6),
+               "end_ms": round(self.end_ms, 6) if self.end_ms is not None
+               else None,
+               "duration_ms": round(self.duration_ms, 6)}
+        if self.tags:
+            out["tags"] = {k: self.tags[k] for k in sorted(self.tags)}
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span(#{self.span_id} {self.name} "
+                f"[{self.start_ms:.2f}→{self.end_ms}])")
+
+
+class Tracer:
+    """Mints spans; retains root spans for later rendering.
+
+    ``max_roots`` bounds memory in long experiments: once exceeded the
+    oldest root (and its whole tree) is dropped, deterministically, and
+    ``dropped_roots`` counts how many went missing.
+    """
+
+    def __init__(self, now_fn: Callable[[], float], max_roots: int = 4096):
+        self._now_fn = now_fn
+        self._next_span_id = 1
+        self.max_roots = max_roots
+        self.roots: List[Span] = []
+        self.dropped_roots = 0
+
+    def start_span(self, name: str, parent: Optional[Span] = None,
+                   **tags) -> Span:
+        span = Span(self._next_span_id, name, parent, self._now_fn(),
+                    dict(tags), self._now_fn)
+        self._next_span_id += 1
+        if parent is None:
+            self.roots.append(span)
+            while len(self.roots) > self.max_roots:
+                del self.roots[0]
+                self.dropped_roots += 1
+        else:
+            parent.children.append(span)
+        return span
+
+    def spans(self) -> Iterator[Span]:
+        """Every retained span, all trees, creation order within a tree."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps([root.to_dict() for root in self.roots],
+                          indent=indent, sort_keys=True)
+
+
+# -- analysis helpers ------------------------------------------------------
+
+
+def spans_named(root: Span, name: str) -> List[Span]:
+    return [span for span in root.walk() if span.name == name]
+
+
+def containment_violations(root: Span, epsilon: float = 1e-6) -> List[str]:
+    """Children whose sim-time window escapes their parent's.
+
+    An empty list means durations "sum consistently": every child's
+    interval lies within its parent's (child ≤ parent).  Spans that were
+    never finished are reported too — an unfinished span has no
+    defensible duration.
+    """
+    problems: List[str] = []
+    for span in root.walk():
+        if span.end_ms is None:
+            problems.append(f"span #{span.span_id} {span.name} never finished")
+            continue
+        for child in span.children:
+            if child.start_ms < span.start_ms - epsilon:
+                problems.append(
+                    f"child #{child.span_id} {child.name} starts before "
+                    f"parent #{span.span_id} {span.name}")
+            if child.end_ms is not None and span.end_ms is not None \
+                    and child.end_ms > span.end_ms + epsilon:
+                problems.append(
+                    f"child #{child.span_id} {child.name} ends after "
+                    f"parent #{span.span_id} {span.name}")
+    return problems
+
+
+def critical_path(root: Span) -> List[Span]:
+    """The chain of spans ending latest at each level — the spans that
+    gate the root's completion."""
+    path = [root]
+    span = root
+    while span.children:
+        finished = [c for c in span.children if c.end_ms is not None]
+        if not finished:
+            break
+        span = max(finished, key=lambda c: (c.end_ms, c.start_ms, c.span_id))
+        path.append(span)
+    return path
+
+
+def _format_tags(span: Span) -> str:
+    if not span.tags:
+        return ""
+    inner = " ".join(f"{k}={span.tags[k]}" for k in sorted(span.tags))
+    return f"  {{{inner}}}"
+
+
+def render_tree(root: Span) -> str:
+    """ASCII tree of one span and its descendants with sim-time windows."""
+    lines: List[str] = []
+
+    def emit(span: Span, depth: int) -> None:
+        indent = "  " * depth
+        end = f"{span.end_ms:.2f}" if span.end_ms is not None else "…"
+        lines.append(
+            f"{indent}{span.name} #{span.span_id} "
+            f"[{span.start_ms:.2f} → {end} ms] "
+            f"({span.duration_ms:.2f} ms){_format_tags(span)}")
+        for child in span.children:
+            emit(child, depth + 1)
+
+    emit(root, 0)
+    return "\n".join(lines)

@@ -21,11 +21,12 @@ restore the voter set, then non-voters, then cosmetic placement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Tuple
 
 from ..cluster.liveness import LivenessStatus, StoreLiveness
 from ..errors import ConfigurationError, RangeUnavailableError
+from ..obs import MetricsRegistry
 from ..raft.group import ReplicaType
 from ..raft.membership import ConfigChangeError
 from ..sim.network import NetworkUnavailableError
@@ -75,26 +76,66 @@ class RepairAction:
         return ACTION_PRIORITY[self.kind]
 
 
-@dataclass
 class RepairMetrics:
-    """Observability for the repair subsystem."""
+    """Observability for the repair subsystem.
+
+    A view over ``repair.*`` instruments on the shared metrics registry
+    (per-kind action/failure counters, an under-replication gauge, a
+    time-to-repair histogram, a scan counter).  The original dict/list
+    attribute interface is preserved as properties so existing tests and
+    harness reporting keep working.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = (registry if registry is not None
+                         else MetricsRegistry())
+
+    def _by_kind(self, name: str) -> Dict[str, int]:
+        return {dict(inst.labels)["kind"]: int(inst.value)
+                for inst in self.registry.instruments(name=name)}
 
     #: kind -> successfully completed actions.
-    actions: Dict[str, int] = field(default_factory=dict)
+    @property
+    def actions(self) -> Dict[str, int]:
+        return self._by_kind("repair.actions")
+
     #: kind -> failed attempts (retried on a later scan).
-    failures: Dict[str, int] = field(default_factory=dict)
+    @property
+    def failures(self) -> Dict[str, int]:
+        return self._by_kind("repair.failures")
+
+    @property
+    def scans(self) -> int:
+        return int(self.registry.counter("repair.scans").value)
+
+    @scans.setter
+    def scans(self, value: int) -> None:
+        counter = self.registry.counter("repair.scans")
+        counter.inc(value - counter.value)
+
     #: Gauge: ranges whose live voter count is below target (last scan).
-    under_replicated_ranges: int = 0
+    @property
+    def under_replicated_ranges(self) -> int:
+        return int(self.registry.gauge("repair.under_replicated_ranges").value)
+
+    @under_replicated_ranges.setter
+    def under_replicated_ranges(self, value: int) -> None:
+        self.registry.gauge("repair.under_replicated_ranges").set(value)
+
     #: Per-range ms from first-broken scan to the scan that found it
     #: healthy again (the time-to-repair histogram's samples).
-    time_to_repair_ms: List[float] = field(default_factory=list)
-    scans: int = 0
+    @property
+    def time_to_repair_ms(self) -> List[float]:
+        return list(self.registry.histogram("repair.time_to_repair_ms").samples)
+
+    def record_time_to_repair(self, ms: float) -> None:
+        self.registry.histogram("repair.time_to_repair_ms").observe(ms)
 
     def record_action(self, kind: str) -> None:
-        self.actions[kind] = self.actions.get(kind, 0) + 1
+        self.registry.counter("repair.actions", kind=kind).inc()
 
     def record_failure(self, kind: str) -> None:
-        self.failures[kind] = self.failures.get(kind, 0) + 1
+        self.registry.counter("repair.failures", kind=kind).inc()
 
     def total_actions(self) -> int:
         return sum(self.actions.values())
@@ -219,7 +260,7 @@ class ReplicateQueue:
         self.sim = cluster.sim
         self.liveness = liveness
         self.interval_ms = interval_ms
-        self.metrics = RepairMetrics()
+        self.metrics = RepairMetrics(cluster.sim.obs.registry)
         self.allocator = Allocator(cluster)
         #: range_id -> (Range, ZoneConfig)
         self._managed: Dict[int, Tuple[object, ZoneConfig]] = {}
@@ -268,7 +309,7 @@ class ReplicateQueue:
             if not actions:
                 broken_at = self._broken_since.pop(range_id, None)
                 if broken_at is not None:
-                    self.metrics.time_to_repair_ms.append(
+                    self.metrics.record_time_to_repair(
                         self.sim.now - broken_at)
                 continue
             self._broken_since.setdefault(range_id, self.sim.now)

@@ -202,6 +202,8 @@ class RaftGroup:
         if peer is None:
             raise ConfigChangeError(
                 f"r{self.range_id}: snapshot for non-member {node_id}")
+        self.sim.obs.registry.counter("raft.snapshots_installed",
+                                      range=self.range_id).inc()
         peer.log = list(leader.log)
         peer.applied_index = leader.applied_index
         peer.closed_ts = leader.closed_ts
@@ -342,7 +344,7 @@ class RaftGroup:
         # copy as an ack and re-replicate to everyone else.
         for entry in candidate.log[self.commit_index:]:
             if entry.index not in self._inflight:
-                self._inflight[entry.index] = [Future(self.sim), {}, entry]
+                self._inflight[entry.index] = [Future(self.sim), {}, entry, {}]
             self.sim.call_after(self.DISK_APPEND_MS, self._on_ack,
                                 entry.index, candidate.node.node_id,
                                 entry.term)
@@ -458,9 +460,16 @@ class RaftGroup:
 
     # -- proposal path -------------------------------------------------------
 
-    def propose(self, command: Any, closed_ts: Timestamp) -> Future:
+    def propose(self, command: Any, closed_ts: Timestamp,
+                span=None) -> Future:
         """Replicate ``command``; resolves once committed & applied on the
-        leader.  The resolved value is the :class:`Entry`."""
+        leader.  The resolved value is the :class:`Entry`.
+
+        Traces a ``raft.propose`` span (child of ``span``) covering
+        stage → quorum ack → commit, with one ``raft.append`` child per
+        follower stream.
+        """
+        obs = self.sim.obs
         leader = self.leader
         if self.network.node_is_dead(leader.node.node_id):
             fut = Future(self.sim)
@@ -470,8 +479,34 @@ class RaftGroup:
                       command=command, closed_ts=closed_ts)
         self._next_index += 1
         fut = Future(self.sim)
+        obs.registry.counter("raft.proposals", range=self.range_id).inc()
+        prop_span = obs.tracer.start_span(
+            "raft.propose", parent=span, range=self.range_id,
+            index=entry.index, term=entry.term)
+        #: index -> [future, acks, entry, per-peer append spans]
+        append_spans: Dict[int, Any] = {}
         self._inflight[entry.index] = [fut, {leader.node.node_id: False},
-                                       entry]
+                                       entry, append_spans]
+
+        def close_spans(done: Future) -> None:
+            # Append spans for acks that never arrived (or arrive after
+            # the proposal resolved) end with the proposal, so every
+            # child stays inside the raft.propose window.
+            for peer_id, append_span in sorted(append_spans.items()):
+                append_span.finish(acked=False)
+            append_spans.clear()
+            error = done.error
+            if error is not None:
+                prop_span.annotate(error=type(error).__name__)
+                obs.registry.counter("raft.proposals_rejected",
+                                     range=self.range_id).inc()
+            else:
+                obs.registry.histogram(
+                    "raft.commit_ms", range=self.range_id).observe(
+                        self.sim.now - prop_span.start_ms)
+            prop_span.finish()
+        fut.add_callback(close_spans)
+
         if self.proposal_timeout_ms is not None:
             self.sim.call_after(self.proposal_timeout_ms,
                                 self._maybe_timeout, entry.index)
@@ -493,6 +528,8 @@ class RaftGroup:
         for peer in self.peers.values():
             if peer.node.node_id == leader.node.node_id:
                 continue
+            append_spans[peer.node.node_id] = obs.tracer.start_span(
+                "raft.append", parent=prop_span, peer=peer.node.node_id)
             self._send_append(leader, peer, entry)
         return fut
 
@@ -557,6 +594,10 @@ class RaftGroup:
                 return
         acks = inflight[1]
         acks[from_node_id] = True
+        if len(inflight) > 3:
+            append_span = inflight[3].pop(from_node_id, None)
+            if append_span is not None:
+                append_span.finish(acked=True)
         if (self._live_quorum_acks(index, acks) >= self.quorum_size()
                 and index == self.commit_index + 1):
             self._advance_commit(index)
@@ -587,6 +628,8 @@ class RaftGroup:
         while True:
             self.commit_index = index
             self.proposals_committed += 1
+            self.sim.obs.registry.counter("raft.commits",
+                                          range=self.range_id).inc()
             leader = self.leader
             self._last_committed = leader.log[index - 1]
             leader.known_commit_index = index

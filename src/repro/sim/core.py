@@ -24,6 +24,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from ..obs import Observability
+
 __all__ = [
     "Future",
     "Process",
@@ -156,6 +158,9 @@ class Simulator:
         self._sequence = itertools.count()
         self._pending_crash: Optional[BaseException] = None
         self._swallow_orphan_failures = False
+        #: Shared observability spine: every component that holds a
+        #: ``sim`` reference records metrics and spans here.
+        self.obs = Observability(lambda: self._now)
 
     @property
     def now(self) -> float:

@@ -307,18 +307,43 @@ class Network:
     #: RPC (models TCP retransmission giving up, keeps futures settling).
     LOSS_TIMEOUT_MS = 200.0
 
+    #: Raw-sample cap for the per-link hop-latency histograms (count /
+    #: sum / min / max stay exact past it; see Histogram.max_samples).
+    HOP_HISTOGRAM_SAMPLES = 8192
+
     def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None,
                  seed: int = 0):
         self.sim = sim
         self.latency = latency or LatencyModel()
         self.faults = FaultPlane(seed)
-        self.messages_sent = 0
-        #: Messages lost to partitions, dead nodes, or packet loss —
-        #: includes `send`'s previously-silent drops.
-        self.messages_dropped = 0
+        registry = sim.obs.registry
+        self._c_sent = registry.counter("net.messages_sent")
+        self._c_dropped = registry.counter("net.messages_dropped")
         self.bytes_by_region_pair: Dict[Tuple[str, str], int] = {}
         #: Callbacks fired with a node_id when that node restarts.
         self._restart_listeners: List[Callable[[int], None]] = []
+
+    @property
+    def messages_sent(self) -> int:
+        return int(self._c_sent.value)
+
+    @property
+    def messages_dropped(self) -> int:
+        """Messages lost to partitions, dead nodes, or packet loss —
+        includes `send`'s previously-silent drops."""
+        return int(self._c_dropped.value)
+
+    def _drop(self, reason: str) -> None:
+        self._c_dropped.inc()
+        self.sim.obs.registry.counter("net.drops", reason=reason).inc()
+
+    def _record_hop(self, src, dst, latency_ms: float) -> None:
+        """Per-hop latency attribution: one histogram per region link."""
+        hist = self.sim.obs.registry.histogram(
+            "net.hop_ms", link=f"{src.locality.region}->{dst.locality.region}")
+        if hist.max_samples is None:
+            hist.max_samples = self.HOP_HISTOGRAM_SAMPLES
+        hist.observe(latency_ms)
 
     # -- failure injection ------------------------------------------------
 
@@ -371,7 +396,7 @@ class Network:
         return base * self.faults.latency_factor(src, dst)
 
     def call(self, src, dst, handler: Callable[[], Generator],
-             payload_size: int = 1) -> Future:
+             payload_size: int = 1, span=None) -> Future:
         """RPC from node ``src`` to node ``dst``.
 
         ``handler`` is a zero-argument callable returning a generator; it
@@ -379,30 +404,41 @@ class Network:
         been delivered).  The returned future resolves with the handler's
         return value after the reply propagates back, or rejects if the
         handler raises or the destination is unreachable.
+
+        ``span``, when given, gets per-hop latency attribution tags
+        (``req_ms`` / ``reply_ms``) so a trace shows how much of an RPC
+        was wire time versus handler time.
         """
         fut = Future(self.sim)
         if not self._reachable(src, dst):
-            self.messages_dropped += 1
+            self._drop("unreachable")
+            if span is not None:
+                span.annotate(net="unreachable")
             self.sim._call_soon(
                 fut.reject,
                 NetworkUnavailableError(f"node {dst.node_id} unreachable from {src.node_id}"))
             return fut
         if self.faults.should_drop(src, dst):
             # Request lost in flight: the caller only learns via timeout.
-            self.messages_dropped += 1
+            self._drop("request_loss")
+            if span is not None:
+                span.annotate(net="request_lost")
             self.sim.call_after(self.LOSS_TIMEOUT_MS, self._reject_if_pending,
                                 fut, RpcTimeoutError(
                                     f"request to node {dst.node_id} lost"))
             return fut
-        self.messages_sent += 1
+        self._c_sent.inc()
         pair = (src.locality.region, dst.locality.region)
         self.bytes_by_region_pair[pair] = (
             self.bytes_by_region_pair.get(pair, 0) + payload_size)
         request_delay = self.one_way_latency(src, dst)
+        self._record_hop(src, dst, request_delay)
+        if span is not None:
+            span.annotate(req_ms=round(request_delay, 3))
 
         def deliver_request() -> None:
             if not self._reachable(src, dst):
-                self.messages_dropped += 1
+                self._drop("died_in_flight")
                 fut.reject(NetworkUnavailableError(
                     f"node {dst.node_id} died in flight"))
                 return
@@ -416,18 +452,21 @@ class Network:
             # side effects, e.g. a laid intent, stand: that asymmetry
             # is what ambiguous-commit handling exists for.)
             if not self._reachable(dst, src):
-                self.messages_dropped += 1
+                self._drop("reply_blocked")
                 self.sim._call_soon(fut.reject, NetworkUnavailableError(
                     f"reply from node {dst.node_id} undeliverable"))
                 return
             if self.faults.should_drop(dst, src):
-                self.messages_dropped += 1
+                self._drop("reply_loss")
                 self.sim.call_after(
                     self.LOSS_TIMEOUT_MS, self._reject_if_pending, fut,
                     RpcTimeoutError(f"reply from node {dst.node_id} lost"))
                 return
-            self.messages_sent += 1
+            self._c_sent.inc()
             reply_delay = self.one_way_latency(dst, src)
+            self._record_hop(dst, src, reply_delay)
+            if span is not None:
+                span.annotate(reply_ms=round(reply_delay, 3))
             error = process.error
             if error is not None:
                 self.sim.call_after(reply_delay, fut.reject, error)
@@ -445,7 +484,9 @@ class Network:
     def send(self, src, dst, callback: Callable[[], None]) -> None:
         """One-way, fire-and-forget message (e.g. Raft appends)."""
         if not self._reachable(src, dst) or self.faults.should_drop(src, dst):
-            self.messages_dropped += 1
+            self._drop("send_blocked")
             return
-        self.messages_sent += 1
-        self.sim.call_after(self.one_way_latency(src, dst), callback)
+        self._c_sent.inc()
+        delay = self.one_way_latency(src, dst)
+        self._record_hop(src, dst, delay)
+        self.sim.call_after(delay, callback)

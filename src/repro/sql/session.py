@@ -92,21 +92,24 @@ class _StaleReadTxn:
     """
 
     def __init__(self, engine: Engine, gateway, kind: str,
-                 ts: Timestamp, nearest_only: bool = False):
+                 ts: Timestamp, nearest_only: bool = False, span=None):
         self.engine = engine
         self.gateway = gateway
         self.kind = kind  # 'exact' | 'bounded'
         self.read_ts = ts
         self.nearest_only = nearest_only
+        #: Parent span for the stale reads (the SQL statement's span).
+        self.span = span
 
     def _read_future(self, rng, key):
         ds = self.engine.coordinator.distsender
         if self.kind == "exact":
             return ds.exact_staleness_read(self.gateway, rng, key,
-                                           self.read_ts)
+                                           self.read_ts, span=self.span)
         return ds.bounded_staleness_read(self.gateway, rng, key,
                                          self.read_ts,
-                                         nearest_only=self.nearest_only)
+                                         nearest_only=self.nearest_only,
+                                         span=self.span)
 
     def read(self, rng, key, routing=ReadRouting.NEAREST) -> Generator:
         result = yield self._read_future(rng, key)
@@ -121,20 +124,21 @@ class _StaleReadTxn:
             ds = self.engine.coordinator.distsender
             try:
                 negotiated = yield ds.negotiate_bounded_staleness(
-                    self.gateway, requests, self.read_ts)
+                    self.gateway, requests, self.read_ts, span=self.span)
             except StaleReadBoundError:
                 if self.nearest_only:
                     raise
                 # Redirect the whole batch to leaseholders at the bound.
                 futures = [
                     ds._leaseholder_read(self.gateway, rng, key,
-                                         self.read_ts, None, None)
+                                         self.read_ts, None, None,
+                                         span=self.span)
                     for rng, key in requests
                 ]
                 results = yield all_of(self.engine.cluster.sim, futures)
                 return [result.value for result, _ts in results]
             futures = [ds.exact_staleness_read(self.gateway, rng, key,
-                                               negotiated)
+                                               negotiated, span=self.span)
                        for rng, key in requests]
             results = yield all_of(self.engine.cluster.sim, futures)
             return [r.value for r in results]
@@ -242,15 +246,15 @@ class Session:
         result = yield from self.execute_stmt_co(stmt)
         return result
 
-    def run_txn_co(self, txn_body: Callable[[TxnHandle], Generator]
-                   ) -> Generator:
+    def run_txn_co(self, txn_body: Callable[[TxnHandle], Generator],
+                   parent_span=None) -> Generator:
         """Run a multi-statement transaction (with automatic retries)."""
         def txn_fn(txn):
             handle = TxnHandle(self, txn)
             result = yield from txn_body(handle)
             return result
         result, _commit_ts = yield from self.engine.coordinator.run(
-            self.gateway, txn_fn)
+            self.gateway, txn_fn, parent_span=parent_span)
         return result
 
     def execute_stmt_co(self, stmt: Any) -> Generator:
@@ -258,23 +262,35 @@ class Session:
             result = yield from self._explicit_txn_stmt(stmt)
             return result
         self.dml_statement_count += 1
+        obs = self.engine.cluster.sim.obs
+        obs.registry.counter("sql.statements",
+                             kind=type(stmt).__name__.lower(),
+                             region=self.region).inc()
         if isinstance(stmt, ast.Select) and stmt.as_of is not None:
             if self._open_txn is not None:
                 raise SchemaError(
                     "AS OF SYSTEM TIME not allowed inside a transaction")
-            result = yield from self._stale_select(stmt)
+            stmt_span = obs.tracer.start_span(
+                "sql.stmt", kind="select", region=self.region,
+                stale=stmt.as_of.kind)
+            try:
+                result = yield from self._stale_select(stmt, stmt_span)
+            finally:
+                stmt_span.finish()
             return result
 
         if self._open_txn is not None:
             # Inside BEGIN ... COMMIT: no automatic retry — a retryable
             # error surfaces to the client (SQLSTATE 40001 style) and
-            # aborts the transaction, as in real SQL sessions.
+            # aborts the transaction, as in real SQL sessions.  The
+            # statement rides the transaction's own root span.
             handle = TxnHandle(self, self._open_txn)
             try:
                 result = yield from handle.execute_stmt(stmt)
             except Exception:
                 txn, self._open_txn = self._open_txn, None
                 yield from txn.rollback()
+                txn.span.finish(status=txn.status)
                 raise
             return result
 
@@ -282,7 +298,13 @@ class Session:
             result = yield from handle.execute_stmt(stmt)
             return result
 
-        result = yield from self.run_txn_co(body)
+        stmt_span = obs.tracer.start_span(
+            "sql.stmt", kind=type(stmt).__name__.lower(),
+            region=self.region)
+        try:
+            result = yield from self.run_txn_co(body, parent_span=stmt_span)
+        finally:
+            stmt_span.finish()
         return result
 
     def _explicit_txn_stmt(self, stmt: Any) -> Generator:
@@ -294,15 +316,18 @@ class Session:
         if self._open_txn is None:
             raise SchemaError("no transaction open")
         txn, self._open_txn = self._open_txn, None
-        if isinstance(stmt, ast.Commit):
-            try:
-                commit_ts = yield from txn.commit()
-            except Exception:
-                yield from txn.rollback()
-                raise
-            return commit_ts
-        yield from txn.rollback()
-        return None
+        try:
+            if isinstance(stmt, ast.Commit):
+                try:
+                    commit_ts = yield from txn.commit()
+                except Exception:
+                    yield from txn.rollback()
+                    raise
+                return commit_ts
+            yield from txn.rollback()
+            return None
+        finally:
+            txn.span.finish(status=txn.status)
 
     # -- DDL and other instantaneous statements ---------------------------------------------
 
@@ -334,6 +359,8 @@ class Session:
                 return self._require_database(stmt.from_database).regions
             return self.engine.cluster.regions()
         self.ddl_statement_count += 1
+        self.engine.cluster.sim.obs.registry.counter(
+            "sql.ddl_statements").inc()
         if isinstance(stmt, ast.CreateDatabase):
             database = schema.create_database(stmt)
             self.database = database
@@ -476,24 +503,27 @@ class Session:
 
     # -- stale reads (§5.3) ----------------------------------------------------------------
 
-    def _stale_select(self, stmt: ast.Select) -> Generator:
+    def _stale_select(self, stmt: ast.Select, span=None) -> Generator:
         as_of = stmt.as_of
         now = self.gateway.clock.now()
         env = self._env()
         if as_of.kind == "exact":
             value = evaluate(as_of.value, {}, env)
             ts = self._resolve_time_value(value, now)
-            stale = _StaleReadTxn(self.engine, self.gateway, "exact", ts)
+            stale = _StaleReadTxn(self.engine, self.gateway, "exact", ts,
+                                  span=span)
         elif as_of.kind == "min_timestamp":
             value = evaluate(as_of.value, {}, env)
             ts = self._resolve_time_value(value, now)
-            stale = _StaleReadTxn(self.engine, self.gateway, "bounded", ts)
+            stale = _StaleReadTxn(self.engine, self.gateway, "bounded", ts,
+                                  span=span)
         elif as_of.kind == "max_staleness":
             value = evaluate(as_of.value, {}, env)
             bound_ms = (parse_interval_ms(value) if isinstance(value, str)
                         else float(value))
             ts = Timestamp(now.physical - abs(bound_ms))
-            stale = _StaleReadTxn(self.engine, self.gateway, "bounded", ts)
+            stale = _StaleReadTxn(self.engine, self.gateway, "bounded", ts,
+                                  span=span)
         else:
             raise SqlSyntaxError(f"unknown AS OF kind {as_of.kind!r}")
         executor = self._executor()

@@ -100,12 +100,15 @@ class LockTable:
         if holder is None:
             fut.resolve(None)
             return fut
+        registry = self.sim.obs.registry
         if waiter_txn_id is not None:
             if self._graph.would_cycle(waiter_txn_id, holder.txn_id):
+                registry.counter("lock.deadlocks").inc()
                 fut.reject(TransactionAbortedError(
                     f"deadlock: txn {waiter_txn_id} waiting on {holder.txn_id}"))
                 return fut
             self._graph.add_edge(waiter_txn_id, holder.txn_id)
+        registry.counter("lock.waits").inc()
         self._waiters.setdefault(key, []).append((waiter_txn_id, fut, holder.txn_id))
         return fut
 

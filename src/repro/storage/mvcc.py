@@ -95,10 +95,20 @@ class _KeyHistory:
 
 
 class MVCCStore:
-    """Versioned key-value state for one replica of one Range."""
+    """Versioned key-value state for one replica of one Range.
 
-    def __init__(self):
+    ``registry`` (attached by the owning :class:`~repro.kv.replica.Replica`)
+    mirrors storage activity onto the shared metrics registry; the store
+    itself stays constructible without a simulator for unit tests.
+    """
+
+    def __init__(self, registry=None):
         self._data: Dict[Any, _KeyHistory] = {}
+        self.registry = registry
+
+    def _count(self, name: str) -> None:
+        if self.registry is not None:
+            self.registry.counter(name).inc()
 
     def _history(self, key: Any) -> _KeyHistory:
         history = self._data.get(key)
@@ -118,6 +128,7 @@ class MVCCStore:
         uncertainty interval; values in ``(ts, limit]`` raise
         :class:`ReadWithinUncertaintyIntervalError`.
         """
+        self._count("mvcc.gets")
         history = self._data.get(key)
         if history is None:
             return ReadResult(None, TS_ZERO)
@@ -198,6 +209,7 @@ class MVCCStore:
         intent = history.intent
         if intent is not None and intent.txn_id != txn_id:
             raise WriteIntentError(key, intent.txn_id, intent.ts)
+        self._count("mvcc.intents_laid")
         history.intent = Intent(txn_id=txn_id, ts=ts, value=value,
                                 anchor_node_id=anchor_node_id)
 
@@ -216,6 +228,7 @@ class MVCCStore:
             return False
         intent = history.intent
         history.intent = None
+        self._count("mvcc.intents_resolved")
         if commit_ts is not None:
             version = Version(ts=commit_ts, value=intent.value)
             keys = [v.ts for v in history.versions]
@@ -232,7 +245,7 @@ class MVCCStore:
 
     def clone(self) -> "MVCCStore":
         """A deep copy of this store (Raft snapshot transfer)."""
-        other = MVCCStore()
+        other = MVCCStore(registry=self.registry)
         for key, history in self._data.items():
             copied = _KeyHistory(versions=list(history.versions))
             if history.intent is not None:

@@ -24,7 +24,6 @@ serializable timestamp-based MVCC transactions:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..errors import (
@@ -39,35 +38,64 @@ from ..sim.retry import ExponentialBackoff
 from ..kv.commands import TxnStatus
 from ..kv.distsender import DistSender, ReadRouting
 from ..kv.range import Range
+from ..obs import MetricsRegistry
 from ..sim.clock import Timestamp
 from ..sim.core import all_of, settle_all
 
 __all__ = ["TransactionCoordinator", "Transaction", "TxnStats"]
 
 
-@dataclass
 class TxnStats:
-    """Aggregate coordinator statistics, for tests and benchmarks."""
+    """Aggregate coordinator statistics, for tests and benchmarks.
 
-    begun: int = 0
-    committed: int = 0
-    aborted_retries: int = 0
-    uncertainty_restarts: int = 0
-    refreshes: int = 0
-    refresh_failures: int = 0
-    commit_waits: int = 0
-    commit_wait_ms_total: float = 0.0
-    ambiguous_commits: int = 0
+    Historically a plain dataclass of counters; now a view over
+    ``txn.*`` instruments on the shared metrics registry, so coordinator
+    activity shows up in ``python -m repro metrics`` alongside every
+    other layer.  The attribute interface (``stats.committed += 1``,
+    ``stats.commit_wait_ms_total``) is unchanged.
+    """
+
+    _FIELDS = ("begun", "committed", "aborted_retries",
+               "uncertainty_restarts", "refreshes", "refresh_failures",
+               "commit_waits", "commit_wait_ms_total", "ambiguous_commits")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        object.__setattr__(self, "registry",
+                           registry if registry is not None
+                           else MetricsRegistry())
+
+    def __getattr__(self, name):
+        if name in TxnStats._FIELDS:
+            value = self.registry.counter(f"txn.{name}").value
+            return float(value) if name == "commit_wait_ms_total" \
+                else int(value)
+        raise AttributeError(name)
+
+    def __setattr__(self, name, value) -> None:
+        if name in TxnStats._FIELDS:
+            counter = self.registry.counter(f"txn.{name}")
+            counter.inc(value - counter.value)
+        else:
+            object.__setattr__(self, name, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{f}={getattr(self, f)}"
+                          for f in TxnStats._FIELDS)
+        return f"TxnStats({inner})"
 
 
 class Transaction:
     """One attempt of a client transaction, pinned to a gateway node."""
 
     def __init__(self, coordinator: "TransactionCoordinator", gateway,
-                 txn_id: int):
+                 txn_id: int, parent_span=None):
         self.coordinator = coordinator
         self.gateway = gateway
         self.txn_id = txn_id
+        #: Root (or SQL-statement-child) span covering the whole attempt.
+        self.span = coordinator.sim.obs.tracer.start_span(
+            "txn", parent=parent_span, txn_id=txn_id,
+            gateway=gateway.node_id)
         start = gateway.clock.now()
         self.read_ts: Timestamp = start
         self.write_ts: Timestamp = start
@@ -108,7 +136,8 @@ class Transaction:
                     txn_id=self.txn_id,
                     uncertainty_limit=self.uncertainty_limit,
                     routing=routing,
-                    allow_server_side_bump=allow_bump)
+                    allow_server_side_bump=allow_bump,
+                    span=self.span)
             except ReadWithinUncertaintyIntervalError as err:
                 self.coordinator.stats.uncertainty_restarts += 1
                 value_ts = err.value_ts
@@ -141,7 +170,7 @@ class Transaction:
                 self._ds.read(self.gateway, rng, key, self.read_ts,
                               txn_id=self.txn_id,
                               uncertainty_limit=self.uncertainty_limit,
-                              routing=routing)
+                              routing=routing, span=self.span)
                 for rng, key in requests
             ]
             try:
@@ -169,7 +198,8 @@ class Transaction:
             self.anchor = rng
         value, lock_ts = yield self._ds.locking_read(
             self.gateway, rng, key, self.write_ts, self.txn_id,
-            anchor_node_id=self.anchor.leaseholder_node_id or -1)
+            anchor_node_id=self.anchor.leaseholder_node_id or -1,
+            span=self.span)
         if lock_ts > self.write_ts:
             self.write_ts = lock_ts
         self.write_set[(rng.range_id, key)] = (rng, key)
@@ -195,7 +225,8 @@ class Transaction:
             self.anchor = rng
         written_ts = yield self._ds.write(
             self.gateway, rng, key, self.write_ts, value, self.txn_id,
-            anchor_node_id=self.anchor.leaseholder_node_id or -1)
+            anchor_node_id=self.anchor.leaseholder_node_id or -1,
+            span=self.span)
         if written_ts > self.write_ts:
             self.write_ts = written_ts
         self.write_set[(rng.range_id, key)] = (rng, key)
@@ -219,7 +250,8 @@ class Transaction:
         anchor_node = self.anchor.leaseholder_node_id or -1
         futures = [
             self._ds.write(self.gateway, rng, key, self.write_ts, value,
-                           self.txn_id, anchor_node_id=anchor_node)
+                           self.txn_id, anchor_node_id=anchor_node,
+                           span=self.span)
             for rng, key, value in items
         ]
         settled = yield settle_all(self.coordinator.sim, futures)
@@ -254,7 +286,7 @@ class Transaction:
         if self.read_set:
             futures = [
                 self._ds.refresh(self.gateway, rng, key, self.read_ts,
-                                 new_ts, self.txn_id)
+                                 new_ts, self.txn_id, span=self.span)
                 for rng, key in self.read_set
             ]
             results = yield all_of(self.coordinator.sim, futures)
@@ -277,58 +309,69 @@ class Transaction:
         """
         if self.status != TxnStatus.PENDING:
             raise TransactionAbortedError(f"txn {self.txn_id} not pending")
-        if not self.write_set:
-            self.status = TxnStatus.COMMITTED
-            self.commit_ts = self.read_ts
-            yield from self._commit_wait_if_needed(self.observed_future_ts)
-            return self.read_ts
+        commit_span = self.coordinator.sim.obs.tracer.start_span(
+            "txn.commit", parent=self.span, txn_id=self.txn_id,
+            writes=len(self.write_set))
+        try:
+            if not self.write_set:
+                self.status = TxnStatus.COMMITTED
+                self.commit_ts = self.read_ts
+                yield from self._commit_wait_if_needed(
+                    self.observed_future_ts, commit_span)
+                return self.read_ts
 
-        # Serializability check: reads must be valid at the commit ts.
-        yield from self._refresh_to(self.write_ts.with_synthetic(False))
-        commit_ts = self.write_ts
-        self.commit_ts = commit_ts
+            # Serializability check: reads must be valid at the commit ts.
+            yield from self._refresh_to(self.write_ts.with_synthetic(False))
+            commit_ts = self.write_ts
+            self.commit_ts = commit_ts
 
-        # Fast path: a transaction whose writes all hit one range commits
-        # in the write's own consensus round (CRDB's one-phase commit /
-        # parallel commits latency profile) — no separate record write.
-        # Multi-range transactions persist an explicit record on the
-        # anchor range before acknowledging.
-        single_range = len({rng.range_id
-                            for rng, _key in self.write_set.values()}) == 1
-        if not single_range:
-            try:
-                yield self._ds.write_txn_record(
-                    self.gateway, self.anchor, self.txn_id,
-                    TxnStatus.COMMITTED, commit_ts)
-            except NetworkUnavailableError:
-                # The record write was lost in flight — it may or may
-                # not have replicated.  Consult the replicated records
-                # (the sim stand-in for CRDB's txn recovery protocol).
-                if not self._recover_commit_outcome():
-                    # Unknowable: mark aborted locally so lock-table
-                    # pushes unblock waiters, but do NOT write an
-                    # ABORTED record over a possibly-committed one.
-                    self.status = TxnStatus.ABORTED
-                    self.coordinator.stats.ambiguous_commits += 1
-                    raise AmbiguousCommitError(self.txn_id, commit_ts)
+            # Fast path: a transaction whose writes all hit one range
+            # commits in the write's own consensus round (CRDB's
+            # one-phase commit / parallel commits latency profile) — no
+            # separate record write.  Multi-range transactions persist an
+            # explicit record on the anchor range before acknowledging.
+            single_range = len({rng.range_id
+                                for rng, _key in self.write_set.values()}) == 1
+            if not single_range:
+                try:
+                    yield self._ds.write_txn_record(
+                        self.gateway, self.anchor, self.txn_id,
+                        TxnStatus.COMMITTED, commit_ts, span=commit_span)
+                except NetworkUnavailableError:
+                    # The record write was lost in flight — it may or may
+                    # not have replicated.  Consult the replicated records
+                    # (the sim stand-in for CRDB's txn recovery protocol).
+                    if not self._recover_commit_outcome():
+                        # Unknowable: mark aborted locally so lock-table
+                        # pushes unblock waiters, but do NOT write an
+                        # ABORTED record over a possibly-committed one.
+                        self.status = TxnStatus.ABORTED
+                        self.coordinator.stats.ambiguous_commits += 1
+                        commit_span.annotate(ambiguous=True)
+                        raise AmbiguousCommitError(self.txn_id, commit_ts)
 
-        wait_target = commit_ts
-        if (self.observed_future_ts is not None
-                and self.observed_future_ts > wait_target):
-            wait_target = self.observed_future_ts
+            wait_target = commit_ts
+            if (self.observed_future_ts is not None
+                    and self.observed_future_ts > wait_target):
+                wait_target = self.observed_future_ts
 
-        if self.coordinator.spanner_style_commit_wait:
-            # Ablation: hold locks (defer intent resolution, and stay
-            # unpushable) through the commit wait, as Spanner does (§6.2).
-            yield from self._commit_wait_if_needed(wait_target)
-            self.status = TxnStatus.COMMITTED
-            self._resolve_intents_async(commit_ts)
-        else:
-            # CRDB: release locks concurrently with the wait.
-            self.status = TxnStatus.COMMITTED
-            self._resolve_intents_async(commit_ts)
-            yield from self._commit_wait_if_needed(wait_target)
-        return commit_ts
+            if self.coordinator.spanner_style_commit_wait:
+                # Ablation: hold locks (defer intent resolution, and stay
+                # unpushable) through the commit wait, as Spanner does
+                # (§6.2).
+                yield from self._commit_wait_if_needed(wait_target,
+                                                       commit_span)
+                self.status = TxnStatus.COMMITTED
+                self._resolve_intents_async(commit_ts)
+            else:
+                # CRDB: release locks concurrently with the wait.
+                self.status = TxnStatus.COMMITTED
+                self._resolve_intents_async(commit_ts)
+                yield from self._commit_wait_if_needed(wait_target,
+                                                       commit_span)
+            return commit_ts
+        finally:
+            commit_span.finish(status=self.status)
 
     def _recover_commit_outcome(self) -> bool:
         """Did the commit record replicate despite the lost RPC?
@@ -348,21 +391,34 @@ class Transaction:
         spans = list(self.write_set.values())
         if not spans:
             return
+        # A root span of its own: cleanup outlives the transaction span
+        # (CRDB resolves intents asynchronously after the client ack).
+        cleanup_span = self.coordinator.sim.obs.tracer.start_span(
+            "txn.cleanup", txn_id=self.txn_id, intents=len(spans))
         fut = self._ds.resolve_intents(self.gateway, spans, self.txn_id,
-                                       commit_ts)
+                                       commit_ts, span=cleanup_span)
         # Intent resolution runs in the background; swallow benign races.
-        fut.add_callback(lambda f: None if f.error is None else None)
+        fut.add_callback(lambda f: cleanup_span.finish(
+            error=None if f.error is None else type(f.error).__name__))
 
-    def _commit_wait_if_needed(self, target: Optional[Timestamp]) -> Generator:
+    def _commit_wait_if_needed(self, target: Optional[Timestamp],
+                               parent_span=None) -> Generator:
         if target is None:
             return
         clock = self.gateway.clock
         if target.physical <= clock.physical_now():
             return
+        obs = self.coordinator.sim.obs
+        wait_span = obs.tracer.start_span(
+            "txn.commit_wait", parent=parent_span, txn_id=self.txn_id,
+            target=str(target))
         stats = self.coordinator.stats
         stats.commit_waits += 1
         waited = yield clock.wait_until(target)
-        stats.commit_wait_ms_total += waited or 0.0
+        waited = waited or 0.0
+        stats.commit_wait_ms_total += waited
+        obs.registry.histogram("txn.commit_wait_ms").observe(waited)
+        wait_span.finish(waited_ms=round(waited, 3))
 
     def rollback(self) -> Generator:
         """Abort: mark the record aborted and clean up intents."""
@@ -372,10 +428,10 @@ class Transaction:
         if self.anchor is not None and self.write_set:
             yield self._ds.write_txn_record(
                 self.gateway, self.anchor, self.txn_id, TxnStatus.ABORTED,
-                None)
+                None, span=self.span)
             spans = list(self.write_set.values())
             yield self._ds.resolve_intents(self.gateway, spans, self.txn_id,
-                                           None)
+                                           None, span=self.span)
 
 
 class TransactionCoordinator:
@@ -387,7 +443,7 @@ class TransactionCoordinator:
         self.sim = cluster.sim
         self.distsender = distsender or DistSender(cluster)
         self.spanner_style_commit_wait = spanner_style_commit_wait
-        self.stats = TxnStats()
+        self.stats = TxnStats(cluster.sim.obs.registry)
         self._next_txn_id = 1
         # Shared with the DistSender's retry helper in spirit: seeded
         # jittered backoff so contended retries cannot livelock in
@@ -395,8 +451,9 @@ class TransactionCoordinator:
         self._retry_rng = random.Random(
             (getattr(cluster, "seed", 0) << 8) ^ 0x7C0)
 
-    def begin(self, gateway) -> Transaction:
-        txn = Transaction(self, gateway, self._next_txn_id)
+    def begin(self, gateway, parent_span=None) -> Transaction:
+        txn = Transaction(self, gateway, self._next_txn_id,
+                          parent_span=parent_span)
         self._next_txn_id += 1
         self.stats.begun += 1
         # Registered so lock-table pushes can learn this transaction's
@@ -405,7 +462,7 @@ class TransactionCoordinator:
         return txn
 
     def run(self, gateway, txn_fn: Callable[[Transaction], Generator],
-            max_attempts: int = 100) -> Generator:
+            max_attempts: int = 100, parent_span=None) -> Generator:
         """Run ``txn_fn`` with automatic retries; returns (result, commit_ts).
 
         ``txn_fn(txn)`` is a coroutine performing reads/writes on ``txn``;
@@ -420,16 +477,18 @@ class TransactionCoordinator:
         network_backoff = ExponentialBackoff(
             rng=self._retry_rng, base_ms=25.0, max_ms=500.0)
         for attempt in range(max_attempts):
-            txn = self.begin(gateway)
+            txn = self.begin(gateway, parent_span=parent_span)
             try:
                 result = yield from txn_fn(txn)
                 commit_ts = yield from txn.commit()
                 self.stats.committed += 1
+                txn.span.finish(status=txn.status)
                 return result, commit_ts
             except AmbiguousCommitError:
                 # The commit may have applied: retrying could double-
                 # apply, rolling back could overwrite a committed
                 # record.  Surface as-is.
+                txn.span.finish(status=txn.status, ambiguous=True)
                 raise
             except (TransactionRetryError, TransactionAbortedError,
                     NetworkUnavailableError) as err:
@@ -439,14 +498,18 @@ class TransactionCoordinator:
                 last_error = err
                 self.stats.aborted_retries += 1
                 yield from self._rollback_best_effort(txn)
+                txn.span.finish(status=txn.status, retried=True,
+                                error=type(err).__name__)
                 if isinstance(err, NetworkUnavailableError):
                     yield self.sim.sleep(network_backoff.next_delay())
                 else:
                     yield self.sim.sleep(contention_backoff.next_delay())
-            except Exception:
+            except Exception as err:
                 # Non-retryable failure (e.g. a uniqueness violation):
                 # clean up intents, then surface to the caller.
                 yield from self._rollback_best_effort(txn)
+                txn.span.finish(status=txn.status,
+                                error=type(err).__name__)
                 raise
         raise TransactionRetryError(
             f"transaction gave up after {max_attempts} attempts: {last_error}")

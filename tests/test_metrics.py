@@ -43,6 +43,24 @@ class TestSummary:
         assert min(samples) == summary.min
         assert max(samples) == summary.max
 
+    def test_empty_row_is_all_zero(self):
+        row = Summary([]).row()
+        assert row == {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
+                       "p95": 0.0, "p99": 0.0, "max": 0.0}
+
+    def test_single_sample_all_percentiles_equal(self):
+        summary = Summary([7.5])
+        assert summary.p50 == summary.p90 == summary.p95 == summary.p99 \
+            == summary.max == 7.5
+        assert summary.mean == 7.5
+
+    def test_duplicate_latencies(self):
+        summary = Summary([3.0] * 50)
+        assert summary.count == 50
+        assert summary.min == summary.p50 == summary.p99 == summary.max \
+            == 3.0
+        assert summary.mean == 3.0
+
 
 class TestCdfPoints:
     def test_empty(self):
@@ -59,6 +77,20 @@ class TestCdfPoints:
     def test_downsampling(self):
         points = cdf_points(list(range(10_000)), points=50)
         assert len(points) <= 50
+
+    def test_single_sample(self):
+        assert cdf_points([4.0]) == [(4.0, 1.0)]
+
+    def test_points_exceeding_samples(self):
+        points = cdf_points([1.0, 2.0, 3.0], points=100)
+        assert [p[0] for p in points] == [1.0, 2.0, 3.0]
+        assert points[-1][1] == 1.0
+
+    def test_duplicate_latencies_stay_monotone(self):
+        points = cdf_points([5.0, 5.0, 5.0, 1.0])
+        fractions = [p[1] for p in points]
+        assert fractions == sorted(fractions)
+        assert points[-1] == (5.0, 1.0)
 
 
 class TestLatencyRecorder:
@@ -102,6 +134,31 @@ class TestLatencyRecorder:
         b.record(("x",), 2.0)
         merged = a.merged(b)
         assert merged.samples("x") == [1.0, 2.0]
+
+    def test_merged_preserves_widest_window(self):
+        # Regression: merged() used to drop started_at/finished_at, so
+        # throughput_per_s() on the merged recorder always returned 0.
+        a = LatencyRecorder()
+        a.started_at, a.finished_at = 100.0, 1100.0
+        b = LatencyRecorder()
+        b.started_at, b.finished_at = 500.0, 2100.0
+        for _ in range(4):
+            a.record(("op",), 1.0)
+            b.record(("op",), 1.0)
+        merged = a.merged(b)
+        assert merged.started_at == 100.0
+        assert merged.finished_at == 2100.0
+        assert merged.throughput_per_s() == pytest.approx(4.0)
+
+    def test_merged_window_with_one_sided_none(self):
+        a = LatencyRecorder()
+        a.started_at, a.finished_at = 0.0, 1000.0
+        b = LatencyRecorder()  # never ran: no window at all
+        a.record(("op",), 1.0)
+        merged = a.merged(b)
+        assert merged.started_at == 0.0
+        assert merged.finished_at == 1000.0
+        assert merged.throughput_per_s() == pytest.approx(1.0)
 
 
 class TestResultTable:

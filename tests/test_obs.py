@@ -1,0 +1,264 @@
+"""Observability spine tests: metrics registry, tracer, and the
+end-to-end acceptance criteria of the tracing PR.
+
+Covers the unit behaviour of ``repro.obs`` (label canonicalisation,
+kind collisions, snapshots/diffs, histogram caps, span lifecycle) and
+the integration bars: every RPC in a chaos scenario is attributable to
+a root span, the movr trace contains an explicit commit-wait span for
+the GLOBAL-table write with child-within-parent containment, and two
+same-seed runs serialize byte-identical traces and metrics.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import run_scenario
+from repro.harness.tracing import run_traced_workload, trace_roots
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    containment_violations,
+    critical_path,
+    render_tree,
+    spans_named,
+)
+
+
+class TestMetricsRegistry:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        registry.counter("ops").inc()
+        registry.counter("ops").inc(2)
+        assert registry.value("ops") == 3
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        a = registry.counter("ops", region="us-east1", kind="read")
+        b = registry.counter("ops", kind="read", region="us-east1")
+        assert a is b
+        assert a.key == "ops{kind=read,region=us-east1}"
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_gauge_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6.0
+
+    def test_histogram_summary(self):
+        hist = MetricsRegistry().histogram("h")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            hist.observe(v)
+        s = hist.summary()
+        assert s["count"] == 4
+        assert s["sum"] == 10.0
+        assert s["mean"] == 2.5
+        assert s["min"] == 1.0 and s["max"] == 4.0
+        assert "truncated" not in s
+
+    def test_histogram_sample_cap_keeps_exact_aggregates(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.max_samples = 10
+        for v in range(100):
+            hist.observe(float(v))
+        assert len(hist.samples) == 10
+        assert hist.count == 100
+        assert hist.max == 99.0
+        assert hist.truncated
+        assert hist.summary()["truncated"] is True
+
+    def test_snapshot_and_diff(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        before = registry.snapshot()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(5.0)
+        after = registry.snapshot()
+        delta = MetricsRegistry.diff(before, after)
+        assert delta["counters"]["c"] == 3
+        assert delta["gauges"]["g"] == 7
+        assert delta["histograms"]["h"] == {"count": 1, "sum": 5.0}
+
+    def test_instruments_sorted_and_filtered(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a", x="1")
+        registry.gauge("c")
+        counters = registry.instruments(kind="counter")
+        assert [inst.key for inst in counters] == ["a{x=1}", "b"]
+
+    def test_render_prefix_filter(self):
+        registry = MetricsRegistry()
+        registry.counter("txn.begun").inc()
+        registry.counter("net.messages").inc()
+        text = registry.render(prefix="txn.")
+        assert "txn.begun" in text
+        assert "net.messages" not in text
+
+
+class TestTracer:
+    def _tracer(self):
+        clock = {"now": 0.0}
+        return clock, Tracer(lambda: clock["now"])
+
+    def test_span_ids_start_at_one_and_increment(self):
+        _, tracer = self._tracer()
+        a = tracer.start_span("a")
+        b = tracer.start_span("b", parent=a)
+        assert (a.span_id, b.span_id) == (1, 2)
+        assert tracer.roots == [a]
+        assert a.children == [b]
+
+    def test_finish_is_idempotent(self):
+        clock, tracer = self._tracer()
+        span = tracer.start_span("op")
+        clock["now"] = 10.0
+        span.finish()
+        clock["now"] = 99.0
+        span.finish(late=True)  # late ack: tags merge, end stays put
+        assert span.end_ms == 10.0
+        assert span.tags["late"] is True
+        assert span.duration_ms == 10.0
+
+    def test_containment_violations_flags_escaping_child(self):
+        clock, tracer = self._tracer()
+        parent = tracer.start_span("p")
+        clock["now"] = 5.0
+        child = tracer.start_span("c", parent=parent)
+        clock["now"] = 8.0
+        parent.finish()
+        clock["now"] = 12.0
+        child.finish()
+        problems = containment_violations(parent)
+        assert any("ends after" in p for p in problems)
+
+    def test_unfinished_span_reported(self):
+        _, tracer = self._tracer()
+        root = tracer.start_span("p").finish()
+        tracer.start_span("c", parent=root)
+        assert any("never finished" in p
+                   for p in containment_violations(root))
+
+    def test_critical_path_follows_latest_child(self):
+        clock, tracer = self._tracer()
+        root = tracer.start_span("root")
+        fast = tracer.start_span("fast", parent=root)
+        clock["now"] = 1.0
+        fast.finish()
+        slow = tracer.start_span("slow", parent=root)
+        clock["now"] = 9.0
+        slow.finish()
+        clock["now"] = 10.0
+        root.finish()
+        assert critical_path(root) == [root, slow]
+
+    def test_max_roots_drops_oldest(self):
+        clock = {"now": 0.0}
+        tracer = Tracer(lambda: clock["now"], max_roots=2)
+        for name in ("a", "b", "c"):
+            tracer.start_span(name).finish()
+        assert [r.name for r in tracer.roots] == ["b", "c"]
+        assert tracer.dropped_roots == 1
+
+    def test_to_json_round_trips(self):
+        _, tracer = self._tracer()
+        root = tracer.start_span("op", kind="write")
+        tracer.start_span("child", parent=root).finish()
+        root.finish()
+        data = json.loads(tracer.to_json())
+        assert data[0]["name"] == "op"
+        assert data[0]["tags"] == {"kind": "write"}
+        assert data[0]["children"][0]["name"] == "child"
+
+    def test_render_tree_mentions_every_span(self):
+        _, tracer = self._tracer()
+        root = tracer.start_span("root")
+        tracer.start_span("leaf", parent=root).finish()
+        root.finish()
+        text = render_tree(root)
+        assert "root #1" in text and "leaf #2" in text
+
+
+class TestTracedWorkloads:
+    @pytest.fixture(scope="class")
+    def movr_engine(self):
+        return run_traced_workload("movr", seed=0)
+
+    def test_global_write_has_commit_wait_span(self, movr_engine):
+        roots = trace_roots(movr_engine)
+        waits = [w for r in roots for w in spans_named(r, "txn.commit_wait")]
+        assert waits, "GLOBAL-table write produced no commit-wait span"
+        for wait in waits:
+            assert wait.duration_ms > 0
+            assert wait.tags["waited_ms"] > 0
+            # The wait hangs off the commit, under the statement's root.
+            assert wait.parent.name == "txn.commit"
+            assert wait.root().name == "sql.stmt"
+
+    def test_span_durations_sum_consistently(self, movr_engine):
+        roots = trace_roots(movr_engine)
+        assert roots
+        for root in roots:
+            assert containment_violations(root) == []
+
+    def test_every_rpc_attempt_reaches_a_root(self, movr_engine):
+        tracer = movr_engine.cluster.sim.obs.tracer
+        root_set = set(map(id, tracer.roots))
+        attempts = [s for s in tracer.spans() if s.name == "rpc.attempt"]
+        assert attempts
+        for attempt in attempts:
+            assert attempt.parent is not None
+            assert id(attempt.root()) in root_set
+
+    def test_kv_workload_traces(self):
+        engine = run_traced_workload("kv", seed=0)
+        roots = trace_roots(engine)
+        assert any(spans_named(r, "kv.write") for r in roots)
+        for root in roots:
+            assert containment_violations(root) == []
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            run_traced_workload("nope")
+
+
+class TestDeterminism:
+    def test_same_seed_trace_and_metrics_are_byte_identical(self):
+        first = run_traced_workload("movr", seed=3)
+        second = run_traced_workload("movr", seed=3)
+        obs_a = first.cluster.sim.obs
+        obs_b = second.cluster.sim.obs
+        assert obs_a.tracer.to_json() == obs_b.tracer.to_json()
+        assert obs_a.registry.to_json() == obs_b.registry.to_json()
+
+    def test_different_seeds_may_differ_but_stay_well_formed(self):
+        engine = run_traced_workload("movr", seed=7)
+        for root in trace_roots(engine):
+            assert containment_violations(root) == []
+
+
+class TestChaosAttribution:
+    def test_chaos_rpcs_attributable_and_metrics_snapshot_present(self):
+        result = run_scenario("crash-restart", seed=0)
+        tracer = result.harness.sim.obs.tracer
+        attempts = [s for s in tracer.spans() if s.name == "rpc.attempt"]
+        assert attempts, "chaos scenario issued no traced RPCs"
+        root_set = set(map(id, tracer.roots))
+        for attempt in attempts:
+            assert attempt.parent is not None, \
+                f"orphan rpc.attempt #{attempt.span_id}"
+            assert id(attempt.root()) in root_set
+        # The scenario result carries the registry snapshot for sweeps.
+        snap = result.metrics_snapshot
+        assert snap is not None
+        assert any(k.startswith("nemesis.events{action=inject")
+                   for k in snap["counters"])
+        assert any(k.startswith("txn.") for k in snap["counters"])

@@ -162,6 +162,16 @@ class TestRepairScenarios:
         first = run_scenario("kill-node-repair", seed=2)
         second = run_scenario("kill-node-repair", seed=2)
         assert first.to_json() == second.to_json()
+        # The observability spine is part of the determinism contract:
+        # same seed must yield byte-identical metrics snapshots and
+        # trace trees (span IDs included).
+        obs_a = first.harness.sim.obs
+        obs_b = second.harness.sim.obs
+        assert obs_a.registry.to_json() == obs_b.registry.to_json()
+        assert obs_a.tracer.to_json() == obs_b.tracer.to_json()
+        ids_a = [s.span_id for s in obs_a.tracer.spans()]
+        ids_b = [s.span_id for s in obs_b.tracer.spans()]
+        assert ids_a == ids_b
 
 
 @pytest.mark.repair
