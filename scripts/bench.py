@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Engine benchmark driver: runs the fixed-seed suite and maintains
+``BENCH_results.json`` at the repo root.
+
+Usage::
+
+    python scripts/bench.py                  # full suite -> update "after"
+    python scripts/bench.py --smoke          # quick suite + regression gate
+    python scripts/bench.py --smoke --update-baseline
+    python scripts/bench.py --capture-before # record pre-change numbers
+
+Modes:
+
+* default (full): run kv/movr/tpcc with obs full and off (with alloc
+  tracking), store the rows under ``"after"``, and recompute speedups
+  against the stored ``"before"`` rows.
+* ``--capture-before``: same suite (obs full only, the pre-change
+  configuration) stored under ``"before"`` — run this on the *old*
+  checkout when refreshing the trajectory.
+* ``--smoke``: reduced-scale suite (no alloc pass, ≤60 s), stored under
+  ``"smoke_latest"``; exits non-zero if any (workload, obs) pair's
+  events/sec regressed more than ``--tolerance`` (default 25%) below
+  the committed ``"smoke"`` baseline.  ``--update-baseline`` promotes
+  the fresh rows to be the new baseline.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.harness.bench import (  # noqa: E402
+    BENCH_WORKLOADS, bench_suite, check_regression, render_rows)
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..",
+                            "BENCH_results.json")
+SMOKE_SCALE = 0.25
+
+
+def _load(path):
+    if os.path.exists(path):
+        with open(path) as fh:
+            return json.load(fh)
+    return {"schema": 1, "seed": 0}
+
+
+def _save(path, doc):
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _speedups(doc):
+    """events/sec ratios of the "after" rows vs the "before" (obs-full)
+    rows, per workload."""
+    before = {r["workload"]: r for r in doc.get("before", [])
+              if r["obs"] == "full"}
+    out = {}
+    for row in doc.get("after", []):
+        base = before.get(row["workload"])
+        if base and base.get("events_per_sec"):
+            key = f"{row['workload']}_obs_{row['obs']}_vs_before_full"
+            out[key] = round(row["events_per_sec"]
+                             / base["events_per_sec"], 2)
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced-scale run + regression gate")
+    parser.add_argument("--capture-before", action="store_true",
+                        help="store this checkout's numbers as 'before'")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="with --smoke: promote fresh rows to the "
+                             "committed smoke baseline")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=None,
+                        help="op-count multiplier (default 1.0, smoke "
+                             f"{SMOKE_SCALE})")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed events/sec drop vs baseline "
+                             "(default 0.25)")
+    parser.add_argument("--out", default=RESULTS_PATH,
+                        help="results file (default BENCH_results.json)")
+    args = parser.parse_args(argv)
+
+    doc = _load(args.out)
+    doc.setdefault("schema", 1)
+    doc["seed"] = args.seed
+
+    if args.smoke:
+        scale = args.scale if args.scale is not None else SMOKE_SCALE
+        print(f"bench smoke (seed={args.seed}, scale={scale}):")
+        rows = bench_suite(BENCH_WORKLOADS, seed=args.seed, scale=scale,
+                           measure_allocs=False, log=print)
+        doc["smoke_latest"] = rows
+        failures = check_regression({"smoke": rows}, doc,
+                                    tolerance=args.tolerance)
+        if args.update_baseline or "smoke" not in doc:
+            doc["smoke"] = rows
+            failures = []
+            print("smoke baseline updated")
+        _save(args.out, doc)
+        print(render_rows(rows))
+        if failures:
+            print("\nREGRESSION vs committed baseline:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print("\nno regression vs committed baseline "
+              f"(tolerance {args.tolerance:.0%})")
+        return 0
+
+    scale = args.scale if args.scale is not None else 1.0
+    if args.capture_before:
+        print(f"bench capture-before (seed={args.seed}, scale={scale}):")
+        rows = bench_suite(BENCH_WORKLOADS, seed=args.seed, scale=scale,
+                           obs_modes=("full",), measure_allocs=True,
+                           log=print)
+        doc["before"] = rows
+    else:
+        print(f"bench full suite (seed={args.seed}, scale={scale}):")
+        rows = bench_suite(BENCH_WORKLOADS, seed=args.seed, scale=scale,
+                           measure_allocs=True, log=print)
+        doc["after"] = rows
+    doc["speedups"] = _speedups(doc)
+    _save(args.out, doc)
+    print(render_rows(rows))
+    if doc["speedups"]:
+        print("\nspeedups vs before (obs full):")
+        for key in sorted(doc["speedups"]):
+            print(f"  {key:<40s} {doc['speedups'][key]:.2f}x")
+    print(f"\nresults written to {os.path.relpath(args.out)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

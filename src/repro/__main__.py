@@ -12,6 +12,7 @@ Usage::
     python -m repro repair [--seed N] [--scenario NAME]
     python -m repro trace [--workload movr] [--scenario NAME] [--seed N]
     python -m repro metrics [--workload movr] [--scenario NAME] [--json]
+    python -m repro bench [--workload kv] [--obs off] [--scale 0.5]
 
 ``--quick`` shrinks client/op counts (~5x faster, coarser percentiles).
 ``chaos`` runs a nemesis fault-injection scenario and prints the
@@ -323,9 +324,46 @@ def _metrics_main(argv) -> int:
     return 0
 
 
+def _bench_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Run the fixed-seed engine benchmarks and print "
+                    "events/sec, wall-clock, and peak allocation. Use "
+                    "scripts/bench.py to maintain BENCH_results.json.")
+    parser.add_argument("--workload", default=None,
+                        choices=["kv", "movr", "tpcc"],
+                        help="run only this workload (default: all)")
+    parser.add_argument("--obs", default=None, choices=["full", "off"],
+                        help="run only this obs mode (default: both)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="op-count multiplier (default 1.0)")
+    parser.add_argument("--no-allocs", action="store_true",
+                        help="skip the tracemalloc pass (faster)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON rows")
+    args = parser.parse_args(argv)
+
+    from .harness.bench import BENCH_WORKLOADS, bench_suite, render_rows
+
+    workloads = [args.workload] if args.workload else list(BENCH_WORKLOADS)
+    obs_modes = [args.obs] if args.obs else ["full", "off"]
+    rows = bench_suite(workloads, seed=args.seed, obs_modes=obs_modes,
+                       scale=args.scale,
+                       measure_allocs=not args.no_allocs,
+                       log=None if args.json else print)
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(render_rows(rows))
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        return _bench_main(argv[1:])
     if argv and argv[0] == "chaos":
         return _chaos_main(argv[1:])
     if argv and argv[0] == "repair":

@@ -87,8 +87,7 @@ class Nemesis:
             self._record("heal", event.name)
         faults = network.faults
         faults.heal_all_links()
-        faults.partitioned_regions.clear()
-        faults.slow_nodes.clear()
+        faults.clear_partitions()
         if restart_dead:
             for node_id in list(faults.dead_nodes):
                 network.restart_node(node_id)

@@ -24,10 +24,15 @@ class Cluster:
 
     def __init__(self, sim: Simulator, network: Network,
                  max_clock_offset: float = 250.0,
-                 skew_fraction: float = 0.5, seed: int = 0):
+                 skew_fraction: float = 0.5, seed: int = 0,
+                 raft_coalesce_ms: Optional[float] = None):
         self.sim = sim
         self.network = network
         self.seed = seed
+        #: Raft message coalescing window (ms) for every range created on
+        #: this cluster; None disables coalescing (the default — it is a
+        #: throughput/latency trade the benchmarks opt into explicitly).
+        self.raft_coalesce_ms = raft_coalesce_ms
         self.skew = SkewModel(max_clock_offset, seed=seed,
                               skew_fraction=skew_fraction)
         # Crash-restart support: a restarted node keeps its durable
@@ -143,14 +148,19 @@ def standard_cluster(regions: Sequence[str],
                      skew_fraction: float = 0.5,
                      rtt_matrix: Optional[dict] = None,
                      jitter_fraction: float = 0.05,
-                     seed: int = 0) -> Cluster:
+                     seed: int = 0,
+                     obs_enabled: bool = True,
+                     trace_sample_every: int = 1,
+                     raft_coalesce_ms: Optional[float] = None) -> Cluster:
     """Build the paper's standard layout: one node per zone per region."""
-    sim = Simulator()
+    sim = Simulator(obs_enabled=obs_enabled,
+                    trace_sample_every=trace_sample_every)
     latency = LatencyModel(rtt_matrix=rtt_matrix, seed=seed,
                            jitter_fraction=jitter_fraction)
     network = Network(sim, latency, seed=seed)
     cluster = Cluster(sim, network, max_clock_offset=max_clock_offset,
-                      skew_fraction=skew_fraction, seed=seed)
+                      skew_fraction=skew_fraction, seed=seed,
+                      raft_coalesce_ms=raft_coalesce_ms)
     for region in regions:
         for i in range(nodes_per_region):
             zone = f"{region}-{chr(ord('a') + (i % zones_per_region))}"

@@ -19,7 +19,10 @@ def build_engine(regions: Sequence[str], nodes_per_region: int = 3,
                  rtt_matrix=None,
                  side_transport_interval_ms: float = 100.0,
                  closed_ts_lag_ms: Optional[float] = None,
-                 seed: int = 0) -> Engine:
+                 seed: int = 0,
+                 obs_enabled: bool = True,
+                 trace_sample_every: int = 1,
+                 raft_coalesce_ms: Optional[float] = None) -> Engine:
     """A cluster + engine with the evaluation's standard knobs.
 
     The default RTT matrix is the paper's Table 1; region names outside
@@ -34,7 +37,9 @@ def build_engine(regions: Sequence[str], nodes_per_region: int = 3,
     cluster = standard_cluster(
         regions, nodes_per_region=nodes_per_region,
         max_clock_offset=max_clock_offset, skew_fraction=skew_fraction,
-        jitter_fraction=jitter_fraction, rtt_matrix=rtt_matrix, seed=seed)
+        jitter_fraction=jitter_fraction, rtt_matrix=rtt_matrix, seed=seed,
+        obs_enabled=obs_enabled, trace_sample_every=trace_sample_every,
+        raft_coalesce_ms=raft_coalesce_ms)
     return Engine(cluster,
                   side_transport_interval_ms=side_transport_interval_ms,
                   closed_ts_lag_ms=closed_ts_lag_ms, seed=seed)

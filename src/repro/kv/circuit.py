@@ -119,17 +119,32 @@ class BreakerSet:
         self.cooldown_ms = cooldown_ms
         self.registry = registry
         self._breakers: Dict[int, CircuitBreaker] = {}
+        #: Bumped on every breaker state transition (cache invalidation).
+        self.generation = 0
+        self._open_nodes: set = set()
+
+    @property
+    def any_open(self) -> bool:
+        """Is any breaker in the OPEN state?  While False, ``blocked``
+        is False for every node regardless of the clock, so replica
+        selection is independent of breaker state (routing caches key
+        on this)."""
+        return bool(self._open_nodes)
 
     def _transition_hook(self, node_id: int):
         registry = self.registry
-        if registry is None:
-            return None
 
         def on_transition(old_state: str, new_state: str) -> None:
-            registry.counter("breaker.transitions",
-                             node=node_id, to=new_state).inc()
-            registry.gauge("breaker.open", node=node_id).set(
-                1 if new_state == BreakerState.OPEN else 0)
+            self.generation += 1
+            if new_state == BreakerState.OPEN:
+                self._open_nodes.add(node_id)
+            else:
+                self._open_nodes.discard(node_id)
+            if registry is not None:
+                registry.counter("breaker.transitions",
+                                 node=node_id, to=new_state).inc()
+                registry.gauge("breaker.open", node=node_id).set(
+                    1 if new_state == BreakerState.OPEN else 0)
         return on_transition
 
     def for_node(self, node_id: int) -> CircuitBreaker:

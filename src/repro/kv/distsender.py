@@ -20,6 +20,7 @@ from ..errors import (
     StaleReadBoundError,
     WriteIntentError,
 )
+from ..obs import NOOP_SPAN
 from ..sim.clock import Timestamp
 from ..sim.core import Future, all_of, with_timeout
 from ..sim.network import NetworkUnavailableError, RpcTimeoutError
@@ -79,6 +80,11 @@ class DistSender:
         self.network.on_node_restart(self.breakers.reset)
         self._retry_rng = random.Random(
             (getattr(cluster, "seed", 0) << 8) ^ 0xD157)
+        #: (gateway_node_id, range_id) -> (replica, routing_generation).
+        #: Consulted only while the fault plane is clean and no breaker
+        #: is open — the only conditions under which replica selection
+        #: depends on anything beyond membership and lease placement.
+        self._route_cache: dict = {}
         #: Counters for tests/ablations, backed by registry instruments
         #: (read through the int properties below).
         self._c_fallbacks = registry.counter("distsender.follower_read_fallbacks")
@@ -109,7 +115,19 @@ class DistSender:
 
         Replicas behind an open circuit breaker or an (asymmetric)
         partition are skipped so chaos cannot route reads into a black
-        hole."""
+        hole.
+
+        With a clean fault plane and no open breakers the selection
+        depends only on membership and lease placement, so the result is
+        cached per (gateway, range) and reused until the range's
+        ``routing_generation`` moves.  Any installed fault or open
+        breaker bypasses the cache entirely (full rescan per read)."""
+        cacheable = (not self.network.faults.active
+                     and not self.breakers.any_open)
+        if cacheable:
+            cached = self._route_cache.get((gateway.node_id, rng.range_id))
+            if cached is not None and cached[1] == rng.routing_generation:
+                return cached[0]
         latency = self.network.latency
         now = self.cluster.sim.now
         # A dead gateway node is still a valid locality vantage point
@@ -138,6 +156,9 @@ class DistSender:
                 best, best_cost = replica, cost
         if best is None:
             raise FollowerReadNotAvailableError(rng.range_id, None, None)
+        if cacheable:
+            self._route_cache[(gateway.node_id, rng.range_id)] = (
+                best, rng.routing_generation)
         return best
 
     # -- hardened leaseholder RPC ----------------------------------------------
@@ -158,10 +179,15 @@ class DistSender:
         """
         sim = self.cluster.sim
         tracer = sim.obs.tracer
+        # With observability off every span below is NOOP_SPAN anyway;
+        # skipping the calls (and the f-string label work) keeps this
+        # per-attempt loop off the profile.
+        obs_on = sim.obs.enabled
 
         def attempts() -> Generator:
-            op_span = tracer.start_span(f"kv.{op}", parent=span,
-                                        range=rng.name)
+            op_span = (tracer.start_span(f"kv.{op}", parent=span,
+                                         range=rng.name)
+                       if obs_on else NOOP_SPAN)
             try:
                 backoff = ExponentialBackoff(rng=self._retry_rng,
                                              base_ms=10.0, max_ms=400.0)
@@ -176,9 +202,9 @@ class DistSender:
                             f"gateway node {gateway.node_id} is down")
                     dst = rng.leaseholder_node
                     breaker = self.breakers.for_node(dst.node_id)
-                    attempt_span = tracer.start_span(
+                    attempt_span = (tracer.start_span(
                         "rpc.attempt", parent=op_span, attempt=attempt + 1,
-                        dst=dst.node_id)
+                        dst=dst.node_id) if obs_on else NOOP_SPAN)
                     if not breaker.allow(sim.now):
                         # Known-bad leaseholder: try to move the lease right
                         # away rather than burning a timeout on it.

@@ -71,9 +71,19 @@ class Range:
         self.policy: ClosedTimestampPolicy = policy or LagPolicy()
         self.group = RaftGroup(cluster.sim, cluster.network, self.range_id,
                                apply_fn=self._apply,
-                               proposal_timeout_ms=proposal_timeout_ms)
+                               proposal_timeout_ms=proposal_timeout_ms,
+                               coalesce_ms=getattr(cluster,
+                                                   "raft_coalesce_ms", None))
         self.replicas = {}
         self.leaseholder_node_id: Optional[int] = None
+        #: Bumped on every membership or lease change; the DistSender's
+        #: replica-routing cache compares generations instead of
+        #: re-scanning the replica set per read.
+        self.routing_generation = 0
+        #: Lazily-resolved per-range instrument handles (serve_read /
+        #: serve_write are hot; one registry lookup each, not per op).
+        self._c_reads = None
+        self._c_writes = None
         self.ts_cache = TimestampCache()
         self.lock_table = LockTable(cluster.sim, cluster.wait_graph)
         #: Highest closed timestamp this leaseholder has promised.
@@ -97,12 +107,14 @@ class Range:
         self.replicas[node.node_id] = replica
         self.group.add_peer(node, replica_type)
         node.add_replica(replica)
+        self.routing_generation += 1
         return replica
 
     def remove_replica(self, node: "Node") -> None:
         self.replicas.pop(node.node_id, None)
         self.group.remove_peer(node.node_id)
         node.remove_replica(self.range_id)
+        self.routing_generation += 1
 
     def add_replica_safely(self, node: "Node",
                            replica_type: str = ReplicaType.VOTER) -> Generator:
@@ -130,6 +142,7 @@ class Range:
             replica = Replica(self, node)
             self.replicas[node_id] = replica
             node.add_replica(replica)
+            self.routing_generation += 1
             self.group.add_learner(node)
             leader_node = self.leaseholder_node
             source = self.replicas[self.leaseholder_node_id]
@@ -167,6 +180,7 @@ class Range:
             self.replicas.pop(node_id, None)
             self.group.peers.pop(node_id, None)
             node.remove_replica(self.range_id)
+            self.routing_generation += 1
             raise
         finally:
             guard.release(self.sim.now)
@@ -213,10 +227,12 @@ class Range:
         self.group.remove_peer(node_id)
         if replica is not None:
             replica.node.remove_replica(self.range_id)
+        self.routing_generation += 1
 
     def set_leaseholder(self, node_id: int) -> None:
         self.group.set_leader(node_id)
         self.leaseholder_node_id = node_id
+        self.routing_generation += 1
 
     def transfer_lease(self, node_id: int) -> None:
         """Move the lease (and Raft leadership) to another voter.
@@ -229,6 +245,7 @@ class Range:
 
     def _install_lease(self, node_id: int) -> None:
         self.leaseholder_node_id = node_id
+        self.routing_generation += 1
         new_clock = self.replicas[node_id].node.clock
         low_water = new_clock.now().add(new_clock.max_offset).with_synthetic(False)
         self.ts_cache = TimestampCache(low_water=low_water)
@@ -461,7 +478,10 @@ class Range:
                     anchor_node_id: int, span=None) -> Generator:
         """Evaluate and replicate a transactional write; returns the
         (possibly advanced) timestamp the intent was written at."""
-        self.sim.obs.registry.counter("kv.writes", range=self.name).inc()
+        if self._c_writes is None:
+            self._c_writes = self.sim.obs.registry.counter(
+                "kv.writes", range=self.name)
+        self._c_writes.inc()
         while True:
             holder = self.lock_table.holder_of(key)
             if holder is not None and holder.txn_id != txn_id:
@@ -548,7 +568,10 @@ class Range:
         otherwise ``ReadWithinUncertaintyIntervalError`` propagates and
         the coordinator refreshes.
         """
-        self.sim.obs.registry.counter("kv.reads", range=self.name).inc()
+        if self._c_reads is None:
+            self._c_reads = self.sim.obs.registry.counter(
+                "kv.reads", range=self.name)
+        self._c_reads.inc()
         horizon = uncertainty_limit if uncertainty_limit is not None else ts
         while True:
             holder = self.lock_table.holder_of(key)

@@ -160,8 +160,17 @@ class MetricsRegistry:
     # -- instrument access -------------------------------------------------
 
     def _get(self, cls: Type[Instrument], name: str, labels: Dict) -> Instrument:
-        items: LabelItems = tuple(sorted(
-            (str(k), str(v)) for k, v in labels.items()))
+        # Most lookups carry zero or one label; skip the sort (and its
+        # allocations) for those — the resulting key is identical.
+        n = len(labels)
+        if n == 0:
+            items: LabelItems = ()
+        elif n == 1:
+            [(k, v)] = labels.items()
+            items = ((str(k), str(v)),)
+        else:
+            items = tuple(sorted(
+                (str(k), str(v)) for k, v in labels.items()))
         key = (name, items)
         instrument = self._instruments.get(key)
         if instrument is None:

@@ -16,6 +16,8 @@ from __future__ import annotations
 import json
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+from .noop import NOOP_SPAN
+
 __all__ = ["Span", "Tracer", "render_tree", "critical_path",
            "containment_violations", "spans_named"]
 
@@ -101,27 +103,47 @@ class Tracer:
     ``max_roots`` bounds memory in long experiments: once exceeded the
     oldest root (and its whole tree) is dropped, deterministically, and
     ``dropped_roots`` counts how many went missing.
+
+    ``sample_every`` is the span-sampling knob: keep 1 of every N root
+    spans (1 = keep everything).  A sampled-out root is the shared
+    :data:`~repro.obs.noop.NOOP_SPAN`; children asked for under a no-op
+    parent are no-ops too, so an unsampled request tree costs no
+    allocation at all.  Sampling decisions depend only on the root
+    counter, so they are deterministic per seed.
     """
 
-    def __init__(self, now_fn: Callable[[], float], max_roots: int = 4096):
+    def __init__(self, now_fn: Callable[[], float], max_roots: int = 4096,
+                 sample_every: int = 1):
         self._now_fn = now_fn
         self._next_span_id = 1
         self.max_roots = max_roots
+        self.sample_every = max(1, int(sample_every))
         self.roots: List[Span] = []
         self.dropped_roots = 0
+        self.sampled_out_roots = 0
+        self._roots_seen = 0
 
     def start_span(self, name: str, parent: Optional[Span] = None,
                    **tags) -> Span:
-        span = Span(self._next_span_id, name, parent, self._now_fn(),
+        if parent is not None:
+            if parent is NOOP_SPAN:
+                return NOOP_SPAN
+            span = Span(self._next_span_id, name, parent, self._now_fn(),
+                        dict(tags), self._now_fn)
+            self._next_span_id += 1
+            parent.children.append(span)
+            return span
+        self._roots_seen += 1
+        if self.sample_every > 1 and (self._roots_seen - 1) % self.sample_every:
+            self.sampled_out_roots += 1
+            return NOOP_SPAN
+        span = Span(self._next_span_id, name, None, self._now_fn(),
                     dict(tags), self._now_fn)
         self._next_span_id += 1
-        if parent is None:
-            self.roots.append(span)
-            while len(self.roots) > self.max_roots:
-                del self.roots[0]
-                self.dropped_roots += 1
-        else:
-            parent.children.append(span)
+        self.roots.append(span)
+        while len(self.roots) > self.max_roots:
+            del self.roots[0]
+            self.dropped_roots += 1
         return span
 
     def spans(self) -> Iterator[Span]:

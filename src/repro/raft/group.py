@@ -79,8 +79,9 @@ class PeerState:
         — a delayed append from a deposed leader — must not clobber the
         log the current leader is building.
         """
-        if entry.index <= self.last_index:
-            existing = self.log[entry.index - 1]
+        log = self.log
+        if entry.index <= (log[-1].index if log else 0):
+            existing = log[entry.index - 1]
             if existing is entry:
                 return  # duplicate delivery of an entry we already hold
             if entry.index <= max(self.applied_index,
@@ -100,15 +101,16 @@ class PeerState:
         staged = self._staged.get(entry.index)
         if staged is None or authoritative:
             self._staged[entry.index] = (entry, prev)
+        get_staged = self._staged.get
         while True:
-            nxt = self._staged.get(self.last_index + 1)
+            tail = log[-1] if log else None
+            nxt = get_staged((tail.index if tail is not None else 0) + 1)
             if nxt is None:
                 break
             nxt_entry, nxt_prev = nxt
-            tail = self.log[-1] if self.log else None
             if nxt_prev is not tail:
                 break  # predecessor mismatch: wait for a resync
-            self.log.append(nxt_entry)
+            log.append(nxt_entry)
             del self._staged[nxt_entry.index]
 
 
@@ -120,14 +122,27 @@ class RaftGroup:
 
     def __init__(self, sim: Simulator, network, range_id: int,
                  apply_fn: Callable[[Any, Any], None],
-                 proposal_timeout_ms: Optional[float] = None):
+                 proposal_timeout_ms: Optional[float] = None,
+                 coalesce_ms: Optional[float] = None):
         """``apply_fn(peer_node, command)`` applies a committed command to
-        the replica state on ``peer_node``."""
+        the replica state on ``peer_node``.
+
+        ``coalesce_ms`` enables per-follower message coalescing: appends,
+        commit-index advances and closed-timestamp heartbeats produced
+        within one window travel as a single batched message per peer
+        (GeoGauss-style replication batching).  None disables it, which
+        keeps the message schedule — and therefore every downstream
+        jitter draw — identical to the uncoalesced protocol.
+        """
         self.sim = sim
         self.network = network
         self.range_id = range_id
         self.apply_fn = apply_fn
         self.proposal_timeout_ms = proposal_timeout_ms
+        self.coalesce_ms = coalesce_ms
+        #: (leader_node_id, peer_node_id) -> pending batch (created
+        #: lazily per window; flushed ``coalesce_ms`` after creation).
+        self._outbox: Dict[Any, Dict[str, Any]] = {}
         self.term = 1
         self.leader_node_id: Optional[int] = None
         self.peers: Dict[int, PeerState] = {}
@@ -140,6 +155,12 @@ class RaftGroup:
         self._last_committed: Optional[Entry] = None
         #: One-at-a-time membership-change enforcement.
         self.config_guard = ConfigChangeGuard(range_id)
+        #: Per-range instrument handles, resolved lazily on first use so
+        #: the set of registered instruments matches lazy registration.
+        self._c_proposals = None
+        self._c_rejected = None
+        self._h_commit_ms = None
+        self._c_commits = None
 
     # -- membership --------------------------------------------------------
 
@@ -449,7 +470,12 @@ class RaftGroup:
                 if p.replica_type == ReplicaType.NON_VOTER]
 
     def quorum_size(self) -> int:
-        return len(self.voters()) // 2 + 1
+        # Counted inline (no voters() list) — this runs on every ack.
+        n = 0
+        for p in self.peers.values():
+            if p.replica_type == ReplicaType.VOTER:
+                n += 1
+        return n // 2 + 1
 
     def live_voter_count(self) -> int:
         return sum(1 for p in self.voters()
@@ -479,33 +505,46 @@ class RaftGroup:
                       command=command, closed_ts=closed_ts)
         self._next_index += 1
         fut = Future(self.sim)
-        obs.registry.counter("raft.proposals", range=self.range_id).inc()
-        prop_span = obs.tracer.start_span(
-            "raft.propose", parent=span, range=self.range_id,
-            index=entry.index, term=entry.term)
         #: index -> [future, acks, entry, per-peer append spans]
         append_spans: Dict[int, Any] = {}
         self._inflight[entry.index] = [fut, {leader.node.node_id: False},
                                        entry, append_spans]
+        obs_on = obs.enabled
+        if obs_on:
+            # The whole span/metrics block is skipped with observability
+            # off: every call below would be a no-op anyway, and the
+            # proposal path is hot enough for the calls themselves to
+            # show up in profiles.
+            proposed_at = self.sim.now
+            if self._c_proposals is None:
+                self._c_proposals = obs.registry.counter(
+                    "raft.proposals", range=self.range_id)
+            self._c_proposals.inc()
+            prop_span = obs.tracer.start_span(
+                "raft.propose", parent=span, range=self.range_id,
+                index=entry.index, term=entry.term)
 
-        def close_spans(done: Future) -> None:
-            # Append spans for acks that never arrived (or arrive after
-            # the proposal resolved) end with the proposal, so every
-            # child stays inside the raft.propose window.
-            for peer_id, append_span in sorted(append_spans.items()):
-                append_span.finish(acked=False)
-            append_spans.clear()
-            error = done.error
-            if error is not None:
-                prop_span.annotate(error=type(error).__name__)
-                obs.registry.counter("raft.proposals_rejected",
-                                     range=self.range_id).inc()
-            else:
-                obs.registry.histogram(
-                    "raft.commit_ms", range=self.range_id).observe(
-                        self.sim.now - prop_span.start_ms)
-            prop_span.finish()
-        fut.add_callback(close_spans)
+            def close_spans(done: Future) -> None:
+                # Append spans for acks that never arrived (or arrive
+                # after the proposal resolved) end with the proposal, so
+                # every child stays inside the raft.propose window.
+                for peer_id, append_span in sorted(append_spans.items()):
+                    append_span.finish(acked=False)
+                append_spans.clear()
+                error = done.error
+                if error is not None:
+                    prop_span.annotate(error=type(error).__name__)
+                    if self._c_rejected is None:
+                        self._c_rejected = obs.registry.counter(
+                            "raft.proposals_rejected", range=self.range_id)
+                    self._c_rejected.inc()
+                else:
+                    if self._h_commit_ms is None:
+                        self._h_commit_ms = obs.registry.histogram(
+                            "raft.commit_ms", range=self.range_id)
+                    self._h_commit_ms.observe(self.sim.now - proposed_at)
+                prop_span.finish()
+            fut.add_callback(close_spans)
 
         if self.proposal_timeout_ms is not None:
             self.sim.call_after(self.proposal_timeout_ms,
@@ -516,11 +555,12 @@ class RaftGroup:
         # proposal point, and staging against that tail would wedge the
         # chain once the conflict is truncated.  Drop the stale suffix
         # first, then append.
-        if leader.last_index >= entry.index:
-            del leader.log[entry.index - 1:]
+        llog = leader.log
+        if (llog[-1].index if llog else 0) >= entry.index:
+            del llog[entry.index - 1:]
             leader._staged = {i: s for i, s in leader._staged.items()
                               if i < entry.index}
-        leader.stage(entry, leader.log[-1] if leader.log else None,
+        leader.stage(entry, llog[-1] if llog else None,
                      authoritative=True)
         self.sim.call_after(self.DISK_APPEND_MS, self._on_ack,
                             entry.index, leader.node.node_id, entry.term)
@@ -528,8 +568,9 @@ class RaftGroup:
         for peer in self.peers.values():
             if peer.node.node_id == leader.node.node_id:
                 continue
-            append_spans[peer.node.node_id] = obs.tracer.start_span(
-                "raft.append", parent=prop_span, peer=peer.node.node_id)
+            if obs_on:
+                append_spans[peer.node.node_id] = obs.tracer.start_span(
+                    "raft.append", parent=prop_span, peer=peer.node.node_id)
             self._send_append(leader, peer, entry)
         return fut
 
@@ -543,14 +584,92 @@ class RaftGroup:
             inflight[0].reject(RangeUnavailableError(
                 f"r{self.range_id}: proposal {index} timed out (no quorum)"))
 
+    # -- message coalescing --------------------------------------------------
+
+    def _outbox_for(self, leader: PeerState, peer: PeerState) -> Dict[str, Any]:
+        """The pending batch for one leader→peer stream; the first
+        message of a window creates the batch and schedules its flush."""
+        key = (leader.node.node_id, peer.node.node_id)
+        batch = self._outbox.get(key)
+        if batch is None:
+            batch = {"leader": leader, "peer": peer,
+                     "appends": [], "commit": None, "closed": None}
+            self._outbox[key] = batch
+            self.sim.call_after(self.coalesce_ms, self._flush_outbox, key)
+        return batch
+
+    def _flush_outbox(self, key) -> None:
+        batch = self._outbox.pop(key, None)
+        if batch is None:
+            return
+        leader, peer = batch["leader"], batch["peer"]
+        self.sim.obs.registry.counter("raft.coalesced_batches",
+                                      range=self.range_id).inc()
+        self.network.send(leader.node, peer.node,
+                          lambda: self._deliver_batch(leader, peer, batch))
+
+    def _deliver_batch(self, leader: PeerState, peer: PeerState,
+                       batch: Dict[str, Any]) -> None:
+        """Apply one coalesced leader→peer message: appends in order,
+        then the commit-index advance, then the closed-ts heartbeat —
+        so a batch can carry an entry *and* the word that it committed."""
+        before = peer.last_index
+        for entry, prev, msg_term in batch["appends"]:
+            peer.stage(entry, prev, authoritative=(
+                msg_term == self.term
+                and self.leader_node_id == leader.node.node_id))
+        self._apply_ready(peer)
+        acks: List = []
+        if peer.last_index > before:
+            for index in range(before + 1, peer.last_index + 1):
+                acks.append((index, peer.log[index - 1].term))
+        for entry, prev, msg_term in batch["appends"]:
+            if (entry.index <= before
+                    and peer.log[entry.index - 1] is entry):
+                # Duplicate delivery (retransmission): the original ack
+                # may have been lost — re-ack.
+                acks.append((entry.index, entry.term))
+        if acks:
+            # One ack message for the whole batch, after a single disk
+            # append (the entries land in one write).
+            self.sim.call_after(self.DISK_APPEND_MS, self._send_ack_batch,
+                                peer, acks)
+        commit = batch["commit"]
+        if commit is not None:
+            self._learn_commit(peer, commit[0], commit[1])
+        closed = batch["closed"]
+        if closed is not None:
+            ts, commit_idx, committed = closed
+            self._learn_commit(peer, commit_idx, committed)
+            if peer.applied_index >= commit_idx and ts > peer.closed_ts:
+                peer.closed_ts = ts
+
+    def _send_ack_batch(self, peer: PeerState, acks: List) -> None:
+        leader = self.peers.get(self.leader_node_id)
+        if leader is None:
+            return
+        self.network.send(peer.node, leader.node,
+                          lambda: self._deliver_acks(peer.node.node_id, acks))
+
+    def _deliver_acks(self, node_id: int, acks: List) -> None:
+        for index, term in acks:
+            self._on_ack(index, node_id, term)
+
     def _send_append(self, leader: PeerState, peer: PeerState,
                      entry: Entry) -> None:
-        prev = (leader.log[entry.index - 2]
-                if 2 <= entry.index <= leader.last_index + 1 else None)
+        llog = leader.log
+        prev = (llog[entry.index - 2]
+                if 2 <= entry.index <= (llog[-1].index if llog else 0) + 1
+                else None)
+        if self.coalesce_ms is not None:
+            self._outbox_for(leader, peer)["appends"].append(
+                (entry, prev, self.term))
+            return
         msg_term = self.term
 
         def on_deliver() -> None:
-            before = peer.last_index
+            log = peer.log
+            before = log[-1].index if log else 0
             peer.stage(entry, prev, authoritative=(
                 msg_term == self.term
                 and self.leader_node_id == leader.node.node_id))
@@ -558,13 +677,14 @@ class RaftGroup:
             # Ack whatever actually landed in the log (after the peer's
             # disk append) — never a merely-staged entry, whose prefix
             # the peer does not yet have durably.
-            if peer.last_index > before:
-                for index in range(before + 1, peer.last_index + 1):
-                    landed = peer.log[index - 1]
+            after = log[-1].index if log else 0
+            if after > before:
+                for index in range(before + 1, after + 1):
+                    landed = log[index - 1]
                     self.sim.call_after(self.DISK_APPEND_MS, self._send_ack,
                                         peer, index, landed.term)
-            elif (entry.index <= peer.last_index
-                  and peer.log[entry.index - 1] is entry):
+            elif (entry.index <= after
+                  and log[entry.index - 1] is entry):
                 # Duplicate delivery (retransmission): the original ack
                 # may have been lost — re-ack.
                 self.sim.call_after(self.DISK_APPEND_MS, self._send_ack,
@@ -589,8 +709,11 @@ class RaftGroup:
             # A stale ack (for an entry replaced after failover) must
             # not count toward the entry now occupying this index.
             leader = self.peers.get(self.leader_node_id)
-            if (leader is None or index > leader.last_index
-                    or leader.log[index - 1].term != term):
+            if leader is None:
+                return
+            llog = leader.log
+            if (index > (llog[-1].index if llog else 0)
+                    or llog[index - 1].term != term):
                 return
         acks = inflight[1]
         acks[from_node_id] = True
@@ -608,18 +731,24 @@ class RaftGroup:
         entry at that index.  An ack recorded before the peer's suffix
         was truncated in a failover is a phantom — counting it would
         commit an entry that no quorum actually stores."""
-        leader = self.peers.get(self.leader_node_id)
-        if leader is None or index > leader.last_index:
+        peers = self.peers
+        leader = peers.get(self.leader_node_id)
+        if leader is None:
             return 0
-        entry = leader.log[index - 1]
-        voter_ids = {p.node.node_id for p in self.voters()}
+        llog = leader.log
+        if index > (llog[-1].index if llog else 0):
+            return 0
+        entry = llog[index - 1]
         count = 0
         for nid, acked in acks.items():
-            if not acked or nid not in voter_ids:
+            if not acked:
                 continue
-            peer = self.peers.get(nid)
-            if (peer is not None and peer.last_index >= index
-                    and peer.log[index - 1] is entry):
+            peer = peers.get(nid)
+            if peer is None or peer.replica_type != ReplicaType.VOTER:
+                continue
+            plog = peer.log
+            if (plog and plog[-1].index >= index
+                    and plog[index - 1] is entry):
                 count += 1
         return count
 
@@ -628,8 +757,10 @@ class RaftGroup:
         while True:
             self.commit_index = index
             self.proposals_committed += 1
-            self.sim.obs.registry.counter("raft.commits",
-                                          range=self.range_id).inc()
+            if self._c_commits is None:
+                self._c_commits = self.sim.obs.registry.counter(
+                    "raft.commits", range=self.range_id)
+            self._c_commits.inc()
             leader = self.leader
             self._last_committed = leader.log[index - 1]
             leader.known_commit_index = index
@@ -659,8 +790,14 @@ class RaftGroup:
 
     def _send_commit_update(self, leader: PeerState, peer: PeerState,
                             index: int) -> None:
-        entry = (leader.log[index - 1]
-                 if 0 < index <= leader.last_index else None)
+        llog = leader.log
+        entry = (llog[index - 1]
+                 if 0 < index <= (llog[-1].index if llog else 0) else None)
+        if self.coalesce_ms is not None:
+            batch = self._outbox_for(leader, peer)
+            if batch["commit"] is None or index > batch["commit"][0]:
+                batch["commit"] = (index, entry)
+            return
 
         def on_deliver() -> None:
             self._learn_commit(peer, index, entry)
@@ -673,16 +810,22 @@ class RaftGroup:
         with a stale (replaced-after-failover) entry there must resync
         first, or it would apply the wrong command."""
         if index > peer.known_commit_index:
-            if entry is None or (peer.last_index >= index
-                                 and peer.log[index - 1] is entry):
+            log = peer.log
+            if entry is None or ((log[-1].index if log else 0) >= index
+                                 and log[index - 1] is entry):
                 peer.known_commit_index = index
         self._apply_ready(peer)
 
     def _apply_ready(self, peer: PeerState) -> None:
         """Apply every log entry that is both local and known-committed."""
-        limit = min(peer.known_commit_index, peer.last_index)
+        log = peer.log
+        limit = peer.known_commit_index
+        if not log:
+            return
+        if log[-1].index < limit:
+            limit = log[-1].index
         while peer.applied_index < limit:
-            entry = peer.log[peer.applied_index]
+            entry = log[peer.applied_index]
             self.apply_fn(peer.node, entry.command)
             peer.applied_index = entry.index
             if entry.closed_ts > peer.closed_ts:
@@ -701,6 +844,13 @@ class RaftGroup:
             leader.closed_ts = closed_ts
         for peer in self.peers.values():
             if peer.node.node_id == leader.node.node_id:
+                continue
+            if self.coalesce_ms is not None:
+                batch = self._outbox_for(leader, peer)
+                closed = batch["closed"]
+                if closed is None or closed_ts > closed[0]:
+                    batch["closed"] = (closed_ts, self.commit_index,
+                                       self._last_committed)
                 continue
             # Valid only if the peer is caught up on application; otherwise
             # it would claim data it does not yet have.

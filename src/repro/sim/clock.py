@@ -34,22 +34,35 @@ class Timestamp:
     def key(self):
         return (self.physical, self.logical)
 
+    # Comparisons are lexicographic on (physical, logical) — written out
+    # field-by-field because these run on every MVCC read and Raft step,
+    # and building two key() tuples per compare dominates the cost.
+
     def __lt__(self, other: "Timestamp") -> bool:
-        return self.key() < other.key()
+        if self.physical != other.physical:
+            return self.physical < other.physical
+        return self.logical < other.logical
 
     def __le__(self, other: "Timestamp") -> bool:
-        return self.key() <= other.key()
+        if self.physical != other.physical:
+            return self.physical < other.physical
+        return self.logical <= other.logical
 
     def __gt__(self, other: "Timestamp") -> bool:
-        return self.key() > other.key()
+        if self.physical != other.physical:
+            return self.physical > other.physical
+        return self.logical > other.logical
 
     def __ge__(self, other: "Timestamp") -> bool:
-        return self.key() >= other.key()
+        if self.physical != other.physical:
+            return self.physical > other.physical
+        return self.logical >= other.logical
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Timestamp):
             return NotImplemented
-        return self.key() == other.key()
+        return (self.physical == other.physical
+                and self.logical == other.logical)
 
     def __hash__(self) -> int:
         return hash(self.key())

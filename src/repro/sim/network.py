@@ -127,6 +127,15 @@ class FaultPlane:
 
     def __init__(self, seed: int = 0):
         self._rng = random.Random(seed ^ 0x5EED_FA17)
+        #: Bumped on every mutation; caches keyed on fault state (message
+        #: fast paths, leaseholder routing) compare generations instead of
+        #: re-walking the tables.
+        self.generation = 0
+        #: True iff any fault is currently installed.  The message hot
+        #: path consults this one flag; with no faults the per-message
+        #: blocked/loss/latency-factor table walks are skipped entirely
+        #: (they could only return the identity answers).
+        self.active = False
         self.dead_nodes = set()
         #: Directional cuts: (src_node_id, dst_node_id).
         self.cut_node_links = set()
@@ -145,16 +154,28 @@ class FaultPlane:
         #: node_id -> number of completed crash/restart cycles.
         self.restart_counts: Dict[int, int] = {}
 
+    def _mutated(self) -> None:
+        """Every mutator funnels through here: bump the generation and
+        recompute the ``active`` flag."""
+        self.generation += 1
+        self.active = bool(
+            self.dead_nodes or self.cut_node_links or self.cut_region_links
+            or self.partitioned_regions or self.loss_node_links
+            or self.loss_region_links or self.latency_node_links
+            or self.latency_region_links or self.slow_nodes)
+
     # -- node faults --------------------------------------------------------
 
     def kill_node(self, node_id: int) -> None:
         self.dead_nodes.add(node_id)
+        self._mutated()
 
     def revive_node(self, node_id: int) -> None:
         if node_id in self.dead_nodes:
             self.dead_nodes.discard(node_id)
             self.restart_counts[node_id] = (
                 self.restart_counts.get(node_id, 0) + 1)
+            self._mutated()
 
     def node_is_dead(self, node_id: int) -> bool:
         return node_id in self.dead_nodes
@@ -162,9 +183,26 @@ class FaultPlane:
     def slow_node(self, node_id: int, factor: float) -> None:
         """Gray node: every message in or out takes ``factor`` x longer."""
         self.slow_nodes[node_id] = factor
+        self._mutated()
 
     def restore_node_speed(self, node_id: int) -> None:
         self.slow_nodes.pop(node_id, None)
+        self._mutated()
+
+    # -- region partitions --------------------------------------------------
+
+    def partition_region(self, region: str) -> None:
+        """Cut the region off from all other regions (symmetric)."""
+        self.partitioned_regions.add(region)
+        self._mutated()
+
+    def heal_region(self, region: str) -> None:
+        self.partitioned_regions.discard(region)
+        self._mutated()
+
+    def clear_partitions(self) -> None:
+        self.partitioned_regions.clear()
+        self._mutated()
 
     # -- link faults --------------------------------------------------------
 
@@ -181,6 +219,7 @@ class FaultPlane:
                 self.cut_region_links.add((a, b))
             else:
                 self.cut_node_links.add((a, b))
+        self._mutated()
 
     def heal_link(self, src: LinkEnd, dst: LinkEnd,
                   bidirectional: bool = False) -> None:
@@ -189,6 +228,7 @@ class FaultPlane:
                 self.cut_region_links.discard((a, b))
             else:
                 self.cut_node_links.discard((a, b))
+        self._mutated()
 
     def set_loss(self, src: LinkEnd, dst: LinkEnd, probability: float,
                  bidirectional: bool = True) -> None:
@@ -200,6 +240,7 @@ class FaultPlane:
                 table.pop((a, b), None)
             else:
                 table[(a, b)] = probability
+        self._mutated()
 
     def set_latency_factor(self, src: LinkEnd, dst: LinkEnd, factor: float,
                            bidirectional: bool = True) -> None:
@@ -211,6 +252,7 @@ class FaultPlane:
                 table.pop((a, b), None)
             else:
                 table[(a, b)] = factor
+        self._mutated()
 
     def heal_all_links(self) -> None:
         """Clear every link-level fault (cuts, loss, latency); leave
@@ -222,6 +264,7 @@ class FaultPlane:
         self.latency_node_links.clear()
         self.latency_region_links.clear()
         self.slow_nodes.clear()
+        self._mutated()
 
     # -- queries ------------------------------------------------------------
 
@@ -317,9 +360,19 @@ class Network:
         self.latency = latency or LatencyModel()
         self.faults = FaultPlane(seed)
         registry = sim.obs.registry
+        #: Cached enabled flag: the per-message paths guard their
+        #: counter/histogram calls on it instead of calling into the
+        #: no-op registry tens of thousands of times per run.
+        self._obs_on = sim.obs.enabled
         self._c_sent = registry.counter("net.messages_sent")
         self._c_dropped = registry.counter("net.messages_dropped")
         self.bytes_by_region_pair: Dict[Tuple[str, str], int] = {}
+        #: Per-(src_node, dst_node) hop cache: (rtt/2 or None for
+        #: loopback, per-link histogram, region pair, rpc process name).
+        #: Localities and the RTT matrix are fixed for a cluster's
+        #: lifetime, so entries never invalidate; only fault state is
+        #: re-checked per message (via ``faults.active``).
+        self._hop_cache: Dict[Tuple[int, int], tuple] = {}
         #: Callbacks fired with a node_id when that node restarts.
         self._restart_listeners: List[Callable[[int], None]] = []
 
@@ -339,20 +392,78 @@ class Network:
 
     def _record_hop(self, src, dst, latency_ms: float) -> None:
         """Per-hop latency attribution: one histogram per region link."""
-        hist = self.sim.obs.registry.histogram(
-            "net.hop_ms", link=f"{src.locality.region}->{dst.locality.region}")
-        if hist.max_samples is None:
-            hist.max_samples = self.HOP_HISTOGRAM_SAMPLES
-        hist.observe(latency_ms)
+        entry = self._hop_cache.get((src.node_id, dst.node_id))
+        if entry is None:
+            entry = self._make_hop_entry(src, dst)
+        if entry[1] is not None:
+            entry[1].observe(latency_ms)
+
+    def _make_hop_entry(self, src, dst) -> tuple:
+        """Build and cache the static per-link state consulted on every
+        message: half-RTT, the hop histogram (resolved once instead of a
+        label f-string + registry lookup per message; ``None`` with
+        observability off), region pair, and the destination's RPC
+        process name."""
+        src_loc, dst_loc = src.locality, dst.locality
+        if self._obs_on:
+            hist = self.sim.obs.registry.histogram(
+                "net.hop_ms", link=f"{src_loc.region}->{dst_loc.region}")
+            if hist.max_samples is None:
+                hist.max_samples = self.HOP_HISTOGRAM_SAMPLES
+        else:
+            hist = None
+        half = (None if src.node_id == dst.node_id else
+                self.latency.rtt(src_loc.region, src_loc.zone,
+                                 dst_loc.region, dst_loc.zone) / 2.0)
+        entry = (half, hist, (src_loc.region, dst_loc.region),
+                 f"rpc@{dst.node_id}")
+        self._hop_cache[(src.node_id, dst.node_id)] = entry
+        return entry
+
+    def _entry_delay(self, entry, src, dst) -> float:
+        """One-way delay for one message, recorded on the link histogram.
+
+        Zero-fault fast path: with ``faults.active`` False the only
+        per-message work is the jitter draw — the latency-factor table
+        walk is skipped because every factor is 1.0 (and ``x * 1.0`` is
+        an IEEE identity, so the skipped multiply is byte-identical).
+        The jitter draw itself uses the same RNG in the same order as
+        :meth:`LatencyModel.one_way`, keeping runs deterministic across
+        the fast and slow paths.
+        """
+        half = entry[0]
+        if half is None:
+            delay = 0.01
+        elif self.faults.active:
+            delay = self.one_way_latency(src, dst)
+        else:
+            lat = self.latency
+            jitter = lat.jitter_fraction
+            if jitter > 0.0:
+                # Same draw as Random.uniform(0.0, jitter) — one
+                # random() call, bit-identical value — minus the frame.
+                delay = (half * (1.0 + lat._rng.random() * jitter)
+                         + self.PROCESSING_MS)
+            else:
+                delay = half + self.PROCESSING_MS
+        if entry[1] is not None:
+            entry[1].observe(delay)
+        return delay
+
+    def _hop_delay(self, src, dst) -> float:
+        entry = self._hop_cache.get((src.node_id, dst.node_id))
+        if entry is None:
+            entry = self._make_hop_entry(src, dst)
+        return self._entry_delay(entry, src, dst)
 
     # -- failure injection ------------------------------------------------
 
     def partition_region(self, region: str) -> None:
         """Cut the given region off from all other regions."""
-        self.faults.partitioned_regions.add(region)
+        self.faults.partition_region(region)
 
     def heal_region(self, region: str) -> None:
-        self.faults.partitioned_regions.discard(region)
+        self.faults.heal_region(region)
 
     def kill_node(self, node_id: int) -> None:
         self.faults.kill_node(node_id)
@@ -410,71 +521,87 @@ class Network:
         was wire time versus handler time.
         """
         fut = Future(self.sim)
-        if not self._reachable(src, dst):
-            self._drop("unreachable")
-            if span is not None:
-                span.annotate(net="unreachable")
-            self.sim._call_soon(
-                fut.reject,
-                NetworkUnavailableError(f"node {dst.node_id} unreachable from {src.node_id}"))
-            return fut
-        if self.faults.should_drop(src, dst):
-            # Request lost in flight: the caller only learns via timeout.
-            self._drop("request_loss")
-            if span is not None:
-                span.annotate(net="request_lost")
-            self.sim.call_after(self.LOSS_TIMEOUT_MS, self._reject_if_pending,
-                                fut, RpcTimeoutError(
-                                    f"request to node {dst.node_id} lost"))
-            return fut
-        self._c_sent.inc()
-        pair = (src.locality.region, dst.locality.region)
+        faults = self.faults
+        if faults.active:
+            # Fault checks only run when some fault is installed; with a
+            # clean plane they could only return "deliver normally".
+            if faults.blocked(src, dst):
+                self._drop("unreachable")
+                if span is not None:
+                    span.annotate(net="unreachable")
+                self.sim._call_soon(
+                    fut.reject,
+                    NetworkUnavailableError(f"node {dst.node_id} unreachable from {src.node_id}"))
+                return fut
+            if faults.should_drop(src, dst):
+                # Request lost in flight: the caller only learns via timeout.
+                self._drop("request_loss")
+                if span is not None:
+                    span.annotate(net="request_lost")
+                self.sim.call_after(self.LOSS_TIMEOUT_MS, self._reject_if_pending,
+                                    fut, RpcTimeoutError(
+                                        f"request to node {dst.node_id} lost"))
+                return fut
+        if self._obs_on:
+            self._c_sent.inc()
+        entry = self._hop_cache.get((src.node_id, dst.node_id))
+        if entry is None:
+            entry = self._make_hop_entry(src, dst)
+        pair = entry[2]
         self.bytes_by_region_pair[pair] = (
             self.bytes_by_region_pair.get(pair, 0) + payload_size)
-        request_delay = self.one_way_latency(src, dst)
-        self._record_hop(src, dst, request_delay)
-        if span is not None:
+        request_delay = self._entry_delay(entry, src, dst)
+        if span is not None and self._obs_on:
             span.annotate(req_ms=round(request_delay, 3))
+        self.sim.call_after(request_delay, self._deliver_request,
+                            src, dst, handler, fut, span, entry[3])
+        return fut
 
-        def deliver_request() -> None:
-            if not self._reachable(src, dst):
-                self._drop("died_in_flight")
-                fut.reject(NetworkUnavailableError(
-                    f"node {dst.node_id} died in flight"))
-                return
-            process = self.sim.spawn(handler(), name=f"rpc@{dst.node_id}")
-            process.add_callback(send_reply)
+    def _deliver_request(self, src, dst, handler, fut: Future, span,
+                         rpc_name: str) -> None:
+        faults = self.faults
+        if faults.active and faults.blocked(src, dst):
+            self._drop("died_in_flight")
+            fut.reject(NetworkUnavailableError(
+                f"node {dst.node_id} died in flight"))
+            return
+        process = self.sim.spawn(handler(), name=rpc_name)
+        process.add_callback(
+            lambda process: self._send_reply(process, src, dst, fut, span))
 
-        def send_reply(process: Process) -> None:
-            # The handler ran on the destination; re-check the *reply*
-            # direction — a partition or node death during handler
-            # execution must not deliver the answer.  (The handler's
-            # side effects, e.g. a laid intent, stand: that asymmetry
-            # is what ambiguous-commit handling exists for.)
-            if not self._reachable(dst, src):
+    def _send_reply(self, process: Process, src, dst, fut: Future,
+                    span) -> None:
+        # The handler ran on the destination; re-check the *reply*
+        # direction — a partition or node death during handler
+        # execution must not deliver the answer.  (The handler's
+        # side effects, e.g. a laid intent, stand: that asymmetry
+        # is what ambiguous-commit handling exists for.)
+        faults = self.faults
+        if faults.active:
+            if faults.blocked(dst, src):
                 self._drop("reply_blocked")
                 self.sim._call_soon(fut.reject, NetworkUnavailableError(
                     f"reply from node {dst.node_id} undeliverable"))
                 return
-            if self.faults.should_drop(dst, src):
+            if faults.should_drop(dst, src):
                 self._drop("reply_loss")
                 self.sim.call_after(
                     self.LOSS_TIMEOUT_MS, self._reject_if_pending, fut,
                     RpcTimeoutError(f"reply from node {dst.node_id} lost"))
                 return
+        if self._obs_on:
             self._c_sent.inc()
-            reply_delay = self.one_way_latency(dst, src)
-            self._record_hop(dst, src, reply_delay)
-            if span is not None:
-                span.annotate(reply_ms=round(reply_delay, 3))
-            error = process.error
-            if error is not None:
-                self.sim.call_after(reply_delay, fut.reject, error)
-            else:
-                self.sim.call_after(reply_delay, fut.resolve, process._value)
-
-        self.sim.call_after(request_delay, deliver_request)
-        return fut
+        entry = self._hop_cache.get((dst.node_id, src.node_id))
+        if entry is None:
+            entry = self._make_hop_entry(dst, src)
+        reply_delay = self._entry_delay(entry, dst, src)
+        if span is not None and self._obs_on:
+            span.annotate(reply_ms=round(reply_delay, 3))
+        error = process.error
+        if error is not None:
+            self.sim.call_after(reply_delay, fut.reject, error)
+        else:
+            self.sim.call_after(reply_delay, fut.resolve, process._value)
 
     @staticmethod
     def _reject_if_pending(fut: Future, error: BaseException) -> None:
@@ -482,11 +609,37 @@ class Network:
             fut.reject(error)
 
     def send(self, src, dst, callback: Callable[[], None]) -> None:
-        """One-way, fire-and-forget message (e.g. Raft appends)."""
-        if not self._reachable(src, dst) or self.faults.should_drop(src, dst):
+        """One-way, fire-and-forget message (e.g. Raft appends).
+
+        The delay computation is ``_entry_delay`` inlined: this is the
+        single hottest network entry point (every Raft append, ack,
+        commit update and heartbeat), and the two wrapper frames cost
+        more than the work itself.
+        """
+        faults = self.faults
+        if faults.active and (faults.blocked(src, dst)
+                              or faults.should_drop(src, dst)):
             self._drop("send_blocked")
             return
-        self._c_sent.inc()
-        delay = self.one_way_latency(src, dst)
-        self._record_hop(src, dst, delay)
+        if self._obs_on:
+            self._c_sent.inc()
+        entry = self._hop_cache.get((src.node_id, dst.node_id))
+        if entry is None:
+            entry = self._make_hop_entry(src, dst)
+        half = entry[0]
+        if half is None:
+            delay = 0.01
+        elif faults.active:
+            delay = self.one_way_latency(src, dst)
+        else:
+            lat = self.latency
+            jitter = lat.jitter_fraction
+            if jitter > 0.0:
+                delay = (half * (1.0 + lat._rng.random() * jitter)
+                         + self.PROCESSING_MS)
+            else:
+                delay = half + self.PROCESSING_MS
+        hist = entry[1]
+        if hist is not None:
+            hist.observe(delay)
         self.sim.call_after(delay, callback)

@@ -191,6 +191,9 @@ class Session:
         #: Statements executed, split by class (Table 2 accounting).
         self.ddl_statement_count = 0
         self.dml_statement_count = 0
+        #: Per-statement-kind counter handles (one registry lookup per
+        #: kind per session instead of one per statement).
+        self._stmt_counters = {}
         #: Open explicit transaction (BEGIN ... COMMIT), if any.
         self._open_txn = None
 
@@ -263,9 +266,12 @@ class Session:
             return result
         self.dml_statement_count += 1
         obs = self.engine.cluster.sim.obs
-        obs.registry.counter("sql.statements",
-                             kind=type(stmt).__name__.lower(),
-                             region=self.region).inc()
+        kind = type(stmt).__name__.lower()
+        counter = self._stmt_counters.get(kind)
+        if counter is None:
+            counter = self._stmt_counters[kind] = obs.registry.counter(
+                "sql.statements", kind=kind, region=self.region)
+        counter.inc()
         if isinstance(stmt, ast.Select) and stmt.as_of is not None:
             if self._open_txn is not None:
                 raise SchemaError(
@@ -298,13 +304,16 @@ class Session:
             result = yield from handle.execute_stmt(stmt)
             return result
 
-        stmt_span = obs.tracer.start_span(
-            "sql.stmt", kind=type(stmt).__name__.lower(),
-            region=self.region)
+        if obs.enabled:
+            stmt_span = obs.tracer.start_span(
+                "sql.stmt", kind=kind, region=self.region)
+        else:
+            stmt_span = None
         try:
             result = yield from self.run_txn_co(body, parent_span=stmt_span)
         finally:
-            stmt_span.finish()
+            if stmt_span is not None:
+                stmt_span.finish()
         return result
 
     def _explicit_txn_stmt(self, stmt: Any) -> Generator:

@@ -18,9 +18,9 @@ The read path implements the paper's visibility rules:
 
 from __future__ import annotations
 
-import bisect
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from bisect import bisect_right, insort_right
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..errors import (
     ReadWithinUncertaintyIntervalError,
@@ -32,7 +32,7 @@ from ..sim.clock import TS_ZERO, Timestamp
 __all__ = ["MVCCStore", "Version", "Intent", "ReadResult"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Version:
     """A committed MVCC version of a key."""
 
@@ -44,7 +44,7 @@ class Version:
         return self.value is None
 
 
-@dataclass
+@dataclass(slots=True)
 class Intent:
     """A provisional write by an in-flight transaction."""
 
@@ -55,7 +55,7 @@ class Intent:
     anchor_node_id: int = -1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadResult:
     """Value returned by an MVCC read."""
 
@@ -68,15 +68,21 @@ class ReadResult:
         return self.value is not None
 
 
-@dataclass
 class _KeyHistory:
-    #: Committed versions sorted by timestamp ascending.
-    versions: List[Version] = field(default_factory=list)
-    intent: Optional[Intent] = None
+    """Version history of one key: ``versions`` sorted by timestamp
+    ascending, with the parallel ``tss`` timestamp list kept in lockstep
+    so every lookup is a direct bisect (no per-call key-list rebuild,
+    which dominated the read path's profile)."""
+
+    __slots__ = ("versions", "tss", "intent")
+
+    def __init__(self):
+        self.versions: List[Version] = []
+        self.tss: List[Timestamp] = []
+        self.intent: Optional[Intent] = None
 
     def newest_at_or_below(self, ts: Timestamp) -> Optional[Version]:
-        keys = [v.ts for v in self.versions]
-        idx = bisect.bisect_right(keys, ts)
+        idx = bisect_right(self.tss, ts)
         if idx == 0:
             return None
         return self.versions[idx - 1]
@@ -86,12 +92,16 @@ class _KeyHistory:
 
     def any_in_interval(self, lo: Timestamp, hi: Timestamp) -> Optional[Version]:
         """Newest committed version with ``lo < ts <= hi``, if any."""
-        keys = [v.ts for v in self.versions]
-        idx = bisect.bisect_right(keys, hi)
+        idx = bisect_right(self.tss, hi)
         if idx == 0:
             return None
         candidate = self.versions[idx - 1]
         return candidate if candidate.ts > lo else None
+
+    def insert_version(self, version: Version) -> None:
+        idx = bisect_right(self.tss, version.ts)
+        self.versions.insert(idx, version)
+        self.tss.insert(idx, version.ts)
 
 
 class MVCCStore:
@@ -105,10 +115,16 @@ class MVCCStore:
     def __init__(self, registry=None):
         self._data: Dict[Any, _KeyHistory] = {}
         self.registry = registry
+        #: Lazily-cached counter handles — one registry lookup per name
+        #: per store, not per operation.
+        self._counters: Dict[str, Any] = {}
 
     def _count(self, name: str) -> None:
         if self.registry is not None:
-            self.registry.counter(name).inc()
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = self.registry.counter(name)
+            counter.inc()
 
     def _history(self, key: Any) -> _KeyHistory:
         history = self._data.get(key)
@@ -230,37 +246,41 @@ class MVCCStore:
         history.intent = None
         self._count("mvcc.intents_resolved")
         if commit_ts is not None:
-            version = Version(ts=commit_ts, value=intent.value)
-            keys = [v.ts for v in history.versions]
-            idx = bisect.bisect_right(keys, commit_ts)
-            history.versions.insert(idx, version)
+            history.insert_version(Version(ts=commit_ts, value=intent.value))
         return True
 
     def put_committed(self, key: Any, ts: Timestamp, value: Any) -> None:
         """Directly write a committed version (bulk loads, test fixtures)."""
-        history = self._history(key)
-        keys = [v.ts for v in history.versions]
-        idx = bisect.bisect_right(keys, ts)
-        history.versions.insert(idx, Version(ts=ts, value=value))
+        self._history(key).insert_version(Version(ts=ts, value=value))
 
     def clone(self) -> "MVCCStore":
-        """A deep copy of this store (Raft snapshot transfer)."""
+        """A deep copy of this store (Raft snapshot transfer).
+
+        Version objects are immutable, so the copy shares them and only
+        duplicates the per-key list pair — the already-sorted history
+        representation is reused as-is, never rebuilt.
+        """
         other = MVCCStore(registry=self.registry)
+        data = other._data
         for key, history in self._data.items():
-            copied = _KeyHistory(versions=list(history.versions))
-            if history.intent is not None:
+            copied = _KeyHistory()
+            copied.versions = history.versions[:]
+            copied.tss = history.tss[:]
+            intent = history.intent
+            if intent is not None:
                 copied.intent = Intent(
-                    txn_id=history.intent.txn_id,
-                    ts=history.intent.ts,
-                    value=history.intent.value,
-                    anchor_node_id=history.intent.anchor_node_id)
-            other._data[key] = copied
+                    txn_id=intent.txn_id, ts=intent.ts, value=intent.value,
+                    anchor_node_id=intent.anchor_node_id)
+            data[key] = copied
         return other
 
     # -- introspection -------------------------------------------------------
 
-    def keys(self) -> List[Any]:
-        return list(self._data.keys())
+    def keys(self) -> Iterable[Any]:
+        """Live view of the stored keys (iteration order = insertion
+        order).  A view, not a list: callers that only iterate or sort
+        should not pay for a copy."""
+        return self._data.keys()
 
     def version_count(self, key: Any) -> int:
         history = self._data.get(key)

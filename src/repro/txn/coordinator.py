@@ -38,7 +38,7 @@ from ..sim.retry import ExponentialBackoff
 from ..kv.commands import TxnStatus
 from ..kv.distsender import DistSender, ReadRouting
 from ..kv.range import Range
-from ..obs import MetricsRegistry
+from ..obs import NOOP_SPAN, MetricsRegistry
 from ..sim.clock import Timestamp
 from ..sim.core import all_of, settle_all
 
@@ -60,20 +60,34 @@ class TxnStats:
                "commit_waits", "commit_wait_ms_total", "ambiguous_commits")
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
-        object.__setattr__(self, "registry",
-                           registry if registry is not None
-                           else MetricsRegistry())
+        if registry is None:
+            registry = MetricsRegistry()
+        object.__setattr__(self, "registry", registry)
+        # Counter handles cached on first use: ``stats.committed += 1``
+        # fires __getattr__ *and* __setattr__, and a registry lookup in
+        # each was measurable on the commit path.  (Cached lazily, not
+        # eagerly, so the set of registered instruments — and therefore
+        # the metrics export — is unchanged.)
+        object.__setattr__(self, "_counters", {})
+
+    def _counter(self, name):
+        counters = object.__getattribute__(self, "_counters")
+        counter = counters.get(name)
+        if counter is None:
+            if name not in TxnStats._FIELDS:
+                raise AttributeError(name)
+            counter = counters[name] = self.registry.counter(f"txn.{name}")
+        return counter
 
     def __getattr__(self, name):
-        if name in TxnStats._FIELDS:
-            value = self.registry.counter(f"txn.{name}").value
-            return float(value) if name == "commit_wait_ms_total" \
-                else int(value)
-        raise AttributeError(name)
+        counter = self._counter(name)
+        value = counter.value
+        return float(value) if name == "commit_wait_ms_total" \
+            else int(value)
 
     def __setattr__(self, name, value) -> None:
         if name in TxnStats._FIELDS:
-            counter = self.registry.counter(f"txn.{name}")
+            counter = self._counter(name)
             counter.inc(value - counter.value)
         else:
             object.__setattr__(self, name, value)
@@ -93,9 +107,10 @@ class Transaction:
         self.gateway = gateway
         self.txn_id = txn_id
         #: Root (or SQL-statement-child) span covering the whole attempt.
-        self.span = coordinator.sim.obs.tracer.start_span(
+        obs = coordinator.sim.obs
+        self.span = (obs.tracer.start_span(
             "txn", parent=parent_span, txn_id=txn_id,
-            gateway=gateway.node_id)
+            gateway=gateway.node_id) if obs.enabled else NOOP_SPAN)
         start = gateway.clock.now()
         self.read_ts: Timestamp = start
         self.write_ts: Timestamp = start
@@ -309,9 +324,10 @@ class Transaction:
         """
         if self.status != TxnStatus.PENDING:
             raise TransactionAbortedError(f"txn {self.txn_id} not pending")
-        commit_span = self.coordinator.sim.obs.tracer.start_span(
+        obs = self.coordinator.sim.obs
+        commit_span = (obs.tracer.start_span(
             "txn.commit", parent=self.span, txn_id=self.txn_id,
-            writes=len(self.write_set))
+            writes=len(self.write_set)) if obs.enabled else NOOP_SPAN)
         try:
             if not self.write_set:
                 self.status = TxnStatus.COMMITTED
@@ -393,13 +409,19 @@ class Transaction:
             return
         # A root span of its own: cleanup outlives the transaction span
         # (CRDB resolves intents asynchronously after the client ack).
-        cleanup_span = self.coordinator.sim.obs.tracer.start_span(
-            "txn.cleanup", txn_id=self.txn_id, intents=len(spans))
-        fut = self._ds.resolve_intents(self.gateway, spans, self.txn_id,
-                                       commit_ts, span=cleanup_span)
-        # Intent resolution runs in the background; swallow benign races.
-        fut.add_callback(lambda f: cleanup_span.finish(
-            error=None if f.error is None else type(f.error).__name__))
+        obs = self.coordinator.sim.obs
+        if obs.enabled:
+            cleanup_span = obs.tracer.start_span(
+                "txn.cleanup", txn_id=self.txn_id, intents=len(spans))
+            fut = self._ds.resolve_intents(self.gateway, spans, self.txn_id,
+                                           commit_ts, span=cleanup_span)
+            # Intent resolution runs in the background; swallow benign
+            # races.
+            fut.add_callback(lambda f: cleanup_span.finish(
+                error=None if f.error is None else type(f.error).__name__))
+        else:
+            self._ds.resolve_intents(self.gateway, spans, self.txn_id,
+                                     commit_ts, span=NOOP_SPAN)
 
     def _commit_wait_if_needed(self, target: Optional[Timestamp],
                                parent_span=None) -> Generator:
