@@ -4,12 +4,17 @@
 Usage::
 
     python scripts/chaos_sweep.py [--seeds N] [--scenario NAME] [-v]
-                                  [--metrics-out DIR]
+                                  [--metrics-out DIR] [--verify]
 
 Prints one line per run plus the full report for any failure, and
 exits non-zero if any invariant is violated or any run crashes.
 ``--metrics-out DIR`` additionally writes each run's full metrics
 registry snapshot to ``DIR/<scenario>-seed<N>.json``.
+
+``--verify`` additionally runs the Elle-style transactional
+consistency sweep (:mod:`repro.verify`) over the same seeds for every
+scenario the verify harness supports, and fails the sweep on any
+isolation or staleness anomaly.
 """
 
 import argparse
@@ -21,6 +26,7 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.chaos import SCENARIOS, run_scenario  # noqa: E402
+from repro.verify import VERIFY_SCENARIOS, run_verify  # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -34,6 +40,9 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics-out", default=None, metavar="DIR",
                         help="dump each run's metrics registry snapshot "
                              "to DIR/<scenario>-seed<N>.json")
+    parser.add_argument("--verify", action="store_true",
+                        help="also run the transactional consistency "
+                             "(verify) sweep for supported scenarios")
     args = parser.parse_args(argv)
     if args.metrics_out:
         os.makedirs(args.metrics_out, exist_ok=True)
@@ -80,6 +89,31 @@ def main(argv=None) -> int:
             if not result.ok:
                 failures += 1
     total = len(names) * args.seeds
+
+    if args.verify:
+        verify_names = [n for n in names if n in VERIFY_SCENARIOS]
+        for name in verify_names:
+            for seed in range(args.seeds):
+                start = time.time()
+                try:
+                    result = run_verify(name, seed=seed)
+                except Exception as exc:  # noqa: BLE001
+                    failures += 1
+                    print(f"CRASH  verify/{name:16s} seed={seed}: "
+                          f"{type(exc).__name__}: {exc}")
+                    continue
+                wall = time.time() - start
+                verdict = "ok    " if result.ok else "FAIL  "
+                print(f"{verdict} verify/{name:16s} seed={seed} "
+                      f"txns={result.stats.get('txns_recorded', 0)} "
+                      f"anomalies={len(result.report.anomalies)} "
+                      f"[{wall:.1f}s]")
+                if args.verbose or not result.ok:
+                    print(result.report.render())
+                if not result.ok:
+                    failures += 1
+        total += len(verify_names) * args.seeds
+
     print(f"\n{total - failures}/{total} runs clean")
     return 1 if failures else 0
 

@@ -9,6 +9,8 @@ Usage::
     python -m repro chaos list
     python -m repro chaos region-blackout [--seed N]
     python -m repro chaos all --seeds 5 [--json]
+    python -m repro verify [--scenario NAME|all] [--seed N] [--json]
+    python -m repro verify --check history.json
     python -m repro repair [--seed N] [--scenario NAME]
     python -m repro trace [--workload movr] [--scenario NAME] [--seed N]
     python -m repro metrics [--workload movr] [--scenario NAME] [--json]
@@ -154,6 +156,78 @@ def _chaos_main(argv) -> int:
                 print(result.render())
                 print(f"[{name} seed={seed} finished in "
                       f"{time.time() - start:.1f}s wall]\n")
+            violated = violated or not result.ok
+    if args.json:
+        print(json.dumps({"ok": not violated, "runs": runs}, indent=2))
+    return 1 if violated else 0
+
+
+def _verify_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro verify",
+        description="Run the randomized transactional workload under a "
+                    "chaos scenario and check the recorded history for "
+                    "isolation/staleness anomalies (Elle-style).")
+    parser.add_argument("--scenario", default="none",
+                        help="chaos scenario name, 'none' (fault-free), "
+                             "'all' (the verify sweep set), or 'list'")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="single seed to run (default 0)")
+    parser.add_argument("--seeds", type=int, default=1, metavar="K",
+                        help="run seeds 0..K-1 instead of --seed")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one machine-readable JSON report for "
+                             "all runs instead of the text rendering")
+    parser.add_argument("--dump", metavar="FILE", default=None,
+                        help="write the recorded history of the first "
+                             "anomalous run (or, if clean, the last run) "
+                             "to FILE for offline re-checking")
+    parser.add_argument("--check", metavar="FILE", default=None,
+                        help="re-check a dumped history file instead of "
+                             "running a workload (byte-identical report)")
+    args = parser.parse_args(argv)
+
+    from .verify import VERIFY_SCENARIOS, VerifyHistory, check, run_verify
+
+    if args.check is not None:
+        history = VerifyHistory.load(args.check)
+        report = check(history)
+        print(report.dumps() if args.json else report.render())
+        return 0 if report.ok else 1
+
+    if args.scenario == "list":
+        for name in ["none"] + VERIFY_SCENARIOS:
+            print(name)
+        return 0
+    names = (VERIFY_SCENARIOS if args.scenario == "all"
+             else [args.scenario])
+    valid = set(VERIFY_SCENARIOS) | {"none"}
+    for name in names:
+        if name not in valid:
+            print(f"unknown scenario {name!r} (try 'list')",
+                  file=sys.stderr)
+            return 2
+    seeds = list(range(args.seeds)) if args.seeds > 1 else [args.seed]
+    violated = False
+    dumped = False
+    runs = []
+    for name in names:
+        for seed in seeds:
+            start = time.time()
+            result = run_verify(name, seed)
+            if args.json:
+                record = result.to_json()
+                record["wall_s"] = round(time.time() - start, 2)
+                runs.append(record)
+            else:
+                print(result.render())
+                print(f"[{name} seed={seed} finished in "
+                      f"{time.time() - start:.1f}s wall]\n")
+            if args.dump and not dumped:
+                # The file holds the first anomalous history (or, with
+                # everything clean so far, the most recent clean run).
+                result.history.dump(args.dump)
+                dumped = not result.ok
             violated = violated or not result.ok
     if args.json:
         print(json.dumps({"ok": not violated, "runs": runs}, indent=2))
@@ -366,6 +440,8 @@ def main(argv=None) -> int:
         return _bench_main(argv[1:])
     if argv and argv[0] == "chaos":
         return _chaos_main(argv[1:])
+    if argv and argv[0] == "verify":
+        return _verify_main(argv[1:])
     if argv and argv[0] == "repair":
         return _repair_main(argv[1:])
     if argv and argv[0] == "trace":

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..cluster import StoreLiveness, standard_cluster
 from ..errors import (
@@ -46,7 +46,8 @@ from .invariants import (
 )
 from .nemesis import FaultEvent, Nemesis
 
-__all__ = ["SCENARIOS", "ScenarioResult", "ChaosHarness", "run_scenario"]
+__all__ = ["SCENARIOS", "ScenarioResult", "ChaosHarness", "run_scenario",
+           "FAULT_BUILDERS", "build_faults"]
 
 REGIONS = ["us-east1", "europe-west2", "asia-northeast1"]
 HOME = "us-east1"
@@ -345,31 +346,28 @@ class ChaosHarness:
         return values
 
 
-# -- built-in scenarios ------------------------------------------------------
+# -- fault-schedule builders -------------------------------------------------
+#
+# Each builder takes any harness-like object exposing ``.cluster``,
+# ``.regions``, ``.home`` and ``.range`` (the range whose leaseholder /
+# followers the scenario targets) and returns the scenario's fault
+# schedule.  The chaos scenarios below and the transactional-consistency
+# verifier (:mod:`repro.verify`) share these, so every nemesis schedule
+# doubles as an isolation-level test.
 
 
-def _region_blackout(seed: int) -> ScenarioResult:
-    """The home region (leaseholder included) goes dark, then returns.
-
-    SURVIVE REGION FAILURE + automatic lease failover must keep the
-    database available from the surviving regions with no operator
-    action, and the healed region must catch back up.
-    """
-    harness = ChaosHarness(seed)
+def _blackout_faults(harness) -> List[FaultEvent]:
     cluster = harness.cluster
-    victims = [n.node_id for n in cluster.nodes_in_region(HOME)]
-    events = [FaultEvent(
-        name=f"blackout:{HOME}",
+    victims = [n.node_id for n in cluster.nodes_in_region(harness.home)]
+    return [FaultEvent(
+        name=f"blackout:{harness.home}",
         at_ms=250.0,
         inject=lambda: [cluster.crash_node(n) for n in victims],
         heal_at_ms=1600.0,
         heal=lambda: [cluster.restart_node(n) for n in victims])]
-    return harness.run("region-blackout", events)
 
 
-def _rolling_zones(seed: int) -> ScenarioResult:
-    """One zone per region crash-restarts in a rolling wave."""
-    harness = ChaosHarness(seed)
+def _rolling_zone_faults(harness) -> List[FaultEvent]:
     cluster = harness.cluster
     events = []
     for index, region in enumerate(harness.regions):
@@ -381,86 +379,64 @@ def _rolling_zones(seed: int) -> ScenarioResult:
             inject=lambda n=node_id: cluster.crash_node(n),
             heal_at_ms=start + 400.0,
             heal=lambda n=node_id: cluster.restart_node(n)))
-    return harness.run("rolling-zones", events)
+    return events
 
 
-def _flaky_wan(seed: int) -> ScenarioResult:
-    """The home<->Europe WAN link drops 25% of packets and triples
-    latency for a window; retries + Raft retransmission ride it out."""
-    harness = ChaosHarness(seed)
+def _flaky_wan_faults(harness) -> List[FaultEvent]:
     faults = harness.cluster.network.faults
-    events = [FaultEvent(
-        name=f"flaky-wan:{HOME}<->europe-west2",
+    home = harness.home
+    other = next(r for r in harness.regions if r != home)
+    return [FaultEvent(
+        name=f"flaky-wan:{home}<->{other}",
         at_ms=200.0,
-        inject=lambda: (faults.set_loss(HOME, "europe-west2", 0.25),
-                        faults.set_latency_factor(HOME, "europe-west2", 3.0)),
+        inject=lambda: (faults.set_loss(home, other, 0.25),
+                        faults.set_latency_factor(home, other, 3.0)),
         heal_at_ms=1400.0,
-        heal=lambda: (faults.set_loss(HOME, "europe-west2", 0.0),
-                      faults.set_latency_factor(HOME, "europe-west2", 1.0)))]
-    return harness.run("flaky-wan", events)
+        heal=lambda: (faults.set_loss(home, other, 0.0),
+                      faults.set_latency_factor(home, other, 1.0)))]
 
 
-def _gray_follower(seed: int) -> ScenarioResult:
-    """A non-leaseholder voter goes gray (20x slower, still up); nearest
-    reads route through/around it without consistency loss."""
-    harness = ChaosHarness(seed)
-    faults = harness.cluster.network.faults
+def _non_lease_follower(harness) -> int:
     lease_node = harness.range.leaseholder_node_id
-    follower = next(p.node.node_id for p in harness.range.group.voters()
-                    if p.node.node_id != lease_node)
-    events = [FaultEvent(
+    return next(p.node.node_id for p in harness.range.group.voters()
+                if p.node.node_id != lease_node)
+
+
+def _gray_follower_faults(harness) -> List[FaultEvent]:
+    faults = harness.cluster.network.faults
+    follower = _non_lease_follower(harness)
+    return [FaultEvent(
         name=f"gray-node:{follower}",
         at_ms=200.0,
         inject=lambda: faults.slow_node(follower, 20.0),
         heal_at_ms=1400.0,
         heal=lambda: faults.restore_node_speed(follower))]
-    return harness.run("gray-follower", events,
-                       read_routing=ReadRouting.NEAREST)
 
 
-def _asym_partition(seed: int) -> ScenarioResult:
-    """Europe can't reach the home region but the home region can reach
-    Europe (one-way cut) — the classic gray failure behind satellite
-    bugfix #1; replies must not sneak through the cut direction."""
-    harness = ChaosHarness(seed)
+def _asym_partition_faults(harness) -> List[FaultEvent]:
     faults = harness.cluster.network.faults
-    events = [FaultEvent(
-        name=f"asym-cut:europe-west2->{HOME}",
+    home = harness.home
+    other = next(r for r in harness.regions if r != home)
+    return [FaultEvent(
+        name=f"asym-cut:{other}->{home}",
         at_ms=250.0,
-        inject=lambda: faults.cut_link("europe-west2", HOME,
-                                       bidirectional=False),
-        heal_at_ms=1400.0,
-        heal=lambda: faults.heal_link("europe-west2", HOME,
-                                      bidirectional=False))]
-    return harness.run("asym-partition", events)
+        inject=lambda: faults.cut_link(other, home, bidirectional=False),
+        heal=lambda: faults.heal_link(other, home, bidirectional=False),
+        heal_at_ms=1400.0)]
 
 
-def _crash_restart(seed: int) -> ScenarioResult:
-    """A follower crashes mid-run and restarts with its Raft log intact;
-    it must catch up (resync) rather than diverge or stall the range."""
-    harness = ChaosHarness(seed)
+def _crash_restart_faults(harness) -> List[FaultEvent]:
     cluster = harness.cluster
-    lease_node = harness.range.leaseholder_node_id
-    follower = next(p.node.node_id for p in harness.range.group.voters()
-                    if p.node.node_id != lease_node)
-    events = [FaultEvent(
+    follower = _non_lease_follower(harness)
+    return [FaultEvent(
         name=f"crash:{follower}",
         at_ms=250.0,
         inject=lambda: cluster.crash_node(follower),
         heal_at_ms=1100.0,
         heal=lambda: cluster.restart_node(follower))]
-    return harness.run("crash-restart", events)
 
 
-def _kill_node_repair(seed: int) -> ScenarioResult:
-    """A non-leaseholder voter dies *permanently* — no heal ever comes.
-
-    Store liveness must walk it LIVE → SUSPECT → DEAD, and the replicate
-    queue must re-replicate its voter slot onto a constraint-satisfying,
-    diversity-maximizing survivor through the safe learner → snapshot →
-    promote pipeline, with zero lost acked writes.
-    """
-    harness = ChaosHarness(seed, enable_repair=True)
+def _kill_node_faults(harness) -> List[FaultEvent]:
     cluster = harness.cluster
     lease_node = harness.range.leaseholder_node_id
     candidates = [p.node for p in harness.range.group.voters()
@@ -475,11 +451,105 @@ def _kill_node_repair(seed: int) -> ScenarioResult:
 
     victim = sorted(candidates,
                     key=lambda n: (is_gateway(n), n.node_id))[0].node_id
-    events = [FaultEvent(
+    return [FaultEvent(
         name=f"kill:{victim}",
         at_ms=300.0,
         inject=lambda: cluster.crash_node(victim))]
-    return harness.run("kill-node-repair", events,
+
+
+def _region_loss_faults(harness) -> List[FaultEvent]:
+    cluster = harness.cluster
+    victims = [n.node_id for n in cluster.nodes_in_region(harness.home)]
+    return [FaultEvent(
+        name=f"region-loss:{harness.home}",
+        at_ms=300.0,
+        inject=lambda: [cluster.crash_node(n) for n in victims])]
+
+
+#: Scenario name -> fault-schedule builder (shared with repro.verify).
+FAULT_BUILDERS: Dict[str, Callable[[Any], List[FaultEvent]]] = {
+    "region-blackout": _blackout_faults,
+    "rolling-zones": _rolling_zone_faults,
+    "flaky-wan": _flaky_wan_faults,
+    "gray-follower": _gray_follower_faults,
+    "asym-partition": _asym_partition_faults,
+    "crash-restart": _crash_restart_faults,
+    "kill-node-repair": _kill_node_faults,
+    "region-loss-repair": _region_loss_faults,
+}
+
+
+def build_faults(name: str, harness) -> List[FaultEvent]:
+    """The named scenario's fault schedule, targeted at ``harness``."""
+    return FAULT_BUILDERS[name](harness)
+
+
+# -- built-in scenarios ------------------------------------------------------
+
+
+def _region_blackout(seed: int) -> ScenarioResult:
+    """The home region (leaseholder included) goes dark, then returns.
+
+    SURVIVE REGION FAILURE + automatic lease failover must keep the
+    database available from the surviving regions with no operator
+    action, and the healed region must catch back up.
+    """
+    harness = ChaosHarness(seed)
+    return harness.run("region-blackout",
+                       build_faults("region-blackout", harness))
+
+
+def _rolling_zones(seed: int) -> ScenarioResult:
+    """One zone per region crash-restarts in a rolling wave."""
+    harness = ChaosHarness(seed)
+    return harness.run("rolling-zones",
+                       build_faults("rolling-zones", harness))
+
+
+def _flaky_wan(seed: int) -> ScenarioResult:
+    """The home<->Europe WAN link drops 25% of packets and triples
+    latency for a window; retries + Raft retransmission ride it out."""
+    harness = ChaosHarness(seed)
+    return harness.run("flaky-wan", build_faults("flaky-wan", harness))
+
+
+def _gray_follower(seed: int) -> ScenarioResult:
+    """A non-leaseholder voter goes gray (20x slower, still up); nearest
+    reads route through/around it without consistency loss."""
+    harness = ChaosHarness(seed)
+    return harness.run("gray-follower",
+                       build_faults("gray-follower", harness),
+                       read_routing=ReadRouting.NEAREST)
+
+
+def _asym_partition(seed: int) -> ScenarioResult:
+    """Europe can't reach the home region but the home region can reach
+    Europe (one-way cut) — the classic gray failure behind satellite
+    bugfix #1; replies must not sneak through the cut direction."""
+    harness = ChaosHarness(seed)
+    return harness.run("asym-partition",
+                       build_faults("asym-partition", harness))
+
+
+def _crash_restart(seed: int) -> ScenarioResult:
+    """A follower crashes mid-run and restarts with its Raft log intact;
+    it must catch up (resync) rather than diverge or stall the range."""
+    harness = ChaosHarness(seed)
+    return harness.run("crash-restart",
+                       build_faults("crash-restart", harness))
+
+
+def _kill_node_repair(seed: int) -> ScenarioResult:
+    """A non-leaseholder voter dies *permanently* — no heal ever comes.
+
+    Store liveness must walk it LIVE → SUSPECT → DEAD, and the replicate
+    queue must re-replicate its voter slot onto a constraint-satisfying,
+    diversity-maximizing survivor through the safe learner → snapshot →
+    promote pipeline, with zero lost acked writes.
+    """
+    harness = ChaosHarness(seed, enable_repair=True)
+    return harness.run("kill-node-repair",
+                       build_faults("kill-node-repair", harness),
                        restart_dead_on_heal=False)
 
 
@@ -494,14 +564,9 @@ def _region_loss_repair(seed: int) -> ScenarioResult:
     the surviving regions.
     """
     harness = ChaosHarness(seed, enable_repair=True)
-    cluster = harness.cluster
-    victims = [n.node_id for n in cluster.nodes_in_region(HOME)]
-    survivors = [r for r in harness.regions if r != HOME]
-    events = [FaultEvent(
-        name=f"region-loss:{HOME}",
-        at_ms=300.0,
-        inject=lambda: [cluster.crash_node(n) for n in victims])]
-    return harness.run("region-loss-repair", events,
+    survivors = [r for r in harness.regions if r != harness.home]
+    return harness.run("region-loss-repair",
+                       build_faults("region-loss-repair", harness),
                        client_regions=survivors,
                        restart_dead_on_heal=False,
                        audit_regions=survivors)

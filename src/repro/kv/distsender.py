@@ -29,7 +29,7 @@ from ..storage.mvcc import ReadResult
 from .circuit import BreakerSet
 from .range import Range
 
-__all__ = ["DistSender", "ReadRouting"]
+__all__ = ["DistSender", "ReadRouting", "negotiated_timestamp"]
 
 
 class ReadRouting:
@@ -42,6 +42,25 @@ def _value_generator(fn) -> Generator:
     result = fn()
     return result
     yield  # pragma: no cover
+
+
+def negotiated_timestamp(servable: Iterable[Timestamp],
+                         min_ts: Timestamp) -> Timestamp:
+    """The §5.3.2 negotiation rule, as a pure function.
+
+    Given every required replica's maximum locally-servable timestamp,
+    the negotiated read timestamp is their minimum — the newest
+    timestamp *all* replicas can serve — clamped to be meaningful by
+    ``min_ts`` when there are no replicas.  Raises
+    :class:`StaleReadBoundError` if that falls below the caller's
+    minimum bound.
+    """
+    servable = list(servable)
+    negotiated = min(servable) if servable else min_ts
+    if negotiated < min_ts:
+        raise StaleReadBoundError(
+            f"negotiated {negotiated} below bound {min_ts}")
+    return negotiated
 
 
 class DistSender:
@@ -449,11 +468,11 @@ class DistSender:
                 negotiate_span.finish(error=type(fut.error).__name__)
                 result.reject(fut.error)
                 return
-            negotiated = min(fut._value) if fut._value else min_ts
-            if negotiated < min_ts:
+            try:
+                negotiated = negotiated_timestamp(fut._value, min_ts)
+            except StaleReadBoundError as err:
                 negotiate_span.finish(error="below_bound")
-                result.reject(StaleReadBoundError(
-                    f"negotiated {negotiated} below bound {min_ts}"))
+                result.reject(err)
             else:
                 negotiate_span.finish()
                 result.resolve(negotiated)

@@ -66,7 +66,7 @@ class Engine:
     def __init__(self, cluster, side_transport_interval_ms: float = 100.0,
                  closed_ts_lag_ms: Optional[float] = None,
                  spanner_style_commit_wait: bool = False,
-                 seed: int = 0):
+                 seed: int = 0, recorder=None):
         self.cluster = cluster
         self.catalog = Catalog()
         self.schema = SchemaChangeEngine(
@@ -75,7 +75,14 @@ class Engine:
             closed_ts_lag_ms=closed_ts_lag_ms)
         self.coordinator = TransactionCoordinator(
             cluster, spanner_style_commit_wait=spanner_style_commit_wait)
+        #: Optional verify.HistoryRecorder: captures every transaction
+        #: and stale-read statement for Elle-style anomaly checking.
+        self.coordinator.recorder = recorder
         self.uuid_source = random.Random(seed)
+
+    @property
+    def recorder(self):
+        return self.coordinator.recorder
 
     def connect(self, region: str, index: int = 0) -> "Session":
         """Open a session gatewayed at a node in ``region``."""
@@ -92,7 +99,8 @@ class _StaleReadTxn:
     """
 
     def __init__(self, engine: Engine, gateway, kind: str,
-                 ts: Timestamp, nearest_only: bool = False, span=None):
+                 ts: Timestamp, nearest_only: bool = False, span=None,
+                 label: Optional[str] = None):
         self.engine = engine
         self.gateway = gateway
         self.kind = kind  # 'exact' | 'bounded'
@@ -100,6 +108,19 @@ class _StaleReadTxn:
         self.nearest_only = nearest_only
         #: Parent span for the stale reads (the SQL statement's span).
         self.span = span
+        #: History-recorder record for this statement (verify subsystem).
+        recorder = engine.recorder
+        self._record = (recorder.begin_stale(gateway, kind, ts, label=label)
+                        if recorder is not None else None)
+
+    def _note_read(self, rng, key, result, effective_ts=None) -> None:
+        if self._record is not None:
+            self.engine.recorder.on_stale_read(
+                self._record, rng, key, result, effective_ts=effective_ts)
+
+    def finish(self, ok: bool = True) -> None:
+        if self._record is not None:
+            self.engine.recorder.finish_stale(self._record, ok=ok)
 
     def _read_future(self, rng, key):
         ds = self.engine.coordinator.distsender
@@ -114,7 +135,10 @@ class _StaleReadTxn:
     def read(self, rng, key, routing=ReadRouting.NEAREST) -> Generator:
         result = yield self._read_future(rng, key)
         if self.kind == "bounded":
-            result = result[0]
+            result, served_ts = result
+            self._note_read(rng, key, result, effective_ts=served_ts)
+        else:
+            self._note_read(rng, key, result)
         return result.value
 
     def read_batch(self, requests, routing=ReadRouting.NEAREST) -> Generator:
@@ -136,16 +160,26 @@ class _StaleReadTxn:
                     for rng, key in requests
                 ]
                 results = yield all_of(self.engine.cluster.sim, futures)
+                for (rng, key), (result, served_ts) in zip(requests, results):
+                    self._note_read(rng, key, result,
+                                    effective_ts=served_ts)
                 return [result.value for result, _ts in results]
             futures = [ds.exact_staleness_read(self.gateway, rng, key,
                                                negotiated, span=self.span)
                        for rng, key in requests]
             results = yield all_of(self.engine.cluster.sim, futures)
+            for (rng, key), result in zip(requests, results):
+                self._note_read(rng, key, result, effective_ts=negotiated)
             return [r.value for r in results]
         futures = [self._read_future(rng, key) for rng, key in requests]
         results = yield all_of(self.engine.cluster.sim, futures)
         if self.kind == "bounded":
+            for (rng, key), (result, served_ts) in zip(requests, results):
+                self._note_read(rng, key, result, effective_ts=served_ts)
             results = [r[0] for r in results]
+        else:
+            for (rng, key), result in zip(requests, results):
+                self._note_read(rng, key, result)
         return [r.value for r in results]
 
 
@@ -187,6 +221,8 @@ class Session:
     def __init__(self, engine: Engine, gateway):
         self.engine = engine
         self.gateway = gateway
+        #: Session name threaded into recorded histories (verify).
+        self.label: Optional[str] = None
         self.database: Optional[Database] = None
         #: Statements executed, split by class (Table 2 accounting).
         self.ddl_statement_count = 0
@@ -257,7 +293,8 @@ class Session:
             result = yield from txn_body(handle)
             return result
         result, _commit_ts = yield from self.engine.coordinator.run(
-            self.gateway, txn_fn, parent_span=parent_span)
+            self.gateway, txn_fn, parent_span=parent_span,
+            label=self.label)
         return result
 
     def execute_stmt_co(self, stmt: Any) -> Generator:
@@ -320,7 +357,8 @@ class Session:
         if isinstance(stmt, ast.Begin):
             if self._open_txn is not None:
                 raise SchemaError("transaction already open")
-            self._open_txn = self.engine.coordinator.begin(self.gateway)
+            self._open_txn = self.engine.coordinator.begin(
+                self.gateway, label=self.label)
             return None
         if self._open_txn is None:
             raise SchemaError("no transaction open")
@@ -520,25 +558,26 @@ class Session:
             value = evaluate(as_of.value, {}, env)
             ts = self._resolve_time_value(value, now)
             stale = _StaleReadTxn(self.engine, self.gateway, "exact", ts,
-                                  span=span)
+                                  span=span, label=self.label)
         elif as_of.kind == "min_timestamp":
             value = evaluate(as_of.value, {}, env)
             ts = self._resolve_time_value(value, now)
             stale = _StaleReadTxn(self.engine, self.gateway, "bounded", ts,
-                                  span=span)
+                                  span=span, label=self.label)
         elif as_of.kind == "max_staleness":
             value = evaluate(as_of.value, {}, env)
             bound_ms = (parse_interval_ms(value) if isinstance(value, str)
                         else float(value))
             ts = Timestamp(now.physical - abs(bound_ms))
             stale = _StaleReadTxn(self.engine, self.gateway, "bounded", ts,
-                                  span=span)
+                                  span=span, label=self.label)
         else:
             raise SqlSyntaxError(f"unknown AS OF kind {as_of.kind!r}")
         executor = self._executor()
         query = ast.Select(table=stmt.table, columns=stmt.columns,
                            where=stmt.where, as_of=None, limit=stmt.limit)
         result = yield from executor.select(stale, query)
+        stale.finish()
         return result
 
     def _resolve_time_value(self, value: Any, now: Timestamp) -> Timestamp:

@@ -171,6 +171,9 @@ class Transaction:
                         self.gateway.clock.physical_now():
                     self._note_future_observation(effective_ts)
             self.read_set.append((rng, key))
+            recorder = self.coordinator.recorder
+            if recorder is not None:
+                recorder.on_read(self, rng, key, result)
             return result.value
 
     def read_batch(self, requests: List[Tuple[Range, Any]],
@@ -198,8 +201,11 @@ class Transaction:
                         self.gateway.clock.physical_now():
                     self._note_future_observation(value_ts)
                 continue
-            for rng, key in requests:
+            recorder = self.coordinator.recorder
+            for (rng, key), (result, _ts) in zip(requests, results):
                 self.read_set.append((rng, key))
+                if recorder is not None:
+                    recorder.on_read(self, rng, key, result)
             return [result.value for result, _ts in results]
 
     def locking_read(self, rng: Range, key: Any) -> Generator:
@@ -225,6 +231,9 @@ class Transaction:
                 self.gateway.clock.physical_now():
             self._note_future_observation(lock_ts)
         self.read_set.append((rng, key))
+        recorder = self.coordinator.recorder
+        if recorder is not None:
+            recorder.on_locking_read(self, rng, key, value)
         return value
 
     def _note_future_observation(self, ts: Timestamp) -> None:
@@ -245,6 +254,9 @@ class Transaction:
         if written_ts > self.write_ts:
             self.write_ts = written_ts
         self.write_set[(rng.range_id, key)] = (rng, key)
+        recorder = self.coordinator.recorder
+        if recorder is not None:
+            recorder.on_write(self, rng, key, value, written_ts)
         return written_ts
 
     def write_batch(self, items: List[Tuple[Range, Any, Any]]) -> Generator:
@@ -272,7 +284,8 @@ class Transaction:
         settled = yield settle_all(self.coordinator.sim, futures)
         first_error: Optional[BaseException] = None
         written: List[Timestamp] = []
-        for fut, (rng, key, _value) in zip(settled, items):
+        recorder = self.coordinator.recorder
+        for fut, (rng, key, value) in zip(settled, items):
             if fut.error is not None:
                 if first_error is None:
                     first_error = fut.error
@@ -282,6 +295,8 @@ class Transaction:
             if ts > self.write_ts:
                 self.write_ts = ts
             self.write_set[(rng.range_id, key)] = (rng, key)
+            if recorder is not None:
+                recorder.on_write(self, rng, key, value, ts)
         if first_error is not None:
             raise first_error
         return written
@@ -334,6 +349,7 @@ class Transaction:
                 self.commit_ts = self.read_ts
                 yield from self._commit_wait_if_needed(
                     self.observed_future_ts, commit_span)
+                self._record_outcome("commit")
                 return self.read_ts
 
             # Serializability check: reads must be valid at the commit ts.
@@ -364,6 +380,7 @@ class Transaction:
                         self.status = TxnStatus.ABORTED
                         self.coordinator.stats.ambiguous_commits += 1
                         commit_span.annotate(ambiguous=True)
+                        self._record_outcome("indeterminate")
                         raise AmbiguousCommitError(self.txn_id, commit_ts)
 
             wait_target = commit_ts
@@ -385,9 +402,23 @@ class Transaction:
                 self._resolve_intents_async(commit_ts)
                 yield from self._commit_wait_if_needed(wait_target,
                                                        commit_span)
+            self._record_outcome("commit")
             return commit_ts
         finally:
             commit_span.finish(status=self.status)
+
+    def _record_outcome(self, outcome: str) -> None:
+        """History-recorder notification at the client-acknowledgement
+        point (after any commit wait); no-op unless a recorder is set."""
+        recorder = self.coordinator.recorder
+        if recorder is None:
+            return
+        if outcome == "commit":
+            recorder.on_commit(self)
+        elif outcome == "indeterminate":
+            recorder.on_indeterminate(self)
+        else:
+            recorder.on_abort(self)
 
     def _recover_commit_outcome(self) -> bool:
         """Did the commit record replicate despite the lost RPC?
@@ -447,6 +478,7 @@ class Transaction:
         if self.status != TxnStatus.PENDING:
             return
         self.status = TxnStatus.ABORTED
+        self._record_outcome("abort")
         if self.anchor is not None and self.write_set:
             yield self._ds.write_txn_record(
                 self.gateway, self.anchor, self.txn_id, TxnStatus.ABORTED,
@@ -466,6 +498,9 @@ class TransactionCoordinator:
         self.distsender = distsender or DistSender(cluster)
         self.spanner_style_commit_wait = spanner_style_commit_wait
         self.stats = TxnStats(cluster.sim.obs.registry)
+        #: Optional :class:`repro.verify.HistoryRecorder`; when set,
+        #: every read/write/outcome is captured for anomaly checking.
+        self.recorder = None
         self._next_txn_id = 1
         # Shared with the DistSender's retry helper in spirit: seeded
         # jittered backoff so contended retries cannot livelock in
@@ -473,7 +508,8 @@ class TransactionCoordinator:
         self._retry_rng = random.Random(
             (getattr(cluster, "seed", 0) << 8) ^ 0x7C0)
 
-    def begin(self, gateway, parent_span=None) -> Transaction:
+    def begin(self, gateway, parent_span=None,
+              label: Optional[str] = None) -> Transaction:
         txn = Transaction(self, gateway, self._next_txn_id,
                           parent_span=parent_span)
         self._next_txn_id += 1
@@ -481,10 +517,13 @@ class TransactionCoordinator:
         # Registered so lock-table pushes can learn this transaction's
         # fate even if its intent resolution is lost to a failure.
         self.cluster.txn_registry[txn.txn_id] = txn
+        if self.recorder is not None:
+            self.recorder.on_begin(txn, gateway, label)
         return txn
 
     def run(self, gateway, txn_fn: Callable[[Transaction], Generator],
-            max_attempts: int = 100, parent_span=None) -> Generator:
+            max_attempts: int = 100, parent_span=None,
+            label: Optional[str] = None) -> Generator:
         """Run ``txn_fn`` with automatic retries; returns (result, commit_ts).
 
         ``txn_fn(txn)`` is a coroutine performing reads/writes on ``txn``;
@@ -499,7 +538,7 @@ class TransactionCoordinator:
         network_backoff = ExponentialBackoff(
             rng=self._retry_rng, base_ms=25.0, max_ms=500.0)
         for attempt in range(max_attempts):
-            txn = self.begin(gateway, parent_span=parent_span)
+            txn = self.begin(gateway, parent_span=parent_span, label=label)
             try:
                 result = yield from txn_fn(txn)
                 commit_ts = yield from txn.commit()

@@ -1,0 +1,640 @@
+"""Elle-style transactional anomaly checker (pure, deterministic).
+
+Given a :class:`~repro.verify.history.VerifyHistory`, reconstruct the
+per-key version order from the recorded writes, build the transaction
+dependency graph, and search it for isolation anomalies:
+
+* **G0** (write cycle), **G1c** (circular information flow),
+  **G-single** (single anti-dependency cycle) and **G2** (write skew /
+  multi anti-dependency cycle) — reported with the offending cycle;
+* **G1a** (aborted read) and **G1b** (intermediate read);
+* **lost updates** (two committed read-modify-writes of one version);
+* **lost acked writes** (a committed list append missing from the final
+  state) and final-state divergence;
+* inference failures: duplicate write values, garbage reads, and
+  version orders where the data-derived order contradicts the commit
+  timestamps (``incompatible-order`` — itself serializability
+  evidence).
+
+Version order inference follows Elle's two workload registers:
+
+* **list keys** record the full list on every append, so the version
+  order is the unique strict-prefix chain over the written lists — a
+  data-derived order that does not trust timestamps, which is then
+  cross-checked against commit-timestamp order;
+* **register keys** carry globally unique written values, ordered by
+  commit timestamp (MVCC guarantees one version per timestamp per key).
+
+Only *strong* committed transactions enter the dependency graph: stale
+reads (exact/bounded staleness) are point-in-time snapshot reads whose
+correctness is a recency/staleness property, checked separately by
+:mod:`repro.verify.realtime`.  Indeterminate transactions (ambiguous
+commits) are promoted into the graph iff their writes were observed —
+by a committed read or by the final state — and ignored otherwise.
+
+Everything here is a pure function of the history: re-checking a dumped
+history file yields a byte-identical report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from .history import (
+    ABORTED,
+    COMMITTED,
+    INDETERMINATE,
+    RecordedTxn,
+    VerifyHistory,
+)
+
+__all__ = ["Anomaly", "VerifyReport", "check", "CYCLE_ANOMALIES"]
+
+#: Cycle classes, in increasing strength of what they violate.
+CYCLE_ANOMALIES = ("G0", "G1c", "G-single", "G2")
+
+
+@dataclass
+class Anomaly:
+    """One detected violation, with a machine-checkable witness."""
+
+    type: str
+    key: str = ""
+    description: str = ""
+    witness: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"type": self.type, "key": self.key,
+                "description": self.description, "witness": self.witness}
+
+    def sort_key(self) -> Tuple[str, str, str]:
+        return (self.type, self.key, self.description)
+
+
+@dataclass
+class VerifyReport:
+    """The checker verdict: anomalies + what was actually checked."""
+
+    anomalies: List[Anomaly] = field(default_factory=list)
+    checks_run: List[str] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.anomalies
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "anomalies": [a.to_json() for a in self.anomalies],
+            "checks_run": list(self.checks_run),
+            "stats": dict(self.stats),
+        }
+
+    def dumps(self) -> str:
+        """Canonical JSON text — byte-identical across re-checks."""
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        lines = [f"verify: {'OK' if self.ok else 'ANOMALIES DETECTED'} "
+                 f"({len(self.anomalies)} anomalies)"]
+        for check in self.checks_run:
+            lines.append(f"  [x] {check}")
+        for anomaly in self.anomalies:
+            lines.append(f"  !! {anomaly.type} key={anomaly.key or '-'}: "
+                         f"{anomaly.description}")
+            if anomaly.witness:
+                lines.append("     witness: " +
+                             json.dumps(anomaly.witness, sort_keys=True))
+        if self.stats:
+            lines.append("  stats: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.stats.items())))
+        return "\n".join(lines)
+
+
+def _canon(value: Any) -> Any:
+    """Hashable canonical form of a written/observed value."""
+    if isinstance(value, list):
+        return tuple(_canon(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _canon(v)) for k, v in value.items()))
+    return value
+
+
+def _is_prefix(shorter, longer) -> bool:
+    return len(shorter) <= len(longer) and longer[:len(shorter)] == shorter
+
+
+class _Graph:
+    """Dependency graph over committed transactions.
+
+    ``edges[src][dst]`` is the set of dependency types ("ww", "wr",
+    "rw") observed from src to dst.
+    """
+
+    def __init__(self):
+        self.edges: Dict[int, Dict[int, Set[str]]] = {}
+        self.nodes: Set[int] = set()
+
+    def add_node(self, txn_id: int) -> None:
+        self.nodes.add(txn_id)
+
+    def add_edge(self, src: int, dst: int, kind: str) -> None:
+        if src == dst:
+            return
+        self.nodes.add(src)
+        self.nodes.add(dst)
+        self.edges.setdefault(src, {}).setdefault(dst, set()).add(kind)
+
+    def successors(self, txn_id: int) -> List[int]:
+        return sorted(self.edges.get(txn_id, ()))
+
+    def sccs(self) -> List[List[int]]:
+        """Iterative Tarjan; returns non-trivial SCCs, deterministically
+        ordered by smallest member."""
+        index: Dict[int, int] = {}
+        lowlink: Dict[int, int] = {}
+        on_stack: Set[int] = set()
+        stack: List[int] = []
+        counter = [0]
+        out: List[List[int]] = []
+
+        for root in sorted(self.nodes):
+            if root in index:
+                continue
+            work: List[Tuple[int, int]] = [(root, 0)]
+            while work:
+                node, child_index = work.pop()
+                if child_index == 0:
+                    index[node] = lowlink[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                children = self.successors(node)
+                advanced = False
+                for position in range(child_index, len(children)):
+                    child = children[position]
+                    if child not in index:
+                        work.append((node, position + 1))
+                        work.append((child, 0))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], index[child])
+                if advanced:
+                    continue
+                if lowlink[node] == index[node]:
+                    component: List[int] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1:
+                        out.append(sorted(component))
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+        out.sort(key=lambda component: component[0])
+        return out
+
+    def shortest_cycle(self, component: List[int]) -> List[int]:
+        """A shortest cycle within ``component`` (BFS from its smallest
+        member, restricted to the component)."""
+        members = set(component)
+        start = component[0]
+        parent: Dict[int, int] = {}
+        frontier = [start]
+        seen = {start}
+        while frontier:
+            next_frontier: List[int] = []
+            for node in frontier:
+                for child in self.successors(node):
+                    if child not in members:
+                        continue
+                    if child == start:
+                        path = [start]
+                        cursor = node
+                        while cursor != start:
+                            path.append(cursor)
+                            cursor = parent[cursor]
+                        path.append(start)
+                        path.reverse()
+                        return path  # start ... start
+                    if child not in seen:
+                        seen.add(child)
+                        parent[child] = node
+                        next_frontier.append(child)
+            frontier = next_frontier
+        return [start, start]  # unreachable for a real SCC
+
+
+def _classify_cycle(graph: _Graph, cycle: List[int]) -> str:
+    """Map a dependency cycle to its Adya anomaly class.
+
+    Each edge may carry several dependency types; pick the weakest
+    available per edge (ww < wr < rw) so the classification is the
+    *minimal* anomaly the cycle proves.
+    """
+    all_ww = True
+    write_read_only = True
+    anti_edges = 0
+    for src, dst in zip(cycle, cycle[1:]):
+        kinds = graph.edges[src][dst]
+        if "ww" not in kinds:
+            all_ww = False
+        if "ww" not in kinds and "wr" not in kinds:
+            write_read_only = False
+            anti_edges += 1
+    if all_ww:
+        return "G0"
+    if write_read_only:
+        return "G1c"
+    return "G-single" if anti_edges == 1 else "G2"
+
+
+def check(history: VerifyHistory) -> "VerifyReport":
+    """Run the full anomaly analysis over ``history``."""
+    from .realtime import check_realtime  # pure helper, no cycle at runtime
+
+    checker = _Checker(history)
+    report = checker.run()
+    check_realtime(history, report, checker.acked_writes_by_key)
+    report.anomalies.sort(key=Anomaly.sort_key)
+    return report
+
+
+class _Checker:
+    def __init__(self, history: VerifyHistory):
+        self.history = history
+        self.key_kinds: Dict[str, str] = {
+            key: spec.get("kind", "register")
+            for key, spec in history.meta.get("keys", {}).items()}
+        self.committed = [t for t in history.txns if t.status == COMMITTED]
+        self.aborted = [t for t in history.txns if t.status == ABORTED]
+        self.indeterminate = [t for t in history.txns
+                              if t.status == INDETERMINATE]
+        self.report = VerifyReport()
+        #: (key, canonical value) -> (txn, is_final_write_for_key)
+        self.writer_of: Dict[Tuple[str, Any], Tuple[RecordedTxn, bool]] = {}
+        #: key -> ordered committed writer txns (version order).
+        self.version_order: Dict[str, List[RecordedTxn]] = {}
+        #: key -> list of (ack end_ms, commit_ts) for committed writers,
+        #: consumed by the real-time checker.
+        self.acked_writes_by_key: Dict[str, List[Tuple[float, Any]]] = {}
+        #: Memoized read resolutions (one anomaly per offending read).
+        self._read_cache: Dict[int, Optional[int]] = {}
+        #: txn_ids of indeterminate txns promoted to committed (the
+        #: history itself is never mutated — checking is pure).
+        self.promoted: Set[int] = set()
+
+    def _kind(self, key: str) -> str:
+        return self.key_kinds.get(key, "register")
+
+    def _strong(self, txns) -> List[RecordedTxn]:
+        return [t for t in txns if t.mode == "strong"]
+
+    # -- write indexing -----------------------------------------------------
+
+    @staticmethod
+    def _final_writes(txn: RecordedTxn) -> Dict[str, Any]:
+        """Last written value per key (earlier ones are intermediate)."""
+        out: Dict[str, Any] = {}
+        for op in txn.writes():
+            out[op.key] = op.value
+        return out
+
+    def _promote_indeterminates(self) -> None:
+        """An ambiguous commit whose writes are visible actually
+        committed; fold it into the committed set.  commit_ts is always
+        recorded before the ambiguity arises, so ordering still works."""
+        observed: Set[Tuple[str, Any]] = set()
+        for txn in self.history.txns:
+            if txn.status != ABORTED:
+                for op in txn.reads():
+                    if not op.from_intent:
+                        observed.add((op.key, _canon(op.value)))
+        final = self.history.final
+
+        def visible(txn: RecordedTxn) -> bool:
+            for key, value in self._final_writes(txn).items():
+                if (key, _canon(value)) in observed:
+                    return True
+                if key in final:
+                    final_value = final[key]
+                    if self._kind(key) == "list":
+                        if isinstance(value, list) and \
+                                isinstance(final_value, list) and \
+                                _is_prefix(value, final_value):
+                            return True
+                    elif _canon(final_value) == _canon(value):
+                        return True
+            return False
+
+        promoted = [t for t in self.indeterminate if visible(t)]
+        self.promoted = {t.txn_id for t in promoted}
+        self.committed.extend(promoted)
+        self.indeterminate = [t for t in self.indeterminate
+                              if t.txn_id not in self.promoted]
+        self.report.stats["promoted_indeterminate"] = len(promoted)
+
+    def _index_writes(self) -> None:
+        for txn in self.history.txns:
+            finals = self._final_writes(txn)
+            for op in txn.writes():
+                slot = (op.key, _canon(op.value))
+                is_final = finals[op.key] is op.value or \
+                    _canon(finals[op.key]) == _canon(op.value)
+                previous = self.writer_of.get(slot)
+                if previous is not None and previous[0] is not txn:
+                    self.report.anomalies.append(Anomaly(
+                        type="duplicate-write", key=op.key,
+                        description=(
+                            f"value {op.value!r} written by both txn "
+                            f"{previous[0].txn_id} and txn {txn.txn_id}; "
+                            "version inference requires unique writes"),
+                        witness={"txns": sorted(
+                            [previous[0].txn_id, txn.txn_id])}))
+                    continue
+                self.writer_of[slot] = (txn, is_final)
+
+    # -- version orders -----------------------------------------------------
+
+    def _build_version_orders(self) -> None:
+        writes_by_key: Dict[str, List[RecordedTxn]] = {}
+        for txn in self.committed:
+            for key in self._final_writes(txn):
+                writes_by_key.setdefault(key, []).append(txn)
+
+        for key, writers in sorted(writes_by_key.items()):
+            if self._kind(key) == "list":
+                order = self._list_order(key, writers)
+            else:
+                order = self._register_order(key, writers)
+            self.version_order[key] = order
+            # Only genuinely acknowledged commits create recency
+            # obligations: a promoted indeterminate's client saw an
+            # ambiguous error, not an ack.
+            acked = sorted(
+                ((t.end_ms, t.commit_ts) for t in writers
+                 if t.status == COMMITTED and t.end_ms is not None
+                 and t.commit_ts is not None),
+                key=lambda item: item[0])
+            self.acked_writes_by_key[key] = acked
+
+    def _list_order(self, key: str,
+                    writers: List[RecordedTxn]) -> List[RecordedTxn]:
+        """Data-derived order: written lists must form a strict prefix
+        chain; cross-checked against commit-timestamp order."""
+        entries = []
+        for txn in writers:
+            value = self._final_writes(txn)[key]
+            if not isinstance(value, list):
+                self.report.anomalies.append(Anomaly(
+                    type="garbage-read", key=key,
+                    description=(f"txn {txn.txn_id} wrote non-list value "
+                                 f"{value!r} to list key")))
+                continue
+            entries.append((value, txn))
+        entries.sort(key=lambda item: (len(item[0]), item[1].txn_id))
+        for (shorter, prev), (longer, nxt) in zip(entries, entries[1:]):
+            if len(shorter) == len(longer) or not _is_prefix(shorter, longer):
+                self.report.anomalies.append(Anomaly(
+                    type="incompatible-order", key=key,
+                    description=(
+                        f"writes of txns {prev.txn_id} and {nxt.txn_id} do "
+                        "not form a prefix chain (divergent list states)"),
+                    witness={"values": [list(shorter), list(longer)]}))
+        order = [txn for _value, txn in entries]
+        by_ts = sorted(
+            (t for t in order if t.commit_ts is not None),
+            key=lambda t: t.commit_ts)
+        if [t.txn_id for t in by_ts] != \
+                [t.txn_id for t in order if t.commit_ts is not None]:
+            self.report.anomalies.append(Anomaly(
+                type="incompatible-order", key=key,
+                description=("data-derived version order contradicts "
+                             "commit-timestamp order"),
+                witness={
+                    "data_order": [t.txn_id for t in order],
+                    "commit_ts_order": [t.txn_id for t in by_ts]}))
+        return order
+
+    def _register_order(self, key: str,
+                        writers: List[RecordedTxn]) -> List[RecordedTxn]:
+        known = [t for t in writers if t.commit_ts is not None]
+        known.sort(key=lambda t: (t.commit_ts, t.txn_id))
+        for prev, nxt in zip(known, known[1:]):
+            if prev.commit_ts == nxt.commit_ts:
+                self.report.anomalies.append(Anomaly(
+                    type="incompatible-order", key=key,
+                    description=(
+                        f"txns {prev.txn_id} and {nxt.txn_id} committed "
+                        f"writes at the same timestamp {prev.commit_ts}"),
+                    witness={"txns": [prev.txn_id, nxt.txn_id]}))
+        return known
+
+    # -- read resolution + graph -------------------------------------------
+
+    def _resolve_read(self, txn: RecordedTxn, op) -> Optional[int]:
+        """Version index observed by a read (-1 = initial absent state),
+        or None when the read doesn't resolve to a version (own intent,
+        anomalous read, unknown value).  Memoized per op so each
+        offending read yields exactly one anomaly."""
+        if id(op) in self._read_cache:
+            return self._read_cache[id(op)]
+        result = self._resolve_read_uncached(txn, op)
+        self._read_cache[id(op)] = result
+        return result
+
+    def _resolve_read_uncached(self, txn: RecordedTxn, op) -> Optional[int]:
+        if op.from_intent:
+            return None
+        order = self.version_order.get(op.key, [])
+        if op.value is None and (op.key, None) not in self.writer_of:
+            return -1
+        slot = (op.key, _canon(op.value))
+        entry = self.writer_of.get(slot)
+        if entry is None:
+            self.report.anomalies.append(Anomaly(
+                type="garbage-read", key=op.key,
+                description=(f"txn {txn.txn_id} read value {op.value!r} "
+                             "that no transaction wrote")))
+            return None
+        writer, is_final = entry
+        if writer is txn:
+            return None
+        if writer.status == ABORTED:
+            self.report.anomalies.append(Anomaly(
+                type="G1a", key=op.key,
+                description=(f"txn {txn.txn_id} read value {op.value!r} "
+                             f"written by aborted txn {writer.txn_id}"),
+                witness={"reader": txn.txn_id, "writer": writer.txn_id}))
+            return None
+        if not is_final:
+            self.report.anomalies.append(Anomaly(
+                type="G1b", key=op.key,
+                description=(f"txn {txn.txn_id} read intermediate value "
+                             f"{op.value!r} of txn {writer.txn_id}"),
+                witness={"reader": txn.txn_id, "writer": writer.txn_id}))
+            return None
+        if writer.status == INDETERMINATE and \
+                writer.txn_id not in self.promoted:
+            # Unreachable after promotion (an observed indeterminate
+            # write is promoted), kept as a defensive invariant.
+            return None
+        try:
+            return order.index(writer)
+        except ValueError:
+            return None
+
+    def _build_graph(self) -> _Graph:
+        graph = _Graph()
+        strong = self._strong(self.committed)
+        for txn in strong:
+            graph.add_node(txn.txn_id)
+        by_id = {t.txn_id: t for t in strong}
+
+        # ww edges: adjacent versions.
+        for key, order in sorted(self.version_order.items()):
+            for prev, nxt in zip(order, order[1:]):
+                if prev.txn_id in by_id and nxt.txn_id in by_id:
+                    graph.add_edge(prev.txn_id, nxt.txn_id, "ww")
+
+        # wr + rw edges from every strong committed read.
+        for txn in strong:
+            for op in txn.reads():
+                version = self._resolve_read(txn, op)
+                if version is None:
+                    continue
+                order = self.version_order.get(op.key, [])
+                if version >= 0:
+                    writer = order[version]
+                    if writer.txn_id in by_id:
+                        graph.add_edge(writer.txn_id, txn.txn_id, "wr")
+                if version + 1 < len(order):
+                    successor = order[version + 1]
+                    if successor.txn_id in by_id:
+                        graph.add_edge(txn.txn_id, successor.txn_id, "rw")
+        return graph
+
+    def _check_cycles(self, graph: _Graph) -> None:
+        by_id = {t.txn_id: t for t in self.committed}
+        for component in graph.sccs():
+            cycle = graph.shortest_cycle(component)
+            kind = _classify_cycle(graph, cycle)
+            steps = []
+            for src, dst in zip(cycle, cycle[1:]):
+                steps.append({
+                    "from": src, "to": dst,
+                    "deps": sorted(graph.edges[src][dst])})
+            labels = {node: by_id[node].label for node in component
+                      if node in by_id}
+            self.report.anomalies.append(Anomaly(
+                type=kind,
+                description=(f"dependency cycle over txns "
+                             f"{cycle[:-1]} ({len(component)}-txn SCC)"),
+                witness={"cycle": steps,
+                         "labels": {str(k): v
+                                    for k, v in sorted(labels.items())}}))
+
+    # -- non-cycle checks ---------------------------------------------------
+
+    def _check_lost_updates(self) -> None:
+        """Two committed txns that each read version v of a key and both
+        wrote that key lost one of the updates."""
+        rmw: Dict[Tuple[str, int], List[int]] = {}
+        for txn in self._strong(self.committed):
+            wrote = set(self._final_writes(txn))
+            seen: Set[Tuple[str, int]] = set()
+            for op in txn.reads():
+                if op.key not in wrote or op.from_intent:
+                    continue
+                version = self._resolve_read(txn, op)
+                if version is None:
+                    continue
+                slot = (op.key, version)
+                if slot not in seen:
+                    seen.add(slot)
+                    rmw.setdefault(slot, []).append(txn.txn_id)
+        for (key, version), txns in sorted(rmw.items()):
+            if len(txns) > 1:
+                self.report.anomalies.append(Anomaly(
+                    type="lost-update", key=key,
+                    description=(
+                        f"txns {sorted(txns)} all read version {version} "
+                        "and wrote the key; all but one update was lost"),
+                    witness={"version": version, "txns": sorted(txns)}))
+
+    def _check_final_state(self) -> None:
+        final = self.history.final
+        for key, order in sorted(self.version_order.items()):
+            if not order:
+                continue
+            last = self._final_writes(order[-1])[key]
+            if key in final and _canon(final[key]) != _canon(last):
+                self.report.anomalies.append(Anomaly(
+                    type="final-state-divergence", key=key,
+                    description=(
+                        f"final audit read {final[key]!r} but the last "
+                        f"committed version (txn {order[-1].txn_id}) is "
+                        f"{last!r}"),
+                    witness={"final": final[key], "expected": last}))
+            if self._kind(key) == "list" and key in final and \
+                    isinstance(final[key], list):
+                for txn in order:
+                    value = self._final_writes(txn)[key]
+                    if isinstance(value, list) and \
+                            not _is_prefix(value, final[key]):
+                        self.report.anomalies.append(Anomaly(
+                            type="lost-write", key=key,
+                            description=(
+                                f"acknowledged append by txn {txn.txn_id} "
+                                "is missing from the final state"),
+                            witness={"written": value,
+                                     "final": final[key]}))
+
+    def _check_stale_value_reads(self) -> None:
+        """Stale statements must still never observe aborted or
+        intermediate data (their recency is checked separately)."""
+        for txn in self.committed:
+            if txn.mode == "strong":
+                continue
+            for op in txn.reads():
+                self._resolve_read(txn, op)
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self) -> VerifyReport:
+        report = self.report
+        self._promote_indeterminates()
+        self._index_writes()
+        self._build_version_orders()
+        graph = self._build_graph()
+        self._check_cycles(graph)
+        self._check_lost_updates()
+        self._check_stale_value_reads()
+        self._check_final_state()
+        report.stats.update({
+            "txns_committed": len(self.committed),
+            "txns_aborted": len(self.aborted),
+            "txns_indeterminate": len(self.indeterminate),
+            "keys": len(self.version_order),
+            "graph_nodes": len(graph.nodes),
+            "graph_edges": sum(len(dsts)
+                               for dsts in graph.edges.values()),
+        })
+        report.checks_run.extend([
+            "version-order: per-key write order inferred "
+            "(list prefix chains + register commit timestamps)",
+            "dependency-graph: G0/G1c/G-single/G2 cycle search "
+            "over ww/wr/rw edges",
+            "aborted/intermediate reads (G1a/G1b)",
+            "lost updates (concurrent read-modify-writes of one version)",
+            "final-state: audit reads match the last committed version; "
+            "no acked append lost",
+        ])
+        return report

@@ -1,0 +1,337 @@
+"""Seeded random transaction generator + verification harness.
+
+One :class:`VerifyHarness` run drives a mixed list-append / register
+workload — multi-key serializable transactions with Zipf-skewed key
+choice (via :mod:`repro.workloads.zipf`) plus exact- and
+bounded-staleness readers — over three tables covering every locality
+the paper describes:
+
+* ``reg-us``  — REGIONAL, homed in the primary region;
+* ``reg-eu``  — REGIONAL, homed elsewhere (the REGIONAL BY ROW shape:
+  some rows' leaseholders are always remote for some clients);
+* ``glob``    — GLOBAL (future-time closed timestamps + commit wait).
+
+The run can execute under any of the chaos nemesis schedules (the same
+fault builders the chaos scenarios use — ``repro.chaos.build_faults``),
+records everything through :class:`~repro.verify.recorder
+.HistoryRecorder`, ends with a cross-region strong audit, and hands the
+frozen history to the pure checkers.  Everything is deterministic from
+``(scenario, seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..chaos.nemesis import Nemesis
+from ..chaos.scenarios import HOME, REGIONS, RETRYABLE, build_faults
+from ..cluster import standard_cluster
+from ..errors import AmbiguousCommitError, StaleReadBoundError
+from ..kv.distsender import ReadRouting
+from ..placement import SurvivalGoal, provision_range, zone_config_for_home
+from ..sim.clock import Timestamp
+from ..txn import TransactionCoordinator
+from ..workloads.zipf import ZipfGenerator
+from .checker import VerifyReport, check
+from .history import VerifyHistory
+from .recorder import HistoryRecorder
+
+__all__ = ["VerifyHarness", "VerifyResult", "run_verify",
+           "VERIFY_SCENARIOS"]
+
+#: The chaos schedules the randomized isolation sweep runs under (the
+#: two *-repair scenarios permanently lose nodes and have their own
+#: tier-2 sweep; the verifier targets the heal-everything schedules).
+VERIFY_SCENARIOS = [
+    "region-blackout", "rolling-zones", "flaky-wan",
+    "gray-follower", "asym-partition", "crash-restart",
+]
+
+#: REGIONAL tables close timestamps this far behind present time; kept
+#: well under the run length so stale readers exercise follower serving
+#: rather than always falling back to leaseholders.
+CLOSED_TS_LAG_MS = 400.0
+
+STALE_RETRYABLE = RETRYABLE + (StaleReadBoundError,)
+
+
+@dataclass
+class VerifyResult:
+    """A verification run: the recorded history plus its verdict."""
+
+    scenario: str
+    seed: int
+    history: VerifyHistory
+    report: VerifyReport
+    duration_ms: float
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "ok": self.ok,
+            "duration_ms": round(self.duration_ms, 1),
+            "stats": dict(self.stats),
+            "report": self.report.to_json(),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"verify scenario {self.scenario!r} (seed={self.seed}) — "
+            f"{self.stats.get('txns_recorded', 0)} txns in "
+            f"{self.duration_ms:.0f}ms sim",
+            "  stats: " + ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(self.stats.items())),
+            self.report.render(),
+        ]
+        return "\n".join(lines)
+
+
+class VerifyHarness:
+    """Cluster + three localized ranges + recorder + seeded clients."""
+
+    def __init__(self, seed: int, regions: Optional[List[str]] = None,
+                 home: str = HOME):
+        self.seed = seed
+        self.regions = list(regions or REGIONS)
+        self.home = home
+        self.cluster = standard_cluster(self.regions, seed=seed)
+        self.coord = TransactionCoordinator(self.cluster)
+        self.ds = self.coord.distsender
+        self.recorder = HistoryRecorder(self.cluster.sim)
+        self.coord.recorder = self.recorder
+        secondary = next(r for r in self.regions if r != home)
+
+        def make_range(name: str, range_home: str,
+                       global_reads: bool = False):
+            config = zone_config_for_home(
+                range_home, self.cluster.regions(), SurvivalGoal.REGION)
+            return provision_range(
+                self.cluster, config, global_reads=global_reads, name=name,
+                side_transport_interval_ms=100.0,
+                closed_ts_lag_ms=None if global_reads else CLOSED_TS_LAG_MS,
+                proposal_timeout_ms=1000.0,
+                retransmit_interval_ms=150.0)
+
+        self.ranges = {
+            "reg-us": make_range("reg-us", home),
+            "reg-eu": make_range("reg-eu", secondary),
+            "glob": make_range("glob", home, global_reads=True),
+        }
+        #: The range nemesis fault builders target (leaseholder /
+        #: follower victims): the primary REGIONAL range.
+        self.range = self.ranges["reg-us"]
+        #: (range, key, kind) for every workload key: two list-append
+        #: and two register keys per table.
+        self.keys: List[Tuple[Any, str, str]] = []
+        for name in sorted(self.ranges):
+            rng = self.ranges[name]
+            for key in ("l0", "l1"):
+                self.keys.append((rng, key, "list"))
+            for key in ("r0", "r1"):
+                self.keys.append((rng, key, "register"))
+        self.recorder.meta["keys"] = {
+            f"{rng.name}/{key}": {"kind": kind,
+                                  "global": rng.name == "glob"}
+            for rng, key, kind in self.keys}
+        self.rng = random.Random((seed << 5) ^ 0x5EED)
+        self._strong_routing = ReadRouting.LEASEHOLDER
+
+    @property
+    def sim(self):
+        return self.cluster.sim
+
+    # -- strong transactional clients ---------------------------------------
+
+    def txn_client(self, label: str, region: str, gateway_index: int,
+                   ops: int, think_ms=(10.0, 40.0)):
+        """Mixed multi-key transactions: list appends, register
+        reads/writes/RMWs, Zipf-skewed key choice."""
+        gateway = self.cluster.gateway_for_region(region, gateway_index)
+        rng = random.Random(self.rng.random())
+        zipf = ZipfGenerator(len(self.keys), theta=0.9,
+                             seed=rng.randrange(1 << 30))
+        sequence = [0]
+        for _ in range(ops):
+            picks = sorted({zipf.next()
+                            for _ in range(rng.randint(1, 3))})
+            plan = []
+            for index in picks:
+                table, key, kind = self.keys[index]
+                if kind == "list":
+                    action = "append"
+                else:
+                    action = rng.choice(["read", "write", "rmw"])
+                plan.append((table, key, kind, action))
+
+            def txn_fn(txn, plan=plan):
+                for table, key, _kind, action in plan:
+                    if action == "read":
+                        yield from txn.read(table, key,
+                                            routing=self._strong_routing)
+                        continue
+                    sequence[0] += 1
+                    value = f"{label}:{sequence[0]}"
+                    if action == "append":
+                        current = yield from txn.read(
+                            table, key, routing=self._strong_routing)
+                        current = list(current or [])
+                        yield from txn.write(table, key, current + [value])
+                    elif action == "rmw":
+                        yield from txn.read(table, key,
+                                            routing=self._strong_routing)
+                        yield from txn.write(table, key, value)
+                    else:  # blind write
+                        yield from txn.write(table, key, value)
+
+            try:
+                yield from self.coord.run(gateway, txn_fn, max_attempts=6,
+                                          label=label)
+            except AmbiguousCommitError:
+                pass  # recorded as indeterminate
+            except RETRYABLE:
+                pass  # recorded as aborted attempts
+            yield self.sim.sleep(rng.uniform(*think_ms))
+
+    # -- stale readers ------------------------------------------------------
+
+    def stale_client(self, label: str, region: str, gateway_index: int,
+                     ops: int, think_ms=(20.0, 60.0)):
+        """Exact- and bounded-staleness single-key reads (§5.3)."""
+        gateway = self.cluster.gateway_for_region(region, gateway_index)
+        rng = random.Random(self.rng.random())
+        recorder = self.recorder
+        for _ in range(ops):
+            table, key, _kind = self.keys[rng.randrange(len(self.keys))]
+            now = gateway.clock.now()
+            if rng.random() < 0.5:
+                ts = Timestamp(now.physical - rng.uniform(500.0, 900.0))
+                record = recorder.begin_stale(gateway, "exact", ts,
+                                              label=label)
+                try:
+                    result = yield self.ds.exact_staleness_read(
+                        gateway, table, key, ts)
+                except STALE_RETRYABLE:
+                    recorder.finish_stale(record, ok=False)
+                else:
+                    recorder.on_stale_read(record, table, key, result)
+                    recorder.finish_stale(record)
+            else:
+                min_ts = Timestamp(
+                    now.physical - rng.uniform(700.0, 1200.0))
+                record = recorder.begin_stale(gateway, "bounded", min_ts,
+                                              label=label)
+                try:
+                    result, served_ts = yield self.ds.bounded_staleness_read(
+                        gateway, table, key, min_ts)
+                except STALE_RETRYABLE:
+                    recorder.finish_stale(record, ok=False)
+                else:
+                    recorder.on_stale_read(record, table, key, result,
+                                           effective_ts=served_ts)
+                    recorder.finish_stale(record)
+            yield self.sim.sleep(rng.uniform(*think_ms))
+
+    # -- the run ------------------------------------------------------------
+
+    def _init_keys(self) -> None:
+        gateway = self.cluster.gateway_for_region(self.home)
+        for table, key, kind in self.keys:
+
+            def init_fn(txn, table=table, key=key, kind=kind):
+                initial = [] if kind == "list" else f"init:{key}"
+                yield from txn.write(table, key, initial)
+
+            self.sim.run_until_future(self.sim.spawn(
+                self.coord.run(gateway, init_fn, label="init")))
+
+    def _audit(self) -> Dict[str, Any]:
+        """Strong-read every key from every live region; the first live
+        region's answers become the final state (disagreements surface
+        as stale-strong-read / final-state anomalies)."""
+        final: Dict[str, Any] = {}
+        network = self.cluster.network
+        for region in self.regions:
+            live = [n for n in self.cluster.nodes_in_region(region)
+                    if not network.node_is_dead(n.node_id)]
+            if not live:
+                continue
+            gateway = live[0]
+            values: Dict[str, Any] = {}
+
+            def audit_fn(txn, values=values):
+                for table, key, _kind in self.keys:
+                    value = yield from txn.read(table, key)
+                    values[f"{table.name}/{key}"] = value
+
+            self.sim.run_until_future(self.sim.spawn(self.coord.run(
+                gateway, audit_fn, label=f"final-{region}")))
+            for key, value in values.items():
+                final.setdefault(key, value)
+        return final
+
+    def run(self, scenario: Optional[str] = None,
+            clients_per_region: int = 2, ops_per_client: int = 8,
+            stale_ops: int = 6) -> VerifyResult:
+        sim = self.sim
+        scenario_name = scenario or "none"
+        self.recorder.meta.update(
+            {"scenario": scenario_name, "seed": self.seed})
+        self._init_keys()
+        sim.run(until=sim.now + 600.0)  # settle replication + closed ts
+
+        start_ms = sim.now
+        nemesis = None
+        if scenario:
+            nemesis = Nemesis(self.cluster, build_faults(scenario, self))
+            nemesis.schedule(base_ms=start_ms)
+        processes = []
+        for index, region in enumerate(self.regions):
+            for client in range(clients_per_region):
+                processes.append(sim.spawn(self.txn_client(
+                    f"txn-{region}-{client}", region,
+                    (index + client) % 2, ops_per_client)))
+            processes.append(sim.spawn(self.stale_client(
+                f"stale-{region}", region, (index + 1) % 2, stale_ops)))
+        for process in processes:
+            sim.run_until_future(process)
+        duration = sim.now - start_ms
+
+        if nemesis is not None:
+            nemesis.heal_all(restart_dead=True)
+        sim.run(until=sim.now + 2000.0)
+        self.recorder.final = self._audit()
+
+        history = self.recorder.finalize()
+        report = check(history)
+        stats = {
+            "txns_recorded": len(history.txns),
+            "failovers": self.range.failovers,
+            "rpc_retries": self.ds.rpc_retries,
+            "messages_dropped": self.cluster.network.messages_dropped,
+            "ambiguous_commits": self.coord.stats.ambiguous_commits,
+            "txn_retries": self.coord.stats.aborted_retries,
+        }
+        return VerifyResult(scenario=scenario_name, seed=self.seed,
+                            history=history, report=report,
+                            duration_ms=duration, stats=stats)
+
+
+def run_verify(scenario: Optional[str] = None, seed: int = 0,
+               **kwargs) -> VerifyResult:
+    """Run the randomized isolation/staleness verification workload.
+
+    ``scenario`` is a chaos schedule name (``repro.chaos.SCENARIOS``) or
+    None for a fault-free run.
+    """
+    if scenario in ("none", ""):
+        scenario = None
+    return VerifyHarness(seed).run(scenario=scenario, **kwargs)

@@ -1,0 +1,180 @@
+"""Structured transactional histories for Elle-style checking.
+
+A :class:`VerifyHistory` is everything the checkers need, and nothing
+they are allowed to peek beyond: per-transaction operation lists with
+observed MVCC version timestamps, begin/acknowledge times in simulated
+milliseconds, commit timestamps, staleness modes and negotiated
+timestamps, plus the final strong-read state of every key.
+
+Histories round-trip through JSON exactly (timestamps are encoded as
+``[physical, logical, synthetic]`` triples and floats survive via
+shortest-repr), so a violation found in CI can be dumped to a file and
+re-checked offline byte-for-byte — the checkers themselves are pure
+functions of the history.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..sim.clock import Timestamp
+
+__all__ = [
+    "COMMITTED", "ABORTED", "INDETERMINATE",
+    "RecordedOp", "RecordedTxn", "VerifyHistory",
+    "ts_to_json", "ts_from_json",
+]
+
+COMMITTED = "committed"
+ABORTED = "aborted"
+INDETERMINATE = "indeterminate"
+
+
+def ts_to_json(ts: Optional[Timestamp]) -> Optional[List[Any]]:
+    """``Timestamp`` -> JSON triple (or None)."""
+    if ts is None:
+        return None
+    return [ts.physical, ts.logical, ts.synthetic]
+
+
+def ts_from_json(value: Optional[List[Any]]) -> Optional[Timestamp]:
+    if value is None:
+        return None
+    return Timestamp(float(value[0]), int(value[1]), bool(value[2]))
+
+
+@dataclass
+class RecordedOp:
+    """One read or write inside a recorded transaction."""
+
+    kind: str  # "r" | "w"
+    key: str   # "<range>/<key>"
+    value: Any
+    #: Reads: the MVCC timestamp of the observed version (TS_ZERO-like
+    #: for absent keys, None when unknown, e.g. locking reads).
+    #: Writes: the timestamp the intent was laid at.
+    version_ts: Optional[Timestamp]
+    at_ms: float
+    #: Reads only: the value came from this transaction's own intent.
+    from_intent: bool = False
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "key": self.key,
+            "value": self.value,
+            "version_ts": ts_to_json(self.version_ts),
+            "at_ms": self.at_ms,
+            "from_intent": self.from_intent,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "RecordedOp":
+        return cls(kind=data["kind"], key=data["key"], value=data["value"],
+                   version_ts=ts_from_json(data["version_ts"]),
+                   at_ms=float(data["at_ms"]),
+                   from_intent=bool(data.get("from_intent", False)))
+
+
+@dataclass
+class RecordedTxn:
+    """One client transaction (or one stale-read statement)."""
+
+    txn_id: int
+    label: str    # client / session name
+    region: str   # gateway region
+    mode: str     # "strong" | "exact" | "bounded"
+    status: str   # committed | aborted | indeterminate
+    begin_ms: float
+    end_ms: Optional[float] = None
+    commit_ts: Optional[Timestamp] = None
+    #: Stale reads: the requested AS OF timestamp (exact) or the
+    #: ``min_timestamp`` bound (bounded).
+    requested_ts: Optional[Timestamp] = None
+    #: Stale reads: the timestamp actually served (negotiated/servable).
+    effective_ts: Optional[Timestamp] = None
+    ops: List[RecordedOp] = field(default_factory=list)
+
+    def reads(self) -> List[RecordedOp]:
+        return [op for op in self.ops if op.kind == "r"]
+
+    def writes(self) -> List[RecordedOp]:
+        return [op for op in self.ops if op.kind == "w"]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "txn_id": self.txn_id,
+            "label": self.label,
+            "region": self.region,
+            "mode": self.mode,
+            "status": self.status,
+            "begin_ms": self.begin_ms,
+            "end_ms": self.end_ms,
+            "commit_ts": ts_to_json(self.commit_ts),
+            "requested_ts": ts_to_json(self.requested_ts),
+            "effective_ts": ts_to_json(self.effective_ts),
+            "ops": [op.to_json() for op in self.ops],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "RecordedTxn":
+        return cls(
+            txn_id=int(data["txn_id"]), label=data["label"],
+            region=data["region"], mode=data["mode"], status=data["status"],
+            begin_ms=float(data["begin_ms"]),
+            end_ms=(None if data["end_ms"] is None
+                    else float(data["end_ms"])),
+            commit_ts=ts_from_json(data["commit_ts"]),
+            requested_ts=ts_from_json(data["requested_ts"]),
+            effective_ts=ts_from_json(data["effective_ts"]),
+            ops=[RecordedOp.from_json(op) for op in data["ops"]])
+
+
+@dataclass
+class VerifyHistory:
+    """A complete recorded run, ready for the pure checkers.
+
+    ``meta`` carries the workload shape the checkers need:
+
+    * ``meta["keys"]`` maps each full key to ``{"kind": "list" |
+      "register", "global": bool}``;
+    * ``meta["scenario"]`` / ``meta["seed"]`` identify the run.
+
+    ``final`` maps each key to the value agreed by the end-of-run strong
+    audit reads.
+    """
+
+    txns: List[RecordedTxn] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+    final: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "meta": self.meta,
+            "final": self.final,
+            "txns": [txn.to_json() for txn in self.txns],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "VerifyHistory":
+        return cls(txns=[RecordedTxn.from_json(t) for t in data["txns"]],
+                   meta=dict(data["meta"]), final=dict(data["final"]))
+
+    def dumps(self) -> str:
+        """Canonical JSON text (stable key order, round-trips exactly)."""
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "VerifyHistory":
+        return cls.from_json(json.loads(text))
+
+    def dump(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.dumps() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "VerifyHistory":
+        with open(path) as handle:
+            return cls.loads(handle.read())

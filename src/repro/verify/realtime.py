@@ -1,0 +1,169 @@
+"""Real-time (recency) and staleness-bound checks.
+
+The paper's non-serializable guarantees, checked against the recorded
+history:
+
+* **strong-read recency** (commit-wait correctness): a committed strong
+  transaction beginning at time ``B`` must observe, for every key it
+  reads, at least the newest version whose write was *acknowledged*
+  strictly before ``B``.  This is exactly what GLOBAL tables' commit
+  wait buys — a present-time read served from any replica can never
+  miss an acked write — and leaseholder reads owe the same per-key
+  linearizability via the uncertainty interval;
+* **exact staleness** (§5.3.1): an ``AS OF SYSTEM TIME ts`` read never
+  observes a version newer than ``ts``, and observes every write that
+  both committed at or below ``ts`` and was acked before the statement
+  began;
+* **bounded staleness** (§5.3.2): the served timestamp never falls
+  below the negotiated minimum bound, reads never observe data newer
+  than the served timestamp, and the served snapshot is complete up to
+  it;
+* **per-session monotonic reads**: within one session (label), reads of
+  a key never move backwards in version-timestamp order across strong
+  transactions.
+
+Comparisons use the writers' commit timestamps as recorded — committed
+MVCC versions carry their transaction's commit timestamp, so observed
+``version_ts`` and writer ``commit_ts`` live on one axis.
+
+Pure functions of the history; anomalies append onto the shared
+:class:`~repro.verify.checker.VerifyReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from .checker import Anomaly, VerifyReport
+from .history import COMMITTED, VerifyHistory
+
+__all__ = ["check_realtime"]
+
+
+def _newest_acked(entries: List[Tuple[float, Any]], when_ms: float,
+                  at_or_below=None) -> Optional[Any]:
+    """Max commit_ts among writes acked strictly before ``when_ms``
+    (optionally restricted to ``commit_ts <= at_or_below``)."""
+    best = None
+    for end_ms, commit_ts in entries:
+        if end_ms >= when_ms:
+            continue
+        if at_or_below is not None and commit_ts > at_or_below:
+            continue
+        if best is None or commit_ts > best:
+            best = commit_ts
+    return best
+
+
+def check_realtime(history: VerifyHistory, report: VerifyReport,
+                   acked_writes: Dict[str, List[Tuple[float, Any]]]) -> None:
+    committed = [t for t in history.txns if t.status == COMMITTED]
+
+    # -- strong-read recency -------------------------------------------------
+    for txn in committed:
+        if txn.mode != "strong":
+            continue
+        for op in txn.reads():
+            if op.from_intent or op.version_ts is None:
+                continue
+            newest = _newest_acked(acked_writes.get(op.key, []),
+                                   txn.begin_ms)
+            if newest is not None and op.version_ts < newest:
+                report.anomalies.append(Anomaly(
+                    type="stale-strong-read", key=op.key,
+                    description=(
+                        f"txn {txn.txn_id} ({txn.label}) began at "
+                        f"{txn.begin_ms:.3f}ms but read version "
+                        f"{op.version_ts}, older than a write acked "
+                        f"before it began (commit_ts {newest})"),
+                    witness={"reader": txn.txn_id,
+                             "begin_ms": txn.begin_ms,
+                             "observed_ts": str(op.version_ts),
+                             "newest_acked_ts": str(newest)}))
+
+    # -- staleness bounds ----------------------------------------------------
+    for txn in committed:
+        if txn.mode not in ("exact", "bounded"):
+            continue
+        limit = txn.requested_ts if txn.mode == "exact" \
+            else txn.effective_ts
+        if txn.mode == "bounded":
+            if txn.requested_ts is not None and \
+                    txn.effective_ts is not None and \
+                    txn.effective_ts < txn.requested_ts:
+                report.anomalies.append(Anomaly(
+                    type="staleness-bound-violated",
+                    description=(
+                        f"stale txn {txn.txn_id} ({txn.label}) was served "
+                        f"at {txn.effective_ts}, below its minimum bound "
+                        f"{txn.requested_ts}"),
+                    witness={"txn": txn.txn_id,
+                             "served_ts": str(txn.effective_ts),
+                             "min_ts": str(txn.requested_ts)}))
+        for op in txn.reads():
+            if op.version_ts is None:
+                continue
+            if limit is not None and op.version_ts > limit:
+                report.anomalies.append(Anomaly(
+                    type="stale-read-too-new", key=op.key,
+                    description=(
+                        f"stale txn {txn.txn_id} ({txn.label}, "
+                        f"{txn.mode}) observed version {op.version_ts} "
+                        f"newer than its read timestamp {limit}"),
+                    witness={"txn": txn.txn_id,
+                             "observed_ts": str(op.version_ts),
+                             "limit_ts": str(limit)}))
+            if limit is not None:
+                newest = _newest_acked(acked_writes.get(op.key, []),
+                                       txn.begin_ms, at_or_below=limit)
+                if newest is not None and op.version_ts < newest:
+                    report.anomalies.append(Anomaly(
+                        type="staleness-missed-write", key=op.key,
+                        description=(
+                            f"stale txn {txn.txn_id} ({txn.label}) read "
+                            f"at {limit} but missed a write with "
+                            f"commit_ts {newest} <= that timestamp, "
+                            "acked before the statement began"),
+                        witness={"txn": txn.txn_id,
+                                 "observed_ts": str(op.version_ts),
+                                 "missed_commit_ts": str(newest)}))
+
+    # -- per-session monotonic reads ----------------------------------------
+    sessions: Dict[str, List] = {}
+    for txn in committed:
+        if txn.mode == "strong":
+            sessions.setdefault(txn.label, []).append(txn)
+    for label, txns in sorted(sessions.items()):
+        txns.sort(key=lambda t: (t.begin_ms, t.txn_id))
+        high_water: Dict[str, Any] = {}
+        for txn in txns:
+            for op in txn.reads():
+                if op.from_intent or op.version_ts is None:
+                    continue
+                seen = high_water.get(op.key)
+                if seen is not None and op.version_ts < seen:
+                    report.anomalies.append(Anomaly(
+                        type="non-monotonic-session", key=op.key,
+                        description=(
+                            f"session {label!r} txn {txn.txn_id} read "
+                            f"version {op.version_ts} after previously "
+                            f"observing {seen}"),
+                        witness={"session": label, "txn": txn.txn_id,
+                                 "observed_ts": str(op.version_ts),
+                                 "previous_ts": str(seen)}))
+                elif seen is None or op.version_ts > seen:
+                    high_water[op.key] = op.version_ts
+            if txn.commit_ts is not None:
+                for op in txn.writes():
+                    seen = high_water.get(op.key)
+                    if seen is None or txn.commit_ts > seen:
+                        high_water[op.key] = txn.commit_ts
+
+    report.checks_run.extend([
+        "real-time: strong reads observe every write acked before they "
+        "began (commit-wait / GLOBAL recency)",
+        "staleness: exact/bounded reads never observe data newer than "
+        "their timestamp, never miss covered acked writes, and bounded "
+        "negotiation respects the minimum bound",
+        "sessions: per-session monotonic reads",
+    ])

@@ -4,8 +4,12 @@ import random
 
 from hypothesis import given, settings, strategies as st
 
+import pytest
+
 from repro.cluster import standard_cluster
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StaleReadBoundError
+from repro.kv.closedts import DEFAULT_CLOSED_TS_LAG_MS, LagPolicy, LeadPolicy
+from repro.kv.distsender import negotiated_timestamp
 from repro.placement import Allocator, SurvivalGoal, zone_config_for_home
 from repro.sim.clock import Timestamp, TS_ZERO
 from repro.sim.core import Simulator
@@ -171,6 +175,104 @@ class TestAllocatorProperties:
             assert voters_by_region.get(region, 0) >= count
         # Leaseholder in the preferred region.
         assert placement.leaseholder.locality.region == home
+
+
+class TestClosedTimestampProperties:
+    now_strategy = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+
+    @given(st.lists(now_strategy, min_size=1, max_size=40),
+           st.floats(min_value=0.0, max_value=10_000.0, allow_nan=False))
+    def test_lag_policy_targets_monotone_and_behind(self, nows, lag_ms):
+        """A leaseholder's emitted closed timestamps never regress and a
+        LAG policy never closes present or future time."""
+        policy = LagPolicy(lag_ms=lag_ms)
+        emitted = TS_ZERO
+        for physical in sorted(nows):
+            now = Timestamp(physical, 0)
+            target = policy.target(now)
+            assert target.physical == now.physical - lag_ms
+            assert not target.synthetic
+            # <= not <: a lag smaller than one ulp of `now` is absorbed
+            # by float rounding.
+            assert target <= now
+            # The replica publishes max(previous, target): monotone.
+            assert max(emitted, target) >= emitted
+            emitted = max(emitted, target)
+
+    @given(st.lists(now_strategy, min_size=1, max_size=40),
+           st.floats(min_value=0.1, max_value=10_000.0, allow_nan=False))
+    def test_lead_policy_targets_ahead_and_synthetic(self, nows, lead_ms):
+        """GLOBAL ranges close future time, and must mark it synthetic so
+        observers know not to trust it as a real clock reading."""
+        policy = LeadPolicy(lead_ms=lead_ms)
+        assert policy.leads
+        emitted = TS_ZERO
+        for physical in sorted(nows):
+            now = Timestamp(physical, 0)
+            target = policy.target(now)
+            assert target.synthetic
+            assert target > now
+            emitted_next = max(emitted, target)
+            assert emitted_next >= emitted
+            emitted = emitted_next
+
+    @given(st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+           st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+           st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+           st.floats(min_value=0.0, max_value=500.0, allow_nan=False))
+    def test_lead_for_range_covers_every_latency_component(
+            self, raft_ms, replicate_ms, offset_ms, side_ms):
+        """§6.2.1: the lead must absorb raft commit, replication fan-out,
+        clock offset AND the side-transport staleness — dropping any one
+        component would let present-time reads block on followers."""
+        policy = LeadPolicy.for_range(
+            raft_ms, replicate_ms, offset_ms,
+            side_transport_interval_ms=side_ms)
+        for component in (raft_ms, replicate_ms, offset_ms, side_ms):
+            assert policy.lead_ms >= component
+        assert policy.lead_ms >= raft_ms + replicate_ms + offset_ms + side_ms
+        assert LagPolicy().lag_ms == DEFAULT_CLOSED_TS_LAG_MS
+
+
+class TestBoundedStalenessNegotiation:
+    @given(st.lists(ts_strategy, min_size=1, max_size=12), ts_strategy)
+    def test_negotiation_picks_newest_commonly_servable(self, servable,
+                                                        min_ts):
+        """§5.3.2: the negotiated timestamp is the newest timestamp every
+        required replica can serve, and never below the caller's bound."""
+        try:
+            negotiated = negotiated_timestamp(servable, min_ts)
+        except StaleReadBoundError:
+            # Rejected exactly when even the weakest replica cannot
+            # reach the bound.
+            assert min(servable) < min_ts
+            return
+        assert negotiated == min(servable)
+        assert negotiated >= min_ts
+        for replica_max in servable:
+            assert negotiated <= replica_max
+
+    @given(ts_strategy)
+    def test_no_replicas_degrades_to_the_bound(self, min_ts):
+        assert negotiated_timestamp([], min_ts) == min_ts
+
+    @given(st.lists(ts_strategy, min_size=1, max_size=12),
+           st.lists(ts_strategy, min_size=0, max_size=6), ts_strategy)
+    def test_adding_replicas_never_raises_the_timestamp(self, servable,
+                                                        extra, min_ts):
+        """Widening the read's required replica set can only lower (or
+        reject) the negotiated timestamp, never advance it."""
+        try:
+            base = negotiated_timestamp(servable, min_ts)
+        except StaleReadBoundError:
+            with pytest.raises(StaleReadBoundError):
+                negotiated_timestamp(servable + extra, min_ts)
+            return
+        try:
+            widened = negotiated_timestamp(servable + extra, min_ts)
+        except StaleReadBoundError:
+            return
+        assert widened <= base
 
 
 class TestZipfProperties:

@@ -1,0 +1,389 @@
+"""Checker self-tests: hand-crafted histories with known anomalies.
+
+Guards against a vacuously-green checker — every anomaly class the
+verify subsystem claims to detect is exercised with a minimal history
+that MUST be flagged (with the correct witness), alongside clean
+histories that must pass.
+"""
+
+import pytest
+
+from repro.sim.clock import Timestamp
+from repro.verify import RecordedOp, RecordedTxn, VerifyHistory, check
+
+
+def ts(ms, logical=0):
+    return Timestamp(float(ms), logical)
+
+
+def read(key, value, version_ms, at_ms=0.0, from_intent=False):
+    return RecordedOp(kind="r", key=key, value=value,
+                      version_ts=ts(version_ms), at_ms=at_ms,
+                      from_intent=from_intent)
+
+
+def write(key, value, version_ms, at_ms=0.0):
+    return RecordedOp(kind="w", key=key, value=value,
+                      version_ts=ts(version_ms), at_ms=at_ms)
+
+
+def txn(txn_id, ops, status="committed", commit_ms=None, begin_ms=0.0,
+        end_ms=None, label=None, mode="strong", requested_ms=None,
+        effective_ms=None):
+    return RecordedTxn(
+        txn_id=txn_id, label=label or f"c{txn_id}", region="us-east1",
+        mode=mode, status=status, begin_ms=begin_ms,
+        end_ms=end_ms if end_ms is not None else begin_ms + 1.0,
+        commit_ts=None if commit_ms is None else ts(commit_ms),
+        requested_ts=None if requested_ms is None else ts(requested_ms),
+        effective_ts=None if effective_ms is None else ts(effective_ms),
+        ops=ops)
+
+
+def history(txns, kinds, final=None):
+    meta = {"scenario": "hand-crafted", "seed": 0,
+            "keys": {key: {"kind": kind, "global": False}
+                     for key, kind in kinds.items()}}
+    return VerifyHistory(txns=list(txns), meta=meta, final=final or {})
+
+
+def anomaly_types(report):
+    return {a.type for a in report.anomalies}
+
+
+REG = {"t/r1": "register", "t/r2": "register"}
+LISTS = {"t/l1": "list", "t/l2": "list"}
+
+
+def init_registers(commit_ms=10.0):
+    return txn(1, [write("t/r1", "init:r1", commit_ms),
+                   write("t/r2", "init:r2", commit_ms)],
+               commit_ms=commit_ms, begin_ms=5.0, label="init")
+
+
+class TestCycleAnomalies:
+    def test_write_skew_is_g2(self):
+        """The classic: each txn reads the key the other writes."""
+        h = history([
+            init_registers(),
+            txn(2, [read("t/r1", "init:r1", 10),
+                    write("t/r2", "c2:1", 20)],
+                commit_ms=20, begin_ms=15),
+            txn(3, [read("t/r2", "init:r2", 10),
+                    write("t/r1", "c3:1", 21)],
+                commit_ms=21, begin_ms=15),
+        ], REG)
+        report = check(h)
+        assert "G2" in anomaly_types(report)
+        g2 = next(a for a in report.anomalies if a.type == "G2")
+        in_cycle = {step["from"] for step in g2.witness["cycle"]}
+        assert in_cycle == {2, 3}
+
+    def test_g_single_from_lost_update_shape(self):
+        h = history([
+            init_registers(),
+            txn(2, [read("t/r1", "init:r1", 10),
+                    write("t/r1", "c2:1", 20)],
+                commit_ms=20, begin_ms=12),
+            txn(3, [read("t/r1", "init:r1", 10),
+                    write("t/r1", "c3:1", 21)],
+                commit_ms=21, begin_ms=12),
+        ], REG)
+        report = check(h)
+        types = anomaly_types(report)
+        assert "lost-update" in types
+        assert "G-single" in types
+        lost = next(a for a in report.anomalies if a.type == "lost-update")
+        assert lost.witness["txns"] == [2, 3]
+
+    def test_g0_write_cycle_over_list_keys(self):
+        """ww cycle inferred purely from list prefix chains (no
+        timestamp trust): T2/T3 each overwrote the other's append."""
+        h = history([
+            txn(1, [write("t/l1", [], 10), write("t/l2", [], 10)],
+                commit_ms=10, begin_ms=5, label="init"),
+            txn(2, [write("t/l1", ["a"], 20),
+                    write("t/l2", ["x", "y"], 20)],
+                commit_ms=20, begin_ms=15),
+            txn(3, [write("t/l1", ["a", "b"], 25),
+                    write("t/l2", ["x"], 25)],
+                commit_ms=25, begin_ms=15),
+        ], LISTS)
+        report = check(h)
+        types = anomaly_types(report)
+        assert "G0" in types
+        # The data-derived order on t/l2 also contradicts commit-ts order.
+        assert "incompatible-order" in types
+
+    def test_g1c_circular_information_flow(self):
+        h = history([
+            init_registers(),
+            txn(2, [write("t/r1", "c2:a", 20),
+                    write("t/r2", "c2:b", 20)],
+                commit_ms=20, begin_ms=12),
+            txn(3, [read("t/r1", "c2:a", 20),
+                    write("t/r2", "c3:b", 15)],
+                commit_ms=15, begin_ms=12),
+        ], REG)
+        report = check(h)
+        assert "G1c" in anomaly_types(report)
+
+
+class TestDirtyAndIntermediateReads:
+    def test_dirty_read_of_aborted_write_is_g1a(self):
+        h = history([
+            init_registers(),
+            txn(2, [write("t/r1", "c2:1", 15)], status="aborted",
+                begin_ms=12),
+            txn(3, [read("t/r1", "c2:1", 15)], commit_ms=20, begin_ms=16),
+        ], REG)
+        report = check(h)
+        assert "G1a" in anomaly_types(report)
+        g1a = next(a for a in report.anomalies if a.type == "G1a")
+        assert g1a.witness == {"reader": 3, "writer": 2}
+
+    def test_intermediate_read_is_g1b(self):
+        h = history([
+            init_registers(),
+            txn(2, [write("t/r1", "c2:1", 15),
+                    write("t/r1", "c2:2", 16)],
+                commit_ms=16, begin_ms=12),
+            txn(3, [read("t/r1", "c2:1", 15)], commit_ms=20, begin_ms=17),
+        ], REG)
+        report = check(h)
+        assert "G1b" in anomaly_types(report)
+
+    def test_garbage_read_flagged(self):
+        h = history([
+            init_registers(),
+            txn(2, [read("t/r1", "never-written", 15)],
+                commit_ms=20, begin_ms=16),
+        ], REG)
+        report = check(h)
+        assert "garbage-read" in anomaly_types(report)
+
+    def test_duplicate_write_values_flagged(self):
+        h = history([
+            init_registers(),
+            txn(2, [write("t/r1", "dup", 20)], commit_ms=20, begin_ms=12),
+            txn(3, [write("t/r1", "dup", 25)], commit_ms=25, begin_ms=13),
+        ], REG)
+        report = check(h)
+        assert "duplicate-write" in anomaly_types(report)
+
+
+class TestRealTimeAndStaleness:
+    def test_stale_global_read_flagged(self):
+        """A strong read beginning after a write was acked must see it
+        (commit-wait correctness for GLOBAL tables)."""
+        h = history([
+            init_registers(),
+            txn(2, [write("t/r1", "c2:1", 100)],
+                commit_ms=100, begin_ms=90, end_ms=110),
+            txn(3, [read("t/r1", "init:r1", 10)],
+                commit_ms=130, begin_ms=120),
+        ], REG)
+        report = check(h)
+        assert "stale-strong-read" in anomaly_types(report)
+
+    def test_concurrent_read_may_miss_unacked_write(self):
+        """A read that began before the writer's ack is concurrent with
+        it — observing the old version is legal."""
+        h = history([
+            init_registers(),
+            txn(2, [write("t/r1", "c2:1", 100)],
+                commit_ms=100, begin_ms=90, end_ms=110),
+            txn(3, [read("t/r1", "init:r1", 10)],
+                commit_ms=130, begin_ms=105, end_ms=132),
+        ], REG)
+        report = check(h)
+        assert "stale-strong-read" not in anomaly_types(report)
+
+    def test_exact_staleness_overshoot_flagged(self):
+        """An AS OF SYSTEM TIME read must never observe data newer than
+        its timestamp."""
+        h = history([
+            init_registers(),
+            txn(2, [write("t/r1", "c2:1", 80)],
+                commit_ms=80, begin_ms=70, end_ms=90),
+            txn(-1, [read("t/r1", "c2:1", 80)], mode="exact",
+                requested_ms=50, begin_ms=200, label="stale"),
+        ], REG)
+        report = check(h)
+        assert "stale-read-too-new" in anomaly_types(report)
+
+    def test_bounded_staleness_bound_violation_flagged(self):
+        h = history([
+            init_registers(),
+            txn(-1, [read("t/r1", "init:r1", 10)], mode="bounded",
+                requested_ms=50, effective_ms=40, begin_ms=200,
+                label="stale"),
+        ], REG)
+        report = check(h)
+        assert "staleness-bound-violated" in anomaly_types(report)
+
+    def test_stale_read_missing_covered_write_flagged(self):
+        """Reading at ts=100 must observe a write with commit_ts 80 that
+        was acked long before the statement began."""
+        h = history([
+            init_registers(),
+            txn(2, [write("t/r1", "c2:1", 80)],
+                commit_ms=80, begin_ms=70, end_ms=90),
+            txn(-1, [read("t/r1", "init:r1", 10)], mode="exact",
+                requested_ms=100, begin_ms=200, label="stale"),
+        ], REG)
+        report = check(h)
+        assert "staleness-missed-write" in anomaly_types(report)
+
+    def test_clean_stale_read_passes(self):
+        h = history([
+            init_registers(),
+            txn(2, [write("t/r1", "c2:1", 80)],
+                commit_ms=80, begin_ms=70, end_ms=90),
+            txn(-1, [read("t/r1", "init:r1", 10)], mode="exact",
+                requested_ms=50, begin_ms=200, label="stale"),
+        ], REG)
+        assert check(h).ok
+
+    def test_non_monotonic_session_flagged(self):
+        h = history([
+            init_registers(),
+            txn(2, [write("t/r1", "c2:1", 100)],
+                commit_ms=100, begin_ms=90, end_ms=101),
+            txn(3, [read("t/r1", "c2:1", 100)],
+                commit_ms=120, begin_ms=102, label="sess"),
+            txn(4, [read("t/r1", "init:r1", 10)],
+                commit_ms=140, begin_ms=103, label="sess"),
+        ], REG)
+        report = check(h)
+        assert "non-monotonic-session" in anomaly_types(report)
+
+
+class TestFinalState:
+    def test_lost_acked_append_flagged(self):
+        h = history([
+            txn(1, [write("t/l1", [], 10)], commit_ms=10, begin_ms=5,
+                label="init"),
+            txn(2, [read("t/l1", [], 10),
+                    write("t/l1", ["a"], 20)], commit_ms=20, begin_ms=12),
+        ], LISTS, final={"t/l1": []})
+        report = check(h)
+        types = anomaly_types(report)
+        assert "lost-write" in types
+        assert "final-state-divergence" in types
+
+    def test_incompatible_order_flagged(self):
+        """Data-derived list order contradicting commit timestamps is
+        itself serializability evidence."""
+        h = history([
+            txn(1, [write("t/l1", [], 10)], commit_ms=10, begin_ms=5,
+                label="init"),
+            txn(2, [write("t/l1", ["a"], 30)], commit_ms=30, begin_ms=12),
+            txn(3, [write("t/l1", ["a", "b"], 20)],
+                commit_ms=20, begin_ms=12),
+        ], LISTS)
+        report = check(h)
+        assert "incompatible-order" in anomaly_types(report)
+
+
+class TestCleanHistories:
+    def test_serial_rmw_history_passes(self):
+        h = history([
+            init_registers(),
+            txn(2, [read("t/r1", "init:r1", 10),
+                    write("t/r1", "c2:1", 20)],
+                commit_ms=20, begin_ms=12),
+            txn(3, [read("t/r1", "c2:1", 20),
+                    write("t/r1", "c3:1", 30)],
+                commit_ms=30, begin_ms=25),
+        ], REG, final={"t/r1": "c3:1", "t/r2": "init:r2"})
+        report = check(h)
+        assert report.ok, report.render()
+        assert report.stats["txns_committed"] == 3
+
+    def test_clean_list_appends_pass(self):
+        h = history([
+            txn(1, [write("t/l1", [], 10)], commit_ms=10, begin_ms=5,
+                label="init"),
+            txn(2, [read("t/l1", [], 10),
+                    write("t/l1", ["a"], 20)], commit_ms=20, begin_ms=12),
+            txn(3, [read("t/l1", ["a"], 20),
+                    write("t/l1", ["a", "b"], 30)],
+                commit_ms=30, begin_ms=22),
+        ], LISTS, final={"t/l1": ["a", "b"]})
+        report = check(h)
+        assert report.ok, report.render()
+
+    def test_read_own_write_not_an_edge(self):
+        h = history([
+            init_registers(),
+            txn(2, [write("t/r1", "c2:1", 20),
+                    read("t/r1", "c2:1", 20, from_intent=True)],
+                commit_ms=20, begin_ms=12),
+        ], REG)
+        assert check(h).ok
+
+    def test_observed_indeterminate_commit_promoted(self):
+        """An ambiguous commit whose write is observed actually
+        committed; the checker folds it into the serial order."""
+        h = history([
+            init_registers(),
+            txn(2, [write("t/r1", "c2:1", 20)], status="indeterminate",
+                commit_ms=20, begin_ms=12),
+            txn(3, [read("t/r1", "c2:1", 20)], commit_ms=30, begin_ms=25),
+        ], REG, final={"t/r1": "c2:1", "t/r2": "init:r2"})
+        report = check(h)
+        assert report.ok, report.render()
+        assert report.stats["promoted_indeterminate"] == 1
+
+    def test_unobserved_indeterminate_ignored(self):
+        h = history([
+            init_registers(),
+            txn(2, [write("t/r1", "c2:1", 20)], status="indeterminate",
+                commit_ms=20, begin_ms=12),
+            txn(3, [read("t/r1", "init:r1", 10)],
+                commit_ms=30, begin_ms=25),
+        ], REG, final={"t/r1": "init:r1", "t/r2": "init:r2"})
+        report = check(h)
+        assert report.ok, report.render()
+        assert report.stats["promoted_indeterminate"] == 0
+
+
+class TestDeterminismAndReplay:
+    def test_report_is_byte_identical_after_json_round_trip(self):
+        h = history([
+            init_registers(),
+            txn(2, [read("t/r1", "init:r1", 10),
+                    write("t/r2", "c2:1", 20)],
+                commit_ms=20, begin_ms=15),
+            txn(3, [read("t/r2", "init:r2", 10),
+                    write("t/r1", "c3:1", 21)],
+                commit_ms=21, begin_ms=15),
+        ], REG)
+        first = check(h).dumps()
+        replayed = check(VerifyHistory.loads(h.dumps())).dumps()
+        assert first == replayed
+        assert not check(h).ok
+
+    def test_checking_does_not_mutate_history(self):
+        h = history([
+            init_registers(),
+            txn(2, [write("t/r1", "c2:1", 20)], status="indeterminate",
+                commit_ms=20, begin_ms=12),
+            txn(3, [read("t/r1", "c2:1", 20)], commit_ms=30, begin_ms=25),
+        ], REG, final={"t/r1": "c2:1", "t/r2": "init:r2"})
+        before = h.dumps()
+        check(h)
+        assert h.dumps() == before
+
+    def test_anomalies_sorted_deterministically(self):
+        h = history([
+            init_registers(),
+            txn(2, [read("t/r1", "junk1", 15),
+                    read("t/r2", "junk2", 15)],
+                commit_ms=20, begin_ms=16),
+        ], REG)
+        report = check(h)
+        keys = [a.sort_key() for a in report.anomalies]
+        assert keys == sorted(keys)
+        assert len(report.anomalies) == 2

@@ -1,0 +1,34 @@
+"""Tier-2 randomized consistency sweep: every chaos scenario x seeds.
+
+Run with ``pytest -m verify``.  Each case drives the seeded random
+transaction generator under a nemesis schedule and asserts the full
+Elle-style check comes back clean; on failure, the dumped history JSON
+is embedded so the violation can be replayed offline with
+``python -m repro verify --check``.
+"""
+
+import pytest
+
+from repro.verify import VERIFY_SCENARIOS, run_verify
+
+SEEDS = range(5)
+
+pytestmark = pytest.mark.verify
+
+
+@pytest.mark.parametrize("scenario", VERIFY_SCENARIOS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_scenario_history_is_anomaly_free(scenario, seed):
+    result = run_verify(scenario, seed=seed)
+    assert result.ok, (
+        f"{scenario} seed={seed} found anomalies:\n"
+        f"{result.report.render()}\n"
+        f"--- replayable history ---\n{result.history.dumps()}")
+
+
+@pytest.mark.parametrize("scenario", ["crash-restart"])
+def test_sweep_results_are_replayable(scenario):
+    result = run_verify(scenario, seed=0)
+    from repro.verify import VerifyHistory, check
+    replayed = check(VerifyHistory.loads(result.history.dumps()))
+    assert replayed.dumps() == result.report.dumps()
