@@ -92,6 +92,11 @@ def main(argv=None) -> int:
 
     if args.verify:
         verify_names = [n for n in names if n in VERIFY_SCENARIOS]
+        # The verify harness's "overload" scenario is a load nemesis
+        # with no chaos-registry counterpart; sweep it whenever the
+        # overload chaos scenarios are in scope.
+        if "overload-global" in names:
+            verify_names.append("overload")
         for name in verify_names:
             for seed in range(args.seeds):
                 start = time.time()

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Callable, Dict
@@ -433,11 +434,68 @@ def _bench_main(argv) -> int:
     return 0
 
 
+def _scale_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro scale",
+        description="Open-loop saturation sweep: deterministic users vs "
+                    "p50/p99/goodput curves with admission control on, "
+                    "plus the congestion-collapse baseline with the "
+                    "protections off.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="simulation seed (default 0)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sweep (1x and 4x only, shorter "
+                             "arrival window)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the machine-readable document instead "
+                             "of the table")
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick sweep + regression gate against the "
+                             "committed SCALE_results.json baseline "
+                             "(exit 1 on >25%% goodput/p99 regression or "
+                             "a failed graceful-degradation gate)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="with --smoke: promote the fresh run to be "
+                             "the committed baseline")
+    args = parser.parse_args(argv)
+
+    from .harness.scale import (RESULTS_PATH, check_scale_regression,
+                                render_scale, run_scale)
+
+    doc = run_scale(seed=args.seed, quick=args.quick or args.smoke)
+    if not args.smoke:
+        print(json.dumps(doc, indent=2) if args.json else render_scale(doc))
+        return 0 if doc["gates"]["ok"] else 1
+
+    stored = {}
+    if os.path.exists(RESULTS_PATH):
+        with open(RESULTS_PATH) as fh:
+            stored = json.load(fh)
+    failures = check_scale_regression(doc, stored.get("smoke", {}))
+    stored["smoke_latest"] = doc
+    if args.update_baseline or "smoke" not in stored:
+        stored["smoke"] = doc
+        print("scale smoke baseline updated")
+    with open(RESULTS_PATH, "w") as fh:
+        json.dump(stored, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(render_scale(doc))
+    if failures:
+        print("\nREGRESSION vs committed baseline:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\nno regression vs committed baseline (tolerance 25%)")
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "bench":
         return _bench_main(argv[1:])
+    if argv and argv[0] == "scale":
+        return _scale_main(argv[1:])
     if argv and argv[0] == "chaos":
         return _chaos_main(argv[1:])
     if argv and argv[0] == "verify":

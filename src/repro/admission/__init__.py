@@ -1,0 +1,33 @@
+"""Admission control and overload protection.
+
+CRDB-style backpressure threaded through every layer of the stack:
+
+- :class:`TokenBucket` — deterministic rate/burst accounting on sim time.
+- :class:`AdmissionQueue` — SQL-gateway admission with per-tenant/
+  per-region token buckets, priority/FIFO ordering and bounded depth.
+- :class:`StoreWorkQueue` — per-store slot model gating KV command
+  evaluation so a hot leaseholder queues (and sheds expired work)
+  instead of melting.
+- :class:`RetryBudget` — per-tenant retry throttling so retry storms
+  cannot turn a transient overload into a metastable failure.
+- :class:`AdmissionController` — the per-cluster facade wiring the
+  pieces together; installed via :func:`install_admission` and kept
+  ``None`` by default so the fast path is untouched when disabled.
+"""
+
+from .tokens import TokenBucket
+from .queue import AdmissionQueue, Priority
+from .store_queue import StoreWorkQueue
+from .retry_budget import RetryBudget
+from .controller import AdmissionConfig, AdmissionController, install_admission
+
+__all__ = [
+    "TokenBucket",
+    "AdmissionQueue",
+    "Priority",
+    "StoreWorkQueue",
+    "RetryBudget",
+    "AdmissionConfig",
+    "AdmissionController",
+    "install_admission",
+]

@@ -572,6 +572,18 @@ def _region_loss_repair(seed: int) -> ScenarioResult:
                        audit_regions=survivors)
 
 
+def _overload_global(seed: int) -> ScenarioResult:
+    # Imported lazily: chaos.overload builds on harness.openloop and
+    # imports ScenarioResult from this module.
+    from .overload import overload_global
+    return overload_global(seed)
+
+
+def _overload_hot_region(seed: int) -> ScenarioResult:
+    from .overload import overload_hot_region
+    return overload_hot_region(seed)
+
+
 SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {
     "region-blackout": _region_blackout,
     "rolling-zones": _rolling_zones,
@@ -581,6 +593,8 @@ SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {
     "crash-restart": _crash_restart,
     "kill-node-repair": _kill_node_repair,
     "region-loss-repair": _region_loss_repair,
+    "overload-global": _overload_global,
+    "overload-hot-region": _overload_hot_region,
 }
 
 

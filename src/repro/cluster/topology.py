@@ -45,6 +45,10 @@ class Cluster:
         #: consulted by lock pushes (stands in for CRDB's txn records +
         #: coordinator heartbeats).
         self.txn_registry: Dict[int, object] = {}
+        #: Admission controller (``repro.admission``); ``None`` means
+        #: admission control is disabled and every gated path is a
+        #: single attribute check — installed via ``install_admission``.
+        self.admission = None
         self._next_node_id = 1
         self._next_range_id = 1
 

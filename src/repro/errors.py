@@ -25,6 +25,10 @@ __all__ = [
     "ForeignKeyViolationError",
     "SchemaError",
     "SqlSyntaxError",
+    "OverloadError",
+    "AdmissionRejectedError",
+    "RetryBudgetExhaustedError",
+    "DeadlineExceededError",
 ]
 
 
@@ -158,3 +162,53 @@ class SchemaError(DatabaseError):
 
 class SqlSyntaxError(DatabaseError):
     """The SQL text could not be parsed."""
+
+
+class OverloadError(DatabaseError):
+    """Base class for load-shedding errors raised by admission control.
+
+    Work rejected with an ``OverloadError`` was *never admitted* (or was
+    shed before doing further damage): the client should back off and
+    reduce its offered load rather than retry immediately (CRDB's
+    admission-control rejections / gRPC ``RESOURCE_EXHAUSTED``).
+    """
+
+
+class AdmissionRejectedError(OverloadError):
+    """The admission queue rejected the request outright (queue full or
+    the token bucket cannot cover it before the deadline)."""
+
+    def __init__(self, queue: str, reason: str):
+        super().__init__(f"admission rejected by {queue}: {reason}")
+        self.queue = queue
+        self.reason = reason
+
+
+class RetryBudgetExhaustedError(OverloadError):
+    """The per-tenant retry budget is spent; retrying now would only
+    amplify the overload (metastable-failure protection)."""
+
+    def __init__(self, tenant: str, attempts: int):
+        super().__init__(
+            f"retry budget exhausted for tenant {tenant!r} "
+            f"after {attempts} attempt(s)")
+        self.tenant = tenant
+        self.attempts = attempts
+
+
+class DeadlineExceededError(DatabaseError):
+    """The operation's deadline passed before it could complete.
+
+    Raised *before* issuing (or retrying) work that cannot finish in
+    time, so expired requests fail fast instead of burning backoff and
+    server capacity past the point anyone is waiting for the answer.
+    Not retryable: the caller's deadline has passed by construction.
+    """
+
+    def __init__(self, op: str, deadline_ms: float, now_ms: float):
+        super().__init__(
+            f"deadline exceeded for {op}: deadline {deadline_ms:.1f}ms, "
+            f"now {now_ms:.1f}ms")
+        self.op = op
+        self.deadline_ms = deadline_ms
+        self.now_ms = now_ms

@@ -10,6 +10,7 @@ RPC timeout per request.
 
 from __future__ import annotations
 
+import random
 from typing import Callable, Dict, Optional
 
 __all__ = ["CircuitBreaker", "BreakerState"]
@@ -26,7 +27,9 @@ class CircuitBreaker:
 
     def __init__(self, failure_threshold: int = 3,
                  cooldown_ms: float = 500.0,
-                 on_transition: Optional[Callable[[str, str], None]] = None):
+                 on_transition: Optional[Callable[[str, str], None]] = None,
+                 rng: Optional[random.Random] = None,
+                 probe_jitter: float = 0.0):
         self.failure_threshold = failure_threshold
         self.cooldown_ms = cooldown_ms
         self.state = BreakerState.CLOSED
@@ -34,6 +37,16 @@ class CircuitBreaker:
         self.opened_at_ms = 0.0
         self.trips = 0
         self._probe_inflight = False
+        #: Half-open probe scheduling jitter: each time the breaker
+        #: opens, the next probe window is stretched by a factor drawn
+        #: from ``rng`` in ``[1, 1 + probe_jitter]``.  Seeded through
+        #: the simulation RNG so a fleet of breakers opened by the same
+        #: fault does not probe in lockstep, while every run stays
+        #: byte-deterministic.  Default 0.0 keeps the legacy fixed
+        #: cooldown.
+        self._rng = rng
+        self.probe_jitter = probe_jitter
+        self._cooldown_scale = 1.0
         #: Called with (old_state, new_state) on every state change so
         #: the owner can mirror breaker activity onto the metrics
         #: registry without the breaker importing it.
@@ -52,7 +65,7 @@ class CircuitBreaker:
         if self.state == BreakerState.CLOSED:
             return True
         if self.state == BreakerState.OPEN:
-            if now_ms - self.opened_at_ms < self.cooldown_ms:
+            if now_ms - self.opened_at_ms < self.cooldown_ms * self._cooldown_scale:
                 return False
             self._set_state(BreakerState.HALF_OPEN)
             self._probe_inflight = False
@@ -67,6 +80,12 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         self._probe_inflight = False
 
+    def _draw_cooldown_scale(self) -> None:
+        if self._rng is not None and self.probe_jitter > 0.0:
+            self._cooldown_scale = 1.0 + self.probe_jitter * self._rng.random()
+        else:
+            self._cooldown_scale = 1.0
+
     def record_failure(self, now_ms: float) -> None:
         self.consecutive_failures += 1
         self._probe_inflight = False
@@ -74,11 +93,13 @@ class CircuitBreaker:
             # Failed probe: back to a full cooldown.
             self._set_state(BreakerState.OPEN)
             self.opened_at_ms = now_ms
+            self._draw_cooldown_scale()
             return
         if (self.state == BreakerState.CLOSED
                 and self.consecutive_failures >= self.failure_threshold):
             self._set_state(BreakerState.OPEN)
             self.opened_at_ms = now_ms
+            self._draw_cooldown_scale()
             self.trips += 1
 
     def reset(self) -> None:
@@ -100,7 +121,8 @@ class CircuitBreaker:
         """Non-mutating probe-free check (for replica *selection*; use
         :meth:`allow` on the actual send path)."""
         return (self.state == BreakerState.OPEN
-                and now_ms - self.opened_at_ms < self.cooldown_ms)
+                and now_ms - self.opened_at_ms
+                < self.cooldown_ms * self._cooldown_scale)
 
 
 class BreakerSet:
@@ -114,10 +136,15 @@ class BreakerSet:
     """
 
     def __init__(self, failure_threshold: int = 3,
-                 cooldown_ms: float = 500.0, registry=None):
+                 cooldown_ms: float = 500.0, registry=None,
+                 rng: Optional[random.Random] = None,
+                 probe_jitter: float = 0.0):
         self.failure_threshold = failure_threshold
         self.cooldown_ms = cooldown_ms
         self.registry = registry
+        #: Shared seeded RNG for half-open probe jitter (None = no jitter).
+        self.rng = rng
+        self.probe_jitter = probe_jitter
         self._breakers: Dict[int, CircuitBreaker] = {}
         #: Bumped on every breaker state transition (cache invalidation).
         self.generation = 0
@@ -152,7 +179,9 @@ class BreakerSet:
         if breaker is None:
             breaker = CircuitBreaker(self.failure_threshold,
                                      self.cooldown_ms,
-                                     on_transition=self._transition_hook(node_id))
+                                     on_transition=self._transition_hook(node_id),
+                                     rng=self.rng,
+                                     probe_jitter=self.probe_jitter)
             self._breakers[node_id] = breaker
         return breaker
 

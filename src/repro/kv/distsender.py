@@ -16,6 +16,7 @@ import random
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from ..errors import (
+    DeadlineExceededError,
     FollowerReadNotAvailableError,
     StaleReadBoundError,
     WriteIntentError,
@@ -83,7 +84,8 @@ class DistSender:
                  rpc_max_attempts: int = 3,
                  auto_failover: bool = True,
                  breaker_threshold: int = 3,
-                 breaker_cooldown_ms: float = 500.0):
+                 breaker_cooldown_ms: float = 500.0,
+                 breaker_probe_jitter: float = 0.15):
         self.cluster = cluster
         self.network = cluster.network
         self.adaptive_follower_wait_ms = adaptive_follower_wait_ms
@@ -91,8 +93,15 @@ class DistSender:
         self.rpc_max_attempts = max(1, rpc_max_attempts)
         self.auto_failover = auto_failover
         registry = cluster.sim.obs.registry
+        # Half-open probe scheduling is seeded through the simulation
+        # seed: a fleet of breakers tripped by the same fault re-probes
+        # staggered instead of in lockstep, and every run of a given
+        # seed schedules probes byte-identically.
+        breaker_rng = random.Random(
+            (getattr(cluster, "seed", 0) << 8) ^ 0xB4EA)
         self.breakers = BreakerSet(breaker_threshold, breaker_cooldown_ms,
-                                   registry=registry)
+                                   registry=registry, rng=breaker_rng,
+                                   probe_jitter=breaker_probe_jitter)
         # A restarted node deserves a clean slate: accumulated failures
         # (and any probe stranded when it died) belong to the previous
         # incarnation.
@@ -110,6 +119,7 @@ class DistSender:
         self._c_follower_served = registry.counter("distsender.follower_reads_served")
         self._c_retries = registry.counter("distsender.rpc_retries")
         self._c_failovers = registry.counter("distsender.failovers_triggered")
+        self._c_deadline_drops = registry.counter("distsender.deadline_drops")
 
     @property
     def follower_read_fallbacks(self) -> int:
@@ -183,7 +193,8 @@ class DistSender:
     # -- hardened leaseholder RPC ----------------------------------------------
 
     def _leaseholder_call(self, gateway, rng: Range, handler,
-                          span=None, op: str = "rpc") -> Future:
+                          span=None, op: str = "rpc",
+                          deadline_ms: Optional[float] = None) -> Future:
         """Send ``handler`` to the range's leaseholder with the full
         robustness kit: per-RPC timeout, seeded exponential backoff with
         jitter between attempts, a per-replica circuit breaker, and
@@ -212,6 +223,14 @@ class DistSender:
                                              base_ms=10.0, max_ms=400.0)
                 last_error: Optional[BaseException] = None
                 for attempt in range(self.rpc_max_attempts):
+                    if deadline_ms is not None and sim.now >= deadline_ms:
+                        # Nobody is waiting for this answer anymore:
+                        # drop the RPC instead of spending an attempt
+                        # (and server capacity) past the deadline.
+                        self._c_deadline_drops.inc()
+                        op_span.annotate(error="deadline_exceeded")
+                        raise DeadlineExceededError(f"kv.{op}", deadline_ms,
+                                                    sim.now)
                     if self.network.node_is_dead(gateway.node_id):
                         # The client's own gateway store is down: fail fast
                         # instead of blaming (and failing over) a healthy
@@ -236,6 +255,12 @@ class DistSender:
                         last_error = NetworkUnavailableError(
                             f"node {dst.node_id}: circuit breaker open")
                         delay = backoff.next_delay()
+                        if (deadline_ms is not None
+                                and sim.now + delay >= deadline_ms):
+                            self._c_deadline_drops.inc()
+                            attempt_span.finish(error="deadline_exceeded")
+                            raise DeadlineExceededError(
+                                f"kv.{op}", deadline_ms, sim.now)
                         attempt_span.finish(backoff_ms=round(delay, 3))
                         yield sim.sleep(delay)
                         continue
@@ -243,9 +268,14 @@ class DistSender:
                         gateway, dst,
                         lambda _span=attempt_span: handler(_span),
                         span=attempt_span)
-                    if self.rpc_timeout_ms is not None:
+                    timeout_ms = self.rpc_timeout_ms
+                    if deadline_ms is not None:
+                        remaining = deadline_ms - sim.now
+                        timeout_ms = (remaining if timeout_ms is None
+                                      else min(timeout_ms, remaining))
+                    if timeout_ms is not None:
                         call = with_timeout(
-                            sim, call, self.rpc_timeout_ms,
+                            sim, call, timeout_ms,
                             RpcTimeoutError(
                                 f"rpc to node {dst.node_id} timed out"))
                     try:
@@ -260,6 +290,16 @@ class DistSender:
                             self._c_failovers.inc()
                             attempt_span.annotate(failover=True)
                         delay = backoff.next_delay()
+                        if (deadline_ms is not None
+                                and sim.now + delay >= deadline_ms):
+                            # The deadline-propagation fix: a doomed
+                            # retry used to sleep its full backoff and
+                            # fire anyway, long after the client had
+                            # given up.
+                            self._c_deadline_drops.inc()
+                            attempt_span.finish(error="deadline_exceeded")
+                            raise DeadlineExceededError(
+                                f"kv.{op}", deadline_ms, sim.now)
                         attempt_span.finish(backoff_ms=round(delay, 3))
                         yield sim.sleep(delay)
                         continue
@@ -282,7 +322,8 @@ class DistSender:
              txn_id: Optional[int] = None,
              uncertainty_limit: Optional[Timestamp] = None,
              routing: str = ReadRouting.LEASEHOLDER,
-             allow_server_side_bump: bool = False, span=None) -> Future:
+             allow_server_side_bump: bool = False, span=None,
+             deadline_ms: Optional[float] = None) -> Future:
         """Read ``key`` at ``ts``; resolves with (ReadResult, effective_ts).
 
         ``allow_server_side_bump`` lets the serving replica retry
@@ -299,19 +340,22 @@ class DistSender:
                     uncertainty_limit, allow_server_side_bump, span=span)
         return self._leaseholder_read(gateway, rng, key, ts, txn_id,
                                       uncertainty_limit,
-                                      allow_server_side_bump, span=span)
+                                      allow_server_side_bump, span=span,
+                                      deadline_ms=deadline_ms)
 
     def _leaseholder_read(self, gateway, rng: Range, key, ts, txn_id,
                           uncertainty_limit,
                           allow_server_side_bump: bool = False,
-                          span=None) -> Future:
+                          span=None,
+                          deadline_ms: Optional[float] = None) -> Future:
         return self._leaseholder_call(
             gateway, rng,
             lambda _span=None: rng.serve_read(key, ts, txn_id,
                                               uncertainty_limit,
                                               allow_server_side_bump,
-                                              span=_span),
-            span=span, op="read")
+                                              span=_span,
+                                              deadline_ms=deadline_ms),
+            span=span, op="read", deadline_ms=deadline_ms)
 
     def _follower_read_with_fallback(self, gateway, rng: Range, replica,
                                      key, ts, txn_id, uncertainty_limit,
@@ -483,7 +527,8 @@ class DistSender:
     # -- writes -------------------------------------------------------------------
 
     def write(self, gateway, rng: Range, key: Any, ts: Timestamp, value: Any,
-              txn_id: int, anchor_node_id: int, span=None) -> Future:
+              txn_id: int, anchor_node_id: int, span=None,
+              deadline_ms: Optional[float] = None) -> Future:
         """Write an intent; resolves with the timestamp it was laid at.
 
         Safe to retry: re-laying the same transaction's intent is
@@ -491,26 +536,30 @@ class DistSender:
         return self._leaseholder_call(
             gateway, rng,
             lambda _span=None: rng.serve_write(key, ts, value, txn_id,
-                                               anchor_node_id, span=_span),
-            span=span, op="write")
+                                               anchor_node_id, span=_span,
+                                               deadline_ms=deadline_ms),
+            span=span, op="write", deadline_ms=deadline_ms)
 
     def locking_read(self, gateway, rng: Range, key: Any, ts: Timestamp,
-                     txn_id: int, anchor_node_id: int, span=None) -> Future:
+                     txn_id: int, anchor_node_id: int, span=None,
+                     deadline_ms: Optional[float] = None) -> Future:
         """SELECT FOR UPDATE read: resolves with (value, lock_ts)."""
         return self._leaseholder_call(
             gateway, rng,
             lambda _span=None: rng.serve_locking_read(key, ts, txn_id,
                                                       anchor_node_id,
-                                                      span=_span),
-            span=span, op="locking_read")
+                                                      span=_span,
+                                                      deadline_ms=deadline_ms),
+            span=span, op="locking_read", deadline_ms=deadline_ms)
 
     def refresh(self, gateway, rng: Range, key: Any, lo: Timestamp,
-                hi: Timestamp, txn_id: int, span=None) -> Future:
+                hi: Timestamp, txn_id: int, span=None,
+                deadline_ms: Optional[float] = None) -> Future:
         return self._leaseholder_call(
             gateway, rng,
             lambda _span=None: rng.serve_refresh(key, lo, hi, txn_id,
                                                  span=_span),
-            span=span, op="refresh")
+            span=span, op="refresh", deadline_ms=deadline_ms)
 
     def write_txn_record(self, gateway, rng: Range, txn_id: int, status: str,
                          commit_ts: Optional[Timestamp], span=None) -> Future:

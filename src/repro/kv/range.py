@@ -475,13 +475,21 @@ class Range:
             wait_span.finish()
 
     def serve_write(self, key: Any, ts: Timestamp, value: Any, txn_id: int,
-                    anchor_node_id: int, span=None) -> Generator:
+                    anchor_node_id: int, span=None,
+                    deadline_ms: Optional[float] = None) -> Generator:
         """Evaluate and replicate a transactional write; returns the
         (possibly advanced) timestamp the intent was written at."""
         if self._c_writes is None:
             self._c_writes = self.sim.obs.registry.counter(
                 "kv.writes", range=self.name)
         self._c_writes.inc()
+        admission = self.cluster.admission
+        if admission is not None:
+            # Store-level admission: hold an evaluation slot (modeled
+            # CPU/IO cost) before touching locks; expired work is shed
+            # here without consuming capacity.
+            yield from admission.store_work(self.leaseholder_node_id,
+                                            deadline_ms=deadline_ms)
         while True:
             holder = self.lock_table.holder_of(key)
             if holder is not None and holder.txn_id != txn_id:
@@ -514,7 +522,8 @@ class Range:
         return ts
 
     def serve_locking_read(self, key: Any, ts: Timestamp, txn_id: int,
-                           anchor_node_id: int, span=None) -> Generator:
+                           anchor_node_id: int, span=None,
+                           deadline_ms: Optional[float] = None) -> Generator:
         """A locking read (SELECT FOR UPDATE): wait for conflicting
         locks, read the *latest* committed value, and lay an exclusive
         intent over it in one leaseholder visit.
@@ -525,6 +534,10 @@ class Range:
         a write-too-old refresh — CRDB's motivation for FOR UPDATE in
         contended read-modify-write transactions.
         """
+        admission = self.cluster.admission
+        if admission is not None:
+            yield from admission.store_work(self.leaseholder_node_id,
+                                            deadline_ms=deadline_ms)
         while True:
             holder = self.lock_table.holder_of(key)
             if holder is not None and holder.txn_id != txn_id:
@@ -558,7 +571,8 @@ class Range:
     def serve_read(self, key: Any, ts: Timestamp, txn_id: Optional[int],
                    uncertainty_limit: Optional[Timestamp],
                    allow_server_side_bump: bool = False,
-                   span=None) -> Generator:
+                   span=None, deadline_ms: Optional[float] = None
+                   ) -> Generator:
         """Leaseholder read at ``ts``; blocks on conflicting locks.
 
         Returns ``(ReadResult, effective_read_ts)``.  With
@@ -572,6 +586,10 @@ class Range:
             self._c_reads = self.sim.obs.registry.counter(
                 "kv.reads", range=self.name)
         self._c_reads.inc()
+        admission = self.cluster.admission
+        if admission is not None:
+            yield from admission.store_work(self.leaseholder_node_id,
+                                            deadline_ms=deadline_ms)
         horizon = uncertainty_limit if uncertainty_limit is not None else ts
         while True:
             holder = self.lock_table.holder_of(key)

@@ -26,6 +26,7 @@ import random
 import re
 from typing import Any, Callable, Generator, List, Optional
 
+from ..admission.queue import Priority
 from ..errors import SchemaError, SqlSyntaxError, StaleReadBoundError
 from ..kv.distsender import ReadRouting
 from ..sim.clock import Timestamp
@@ -232,6 +233,15 @@ class Session:
         self._stmt_counters = {}
         #: Open explicit transaction (BEGIN ... COMMIT), if any.
         self._open_txn = None
+        #: Statement timeout: each auto-commit statement gets an
+        #: absolute deadline ``now + statement_timeout_ms`` that flows
+        #: through the coordinator into every DistSender RPC.
+        self.statement_timeout_ms: Optional[float] = None
+        #: Tenant identity for admission control (per-tenant queues and
+        #: retry budgets); defaults to "sql" when admission is on.
+        self.tenant: Optional[str] = None
+        #: Admission priority for this session's statements.
+        self.priority: int = Priority.NORMAL
 
     @property
     def region(self) -> str:
@@ -286,15 +296,20 @@ class Session:
         return result
 
     def run_txn_co(self, txn_body: Callable[[TxnHandle], Generator],
-                   parent_span=None) -> Generator:
+                   parent_span=None,
+                   deadline_ms: Optional[float] = None) -> Generator:
         """Run a multi-statement transaction (with automatic retries)."""
         def txn_fn(txn):
             handle = TxnHandle(self, txn)
             result = yield from txn_body(handle)
             return result
+        if deadline_ms is None and self.statement_timeout_ms is not None:
+            deadline_ms = (self.engine.cluster.sim.now
+                           + self.statement_timeout_ms)
         result, _commit_ts = yield from self.engine.coordinator.run(
             self.gateway, txn_fn, parent_span=parent_span,
-            label=self.label)
+            label=self.label, deadline_ms=deadline_ms,
+            tenant=self.tenant)
         return result
 
     def execute_stmt_co(self, stmt: Any) -> Generator:
@@ -309,6 +324,17 @@ class Session:
             counter = self._stmt_counters[kind] = obs.registry.counter(
                 "sql.statements", kind=kind, region=self.region)
         counter.inc()
+        # Gateway admission: every statement waits for (or is shed by)
+        # its tenant/region admission queue before touching the cluster.
+        admission = self.engine.cluster.admission
+        deadline_ms = None
+        if self.statement_timeout_ms is not None:
+            deadline_ms = (self.engine.cluster.sim.now
+                           + self.statement_timeout_ms)
+        if admission is not None and self._open_txn is None:
+            yield from admission.admit_co(
+                tenant=self.tenant or "sql", region=self.region,
+                priority=self.priority, deadline_ms=deadline_ms)
         if isinstance(stmt, ast.Select) and stmt.as_of is not None:
             if self._open_txn is not None:
                 raise SchemaError(
@@ -347,7 +373,8 @@ class Session:
         else:
             stmt_span = None
         try:
-            result = yield from self.run_txn_co(body, parent_span=stmt_span)
+            result = yield from self.run_txn_co(body, parent_span=stmt_span,
+                                                deadline_ms=deadline_ms)
         finally:
             if stmt_span is not None:
                 stmt_span.finish()

@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..errors import (
     AmbiguousCommitError,
+    DeadlineExceededError,
     RangeUnavailableError,
     ReadWithinUncertaintyIntervalError,
     TransactionAbortedError,
@@ -126,6 +127,10 @@ class Transaction:
         self.observed_future_ts: Optional[Timestamp] = None
         self.status = TxnStatus.PENDING
         self.commit_ts: Optional[Timestamp] = None
+        #: Absolute sim-time deadline propagated into every DistSender
+        #: data RPC (commit/cleanup RPCs run deadline-free so an expired
+        #: transaction still resolves its intents).
+        self.deadline_ms: Optional[float] = None
 
     @property
     def _ds(self) -> DistSender:
@@ -152,7 +157,7 @@ class Transaction:
                     uncertainty_limit=self.uncertainty_limit,
                     routing=routing,
                     allow_server_side_bump=allow_bump,
-                    span=self.span)
+                    span=self.span, deadline_ms=self.deadline_ms)
             except ReadWithinUncertaintyIntervalError as err:
                 self.coordinator.stats.uncertainty_restarts += 1
                 value_ts = err.value_ts
@@ -188,7 +193,8 @@ class Transaction:
                 self._ds.read(self.gateway, rng, key, self.read_ts,
                               txn_id=self.txn_id,
                               uncertainty_limit=self.uncertainty_limit,
-                              routing=routing, span=self.span)
+                              routing=routing, span=self.span,
+                              deadline_ms=self.deadline_ms)
                 for rng, key in requests
             ]
             try:
@@ -220,7 +226,7 @@ class Transaction:
         value, lock_ts = yield self._ds.locking_read(
             self.gateway, rng, key, self.write_ts, self.txn_id,
             anchor_node_id=self.anchor.leaseholder_node_id or -1,
-            span=self.span)
+            span=self.span, deadline_ms=self.deadline_ms)
         if lock_ts > self.write_ts:
             self.write_ts = lock_ts
         self.write_set[(rng.range_id, key)] = (rng, key)
@@ -250,7 +256,7 @@ class Transaction:
         written_ts = yield self._ds.write(
             self.gateway, rng, key, self.write_ts, value, self.txn_id,
             anchor_node_id=self.anchor.leaseholder_node_id or -1,
-            span=self.span)
+            span=self.span, deadline_ms=self.deadline_ms)
         if written_ts > self.write_ts:
             self.write_ts = written_ts
         self.write_set[(rng.range_id, key)] = (rng, key)
@@ -278,7 +284,7 @@ class Transaction:
         futures = [
             self._ds.write(self.gateway, rng, key, self.write_ts, value,
                            self.txn_id, anchor_node_id=anchor_node,
-                           span=self.span)
+                           span=self.span, deadline_ms=self.deadline_ms)
             for rng, key, value in items
         ]
         settled = yield settle_all(self.coordinator.sim, futures)
@@ -316,7 +322,8 @@ class Transaction:
         if self.read_set:
             futures = [
                 self._ds.refresh(self.gateway, rng, key, self.read_ts,
-                                 new_ts, self.txn_id, span=self.span)
+                                 new_ts, self.txn_id, span=self.span,
+                                 deadline_ms=self.deadline_ms)
                 for rng, key in self.read_set
             ]
             results = yield all_of(self.coordinator.sim, futures)
@@ -492,7 +499,8 @@ class TransactionCoordinator:
     """Factory/runner for transactions on a cluster."""
 
     def __init__(self, cluster, distsender: Optional[DistSender] = None,
-                 spanner_style_commit_wait: bool = False):
+                 spanner_style_commit_wait: bool = False,
+                 txn_id_base: int = 1):
         self.cluster = cluster
         self.sim = cluster.sim
         self.distsender = distsender or DistSender(cluster)
@@ -501,7 +509,10 @@ class TransactionCoordinator:
         #: Optional :class:`repro.verify.HistoryRecorder`; when set,
         #: every read/write/outcome is captured for anomaly checking.
         self.recorder = None
-        self._next_txn_id = 1
+        # ``txn_id_base`` keeps txn ids disjoint when several
+        # coordinators share one cluster's txn registry (e.g. the
+        # verify harness's recorded clients + unrecorded overload load).
+        self._next_txn_id = txn_id_base
         # Shared with the DistSender's retry helper in spirit: seeded
         # jittered backoff so contended retries cannot livelock in
         # lockstep (chaos runs livelocked with the old fixed backoff).
@@ -509,9 +520,11 @@ class TransactionCoordinator:
             (getattr(cluster, "seed", 0) << 8) ^ 0x7C0)
 
     def begin(self, gateway, parent_span=None,
-              label: Optional[str] = None) -> Transaction:
+              label: Optional[str] = None,
+              deadline_ms: Optional[float] = None) -> Transaction:
         txn = Transaction(self, gateway, self._next_txn_id,
                           parent_span=parent_span)
+        txn.deadline_ms = deadline_ms
         self._next_txn_id += 1
         self.stats.begun += 1
         # Registered so lock-table pushes can learn this transaction's
@@ -523,13 +536,25 @@ class TransactionCoordinator:
 
     def run(self, gateway, txn_fn: Callable[[Transaction], Generator],
             max_attempts: int = 100, parent_span=None,
-            label: Optional[str] = None) -> Generator:
+            label: Optional[str] = None,
+            deadline_ms: Optional[float] = None,
+            tenant: Optional[str] = None) -> Generator:
         """Run ``txn_fn`` with automatic retries; returns (result, commit_ts).
 
         ``txn_fn(txn)`` is a coroutine performing reads/writes on ``txn``;
         commit happens automatically after it returns.
+
+        ``deadline_ms`` (absolute sim time) propagates into every data
+        RPC; once it passes, the transaction fails fast with
+        :class:`DeadlineExceededError` instead of retrying.  When
+        admission control is installed, retries additionally draw on the
+        ``tenant``'s retry budget and fail fast with
+        ``RetryBudgetExhaustedError`` once it is spent.
         """
         last_error: Optional[Exception] = None
+        admission = getattr(self.cluster, "admission", None)
+        budget = (admission.retry_budget(tenant or label or "default")
+                  if admission is not None else None)
         # Seeded jittered backoff (capped: long sleeps only prolong
         # contention windows); RPC failures back off longer to leave
         # room for lease failover.
@@ -538,11 +563,16 @@ class TransactionCoordinator:
         network_backoff = ExponentialBackoff(
             rng=self._retry_rng, base_ms=25.0, max_ms=500.0)
         for attempt in range(max_attempts):
-            txn = self.begin(gateway, parent_span=parent_span, label=label)
+            if deadline_ms is not None and self.sim.now >= deadline_ms:
+                raise DeadlineExceededError("txn", deadline_ms, self.sim.now)
+            txn = self.begin(gateway, parent_span=parent_span, label=label,
+                             deadline_ms=deadline_ms)
             try:
                 result = yield from txn_fn(txn)
                 commit_ts = yield from txn.commit()
                 self.stats.committed += 1
+                if budget is not None:
+                    budget.on_success()
                 txn.span.finish(status=txn.status)
                 return result, commit_ts
             except AmbiguousCommitError:
@@ -562,9 +592,18 @@ class TransactionCoordinator:
                 txn.span.finish(status=txn.status, retried=True,
                                 error=type(err).__name__)
                 if isinstance(err, NetworkUnavailableError):
-                    yield self.sim.sleep(network_backoff.next_delay())
+                    delay = network_backoff.next_delay()
                 else:
-                    yield self.sim.sleep(contention_backoff.next_delay())
+                    delay = contention_backoff.next_delay()
+                if (deadline_ms is not None
+                        and self.sim.now + delay >= deadline_ms):
+                    raise DeadlineExceededError("txn", deadline_ms,
+                                                self.sim.now)
+                if budget is not None:
+                    # Spend before sleeping: an exhausted budget must
+                    # fail fast, not after one more backoff.
+                    budget.check(attempt + 1)
+                yield self.sim.sleep(delay)
             except Exception as err:
                 # Non-retryable failure (e.g. a uniqueness violation):
                 # clean up intents, then surface to the caller.

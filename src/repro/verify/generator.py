@@ -25,10 +25,12 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..admission import AdmissionConfig, install_admission
 from ..chaos.nemesis import Nemesis
 from ..chaos.scenarios import HOME, REGIONS, RETRYABLE, build_faults
 from ..cluster import standard_cluster
-from ..errors import AmbiguousCommitError, StaleReadBoundError
+from ..errors import (AmbiguousCommitError, DeadlineExceededError,
+                      OverloadError, StaleReadBoundError)
 from ..kv.distsender import ReadRouting
 from ..placement import SurvivalGoal, provision_range, zone_config_for_home
 from ..sim.clock import Timestamp
@@ -44,10 +46,26 @@ __all__ = ["VerifyHarness", "VerifyResult", "run_verify",
 #: The chaos schedules the randomized isolation sweep runs under (the
 #: two *-repair scenarios permanently lose nodes and have their own
 #: tier-2 sweep; the verifier targets the heal-everything schedules).
+#: ``overload`` is not a fault schedule but a load nemesis: admission
+#: control is installed and an open-loop background load saturates the
+#: home store while the recorded clients run with deadlines, proving
+#: that shedding never breaks serializability.
 VERIFY_SCENARIOS = [
     "region-blackout", "rolling-zones", "flaky-wan",
     "gray-follower", "asym-partition", "crash-restart",
+    "overload",
 ]
+
+#: Overload verify-scenario knobs: background Poisson arrivals per
+#: region against the home range, the gateway rate each region's "bg"
+#: tenant is admitted at, and the deadlines that trigger shedding.
+#: The home store models 1000 ops/s (2 slots x 2ms), so three regions
+#: at 500/s offer 1.5x capacity.
+OVERLOAD_BG_RATE_PER_S = 500.0
+OVERLOAD_BG_ADMIT_RATE_PER_S = 400.0
+OVERLOAD_BG_DEADLINE_MS = 300.0
+OVERLOAD_TXN_DEADLINE_MS = 1500.0
+OVERLOAD_WINDOW_MS = 5000.0
 
 #: REGIONAL tables close timestamps this far behind present time; kept
 #: well under the run length so stale readers exercise follower serving
@@ -144,6 +162,15 @@ class VerifyHarness:
             for rng, key, kind in self.keys}
         self.rng = random.Random((seed << 5) ^ 0x5EED)
         self._strong_routing = ReadRouting.LEASEHOLDER
+        #: Set by the ``overload`` scenario: per-txn deadline for the
+        #: recorded clients (None = no deadline) and foreground-shed
+        #: accounting.
+        self.txn_deadline_ms: Optional[float] = None
+        self._fg_shed = 0
+        self.admission = None
+        self._bg_coord: Optional[TransactionCoordinator] = None
+        self._bg_stats = {"offered": 0, "rejected": 0, "shed": 0,
+                          "failed": 0, "completed": 0}
 
     @property
     def sim(self):
@@ -192,11 +219,19 @@ class VerifyHarness:
                     else:  # blind write
                         yield from txn.write(table, key, value)
 
+            deadline = (self.sim.now + self.txn_deadline_ms
+                        if self.txn_deadline_ms is not None else None)
             try:
                 yield from self.coord.run(gateway, txn_fn, max_attempts=6,
-                                          label=label)
+                                          label=label, deadline_ms=deadline,
+                                          tenant=label)
             except AmbiguousCommitError:
                 pass  # recorded as indeterminate
+            except (DeadlineExceededError, OverloadError):
+                # Shed under overload: the attempt rolled back, so the
+                # history records it as aborted — serializability must
+                # hold regardless.
+                self._fg_shed += 1
             except RETRYABLE:
                 pass  # recorded as aborted attempts
             yield self.sim.sleep(rng.uniform(*think_ms))
@@ -239,6 +274,75 @@ class VerifyHarness:
                                            effective_ts=served_ts)
                     recorder.finish_stale(record)
             yield self.sim.sleep(rng.uniform(*think_ms))
+
+    # -- overload (load nemesis) --------------------------------------------
+
+    def _setup_overload(self) -> None:
+        """Install admission control and give the recorded clients
+        deadlines; the store work queues now gate every command."""
+        self.admission = install_admission(self.cluster, AdmissionConfig(
+            rate_per_s=OVERLOAD_BG_ADMIT_RATE_PER_S,
+            burst=16.0, max_queue_depth=64,
+            store_slots=2, store_service_ms=2.0))
+        self.txn_deadline_ms = OVERLOAD_TXN_DEADLINE_MS
+        # Unrecorded coordinator for the background load: its txns must
+        # not enter the verified history (they touch only bg* keys) but
+        # must share the cluster txn registry, so ids are kept disjoint.
+        self._bg_coord = TransactionCoordinator(self.cluster,
+                                                txn_id_base=1_000_000)
+
+    def _bg_request(self, region: str, index: int, rng: random.Random):
+        """One open-loop background request: gateway admission, then a
+        single bg-key read or write on the home range with a tight
+        deadline.  Outcomes only feed the run stats."""
+        stats = self._bg_stats
+        stats["offered"] += 1
+        gateway = self.cluster.gateway_for_region(region, index % 2)
+        deadline = self.sim.now + OVERLOAD_BG_DEADLINE_MS
+        try:
+            yield from self.admission.admit_co("bg", region,
+                                               deadline_ms=deadline)
+        except OverloadError:
+            stats["rejected"] += 1
+            return
+        except DeadlineExceededError:
+            stats["shed"] += 1
+            return
+        table = self.ranges["reg-us"]
+        key = f"bg{rng.randrange(32)}"
+        is_write = rng.random() < 0.5
+        value = f"bg:{region}:{stats['offered']}"
+
+        def txn_fn(txn):
+            if is_write:
+                yield from txn.write(table, key, value)
+            else:
+                yield from txn.read(table, key)
+
+        try:
+            yield from self._bg_coord.run(gateway, txn_fn, max_attempts=4,
+                                          label="bg", deadline_ms=deadline,
+                                          tenant="bg")
+        except (DeadlineExceededError, OverloadError):
+            stats["shed"] += 1
+            return
+        except (AmbiguousCommitError,) + RETRYABLE:
+            stats["failed"] += 1
+            return
+        stats["completed"] += 1
+
+    def _bg_arrivals(self, region: str, index: int, end_ms: float):
+        """Poisson arrival process for one region's background load."""
+        rng = random.Random((self.seed << 7) ^ (0x0AD0 + index))
+        count = 0
+        while True:
+            gap_ms = rng.expovariate(OVERLOAD_BG_RATE_PER_S) * 1000.0
+            yield self.sim.sleep(gap_ms)
+            if self.sim.now >= end_ms:
+                return
+            self.sim.spawn(self._bg_request(region, count, rng),
+                           name=f"bg-{region}-{count}")
+            count += 1
 
     # -- the run ------------------------------------------------------------
 
@@ -290,7 +394,17 @@ class VerifyHarness:
 
         start_ms = sim.now
         nemesis = None
-        if scenario:
+        overload = scenario == "overload"
+        if overload:
+            # The nemesis is load, not faults: saturating background
+            # arrivals against the home store while admission control
+            # sheds work.  Recorded clients get deadlines.
+            self._setup_overload()
+            for index, region in enumerate(self.regions):
+                sim.spawn(self._bg_arrivals(
+                    region, index, start_ms + OVERLOAD_WINDOW_MS),
+                    name=f"bg-arrivals-{region}")
+        elif scenario:
             nemesis = Nemesis(self.cluster, build_faults(scenario, self))
             nemesis.schedule(base_ms=start_ms)
         processes = []
@@ -320,6 +434,10 @@ class VerifyHarness:
             "ambiguous_commits": self.coord.stats.ambiguous_commits,
             "txn_retries": self.coord.stats.aborted_retries,
         }
+        if overload:
+            stats["fg_shed"] = self._fg_shed
+            for key in sorted(self._bg_stats):
+                stats[f"bg_{key}"] = self._bg_stats[key]
         return VerifyResult(scenario=scenario_name, seed=self.seed,
                             history=history, report=report,
                             duration_ms=duration, stats=stats)

@@ -1,0 +1,409 @@
+"""Admission control & overload protection.
+
+Tier-1: unit tests for the token bucket, the gateway admission queue
+(priority/FIFO ordering, bounded depth, deadline shedding), the store
+work queue, the retry budget, deadline propagation through the
+coordinator and DistSender, and golden determinism fingerprints for a
+small open-loop overload run at seeds {0, 1, 2}.
+
+Tier-2 (``pytest -m overload``): the full overload chaos scenarios and
+the quick scale-curve gates.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.admission import (
+    AdmissionConfig,
+    AdmissionQueue,
+    Priority,
+    RetryBudget,
+    StoreWorkQueue,
+    TokenBucket,
+    install_admission,
+)
+from repro.admission.tokens import TokenBucket as TokensModuleBucket
+from repro.errors import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    OverloadError,
+    RetryBudgetExhaustedError,
+)
+from repro.harness.openloop import OpenLoopConfig, OpenLoopHarness
+from repro.sim.core import Simulator
+
+from .kv_util import KVTestBed, REGIONS3
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+#: Small-but-representative overload run for the determinism goldens:
+#: 4x offered load, admission on, short window.
+GOLDEN_SEEDS = (0, 1, 2)
+GOLDEN_CONFIG = dict(load_multiplier=4.0, duration_ms=600.0)
+
+
+# -- token bucket ------------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_starts_full_and_burst_caps_refill(self):
+        bucket = TokenBucket(rate_per_s=100.0, burst=10.0)
+        assert bucket.available(0.0) == pytest.approx(10.0)
+        for _ in range(10):
+            assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        # 10 tokens replenish in 100ms at 100/s; an hour of idleness
+        # still caps at the burst.
+        assert bucket.available(100.0) == pytest.approx(10.0)
+        assert bucket.available(3_600_000.0) == pytest.approx(10.0)
+
+    def test_refill_rate_math(self):
+        bucket = TokenBucket(rate_per_s=1000.0, burst=50.0, initial=0.0)
+        # 1000/s == 1 per ms.
+        assert bucket.available(7.0) == pytest.approx(7.0)
+        assert bucket.try_take(7.0, n=5.0)
+        assert bucket.available(7.0) == pytest.approx(2.0)
+
+    def test_time_until_deficit(self):
+        bucket = TokenBucket(rate_per_s=100.0, burst=4.0, initial=0.0)
+        # Needs 1 token at 100/s => 10ms.
+        assert bucket.time_until(1.0, 0.0) == pytest.approx(10.0)
+        assert bucket.time_until(1.0, 5.0) == pytest.approx(5.0)
+        assert bucket.time_until(1.0, 10.0) == 0.0
+
+    def test_reexported_from_package(self):
+        assert TokenBucket is TokensModuleBucket
+
+
+# -- gateway admission queue -------------------------------------------------
+
+
+def _admit(sim, queue, priority=Priority.NORMAL, deadline_ms=None):
+    """Spawn one admit() and return a result slot filled on completion."""
+    slot = {}
+
+    def co():
+        try:
+            wait = yield queue.admit(priority=priority,
+                                     deadline_ms=deadline_ms)
+        except Exception as err:  # noqa: BLE001 - recorded for asserts
+            slot["error"] = err
+        else:
+            slot["wait_ms"] = wait
+        slot["at"] = sim.now
+
+    sim.spawn(co())
+    return slot
+
+
+class TestAdmissionQueue:
+    def make(self, sim, rate=100.0, burst=1.0, depth=4, ordering="priority"):
+        bucket = TokenBucket(rate_per_s=rate, burst=burst, initial=1.0)
+        return AdmissionQueue(sim, "t/r", bucket, max_depth=depth,
+                              ordering=ordering)
+
+    def test_fast_path_no_wait(self):
+        sim = Simulator()
+        queue = self.make(sim)
+        slot = _admit(sim, queue)
+        sim.run()
+        assert slot["wait_ms"] == 0.0
+
+    def test_priority_ordering(self):
+        sim = Simulator()
+        queue = self.make(sim, rate=100.0, burst=1.0)
+        first = _admit(sim, queue)                       # takes the token
+        low = _admit(sim, queue, priority=Priority.LOW)
+        norm = _admit(sim, queue, priority=Priority.NORMAL)
+        high = _admit(sim, queue, priority=Priority.HIGH)
+        sim.run()
+        assert first["wait_ms"] == 0.0
+        # One token per 10ms: HIGH admitted before NORMAL before LOW
+        # regardless of arrival order.
+        assert high["at"] < norm["at"] < low["at"]
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        queue = self.make(sim, ordering="fifo")
+        _admit(sim, queue)                               # takes the token
+        low = _admit(sim, queue, priority=Priority.LOW)
+        high = _admit(sim, queue, priority=Priority.HIGH)
+        sim.run()
+        assert low["at"] < high["at"]
+
+    def test_bounded_depth_rejects(self):
+        sim = Simulator()
+        queue = self.make(sim, rate=1.0, depth=2)
+        _admit(sim, queue)                               # token holder
+        waiters = [_admit(sim, queue) for _ in range(2)]
+        overflow = _admit(sim, queue)
+        sim.run(until=1.0)
+        assert isinstance(overflow["error"], AdmissionRejectedError)
+        assert isinstance(overflow["error"], OverloadError)
+        assert all("error" not in w or w.get("wait_ms") is not None
+                   for w in waiters)
+
+    def test_deadline_shed_while_queued(self):
+        sim = Simulator()
+        # 1 token/s: the queue drains far too slowly for a 20ms deadline.
+        queue = self.make(sim, rate=1.0, burst=1.0)
+        _admit(sim, queue)                               # token holder
+        shed = _admit(sim, queue, deadline_ms=20.0)
+        sim.run(until=100.0)
+        assert isinstance(shed["error"], DeadlineExceededError)
+        assert shed["at"] == pytest.approx(20.0)
+
+    def test_admitted_wait_matches_refill(self):
+        sim = Simulator()
+        queue = self.make(sim, rate=100.0, burst=1.0)
+        _admit(sim, queue)
+        waiter = _admit(sim, queue)
+        sim.run()
+        assert waiter["wait_ms"] == pytest.approx(10.0)
+
+
+# -- store work queue --------------------------------------------------------
+
+
+class TestStoreWorkQueue:
+    def run_work(self, sim, queue, service_ms=None, deadline_ms=None):
+        slot = {}
+
+        def co():
+            try:
+                yield from queue.work(service_ms=service_ms,
+                                      deadline_ms=deadline_ms)
+            except Exception as err:  # noqa: BLE001
+                slot["error"] = err
+            slot["at"] = sim.now
+
+        sim.spawn(co())
+        return slot
+
+    def test_slots_serialize_excess_work(self):
+        sim = Simulator()
+        queue = StoreWorkQueue(sim, node_id=1, slots=2, service_ms=10.0)
+        slots = [self.run_work(sim, queue) for _ in range(4)]
+        sim.run()
+        # 2 slots x 10ms: two finish at 10ms, two queue and finish at 20ms.
+        assert sorted(s["at"] for s in slots) == [10.0, 10.0, 20.0, 20.0]
+
+    def test_capacity_property(self):
+        sim = Simulator()
+        queue = StoreWorkQueue(sim, node_id=1, slots=2, service_ms=2.0)
+        assert queue.capacity_per_s == pytest.approx(1000.0)
+
+    def test_expired_work_shed_before_service(self):
+        sim = Simulator()
+        queue = StoreWorkQueue(sim, node_id=1, slots=1, service_ms=50.0)
+        self.run_work(sim, queue)                    # occupies the slot
+        shed = self.run_work(sim, queue, deadline_ms=25.0)
+        ok = self.run_work(sim, queue, deadline_ms=500.0)
+        sim.run()
+        assert isinstance(shed["error"], DeadlineExceededError)
+        # Shedding the expired waiter must not wedge the queue.
+        assert "error" not in ok
+        assert ok["at"] == pytest.approx(100.0)
+
+
+# -- retry budget ------------------------------------------------------------
+
+
+class TestRetryBudget:
+    def test_exhaustion_raises_overload(self):
+        budget = RetryBudget(max_tokens=3.0, success_credit=0.5,
+                             tenant="t")
+        budget.check(1)
+        budget.check(2)
+        budget.check(3)
+        with pytest.raises(RetryBudgetExhaustedError) as excinfo:
+            budget.check(4)
+        assert isinstance(excinfo.value, OverloadError)
+
+    def test_success_credits_refill(self):
+        budget = RetryBudget(max_tokens=2.0, success_credit=1.0,
+                             tenant="t")
+        budget.check(1)
+        budget.check(2)
+        with pytest.raises(RetryBudgetExhaustedError):
+            budget.check(3)
+        budget.on_success()
+        budget.check(4)  # the credit bought one more retry
+
+    def test_credit_capped_at_max(self):
+        budget = RetryBudget(max_tokens=1.0, success_credit=1.0,
+                             tenant="t")
+        for _ in range(100):
+            budget.on_success()
+        budget.check(1)
+        with pytest.raises(RetryBudgetExhaustedError):
+            budget.check(2)
+
+
+# -- deadline propagation ----------------------------------------------------
+
+
+class TestDeadlinePropagation:
+    def test_expired_deadline_fails_fast(self):
+        bed = KVTestBed(regions=REGIONS3)
+        rng = bed.make_range("us-east1")
+        bed.sim.run(until=500.0)
+        gateway = bed.gateway("us-east1")
+
+        def txn_fn(txn):
+            yield from txn.write(rng, "k", "v")
+
+        def run():
+            try:
+                yield from bed.coord.run(gateway, txn_fn,
+                                         deadline_ms=bed.sim.now - 1.0)
+            except DeadlineExceededError as err:
+                return err
+            return None
+
+        start = bed.sim.now
+        err = bed.sim.run_until_future(bed.sim.spawn(run()))
+        assert isinstance(err, DeadlineExceededError)
+        assert bed.sim.now == start  # no RPC, no backoff burned
+
+    def test_unreachable_leaseholder_drops_rpc_at_deadline(self):
+        """The satellite bugfix: with the leaseholder down, retries must
+        stop at the deadline instead of burning the full backoff
+        schedule (previously the deadline was only noticed *after* each
+        sleep)."""
+        bed = KVTestBed(regions=REGIONS3)
+        rng = bed.make_range("us-east1")
+        bed.sim.run(until=500.0)
+        bed.do_write("us-east1", rng, "k", "v0")
+        for node in bed.cluster.nodes_in_region("us-east1"):
+            bed.cluster.crash_node(node.node_id)
+        gateway = bed.gateway("europe-west2")
+        deadline_budget = 200.0
+
+        def txn_fn(txn):
+            yield from txn.read(rng, "k")
+
+        def run():
+            try:
+                yield from bed.coord.run(
+                    gateway, txn_fn,
+                    deadline_ms=bed.sim.now + deadline_budget)
+            except DeadlineExceededError as err:
+                return err
+            return None
+
+        start = bed.sim.now
+        err = bed.sim.run_until_future(bed.sim.spawn(run()))
+        elapsed = bed.sim.now - start
+        assert isinstance(err, DeadlineExceededError)
+        # Fails at (or just before) the deadline — never long after it.
+        assert elapsed <= deadline_budget + 1.0
+
+    def test_deadline_error_is_not_overload(self):
+        # Deadline expiry is the *client's* budget running out, not a
+        # server-overload signal; retry/shed accounting treats them
+        # differently.
+        err = DeadlineExceededError("op", 10.0, 20.0)
+        assert not isinstance(err, OverloadError)
+
+
+# -- controller wiring -------------------------------------------------------
+
+
+class TestControllerWiring:
+    def test_gateway_disabled_skips_queueing(self):
+        bed = KVTestBed(regions=REGIONS3)
+        controller = install_admission(bed.cluster, AdmissionConfig(
+            gateway_enabled=False, retry_budget_enabled=False))
+        assert bed.cluster.admission is controller
+
+        def co():
+            wait = yield from controller.admit_co("t", "us-east1")
+            return wait
+
+        assert bed.sim.run_until_future(bed.sim.spawn(co())) == 0.0
+        assert controller.retry_budget("t") is None
+
+    def test_totals_parse_registry(self):
+        bed = KVTestBed(regions=REGIONS3)
+        controller = install_admission(bed.cluster, AdmissionConfig(
+            rate_per_s=1000.0, burst=4.0, max_queue_depth=1))
+
+        def co():
+            yield from controller.admit_co("t", "us-east1")
+
+        bed.sim.run_until_future(bed.sim.spawn(co()))
+        totals = controller.totals()
+        assert totals["admitted"] == 1
+        assert totals["rejected"] == 0
+
+
+# -- determinism goldens -----------------------------------------------------
+
+
+def overload_fingerprint(seed):
+    config = OpenLoopConfig(seed=seed, **GOLDEN_CONFIG)
+    result = OpenLoopHarness(config).run()
+    return {"seed": seed, **result.fingerprint()}
+
+
+def regen_goldens():
+    """Rewrite the overload determinism goldens.  Run as
+    ``PYTHONPATH=src python -c "from tests.test_admission import
+    regen_goldens; regen_goldens()"`` from the repo root after an
+    *intentional* behaviour change, and commit the diff with it."""
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for seed in GOLDEN_SEEDS:
+        path = GOLDEN_DIR / f"overload_seed{seed}.json"
+        path.write_text(json.dumps(overload_fingerprint(seed), indent=2)
+                        + "\n")
+
+
+class TestOverloadDeterminism:
+    @pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+    def test_fingerprint_matches_golden(self, seed):
+        golden = json.loads(
+            (GOLDEN_DIR / f"overload_seed{seed}.json").read_text())
+        assert overload_fingerprint(seed) == golden, (
+            "overload fingerprint drifted; if the behaviour change is "
+            "intentional, regenerate with test_admission.regen_goldens()")
+
+    def test_obs_off_is_behavior_identical(self):
+        with_obs = OpenLoopHarness(OpenLoopConfig(
+            seed=0, obs_enabled=True, **GOLDEN_CONFIG)).run()
+        without = OpenLoopHarness(OpenLoopConfig(
+            seed=0, obs_enabled=False, **GOLDEN_CONFIG)).run()
+        assert with_obs.fingerprint() == without.fingerprint()
+
+
+# -- tier-2 overload sweep (pytest -m overload) ------------------------------
+
+
+@pytest.mark.overload
+@pytest.mark.parametrize("seed", range(3))
+@pytest.mark.parametrize("name", ["overload-global", "overload-hot-region"])
+def test_overload_chaos_scenarios(name, seed):
+    from repro.chaos import run_scenario
+
+    result = run_scenario(name, seed)
+    assert result.ok, f"{name} seed={seed}\n{result.report.render()}"
+
+
+@pytest.mark.overload
+def test_scale_quick_gates():
+    from repro.harness.scale import run_scale
+
+    doc = run_scale(seed=0, quick=True)
+    assert doc["gates"]["ok"], json.dumps(doc["gates"], indent=2)
+
+
+@pytest.mark.overload
+def test_verify_clean_under_overload():
+    from repro.verify import run_verify
+
+    result = run_verify("overload", seed=0)
+    assert result.ok, result.report.render()
+    assert result.stats["bg_shed"] + result.stats["bg_rejected"] > 0, (
+        "the overload scenario must actually shed load")
