@@ -97,6 +97,11 @@ def main(argv=None) -> int:
         # overload chaos scenarios are in scope.
         if "overload-global" in names:
             verify_names.append("overload")
+        # The verify clock-jump pair (defended run + fencing-disabled
+        # ablation) rides along with the clock chaos scenarios; the
+        # shared "clock-drift" name is already picked up above.
+        if "clock-jump-fence" in names:
+            verify_names.extend(["clock-jump", "clock-jump-nofence"])
         for name in verify_names:
             for seed in range(args.seeds):
                 start = time.time()

@@ -9,7 +9,7 @@ Usage::
     python -m repro chaos list
     python -m repro chaos region-blackout [--seed N]
     python -m repro chaos all --seeds 5 [--json]
-    python -m repro verify [--scenario NAME|all] [--seed N] [--json]
+    python -m repro verify [--scenario NAME|all|clock] [--seed N] [--json]
     python -m repro verify --check history.json
     python -m repro repair [--seed N] [--scenario NAME]
     python -m repro trace [--workload movr] [--scenario NAME] [--seed N]
@@ -37,6 +37,7 @@ import time
 from typing import Callable, Dict
 
 from .harness.experiments import (
+    run_clock_skew_sweep,
     run_commit_wait_ablation,
     run_fig3,
     run_fig4a,
@@ -103,6 +104,11 @@ def _ablations(_quick: bool) -> None:
     run_side_transport_ablation().print()
 
 
+def _clockskew(quick: bool) -> None:
+    scale = dict(n_ops=8) if quick else {}
+    run_clock_skew_sweep(**scale).print()
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], None]] = {
     "table1": _table1,
     "fig3": _fig3,
@@ -113,6 +119,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], None]] = {
     "fig6": _fig6,
     "table2": _table2,
     "ablations": _ablations,
+    "clockskew": _clockskew,
 }
 
 
@@ -171,7 +178,8 @@ def _verify_main(argv) -> int:
                     "isolation/staleness anomalies (Elle-style).")
     parser.add_argument("--scenario", default="none",
                         help="chaos scenario name, 'none' (fault-free), "
-                             "'all' (the verify sweep set), or 'list'")
+                             "'all' (the verify sweep set), 'clock' (the "
+                             "three clock-fault scenarios), or 'list'")
     parser.add_argument("--seed", type=int, default=0,
                         help="single seed to run (default 0)")
     parser.add_argument("--seeds", type=int, default=1, metavar="K",
@@ -189,6 +197,7 @@ def _verify_main(argv) -> int:
     args = parser.parse_args(argv)
 
     from .verify import VERIFY_SCENARIOS, VerifyHistory, check, run_verify
+    from .verify.generator import CLOCK_SCENARIOS
 
     if args.check is not None:
         history = VerifyHistory.load(args.check)
@@ -201,6 +210,7 @@ def _verify_main(argv) -> int:
             print(name)
         return 0
     names = (VERIFY_SCENARIOS if args.scenario == "all"
+             else list(CLOCK_SCENARIOS) if args.scenario == "clock"
              else [args.scenario])
     valid = set(VERIFY_SCENARIOS) | {"none"}
     for name in names:

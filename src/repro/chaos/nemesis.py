@@ -88,6 +88,11 @@ class Nemesis:
         faults = network.faults
         faults.heal_all_links()
         faults.clear_partitions()
+        # Clock faults heal with everything else: a restarted node is
+        # presumed step-synced by NTP (no-op when no clock fault ran).
+        clock = getattr(self.cluster, "clock", None)
+        if clock is not None and hasattr(clock, "heal_all"):
+            clock.heal_all()
         if restart_dead:
             for node_id in list(faults.dead_nodes):
                 network.restart_node(node_id)

@@ -16,7 +16,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from ..cluster import StoreLiveness, standard_cluster
+from ..cluster import StoreLiveness, install_clock_monitor, standard_cluster
 from ..errors import (
     AmbiguousCommitError,
     FollowerReadNotAvailableError,
@@ -133,13 +133,21 @@ class ChaosHarness:
                  enable_repair: bool = False,
                  heartbeat_interval_ms: float = 100.0,
                  time_until_store_dead_ms: float = 600.0,
-                 repair_interval_ms: float = 200.0):
+                 repair_interval_ms: float = 200.0,
+                 clock_monitor: bool = False,
+                 fence_enabled: bool = True):
         self.seed = seed
         self.regions = list(regions or REGIONS)
         self.home = home
         self.cluster = standard_cluster(self.regions, seed=seed)
         self.coord = TransactionCoordinator(self.cluster)
         self.ds = self.coord.distsender
+        # Clock-safety monitor (off by default so legacy scenarios keep
+        # their exact event schedules); clock scenarios turn it on.
+        self.clock_monitor = None
+        if clock_monitor:
+            self.clock_monitor = install_clock_monitor(
+                self.cluster, fence_enabled=fence_enabled)
         config = zone_config_for_home(home, self.cluster.regions(), goal)
         self.config = config
         # Chaos provisioning turns on the hardening that seed
@@ -238,7 +246,8 @@ class ChaosHarness:
             read_routing: str = ReadRouting.LEASEHOLDER,
             client_regions: Optional[List[str]] = None,
             restart_dead_on_heal: bool = True,
-            audit_regions: Optional[List[str]] = None) -> ScenarioResult:
+            audit_regions: Optional[List[str]] = None,
+            expect_fences: Optional[bool] = None) -> ScenarioResult:
         sim = self.sim
         # Seed the counters before chaos starts.
         for key in KEYS:
@@ -283,6 +292,13 @@ class ChaosHarness:
         }
         if self.repair_queue is not None:
             self._check_placement(report, stats)
+        if self.clock_monitor is not None:
+            self._merge_clock_timeline(nemesis)
+            stats["clock_fences"] = len(self.clock_monitor.fence_events)
+            stats["clock_outliers"] = len(
+                self.clock_monitor.outlier_detections)
+            if expect_fences is not None:
+                self._check_clock(report, expect_fences)
         return ScenarioResult(
             name=name, seed=self.seed, history=self.history, report=report,
             nemesis_timeline=nemesis.timeline, final_values=final_values,
@@ -313,6 +329,43 @@ class ChaosHarness:
         if metrics.time_to_repair_ms:
             stats["time_to_repair_ms"] = round(
                 max(metrics.time_to_repair_ms), 1)
+
+    def _merge_clock_timeline(self, nemesis: Nemesis) -> None:
+        """Fold self-fence (and, when fencing is off, bare detection)
+        events into the nemesis timeline so the availability rendering
+        correlates dips with the clock defense kicking in."""
+        monitor = self.clock_monitor
+        for when, node_id, worst in monitor.fence_events:
+            nemesis.timeline.append(
+                (when, "fence", f"clock-outlier:n{node_id}"
+                                f" ({worst:.0f}ms)"))
+        if not monitor.fence_enabled:
+            for when, node_id, worst in monitor.outlier_detections:
+                nemesis.timeline.append(
+                    (when, "detect", f"clock-outlier:n{node_id}"
+                                     f" ({worst:.0f}ms)"))
+        nemesis.timeline.sort(key=lambda entry: entry[0])
+
+    def _check_clock(self, report: InvariantReport,
+                     expect_fences: bool) -> None:
+        """Clock-scenario extras: the monitor must have fenced exactly
+        when the injected fault was beyond bounds, and never otherwise."""
+        events = self.clock_monitor.fence_events
+        if expect_fences:
+            report.checks_run.append(
+                "clock: beyond-bound clock fault self-fences the victim")
+            if not events:
+                report.violations.append(
+                    "clock: no node self-fenced despite a beyond-bound "
+                    "clock fault")
+        else:
+            report.checks_run.append(
+                "clock: in-bounds clock faults cause no fences")
+            if events:
+                fenced = sorted({n for _, n, _ in events})
+                report.violations.append(
+                    f"clock: unexpected self-fence of node(s) {fenced} "
+                    "under in-bounds clock faults")
 
     def _audit(self, audit_regions: Optional[List[str]] = None
                ) -> Dict[str, int]:
@@ -466,6 +519,72 @@ def _region_loss_faults(harness) -> List[FaultEvent]:
         inject=lambda: [cluster.crash_node(n) for n in victims])]
 
 
+def _clock_drift_faults(harness) -> List[FaultEvent]:
+    """Two non-leaseholder voters drift at +-3%/s — enough to smear the
+    MVCC timeline, never enough to leave the max-offset contract."""
+    clock = harness.cluster.clock
+    lease_node = harness.range.leaseholder_node_id
+    victims = [p.node.node_id for p in harness.range.group.voters()
+               if p.node.node_id != lease_node][:2]
+    events = []
+    for index, node_id in enumerate(victims):
+        rate = 0.03 if index % 2 == 0 else -0.03
+        events.append(FaultEvent(
+            name=f"clock-drift:n{node_id}",
+            at_ms=200.0,
+            inject=lambda n=node_id, r=rate: clock.set_drift(n, r),
+            heal_at_ms=1400.0,
+            heal=lambda n=node_id: clock.heal(n)))
+    return events
+
+
+def _clock_jump_victim(harness) -> int:
+    """A non-leaseholder voter, preferring one that isn't a client
+    gateway (the fence kills it; availability should show the range's
+    story, not a dead client connection)."""
+    cluster = harness.cluster
+    lease_node = harness.range.leaseholder_node_id
+    candidates = [p.node for p in harness.range.group.voters()
+                  if p.node.node_id != lease_node]
+
+    def is_gateway(node) -> bool:
+        peers = cluster.nodes_in_region(node.locality.region)
+        return node in peers[:2]
+
+    return sorted(candidates,
+                  key=lambda n: (is_gateway(n), n.node_id))[0].node_id
+
+
+def _clock_jump_faults(harness) -> List[FaultEvent]:
+    """One voter's clock steps +800 ms — far beyond the 250 ms contract.
+
+    No heal ever comes: the monitor must fence the node and (with repair
+    enabled) the replicate queue must re-replicate around it, exactly as
+    if it had died — because for correctness purposes it has."""
+    clock = harness.cluster.clock
+    victim = _clock_jump_victim(harness)
+    return [FaultEvent(
+        name=f"clock-jump:n{victim}",
+        at_ms=300.0,
+        inject=lambda: clock.jump(victim, 800.0))]
+
+
+def _clock_freeze_faults(harness) -> List[FaultEvent]:
+    """The leaseholder's clock freezes solid mid-run.
+
+    Peers march ahead at 1 ms/ms, so the victim's measured offsets grow
+    until it self-fences and the lease fails over; the heal step-syncs
+    the clock so the end-of-run restart rejoins it cleanly."""
+    clock = harness.cluster.clock
+    victim = harness.range.leaseholder_node_id
+    return [FaultEvent(
+        name=f"clock-freeze:n{victim}",
+        at_ms=250.0,
+        inject=lambda: clock.freeze(victim),
+        heal_at_ms=1400.0,
+        heal=lambda: clock.heal(victim))]
+
+
 #: Scenario name -> fault-schedule builder (shared with repro.verify).
 FAULT_BUILDERS: Dict[str, Callable[[Any], List[FaultEvent]]] = {
     "region-blackout": _blackout_faults,
@@ -476,6 +595,9 @@ FAULT_BUILDERS: Dict[str, Callable[[Any], List[FaultEvent]]] = {
     "crash-restart": _crash_restart_faults,
     "kill-node-repair": _kill_node_faults,
     "region-loss-repair": _region_loss_faults,
+    "clock-drift": _clock_drift_faults,
+    "clock-jump-fence": _clock_jump_faults,
+    "clock-freeze-lease": _clock_freeze_faults,
 }
 
 
@@ -572,6 +694,49 @@ def _region_loss_repair(seed: int) -> ScenarioResult:
                        audit_regions=survivors)
 
 
+def _clock_drift(seed: int) -> ScenarioResult:
+    """Two voters drift within the max-offset contract.
+
+    The monitor measures the drift (exported via the per-node
+    ``clock.offset_measured`` gauge) but must NOT fence anyone: the
+    uncertainty machinery absorbs in-contract skew by design, and a
+    monitor that fences healthy nodes is itself an availability bug.
+    """
+    harness = ChaosHarness(seed, clock_monitor=True)
+    return harness.run("clock-drift", build_faults("clock-drift", harness),
+                       expect_fences=False)
+
+
+def _clock_jump_fence(seed: int) -> ScenarioResult:
+    """A voter's clock steps +800 ms, beyond the 250 ms contract, and
+    never heals.
+
+    The node must self-fence from its own peer measurements (it sees
+    every peer ~800 ms behind; healthy nodes see only it as an
+    outlier), store liveness must walk it to DEAD, and the replicate
+    queue must repair its voter slot — the clock-outlier node is
+    treated exactly like a dead one.
+    """
+    harness = ChaosHarness(seed, enable_repair=True, clock_monitor=True)
+    return harness.run("clock-jump-fence",
+                       build_faults("clock-jump-fence", harness),
+                       restart_dead_on_heal=False,
+                       expect_fences=True)
+
+
+def _clock_freeze_lease(seed: int) -> ScenarioResult:
+    """The leaseholder's clock freezes solid.
+
+    Its measured peer offsets grow at 1 ms/ms until it fences itself
+    and the lease fails over to a healthy voter; after the nemesis
+    heals (step-syncing the clock) the node restarts and rejoins.
+    """
+    harness = ChaosHarness(seed, clock_monitor=True)
+    return harness.run("clock-freeze-lease",
+                       build_faults("clock-freeze-lease", harness),
+                       expect_fences=True)
+
+
 def _overload_global(seed: int) -> ScenarioResult:
     # Imported lazily: chaos.overload builds on harness.openloop and
     # imports ScenarioResult from this module.
@@ -595,6 +760,9 @@ SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {
     "region-loss-repair": _region_loss_repair,
     "overload-global": _overload_global,
     "overload-hot-region": _overload_hot_region,
+    "clock-drift": _clock_drift,
+    "clock-jump-fence": _clock_jump_fence,
+    "clock-freeze-lease": _clock_freeze_lease,
 }
 
 

@@ -1,15 +1,19 @@
-"""Cluster topology: localities, nodes, membership, and store liveness."""
+"""Cluster topology: localities, nodes, membership, store liveness,
+and clock safety."""
 
+from .clocksync import ClockMonitor, install_clock_monitor
 from .liveness import LivenessStatus, StoreLiveness
 from .locality import Locality
 from .node import Node
 from .topology import Cluster, standard_cluster
 
 __all__ = [
+    "ClockMonitor",
     "Cluster",
     "LivenessStatus",
     "Locality",
     "Node",
     "StoreLiveness",
+    "install_clock_monitor",
     "standard_cluster",
 ]

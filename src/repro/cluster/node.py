@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, TYPE_CHECKING
 
-from ..sim.clock import HLC, SkewModel
+from ..sim.clock import HLC, ClockModel
 from ..sim.core import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -22,7 +22,7 @@ class Node:
     """
 
     def __init__(self, sim: Simulator, node_id: int, locality,
-                 skew: Optional[SkewModel] = None):
+                 skew: Optional[ClockModel] = None):
         self.sim = sim
         self.node_id = node_id
         self.locality = locality
@@ -30,6 +30,10 @@ class Node:
         #: range_id -> Replica hosted on this node.
         self.replicas: Dict[int, "Replica"] = {}
         self.alive = True
+        #: Set by the clock-safety monitor when this node detects its
+        #: own clock is beyond the tolerated bound: the node stops
+        #: serving and takes itself down rather than serve wrong answers.
+        self.fenced = False
 
     def add_replica(self, replica: "Replica") -> None:
         self.replicas[replica.range_id] = replica

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from ..sim.clock import SkewModel
+from ..sim.clock import ClockModel
 from ..sim.core import Simulator
 from ..sim.network import LatencyModel, Network
 from ..storage.locktable import WaitGraph
@@ -33,8 +33,18 @@ class Cluster:
         #: this cluster; None disables coalescing (the default — it is a
         #: throughput/latency trade the benchmarks opt into explicitly).
         self.raft_coalesce_ms = raft_coalesce_ms
-        self.skew = SkewModel(max_clock_offset, seed=seed,
-                              skew_fraction=skew_fraction)
+        #: Per-node clock model: static base offsets plus the dynamic
+        #: fault surface (drift/jump/freeze) the clock nemesis drives.
+        #: ``skew`` is the historical name; ``clock`` reads better at
+        #: fault-injection sites.
+        self.skew = ClockModel(max_clock_offset, seed=seed,
+                               skew_fraction=skew_fraction, sim=sim)
+        self.clock = self.skew
+        #: Clock-safety monitor (``repro.cluster.clocksync``); ``None``
+        #: means clock monitoring/fencing is disabled and every gated
+        #: path is a single attribute check — installed via
+        #: ``install_clock_monitor``.
+        self.clock_monitor = None
         # Crash-restart support: a restarted node keeps its durable
         # state but must catch up on Raft traffic it missed.
         network.on_node_restart(self._catch_up_restarted_node)

@@ -25,6 +25,9 @@ __all__ = [
     "ForeignKeyViolationError",
     "SchemaError",
     "SqlSyntaxError",
+    "ClockError",
+    "ClockOutlierRejectedError",
+    "ClockFencedError",
     "OverloadError",
     "AdmissionRejectedError",
     "RetryBudgetExhaustedError",
@@ -162,6 +165,50 @@ class SchemaError(DatabaseError):
 
 class SqlSyntaxError(DatabaseError):
     """The SQL text could not be parsed."""
+
+
+class ClockError(DatabaseError):
+    """Base class for clock-safety violations.
+
+    Raised by the clock-sync monitor (``repro.cluster.clocksync``) when
+    a node's clock is observed outside the ``max_clock_offset`` contract
+    the uncertainty/commit-wait machinery depends on.  Serving through a
+    violated contract risks silently wrong answers, so these errors fail
+    the request instead (CRDB crashes the offending node).
+    """
+
+
+class ClockOutlierRejectedError(ClockError, TransactionRetryError):
+    """A replica refused a request timestamp too far ahead of its own
+    clock: the sender's clock must be beyond the tolerated bound, and
+    accepting the write would let it escape commit-wait (CRDB's
+    "remote wall time is too far ahead" check).  Subclasses
+    :class:`TransactionRetryError` so coordinators retry — pointless on
+    a still-broken clock, after which the transaction surfaces as
+    aborted rather than as a wrong answer.
+    """
+
+    def __init__(self, node_id: int, request_physical: float,
+                 local_physical: float):
+        TransactionRetryError.__init__(
+            self,
+            f"node {node_id} rejected request ts {request_physical:.1f}ms: "
+            f"{request_physical - local_physical:.1f}ms ahead of local "
+            f"clock (beyond max_clock_offset)")
+        self.node_id = node_id
+        self.request_physical = request_physical
+        self.local_physical = local_physical
+
+
+class ClockFencedError(ClockError, RangeUnavailableError):
+    """The node has self-fenced: its own measured clock offset exceeded
+    the tolerated bound, so it stops serving reads and writes entirely
+    rather than serve through a broken uncertainty contract."""
+
+    def __init__(self, node_id: int):
+        RangeUnavailableError.__init__(
+            self, f"node {node_id} is clock-fenced")
+        self.node_id = node_id
 
 
 class OverloadError(DatabaseError):

@@ -5,6 +5,7 @@ from .ablations import (
     run_lead_time_ablation,
     run_side_transport_ablation,
 )
+from .clockskew import run_clock_skew_sweep
 from .fig3 import FIG3_CONFIGS, Fig3Result, run_fig3
 from .fig4 import (
     FIG4_REGIONS,
@@ -23,6 +24,7 @@ __all__ = [
     "run_commit_wait_ablation",
     "run_lead_time_ablation",
     "run_side_transport_ablation",
+    "run_clock_skew_sweep",
     "FIG3_CONFIGS",
     "Fig3Result",
     "run_fig3",

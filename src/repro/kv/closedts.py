@@ -20,10 +20,30 @@ from dataclasses import dataclass
 from ..sim.clock import Timestamp
 
 __all__ = ["ClosedTimestampPolicy", "LagPolicy", "LeadPolicy",
-           "DEFAULT_CLOSED_TS_LAG_MS"]
+           "DEFAULT_CLOSED_TS_LAG_MS", "closed_ts_within_contract"]
 
 #: CRDB's default ``kv.closed_timestamp.target_duration``.
 DEFAULT_CLOSED_TS_LAG_MS = 3000.0
+
+
+def closed_ts_within_contract(closed_ts: "Timestamp", local_physical: float,
+                              max_offset: float,
+                              slack_ms: float = 200.0) -> bool:
+    """Receiver-side sanity check on an incoming closed timestamp.
+
+    A *non-synthetic* closed timestamp claims real time has reached it.
+    If it sits further ahead of the receiving follower's clock than
+    ``max_offset`` plus flight slack, the leaseholder that emitted it
+    must have a clock outside the tolerated bound (e.g. a forward jump
+    turning its LAG targets into future time) — accepting it would let
+    the follower serve "past" reads at timestamps nobody has reached.
+    Synthetic (LEAD-policy) targets promise nothing about wall time and
+    always pass.  Used by the clock-safety monitor when one is
+    installed; the legacy path skips the check entirely.
+    """
+    if closed_ts.synthetic:
+        return True
+    return closed_ts.physical <= local_physical + max_offset + slack_ms
 
 
 class ClosedTimestampPolicy:

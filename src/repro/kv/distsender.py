@@ -16,6 +16,7 @@ import random
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from ..errors import (
+    ClockFencedError,
     DeadlineExceededError,
     FollowerReadNotAvailableError,
     StaleReadBoundError,
@@ -280,13 +281,19 @@ class DistSender:
                                 f"rpc to node {dst.node_id} timed out"))
                     try:
                         value = yield call
-                    except NetworkUnavailableError as err:
+                    except (NetworkUnavailableError, ClockFencedError) as err:
+                        # ClockFencedError: the leaseholder refused to
+                        # serve because it clock-fenced itself — treat
+                        # exactly like node death: fail the lease over
+                        # to a healthy voter and retry there.
                         breaker.record_failure(sim.now)
                         last_error = err
                         self._c_retries.inc()
                         attempt_span.annotate(error=type(err).__name__)
                         if self.auto_failover and rng.maybe_failover(
-                                from_node=gateway, force=breaker.is_open):
+                                from_node=gateway,
+                                force=(breaker.is_open
+                                       or isinstance(err, ClockFencedError))):
                             self._c_failovers.inc()
                             attempt_span.annotate(failover=True)
                         delay = backoff.next_delay()

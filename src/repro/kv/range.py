@@ -490,6 +490,12 @@ class Range:
             # here without consuming capacity.
             yield from admission.store_work(self.leaseholder_node_id,
                                             deadline_ms=deadline_ms)
+        monitor = self.cluster.clock_monitor
+        if monitor is not None:
+            # Clock safety: refuse to serve while fenced, and reject
+            # request timestamps only an out-of-contract clock could
+            # have produced (they would escape commit-wait).
+            monitor.check_request(self.leaseholder_replica.node, ts)
         while True:
             holder = self.lock_table.holder_of(key)
             if holder is not None and holder.txn_id != txn_id:
@@ -538,6 +544,9 @@ class Range:
         if admission is not None:
             yield from admission.store_work(self.leaseholder_node_id,
                                             deadline_ms=deadline_ms)
+        monitor = self.cluster.clock_monitor
+        if monitor is not None:
+            monitor.check_request(self.leaseholder_replica.node, ts)
         while True:
             holder = self.lock_table.holder_of(key)
             if holder is not None and holder.txn_id != txn_id:
@@ -590,6 +599,12 @@ class Range:
         if admission is not None:
             yield from admission.store_work(self.leaseholder_node_id,
                                             deadline_ms=deadline_ms)
+        monitor = self.cluster.clock_monitor
+        if monitor is not None:
+            # A beyond-bound *read* timestamp poisons the ts-cache far
+            # into the future, forcing every later writer through
+            # spurious refreshes — reject it at the door too.
+            monitor.check_request(self.leaseholder_replica.node, ts)
         horizon = uncertainty_limit if uncertainty_limit is not None else ts
         while True:
             holder = self.lock_table.holder_of(key)

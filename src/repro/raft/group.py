@@ -605,8 +605,11 @@ class RaftGroup:
         leader, peer = batch["leader"], batch["peer"]
         self.sim.obs.registry.counter("raft.coalesced_batches",
                                       range=self.range_id).inc()
-        self.network.send(leader.node, peer.node,
-                          lambda: self._deliver_batch(leader, peer, batch))
+        deliver = lambda: self._deliver_batch(leader, peer, batch)  # noqa: E731
+        monitor = self.network.clock_monitor
+        if monitor is not None:
+            deliver = monitor.wrap(leader.node, peer.node, deliver)
+        self.network.send(leader.node, peer.node, deliver)
 
     def _deliver_batch(self, leader: PeerState, peer: PeerState,
                        batch: Dict[str, Any]) -> None:
@@ -642,14 +645,19 @@ class RaftGroup:
             ts, commit_idx, committed = closed
             self._learn_commit(peer, commit_idx, committed)
             if peer.applied_index >= commit_idx and ts > peer.closed_ts:
-                peer.closed_ts = ts
+                monitor = self.network.clock_monitor
+                if monitor is None or monitor.accepts_closed_ts(peer.node, ts):
+                    peer.closed_ts = ts
 
     def _send_ack_batch(self, peer: PeerState, acks: List) -> None:
         leader = self.peers.get(self.leader_node_id)
         if leader is None:
             return
-        self.network.send(peer.node, leader.node,
-                          lambda: self._deliver_acks(peer.node.node_id, acks))
+        deliver = lambda: self._deliver_acks(peer.node.node_id, acks)  # noqa: E731
+        monitor = self.network.clock_monitor
+        if monitor is not None:
+            deliver = monitor.wrap(peer.node, leader.node, deliver)
+        self.network.send(peer.node, leader.node, deliver)
 
     def _deliver_acks(self, node_id: int, acks: List) -> None:
         for index, term in acks:
@@ -689,16 +697,26 @@ class RaftGroup:
                 # may have been lost — re-ack.
                 self.sim.call_after(self.DISK_APPEND_MS, self._send_ack,
                                     peer, entry.index, entry.term)
-        self.network.send(leader.node, peer.node, on_deliver)
+        deliver = on_deliver
+        # Clock-safety piggyback: Raft appends carry the leader's clock
+        # reading when a monitor is installed (one attribute check on
+        # the legacy path).
+        monitor = self.network.clock_monitor
+        if monitor is not None:
+            deliver = monitor.wrap(leader.node, peer.node, deliver)
+        self.network.send(leader.node, peer.node, deliver)
 
     def _send_ack(self, peer: PeerState, index: int,
                   term: Optional[int] = None) -> None:
         leader = self.peers.get(self.leader_node_id)
         if leader is None:
             return
-        self.network.send(
-            peer.node, leader.node,
-            lambda: self._on_ack(index, peer.node.node_id, term))
+        deliver = lambda: self._on_ack(  # noqa: E731
+            index, peer.node.node_id, term)
+        monitor = self.network.clock_monitor
+        if monitor is not None:
+            deliver = monitor.wrap(peer.node, leader.node, deliver)
+        self.network.send(peer.node, leader.node, deliver)
 
     def _on_ack(self, index: int, from_node_id: int,
                 term: Optional[int] = None) -> None:
@@ -859,8 +877,13 @@ class RaftGroup:
                 def on_deliver() -> None:
                     self._learn_commit(p, commit, committed)
                     if p.applied_index >= commit and ts > p.closed_ts:
-                        p.closed_ts = ts
+                        mon = self.network.clock_monitor
+                        if mon is None or mon.accepts_closed_ts(p.node, ts):
+                            p.closed_ts = ts
                 return on_deliver
-            self.network.send(leader.node, peer.node,
-                              make_update(peer, closed_ts, self.commit_index,
-                                          self._last_committed))
+            deliver = make_update(peer, closed_ts, self.commit_index,
+                                  self._last_committed)
+            monitor = self.network.clock_monitor
+            if monitor is not None:
+                deliver = monitor.wrap(leader.node, peer.node, deliver)
+            self.network.send(leader.node, peer.node, deliver)

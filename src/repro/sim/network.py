@@ -375,6 +375,11 @@ class Network:
         self._hop_cache: Dict[Tuple[int, int], tuple] = {}
         #: Callbacks fired with a node_id when that node restarts.
         self._restart_listeners: List[Callable[[int], None]] = []
+        #: Clock-sync monitor (``repro.cluster.clocksync``), or None.
+        #: Message-level senders (liveness heartbeats, Raft traffic)
+        #: consult this one attribute to decide whether to piggyback a
+        #: clock reading; None keeps the legacy paths untouched.
+        self.clock_monitor = None
 
     @property
     def messages_sent(self) -> int:

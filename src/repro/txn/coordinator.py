@@ -159,8 +159,8 @@ class Transaction:
                     allow_server_side_bump=allow_bump,
                     span=self.span, deadline_ms=self.deadline_ms)
             except ReadWithinUncertaintyIntervalError as err:
-                self.coordinator.stats.uncertainty_restarts += 1
                 value_ts = err.value_ts
+                self.coordinator.note_uncertainty_restart(value_ts)
                 yield from self._refresh_to(value_ts.with_synthetic(False))
                 if value_ts.synthetic or value_ts.physical > \
                         self.gateway.clock.physical_now():
@@ -168,7 +168,7 @@ class Transaction:
                 continue
             if effective_ts > self.read_ts:
                 # Server-side uncertainty bump (only legal with no spans).
-                self.coordinator.stats.uncertainty_restarts += 1
+                self.coordinator.note_uncertainty_restart(effective_ts)
                 self.read_ts = effective_ts.with_synthetic(False)
                 if self.write_ts < self.read_ts:
                     self.write_ts = self.read_ts
@@ -200,8 +200,8 @@ class Transaction:
             try:
                 results = yield all_of(self.coordinator.sim, futures)
             except ReadWithinUncertaintyIntervalError as err:
-                self.coordinator.stats.uncertainty_restarts += 1
                 value_ts = err.value_ts
+                self.coordinator.note_uncertainty_restart(value_ts)
                 yield from self._refresh_to(value_ts.with_synthetic(False))
                 if value_ts.synthetic or value_ts.physical > \
                         self.gateway.clock.physical_now():
@@ -518,6 +518,20 @@ class TransactionCoordinator:
         # lockstep (chaos runs livelocked with the old fixed backoff).
         self._retry_rng = random.Random(
             (getattr(cluster, "seed", 0) << 8) ^ 0x7C0)
+
+    def note_uncertainty_restart(self, value_ts) -> None:
+        """Count an uncertainty restart, attributing its cause when the
+        clock-safety subsystem is active: a *synthetic* uncertain value
+        is a future-time (GLOBAL-table) write doing its job, while a
+        real timestamp inside the window means an actually-skewed writer
+        clock — the distinction the clock nemesis experiments care
+        about."""
+        self.stats.uncertainty_restarts += 1
+        if self.cluster.clock_monitor is not None:
+            cause = ("future-time-write" if value_ts.synthetic
+                     else "clock-skew")
+            self.sim.obs.registry.counter(
+                "txn.uncertainty_restart_cause", cause=cause).inc()
 
     def begin(self, gateway, parent_span=None,
               label: Optional[str] = None,

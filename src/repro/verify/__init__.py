@@ -16,6 +16,7 @@ replayable offline from a dumped file:
 
 from .checker import Anomaly, VerifyReport, check
 from .generator import (
+    CLOCK_SCENARIOS,
     VERIFY_SCENARIOS,
     VerifyHarness,
     VerifyResult,
@@ -27,6 +28,7 @@ from .recorder import HistoryRecorder
 __all__ = [
     "Anomaly", "VerifyReport", "check",
     "VerifyHarness", "VerifyResult", "run_verify", "VERIFY_SCENARIOS",
+    "CLOCK_SCENARIOS",
     "RecordedOp", "RecordedTxn", "VerifyHistory",
     "HistoryRecorder",
 ]

@@ -26,9 +26,10 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..admission import AdmissionConfig, install_admission
-from ..chaos.nemesis import Nemesis
+from ..chaos.nemesis import FaultEvent, Nemesis
 from ..chaos.scenarios import HOME, REGIONS, RETRYABLE, build_faults
-from ..cluster import standard_cluster
+from ..cluster import StoreLiveness, install_clock_monitor, standard_cluster
+from ..placement import ReplicateQueue
 from ..errors import (AmbiguousCommitError, DeadlineExceededError,
                       OverloadError, StaleReadBoundError)
 from ..kv.distsender import ReadRouting
@@ -54,7 +55,35 @@ VERIFY_SCENARIOS = [
     "region-blackout", "rolling-zones", "flaky-wan",
     "gray-follower", "asym-partition", "crash-restart",
     "overload",
+    "clock-drift", "clock-jump", "clock-jump-nofence",
 ]
+
+#: Clock-fault verify scenarios.  ``clock-drift`` keeps every clock
+#: inside the max-offset contract (nothing may fence, nothing may break);
+#: ``clock-jump`` steps a writer gateway's clock beyond the contract
+#: with the full defense on (serve-side rejection + self-fencing) and
+#: must stay anomaly-free; ``clock-jump-nofence`` is the honest
+#: ablation — the identical schedule with the defense disabled, where
+#: the run *passes* iff the checker reports the real-time/staleness
+#: anomalies the undefended jump really causes.
+CLOCK_SCENARIOS = ("clock-drift", "clock-jump", "clock-jump-nofence")
+
+#: How far beyond the 250 ms contract the jump scenarios step a clock.
+#: Sized so the stale window survives transaction latency: an acked
+#: future-time write is invisible to honest readers for roughly
+#: ``jump - txn_duration - max_clock_offset`` — WAN commits eat ~600 ms
+#: and uncertainty covers another 250 ms, so 2 s leaves a window the
+#: probes cannot miss.
+CLOCK_JUMP_MS = 2000.0
+
+#: The anomaly types an undefended beyond-bound clock can legitimately
+#: produce: recency (real-time) and staleness violations.  Anything
+#: outside this set — a serializability break — fails even the
+#: fencing-disabled ablation.
+REALTIME_ANOMALY_TYPES = frozenset({
+    "stale-strong-read", "stale-read-too-new", "staleness-missed-write",
+    "non-monotonic-session", "staleness-bound-violated",
+})
 
 #: Overload verify-scenario knobs: background Poisson arrivals per
 #: region against the home range, the gateway rate each region's "bg"
@@ -85,16 +114,25 @@ class VerifyResult:
     report: VerifyReport
     duration_ms: float
     stats: Dict[str, Any] = field(default_factory=dict)
+    #: Fencing-disabled ablation runs invert the verdict: the run
+    #: passes iff the checker caught at least one real-time/staleness
+    #: anomaly (and nothing worse) — proof the nemesis draws blood when
+    #: the defense is off.
+    expect_anomalies: bool = False
 
     @property
     def ok(self) -> bool:
-        return self.report.ok
+        if not self.expect_anomalies:
+            return self.report.ok
+        types = {a.type for a in self.report.anomalies}
+        return bool(types) and types <= REALTIME_ANOMALY_TYPES
 
     def to_json(self) -> Dict[str, Any]:
         return {
             "scenario": self.scenario,
             "seed": self.seed,
             "ok": self.ok,
+            "expect_anomalies": self.expect_anomalies,
             "duration_ms": round(self.duration_ms, 1),
             "stats": dict(self.stats),
             "report": self.report.to_json(),
@@ -110,6 +148,13 @@ class VerifyResult:
                 for key, value in sorted(self.stats.items())),
             self.report.render(),
         ]
+        if self.expect_anomalies:
+            lines.append(
+                "  ablation verdict: " +
+                ("OK — the checker caught the undefended clock fault"
+                 if self.ok else
+                 "FAIL — expected real-time/staleness anomalies "
+                 "were not detected (or worse ones appeared)"))
         return "\n".join(lines)
 
 
@@ -127,11 +172,15 @@ class VerifyHarness:
         self.recorder = HistoryRecorder(self.cluster.sim)
         self.coord.recorder = self.recorder
         secondary = next(r for r in self.regions if r != home)
+        #: Zone config per range name (the clock-jump scenario's repair
+        #: queue needs them to manage the ranges).
+        self.configs: Dict[str, Any] = {}
 
         def make_range(name: str, range_home: str,
                        global_reads: bool = False):
             config = zone_config_for_home(
                 range_home, self.cluster.regions(), SurvivalGoal.REGION)
+            self.configs[name] = config
             return provision_range(
                 self.cluster, config, global_reads=global_reads, name=name,
                 side_transport_interval_ms=100.0,
@@ -171,6 +220,10 @@ class VerifyHarness:
         self._bg_coord: Optional[TransactionCoordinator] = None
         self._bg_stats = {"offered": 0, "rejected": 0, "shed": 0,
                           "failed": 0, "completed": 0}
+        #: Clock-scenario machinery (None unless a clock scenario runs).
+        self.clock_monitor = None
+        self.liveness: Optional[StoreLiveness] = None
+        self.repair_queue: Optional[ReplicateQueue] = None
 
     @property
     def sim(self):
@@ -234,6 +287,42 @@ class VerifyHarness:
                 self._fg_shed += 1
             except RETRYABLE:
                 pass  # recorded as aborted attempts
+            yield self.sim.sleep(rng.uniform(*think_ms))
+
+    # -- recency probes (clock scenarios) -----------------------------------
+
+    def probe_client(self, label: str, region: str, gateway_index: int,
+                     ops: int, think_ms=(25.0, 50.0)):
+        """High-frequency single-key strong reads from one gateway.
+
+        Clock scenarios run these alongside the regular clients: a
+        beyond-bound clock opens only a narrow window (roughly the
+        effective clock error minus ``max_clock_offset``) in which an
+        acked future-time write is invisible to honest readers, and the
+        regular Zipf workload samples each key too sparsely to hit it
+        reliably.  The probes read the hottest register keys every few
+        tens of milliseconds, so any recency violation the nemesis
+        causes lands in the history as a committed strong read the
+        real-time checker can convict.
+        """
+        gateway = self.cluster.gateway_for_region(region, gateway_index)
+        rng = random.Random(self.rng.random())
+        targets = [(self.ranges[name], key)
+                   for name in ("glob", "reg-us") for key in ("r0", "r1")]
+        for _ in range(ops):
+            table, key = targets[rng.randrange(len(targets))]
+
+            def txn_fn(txn, table=table, key=key):
+                yield from txn.read(table, key,
+                                    routing=self._strong_routing)
+
+            try:
+                yield from self.coord.run(gateway, txn_fn, max_attempts=6,
+                                          label=label)
+            except AmbiguousCommitError:
+                pass
+            except RETRYABLE:
+                pass
             yield self.sim.sleep(rng.uniform(*think_ms))
 
     # -- stale readers ------------------------------------------------------
@@ -344,6 +433,57 @@ class VerifyHarness:
                            name=f"bg-{region}-{count}")
             count += 1
 
+    # -- clock-fault scenarios ----------------------------------------------
+
+    def clock_jump_victim(self) -> int:
+        """The home region's second gateway: a node whose clients stamp
+        transactions with *its* clock, so a beyond-bound jump there
+        produces future-time write timestamps on every range."""
+        return self.cluster.gateway_for_region(self.home, 1).node_id
+
+    def _setup_clock(self, scenario: str) -> None:
+        """Install the clock-safety monitor (fencing disabled for the
+        ablation) and, for the jump scenarios, the liveness machinery:
+        heartbeats carry the clock readings the monitor measures with,
+        and the replicate queue repairs around a fenced victim.  The
+        ablation keeps the identical setup so offsets are still
+        measured and exported — it differs *only* in not acting."""
+        fence = scenario != "clock-jump-nofence"
+        self.clock_monitor = install_clock_monitor(
+            self.cluster, fence_enabled=fence)
+        if scenario in ("clock-jump", "clock-jump-nofence"):
+            self.liveness = StoreLiveness(
+                self.cluster, heartbeat_interval_ms=100.0,
+                time_until_store_dead_ms=600.0)
+            self.repair_queue = ReplicateQueue(
+                self.cluster, self.liveness, interval_ms=200.0)
+            for name in sorted(self.ranges):
+                self.repair_queue.manage(self.ranges[name],
+                                         self.configs[name])
+            self.repair_queue.start()
+
+    def _clock_events(self, scenario: str) -> List[FaultEvent]:
+        clock = self.cluster.clock
+        if scenario == "clock-drift":
+            lease_node = self.range.leaseholder_node_id
+            victims = [p.node.node_id for p in self.range.group.voters()
+                       if p.node.node_id != lease_node][:2]
+            events = []
+            for index, node_id in enumerate(victims):
+                rate = 0.03 if index % 2 == 0 else -0.03
+                events.append(FaultEvent(
+                    name=f"clock-drift:n{node_id}",
+                    at_ms=200.0,
+                    inject=lambda n=node_id, r=rate: clock.set_drift(n, r),
+                    heal_at_ms=2000.0,
+                    heal=lambda n=node_id: clock.heal(n)))
+            return events
+        victim = self.clock_jump_victim()
+        return [FaultEvent(
+            name=f"clock-jump:n{victim}",
+            at_ms=250.0,
+            inject=lambda: clock.jump(victim, CLOCK_JUMP_MS))]
+
     # -- the run ------------------------------------------------------------
 
     def _init_keys(self) -> None:
@@ -395,6 +535,7 @@ class VerifyHarness:
         start_ms = sim.now
         nemesis = None
         overload = scenario == "overload"
+        clock_scenario = scenario in CLOCK_SCENARIOS
         if overload:
             # The nemesis is load, not faults: saturating background
             # arrivals against the home store while admission control
@@ -404,6 +545,10 @@ class VerifyHarness:
                 sim.spawn(self._bg_arrivals(
                     region, index, start_ms + OVERLOAD_WINDOW_MS),
                     name=f"bg-arrivals-{region}")
+        elif clock_scenario:
+            self._setup_clock(scenario)
+            nemesis = Nemesis(self.cluster, self._clock_events(scenario))
+            nemesis.schedule(base_ms=start_ms)
         elif scenario:
             nemesis = Nemesis(self.cluster, build_faults(scenario, self))
             nemesis.schedule(base_ms=start_ms)
@@ -415,12 +560,21 @@ class VerifyHarness:
                     (index + client) % 2, ops_per_client)))
             processes.append(sim.spawn(self.stale_client(
                 f"stale-{region}", region, (index + 1) % 2, stale_ops)))
+        if clock_scenario:
+            # Recency probes on healthy gateways (index 0 in the home
+            # region — index 1 is the jump victim).
+            for index, region in enumerate(self.regions):
+                processes.append(sim.spawn(self.probe_client(
+                    f"probe-{region}", region, index % 2, ops=60)))
         for process in processes:
             sim.run_until_future(process)
         duration = sim.now - start_ms
 
         if nemesis is not None:
-            nemesis.heal_all(restart_dead=True)
+            # clock-jump's fenced victim stays down: the point is that
+            # the replicate queue repairs around it, not that a restart
+            # saves the day.
+            nemesis.heal_all(restart_dead=(scenario != "clock-jump"))
         sim.run(until=sim.now + 2000.0)
         self.recorder.final = self._audit()
 
@@ -438,9 +592,18 @@ class VerifyHarness:
             stats["fg_shed"] = self._fg_shed
             for key in sorted(self._bg_stats):
                 stats[f"bg_{key}"] = self._bg_stats[key]
+        if self.clock_monitor is not None:
+            stats["clock_fences"] = len(self.clock_monitor.fence_events)
+            stats["clock_outliers"] = len(
+                self.clock_monitor.outlier_detections)
+            if self.repair_queue is not None:
+                stats["repair_actions"] = \
+                    self.repair_queue.metrics.total_actions()
         return VerifyResult(scenario=scenario_name, seed=self.seed,
                             history=history, report=report,
-                            duration_ms=duration, stats=stats)
+                            duration_ms=duration, stats=stats,
+                            expect_anomalies=(
+                                scenario == "clock-jump-nofence"))
 
 
 def run_verify(scenario: Optional[str] = None, seed: int = 0,
