@@ -12,6 +12,7 @@ Usage::
     python -m repro verify [--scenario NAME|all|clock] [--seed N] [--json]
     python -m repro verify --check history.json
     python -m repro repair [--seed N] [--scenario NAME]
+    python -m repro rebalance [--seeds K] [--json] [--update-golden]
     python -m repro trace [--workload movr] [--scenario NAME] [--seed N]
     python -m repro metrics [--workload movr] [--scenario NAME] [--json]
     python -m repro bench [--workload kv] [--obs off] [--scale 0.5]
@@ -300,6 +301,67 @@ def _repair_main(argv) -> int:
     return 1 if violated else 0
 
 
+def _rebalance_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro rebalance",
+        description="Run the elastic-keyspace experiment: a seeded hot "
+                    "workload drives size/load splits, a follow-the-"
+                    "workload lease move, and cold merges back to one "
+                    "range — checked against committed per-seed golden "
+                    "fingerprints (REBALANCE_golden.json), including a "
+                    "legacy run that proves fixed-range behaviour is "
+                    "untouched when elasticity is disabled.")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="single seed to run (default: the golden "
+                             "set 0,1,2)")
+    parser.add_argument("--seeds", type=int, default=None, metavar="K",
+                        help="run seeds 0..K-1")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the machine-readable suite document")
+    parser.add_argument("--update-golden", action="store_true",
+                        help="promote this run's fingerprints to the "
+                             "committed golden file")
+    parser.add_argument("--no-golden", action="store_true",
+                        help="skip the golden-fingerprint comparison "
+                             "(gates still apply)")
+    args = parser.parse_args(argv)
+
+    from .harness.rebalance import (GOLDEN_SEEDS, check_rebalance_golden,
+                                    render_rebalance, run_rebalance_suite,
+                                    update_rebalance_golden)
+
+    if args.seeds is not None:
+        seeds = list(range(args.seeds))
+    elif args.seed is not None:
+        seeds = [args.seed]
+    else:
+        seeds = list(GOLDEN_SEEDS)
+    suite = run_rebalance_suite(seeds)
+    failures = []
+    if args.update_golden:
+        update_rebalance_golden(suite)
+    elif not args.no_golden:
+        failures = check_rebalance_golden(suite)
+    if args.json:
+        suite["golden_failures"] = failures
+        print(json.dumps(suite, indent=2, sort_keys=True))
+    else:
+        for seed in seeds:
+            entry = suite["runs"][str(seed)]
+            print(render_rebalance(entry["elastic"]))
+            print(render_rebalance(entry["legacy"]))
+            print()
+        if args.update_golden:
+            print("golden fingerprints updated")
+        elif failures:
+            print("GOLDEN FINGERPRINT MISMATCHES:")
+            for failure in failures:
+                print(f"  {failure}")
+        elif not args.no_golden:
+            print("fingerprints match committed golden")
+    return 0 if suite["ok"] and not failures else 1
+
+
 def _observed_run(args):
     """Run the workload or scenario named by ``args``; returns
     (title, Observability) with the run's spans and metrics attached."""
@@ -512,6 +574,8 @@ def main(argv=None) -> int:
         return _verify_main(argv[1:])
     if argv and argv[0] == "repair":
         return _repair_main(argv[1:])
+    if argv and argv[0] == "rebalance":
+        return _rebalance_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
     if argv and argv[0] == "metrics":

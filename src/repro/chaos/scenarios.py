@@ -26,6 +26,7 @@ from ..errors import (
 )
 from ..kv.distsender import ReadRouting
 from ..placement import (
+    RebalanceQueue,
     ReplicateQueue,
     SurvivalGoal,
     placement_violations,
@@ -135,7 +136,8 @@ class ChaosHarness:
                  time_until_store_dead_ms: float = 600.0,
                  repair_interval_ms: float = 200.0,
                  clock_monitor: bool = False,
-                 fence_enabled: bool = True):
+                 fence_enabled: bool = True,
+                 elastic: bool = False):
         self.seed = seed
         self.regions = list(regions or REGIONS)
         self.home = home
@@ -159,6 +161,17 @@ class ChaosHarness:
             side_transport_interval_ms=100.0,
             proposal_timeout_ms=proposal_timeout_ms,
             retransmit_interval_ms=retransmit_interval_ms)
+        # Elastic mode adopts the chaos range into a span so the
+        # rebalance queue can split/merge it under fire; the routing
+        # token the clients use is the span.  Legacy scenarios keep the
+        # raw Range token (and never instantiate the keyspace), so
+        # their event schedules stay byte-identical.
+        self.span = None
+        self.token = self.range
+        if elastic:
+            self.span = self.cluster.keyspace.adopt(self.range,
+                                                    name="chaos")
+            self.token = self.span
         self.history = History()
         self.rng = random.Random((seed << 4) ^ 0xC4A05)
         # Self-healing: store liveness + the replicate queue, watching
@@ -166,15 +179,28 @@ class ChaosHarness:
         # the scenario's compressed clock (CRDB's default is 5 min).
         self.liveness: Optional[StoreLiveness] = None
         self.repair_queue: Optional[ReplicateQueue] = None
-        if enable_repair:
+        if enable_repair or elastic:
             self.liveness = StoreLiveness(
                 self.cluster,
                 heartbeat_interval_ms=heartbeat_interval_ms,
                 time_until_store_dead_ms=time_until_store_dead_ms)
-            self.repair_queue = ReplicateQueue(
-                self.cluster, self.liveness,
-                interval_ms=repair_interval_ms)
-            self.repair_queue.manage(self.range, config)
+            if elastic:
+                # Thresholds scaled to the 3-key chaos workload: the
+                # seeded range size-splits immediately (3 > 2 keys) and
+                # the hot keys drive load splits during the run.
+                queue = RebalanceQueue(
+                    self.cluster, self.liveness,
+                    interval_ms=repair_interval_ms,
+                    split_max_keys=2, split_qps=8.0,
+                    merge_qps=0.5, merge_patience=3,
+                    replica_moves=False)
+                queue.manage_span(self.span, config)
+                self.repair_queue = queue
+            else:
+                self.repair_queue = ReplicateQueue(
+                    self.cluster, self.liveness,
+                    interval_ms=repair_interval_ms)
+                self.repair_queue.manage(self.range, config)
             self.repair_queue.start()
 
     @property
@@ -193,8 +219,8 @@ class ChaosHarness:
             start = self.sim.now
 
             def txn_fn(txn, key=key):
-                value = yield from txn.read(self.range, key)
-                yield from txn.write(self.range, key, value + 1)
+                value = yield from txn.read(self.token, key)
+                yield from txn.write(self.token, key, value + 1)
 
             status, error = OK, ""
             try:
@@ -221,7 +247,7 @@ class ChaosHarness:
             start = self.sim.now
 
             def txn_fn(txn, key=key):
-                value = yield from txn.read(self.range, key, routing=routing)
+                value = yield from txn.read(self.token, key, routing=routing)
                 return value
 
             status, error, value = OK, "", None
@@ -254,7 +280,7 @@ class ChaosHarness:
             gateway = self.cluster.gateway_for_region(self.home)
 
             def init_fn(txn, key=key):
-                yield from txn.write(self.range, key, 0)
+                yield from txn.write(self.token, key, 0)
 
             sim.run_until_future(sim.spawn(self.coord.run(gateway, init_fn)))
         sim.run(until=sim.now + 200.0)  # settle replication
@@ -292,6 +318,8 @@ class ChaosHarness:
         }
         if self.repair_queue is not None:
             self._check_placement(report, stats)
+        if self.span is not None:
+            self._check_ownership(report, stats)
         if self.clock_monitor is not None:
             self._merge_clock_timeline(nemesis)
             stats["clock_fences"] = len(self.clock_monitor.fence_events)
@@ -310,9 +338,10 @@ class ChaosHarness:
         """Repair-scenario extras: the healed placement must satisfy the
         zone config (constraints, diversity, lease) given the nodes that
         still exist, and the repair metrics ride along in the stats."""
-        violations = placement_violations(
-            self.range, self.config, self.cluster, self.liveness)
-        report.violations.extend(violations)
+        from ..kv.keyspace import live_ranges
+        for rng in live_ranges(self.token):
+            report.violations.extend(placement_violations(
+                rng, self.config, self.cluster, self.liveness))
         report.checks_run.append(
             "placement: post-repair constraints + diversity + lease "
             "satisfied on surviving nodes")
@@ -329,6 +358,56 @@ class ChaosHarness:
         if metrics.time_to_repair_ms:
             stats["time_to_repair_ms"] = round(
                 max(metrics.time_to_repair_ms), 1)
+
+    def _check_ownership(self, report: InvariantReport,
+                         stats: Dict[str, float]) -> None:
+        """Elastic-scenario extras: after splits and merges raced the
+        nemesis, the span's descriptors must still tile the keyspace —
+        no key unowned, none doubly-owned — and every replica's store
+        must hold only keys inside its range's bounds."""
+        from ..kv.keyspace import MIN_KEY, encode_key
+        descriptors = list(self.span.descriptors)
+        if descriptors[0].start_key != MIN_KEY:
+            report.violations.append(
+                "keyspace: first descriptor does not start at /Min: "
+                f"{descriptors[0].span_repr()}")
+        if descriptors[-1].end_key is not None:
+            report.violations.append(
+                "keyspace: last descriptor does not extend to /Max: "
+                f"{descriptors[-1].span_repr()}")
+        for left, right in zip(descriptors, descriptors[1:]):
+            if left.end_key != right.start_key:
+                report.violations.append(
+                    "keyspace: gap or overlap between "
+                    f"{left.span_repr()} and {right.span_repr()}")
+        for key in KEYS:
+            owners = [d for d in descriptors if d.contains_key(key)]
+            if len(owners) != 1:
+                spans = [d.span_repr() for d in owners]
+                report.violations.append(
+                    f"keyspace: key {key!r} owned by {len(owners)} "
+                    f"descriptors {spans} (want exactly 1)")
+        for descriptor in descriptors:
+            for node_id, replica in sorted(
+                    descriptor.rng.replicas.items()):
+                strays = [key for key in replica.store.keys()
+                          if not descriptor.contains(encode_key(key))]
+                if strays:
+                    report.violations.append(
+                        f"keyspace: replica n{node_id} of "
+                        f"{descriptor.rng.name} holds keys outside "
+                        f"{descriptor.span_repr()}: {sorted(strays)}")
+        report.checks_run.append(
+            "keyspace: descriptors tile [/Min, /Max); every key owned "
+            "exactly once; replica stores within bounds")
+        keyspace = self.cluster.keyspace
+        stats.update({
+            "keyspace_splits": keyspace.splits,
+            "keyspace_merges": keyspace.merges,
+            "ranges_final": len(descriptors),
+            "range_cache_invalidations":
+                self.ds.range_cache_invalidations,
+        })
 
     def _merge_clock_timeline(self, nemesis: Nemesis) -> None:
         """Fold self-fence (and, when fencing is off, bare detection)
@@ -385,7 +464,7 @@ class ChaosHarness:
             for gateway in gateways:
 
                 def read_fn(txn, key=key):
-                    value = yield from txn.read(self.range, key)
+                    value = yield from txn.read(self.token, key)
                     return value
 
                 result, _ts = self.sim.run_until_future(
@@ -510,6 +589,19 @@ def _kill_node_faults(harness) -> List[FaultEvent]:
         inject=lambda: cluster.crash_node(victim))]
 
 
+def _split_under_fire_faults(harness) -> List[FaultEvent]:
+    """Crash the (initial) leaseholder while hot-key load is driving
+    the rebalance queue through splits, then restart it."""
+    cluster = harness.cluster
+    victim = harness.range.leaseholder_node_id
+    return [FaultEvent(
+        name=f"crash-lease:{victim}",
+        at_ms=250.0,
+        inject=lambda: cluster.crash_node(victim),
+        heal_at_ms=1100.0,
+        heal=lambda: cluster.restart_node(victim))]
+
+
 def _region_loss_faults(harness) -> List[FaultEvent]:
     cluster = harness.cluster
     victims = [n.node_id for n in cluster.nodes_in_region(harness.home)]
@@ -593,6 +685,7 @@ FAULT_BUILDERS: Dict[str, Callable[[Any], List[FaultEvent]]] = {
     "gray-follower": _gray_follower_faults,
     "asym-partition": _asym_partition_faults,
     "crash-restart": _crash_restart_faults,
+    "split-under-fire": _split_under_fire_faults,
     "kill-node-repair": _kill_node_faults,
     "region-loss-repair": _region_loss_faults,
     "clock-drift": _clock_drift_faults,
@@ -659,6 +752,23 @@ def _crash_restart(seed: int) -> ScenarioResult:
     harness = ChaosHarness(seed)
     return harness.run("crash-restart",
                        build_faults("crash-restart", harness))
+
+
+def _split_under_fire(seed: int) -> ScenarioResult:
+    """Hot-key load splits the range while its leaseholder crashes.
+
+    The chaos range runs in elastic mode: the rebalance queue
+    size-splits the seeded keyspace immediately and keeps load-splitting
+    the hot keys while the nemesis crashes the node holding the initial
+    lease mid-split.  Every acked write must survive, and the span's
+    descriptors must still tile the keyspace afterwards — no key may
+    ever be left unowned or doubly-owned by the split/merge machinery
+    racing lease failover and repair.
+    """
+    harness = ChaosHarness(seed, enable_repair=True, elastic=True)
+    return harness.run("split-under-fire",
+                       build_faults("split-under-fire", harness),
+                       inc_ops=20, read_ops=20)
 
 
 def _kill_node_repair(seed: int) -> ScenarioResult:
@@ -756,6 +866,7 @@ SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {
     "gray-follower": _gray_follower,
     "asym-partition": _asym_partition,
     "crash-restart": _crash_restart,
+    "split-under-fire": _split_under_fire,
     "kill-node-repair": _kill_node_repair,
     "region-loss-repair": _region_loss_repair,
     "overload-global": _overload_global,

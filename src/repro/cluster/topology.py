@@ -61,6 +61,16 @@ class Cluster:
         self.admission = None
         self._next_node_id = 1
         self._next_range_id = 1
+        self._keyspace = None
+
+    @property
+    def keyspace(self):
+        """The elastic-keyspace registry (``repro.kv.keyspace``), created
+        lazily so fixed-provisioning runs never touch it."""
+        if self._keyspace is None:
+            from ..kv.keyspace import Keyspace
+            self._keyspace = Keyspace(self)
+        return self._keyspace
 
     def txn_status(self, txn_id: int):
         """Authoritative transaction state for pushes.

@@ -18,6 +18,7 @@ __all__ = [
     "TransactionAbortedError",
     "AmbiguousCommitError",
     "RangeUnavailableError",
+    "RangeKeyMismatchError",
     "NotLeaseholderError",
     "FollowerReadNotAvailableError",
     "StaleReadBoundError",
@@ -109,6 +110,23 @@ class AmbiguousCommitError(DatabaseError):
 
 class RangeUnavailableError(DatabaseError):
     """The range cannot reach quorum (region/zone failure)."""
+
+
+class RangeKeyMismatchError(TransactionRetryError):
+    """The range contacted no longer owns the key (its descriptor span
+    moved out from under the request — a split or merge landed between
+    routing and serving).  Subclasses :class:`TransactionRetryError` so
+    coordinators retry; the DistSender additionally invalidates its
+    span-keyed descriptor cache and re-routes without consuming a
+    transaction restart (CRDB's ``RangeKeyMismatchError``)."""
+
+    def __init__(self, range_id: int, key, generation: int):
+        super().__init__(
+            f"r{range_id}: key {key!r} outside range bounds "
+            f"(descriptor generation {generation})")
+        self.range_id = range_id
+        self.key = key
+        self.generation = generation
 
 
 class NotLeaseholderError(DatabaseError):

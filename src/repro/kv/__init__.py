@@ -14,10 +14,24 @@ from .commands import (
     TxnStatus,
 )
 from .distsender import DistSender, ReadRouting
+from .keyspace import (
+    Keyspace,
+    RangeDescriptor,
+    RangeLoad,
+    TableSpan,
+    encode_key,
+    live_ranges,
+)
 from .range import Range
 from .replica import Replica
 
 __all__ = [
+    "Keyspace",
+    "RangeDescriptor",
+    "RangeLoad",
+    "TableSpan",
+    "encode_key",
+    "live_ranges",
     "ClosedTimestampPolicy",
     "DEFAULT_CLOSED_TS_LAG_MS",
     "LagPolicy",

@@ -13,12 +13,14 @@ Fresh writes always go to the leaseholder.  Reads are routed by policy:
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from ..errors import (
     ClockFencedError,
     DeadlineExceededError,
     FollowerReadNotAvailableError,
+    RangeKeyMismatchError,
     StaleReadBoundError,
     WriteIntentError,
 )
@@ -29,6 +31,7 @@ from ..sim.network import NetworkUnavailableError, RpcTimeoutError
 from ..sim.retry import ExponentialBackoff
 from ..storage.mvcc import ReadResult
 from .circuit import BreakerSet
+from .keyspace import TableSpan, encode_key
 from .range import Range
 
 __all__ = ["DistSender", "ReadRouting", "negotiated_timestamp"]
@@ -114,6 +117,12 @@ class DistSender:
         #: is open — the only conditions under which replica selection
         #: depends on anything beyond membership and lease placement.
         self._route_cache: dict = {}
+        #: Span-keyed range-descriptor cache: span name -> (generation,
+        #: start-key list, descriptor list) snapshot.  Entries go stale
+        #: the moment a split/merge lands; staleness is caught either by
+        #: the synchronous span-change subscription (meta-range gossip)
+        #: or by a RangeKeyMismatch bounce from the old owner.
+        self._span_cache: dict = {}
         #: Counters for tests/ablations, backed by registry instruments
         #: (read through the int properties below).
         self._c_fallbacks = registry.counter("distsender.follower_read_fallbacks")
@@ -121,6 +130,12 @@ class DistSender:
         self._c_retries = registry.counter("distsender.rpc_retries")
         self._c_failovers = registry.counter("distsender.failovers_triggered")
         self._c_deadline_drops = registry.counter("distsender.deadline_drops")
+        # The range-cache counter family is registered lazily on the
+        # first elastic resolve: legacy fixed-range runs must not grow
+        # new instruments (their metric snapshots are golden-fingerprinted).
+        self._c_cache_hit = None
+        self._c_cache_miss = None
+        self._c_cache_inval = None
 
     @property
     def follower_read_fallbacks(self) -> int:
@@ -137,6 +152,86 @@ class DistSender:
     @property
     def failovers_triggered(self) -> int:
         return int(self._c_failovers.value)
+
+    @property
+    def range_cache_hits(self) -> int:
+        return int(self._c_cache_hit.value) if self._c_cache_hit else 0
+
+    @property
+    def range_cache_misses(self) -> int:
+        return int(self._c_cache_miss.value) if self._c_cache_miss else 0
+
+    @property
+    def range_cache_invalidations(self) -> int:
+        return int(self._c_cache_inval.value) if self._c_cache_inval else 0
+
+    # -- span-keyed descriptor resolution --------------------------------------
+
+    def _ensure_cache_counters(self) -> None:
+        if self._c_cache_hit is None:
+            registry = self.cluster.sim.obs.registry
+            self._c_cache_hit = registry.counter(
+                "distsender.range_cache_hit")
+            self._c_cache_miss = registry.counter(
+                "distsender.range_cache_miss")
+            self._c_cache_inval = registry.counter(
+                "distsender.range_cache_invalidation")
+
+    def resolve(self, token: Any, key: Any = None, gateway=None,
+                record_load: bool = False) -> Range:
+        """Resolve a routing token to the :class:`Range` owning ``key``.
+
+        A plain :class:`Range` token (legacy fixed provisioning) is
+        returned unchanged — the elastic path costs fixed ranges one
+        isinstance check.  A :class:`TableSpan` token is looked up in
+        the span-keyed descriptor cache (bisect over cached start keys);
+        misses snapshot the span's current descriptors and subscribe to
+        its change notifications.  A stale snapshot can still route to a
+        range that no longer owns the key — the serve path bounces those
+        with ``RangeKeyMismatch`` and the retry loop invalidates and
+        re-resolves.
+        """
+        if not isinstance(token, TableSpan):
+            return token
+        if key is None:
+            return token.descriptors[0].rng
+        self._ensure_cache_counters()
+        entry = self._span_cache.get(token.name)
+        if entry is None:
+            self._c_cache_miss.inc()
+            token.subscribe(self._on_span_change)
+            entry = (token.generation, list(token._starts),
+                     list(token.descriptors))
+            self._span_cache[token.name] = entry
+        else:
+            self._c_cache_hit.inc()
+        _generation, starts, descriptors = entry
+        idx = bisect_right(starts, encode_key(key)) - 1
+        if idx < 0:
+            idx = 0
+        descriptor = descriptors[idx]
+        if record_load and gateway is not None:
+            descriptor.load.record(self.cluster.sim.now, key=key,
+                                   region=gateway.locality.region)
+        return descriptor.rng
+
+    def _invalidate_token(self, token: Any) -> None:
+        """Drop the cached descriptor snapshot after a mismatch bounce."""
+        if isinstance(token, TableSpan):
+            if self._span_cache.pop(token.name, None) is not None:
+                self._c_cache_inval.inc()
+
+    def _on_span_change(self, span: TableSpan, range_ids: List[int]) -> None:
+        """Span subscription: a split/merge landed.  Drop the descriptor
+        snapshot and every (gateway, range_id) replica-routing entry for
+        the affected ranges — their membership/lease placement may have
+        just changed identity entirely."""
+        if self._span_cache.pop(span.name, None) is not None:
+            if self._c_cache_inval is not None:
+                self._c_cache_inval.inc()
+        affected = set(range_ids)
+        for cache_key in [k for k in self._route_cache if k[1] in affected]:
+            del self._route_cache[cache_key]
 
     # -- replica selection -----------------------------------------------------
 
@@ -193,20 +288,28 @@ class DistSender:
 
     # -- hardened leaseholder RPC ----------------------------------------------
 
-    def _leaseholder_call(self, gateway, rng: Range, handler,
+    def _leaseholder_call(self, gateway, token, handler,
                           span=None, op: str = "rpc",
-                          deadline_ms: Optional[float] = None) -> Future:
-        """Send ``handler`` to the range's leaseholder with the full
-        robustness kit: per-RPC timeout, seeded exponential backoff with
-        jitter between attempts, a per-replica circuit breaker, and
+                          deadline_ms: Optional[float] = None,
+                          key: Any = None,
+                          record_load: bool = False) -> Future:
+        """Send ``handler`` to the owning range's leaseholder with the
+        full robustness kit: per-RPC timeout, seeded exponential backoff
+        with jitter between attempts, a per-replica circuit breaker, and
         automatic lease failover when the leaseholder is unreachable but
         quorum survives (paper §4.1 — previously an operator action).
 
-        ``handler`` takes one argument: the per-attempt span (or None),
-        which it threads into the serve-side coroutine.  The call is
-        traced as a ``kv.<op>`` span (child of ``span``) with one
-        ``rpc.attempt`` child per try, annotated with breaker, backoff
-        and failover decisions.
+        ``token`` is a :class:`Range` or :class:`TableSpan`; it is
+        re-resolved against ``key`` on *every* attempt, so a split or
+        merge landing mid-call (signalled by a ``RangeKeyMismatch``
+        bounce, which invalidates the descriptor cache) re-routes the
+        next attempt to the new owner instead of failing the request.
+
+        ``handler`` takes ``(rng, attempt_span)``: the resolved range
+        and the per-attempt span (or None) to thread into the serve-side
+        coroutine.  The call is traced as a ``kv.<op>`` span (child of
+        ``span``) with one ``rpc.attempt`` child per try, annotated with
+        breaker, backoff and failover decisions.
         """
         sim = self.cluster.sim
         tracer = sim.obs.tracer
@@ -216,6 +319,8 @@ class DistSender:
         obs_on = sim.obs.enabled
 
         def attempts() -> Generator:
+            rng = self.resolve(token, key, gateway=gateway,
+                               record_load=record_load)
             op_span = (tracer.start_span(f"kv.{op}", parent=span,
                                          range=rng.name)
                        if obs_on else NOOP_SPAN)
@@ -224,6 +329,7 @@ class DistSender:
                                              base_ms=10.0, max_ms=400.0)
                 last_error: Optional[BaseException] = None
                 for attempt in range(self.rpc_max_attempts):
+                    rng = self.resolve(token, key)
                     if deadline_ms is not None and sim.now >= deadline_ms:
                         # Nobody is waiting for this answer anymore:
                         # drop the RPC instead of spending an attempt
@@ -267,7 +373,8 @@ class DistSender:
                         continue
                     call = self.network.call(
                         gateway, dst,
-                        lambda _span=attempt_span: handler(_span),
+                        lambda _rng=rng, _span=attempt_span: handler(_rng,
+                                                                     _span),
                         span=attempt_span)
                     timeout_ms = self.rpc_timeout_ms
                     if deadline_ms is not None:
@@ -310,6 +417,18 @@ class DistSender:
                         attempt_span.finish(backoff_ms=round(delay, 3))
                         yield sim.sleep(delay)
                         continue
+                    except RangeKeyMismatchError as err:
+                        # The contacted range no longer owns the key — a
+                        # split/merge won the race.  Not a failure of the
+                        # node (it answered), so the breaker records
+                        # success; invalidate the descriptor cache and
+                        # re-resolve immediately, no backoff.
+                        breaker.record_success()
+                        last_error = err
+                        self._c_retries.inc()
+                        attempt_span.finish(error="range_key_mismatch")
+                        self._invalidate_token(token)
+                        continue
                     except Exception as err:
                         # The node answered; the failure is application-level.
                         breaker.record_success()
@@ -325,7 +444,7 @@ class DistSender:
 
     # -- reads -------------------------------------------------------------------
 
-    def read(self, gateway, rng: Range, key: Any, ts: Timestamp,
+    def read(self, gateway, token, key: Any, ts: Timestamp,
              txn_id: Optional[int] = None,
              uncertainty_limit: Optional[Timestamp] = None,
              routing: str = ReadRouting.LEASEHOLDER,
@@ -340,37 +459,39 @@ class DistSender:
         the transaction coordinator to handle.
         """
         if routing == ReadRouting.NEAREST:
+            rng = self.resolve(token, key)
             replica = self.nearest_replica(gateway, rng)
             if not replica.is_leaseholder:
                 return self._follower_read_with_fallback(
-                    gateway, rng, replica, key, ts, txn_id,
+                    gateway, token, replica, key, ts, txn_id,
                     uncertainty_limit, allow_server_side_bump, span=span)
-        return self._leaseholder_read(gateway, rng, key, ts, txn_id,
+        return self._leaseholder_read(gateway, token, key, ts, txn_id,
                                       uncertainty_limit,
                                       allow_server_side_bump, span=span,
                                       deadline_ms=deadline_ms)
 
-    def _leaseholder_read(self, gateway, rng: Range, key, ts, txn_id,
+    def _leaseholder_read(self, gateway, token, key, ts, txn_id,
                           uncertainty_limit,
                           allow_server_side_bump: bool = False,
                           span=None,
                           deadline_ms: Optional[float] = None) -> Future:
         return self._leaseholder_call(
-            gateway, rng,
-            lambda _span=None: rng.serve_read(key, ts, txn_id,
-                                              uncertainty_limit,
-                                              allow_server_side_bump,
-                                              span=_span,
-                                              deadline_ms=deadline_ms),
-            span=span, op="read", deadline_ms=deadline_ms)
+            gateway, token,
+            lambda _rng, _span=None: _rng.serve_read(key, ts, txn_id,
+                                                     uncertainty_limit,
+                                                     allow_server_side_bump,
+                                                     span=_span,
+                                                     deadline_ms=deadline_ms),
+            span=span, op="read", deadline_ms=deadline_ms, key=key,
+            record_load=True)
 
-    def _follower_read_with_fallback(self, gateway, rng: Range, replica,
+    def _follower_read_with_fallback(self, gateway, token, replica,
                                      key, ts, txn_id, uncertainty_limit,
                                      allow_server_side_bump: bool,
                                      span=None) -> Future:
         result = Future(self.cluster.sim)
         follower_span = self.cluster.sim.obs.tracer.start_span(
-            "kv.read.follower", parent=span, range=rng.name,
+            "kv.read.follower", parent=span, range=replica.range.name,
             replica=replica.node.node_id)
         if self.adaptive_follower_wait_ms > 0:
             handler = (lambda: replica.follower_read_waiting(
@@ -391,6 +512,10 @@ class DistSender:
             error = fut.error
             if error is None:
                 self._c_follower_served.inc()
+                descriptor = replica.range.descriptor
+                if descriptor is not None:
+                    descriptor.load.record(self.cluster.sim.now, key=key,
+                                           region=gateway.locality.region)
                 follower_span.finish(served=True)
                 result.resolve(fut._value)
                 return
@@ -408,7 +533,7 @@ class DistSender:
                 self._c_fallbacks.inc()
                 follower_span.finish(fallback=type(error).__name__)
                 fallback = self._leaseholder_read(
-                    gateway, rng, key, ts, txn_id, uncertainty_limit,
+                    gateway, token, key, ts, txn_id, uncertainty_limit,
                     allow_server_side_bump, span=span)
                 fallback.add_callback(
                     lambda f: result.reject(f.error) if f.error is not None
@@ -422,22 +547,22 @@ class DistSender:
 
     # -- stale reads ----------------------------------------------------------------
 
-    def exact_staleness_read(self, gateway, rng: Range, key: Any,
+    def exact_staleness_read(self, gateway, token, key: Any,
                              ts: Timestamp, span=None) -> Future:
         """``AS OF SYSTEM TIME <ts>`` single-key read (paper §5.3.1).
 
         Resolves with the bare ReadResult (the timestamp is the caller's
         and never moves — stale reads have no uncertainty interval).
         """
-        inner = self.read(gateway, rng, key, ts, routing=ReadRouting.NEAREST,
-                          span=span)
+        inner = self.read(gateway, token, key, ts,
+                          routing=ReadRouting.NEAREST, span=span)
         result = Future(self.cluster.sim)
         inner.add_callback(
             lambda f: result.reject(f.error) if f.error is not None
             else result.resolve(f._value[0]))
         return result
 
-    def bounded_staleness_read(self, gateway, rng: Range, key: Any,
+    def bounded_staleness_read(self, gateway, token, key: Any,
                                min_ts: Timestamp,
                                nearest_only: bool = False,
                                span=None) -> Future:
@@ -448,6 +573,7 @@ class DistSender:
         maximum falls below ``min_ts`` the read is either redirected to
         the leaseholder at ``min_ts`` or fails (``nearest_only``).
         """
+        rng = self.resolve(token, key)
         replica = self.nearest_replica(gateway, rng)
         read_span = self.cluster.sim.obs.tracer.start_span(
             "kv.read.bounded_staleness", parent=span, range=rng.name,
@@ -477,7 +603,7 @@ class DistSender:
                 # the read timestamp (paper §5.3.2).
                 read_span.finish(fallback=type(error).__name__)
                 fallback = self._leaseholder_read(
-                    gateway, rng, key, min_ts, None, None, span=span)
+                    gateway, token, key, min_ts, None, None, span=span)
                 fallback.add_callback(
                     lambda f: result.reject(f.error) if f.error is not None
                     else result.resolve(f._value))
@@ -504,8 +630,8 @@ class DistSender:
         negotiate_span = self.cluster.sim.obs.tracer.start_span(
             "kv.negotiate_staleness", parent=span, spans=len(spans))
         futures = []
-        for rng, key in spans:
-            replica = self.nearest_replica(gateway, rng)
+        for token, key in spans:
+            replica = self.nearest_replica(gateway, self.resolve(token, key))
             futures.append(self.network.call(
                 gateway, replica.node,
                 lambda replica=replica, key=key: _value_generator(
@@ -533,7 +659,7 @@ class DistSender:
 
     # -- writes -------------------------------------------------------------------
 
-    def write(self, gateway, rng: Range, key: Any, ts: Timestamp, value: Any,
+    def write(self, gateway, token, key: Any, ts: Timestamp, value: Any,
               txn_id: int, anchor_node_id: int, span=None,
               deadline_ms: Optional[float] = None) -> Future:
         """Write an intent; resolves with the timestamp it was laid at.
@@ -541,55 +667,59 @@ class DistSender:
         Safe to retry: re-laying the same transaction's intent is
         idempotent (it replaces its own intent)."""
         return self._leaseholder_call(
-            gateway, rng,
-            lambda _span=None: rng.serve_write(key, ts, value, txn_id,
-                                               anchor_node_id, span=_span,
-                                               deadline_ms=deadline_ms),
-            span=span, op="write", deadline_ms=deadline_ms)
+            gateway, token,
+            lambda _rng, _span=None: _rng.serve_write(
+                key, ts, value, txn_id, anchor_node_id, span=_span,
+                deadline_ms=deadline_ms),
+            span=span, op="write", deadline_ms=deadline_ms, key=key,
+            record_load=True)
 
-    def locking_read(self, gateway, rng: Range, key: Any, ts: Timestamp,
+    def locking_read(self, gateway, token, key: Any, ts: Timestamp,
                      txn_id: int, anchor_node_id: int, span=None,
                      deadline_ms: Optional[float] = None) -> Future:
         """SELECT FOR UPDATE read: resolves with (value, lock_ts)."""
         return self._leaseholder_call(
-            gateway, rng,
-            lambda _span=None: rng.serve_locking_read(key, ts, txn_id,
-                                                      anchor_node_id,
-                                                      span=_span,
-                                                      deadline_ms=deadline_ms),
-            span=span, op="locking_read", deadline_ms=deadline_ms)
+            gateway, token,
+            lambda _rng, _span=None: _rng.serve_locking_read(
+                key, ts, txn_id, anchor_node_id, span=_span,
+                deadline_ms=deadline_ms),
+            span=span, op="locking_read", deadline_ms=deadline_ms, key=key,
+            record_load=True)
 
-    def refresh(self, gateway, rng: Range, key: Any, lo: Timestamp,
+    def refresh(self, gateway, token, key: Any, lo: Timestamp,
                 hi: Timestamp, txn_id: int, span=None,
                 deadline_ms: Optional[float] = None) -> Future:
         return self._leaseholder_call(
-            gateway, rng,
-            lambda _span=None: rng.serve_refresh(key, lo, hi, txn_id,
-                                                 span=_span),
-            span=span, op="refresh", deadline_ms=deadline_ms)
+            gateway, token,
+            lambda _rng, _span=None: _rng.serve_refresh(key, lo, hi, txn_id,
+                                                        span=_span),
+            span=span, op="refresh", deadline_ms=deadline_ms, key=key)
 
-    def write_txn_record(self, gateway, rng: Range, txn_id: int, status: str,
+    def write_txn_record(self, gateway, token, txn_id: int, status: str,
                          commit_ts: Optional[Timestamp], span=None) -> Future:
+        # No key: the transaction record lives on the anchor range the
+        # transaction pinned at its first write, split or no split.
         return self._leaseholder_call(
-            gateway, rng,
-            lambda _span=None: rng.serve_txn_record(txn_id, status, commit_ts,
-                                                    span=_span),
+            gateway, token,
+            lambda _rng, _span=None: _rng.serve_txn_record(txn_id, status,
+                                                           commit_ts,
+                                                           span=_span),
             span=span, op="txn_record")
 
-    def resolve_intent(self, gateway, rng: Range, key: Any, txn_id: int,
+    def resolve_intent(self, gateway, token, key: Any, txn_id: int,
                        commit_ts: Optional[Timestamp], span=None) -> Future:
         return self._leaseholder_call(
-            gateway, rng,
-            lambda _span=None: rng.serve_resolve_intent(key, txn_id,
-                                                        commit_ts,
-                                                        span=_span),
-            span=span, op="resolve_intent")
+            gateway, token,
+            lambda _rng, _span=None: _rng.serve_resolve_intent(key, txn_id,
+                                                               commit_ts,
+                                                               span=_span),
+            span=span, op="resolve_intent", key=key)
 
-    def resolve_intents(self, gateway, spans: Iterable[Tuple[Range, Any]],
+    def resolve_intents(self, gateway, spans: Iterable[Tuple[Any, Any]],
                         txn_id: int, commit_ts: Optional[Timestamp],
                         span=None) -> Future:
         """Resolve a batch of intents in parallel; resolves when all do."""
-        futures = [self.resolve_intent(gateway, rng, key, txn_id, commit_ts,
+        futures = [self.resolve_intent(gateway, token, key, txn_id, commit_ts,
                                        span=span)
-                   for rng, key in spans]
+                   for token, key in spans]
         return all_of(self.cluster.sim, futures)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Any, Generator, List, Optional, TYPE_CHECKING
 
 from ..errors import (
+    RangeKeyMismatchError,
     RangeUnavailableError,
     ReadWithinUncertaintyIntervalError,
     WriteIntentError,
@@ -91,7 +92,16 @@ class Range:
         #: Automatic (non-cooperative) lease failovers performed.
         self.failovers = 0
         self._side_transport_started = False
+        self.side_transport_interval_ms: Optional[float] = None
         self._destroyed = False
+        #: Elastic keyspace (repro.kv.keyspace): the descriptor naming
+        #: this range's [start, end) span, the owning TableSpan, and the
+        #: ranges that took over parts of the span (split children /
+        #: merge survivor).  All None/empty for legacy fixed ranges,
+        #: which then skip every ownership check.
+        self.descriptor = None
+        self.span = None
+        self._successors: List["Range"] = []
 
     # -- membership / lease ----------------------------------------------------
 
@@ -363,6 +373,7 @@ class Range:
             return
         self._side_transport_started = True
         interval = interval_ms or self.SIDE_TRANSPORT_INTERVAL_MS
+        self.side_transport_interval_ms = interval
 
         def transport() -> Generator:
             while not self._destroyed:
@@ -420,9 +431,50 @@ class Range:
         return self.group.propose(command, closed, span=span)
 
     def _apply(self, node: "Node", command: Any) -> None:
+        # A split/merge may have moved the command's key out of this
+        # range while the proposal was in the Raft pipeline; apply it on
+        # the owning successor instead (same node — splits never move
+        # data between stores), so the intent and its eventual
+        # resolution land on the range that now serves the key.
+        key = getattr(command, "key", None)
+        if (key is not None and self.descriptor is not None
+                and not self.descriptor.contains_key(key)):
+            owner = self.find_owner(key)
+            if owner is not None and owner is not self:
+                owner._apply(node, command)
+                return
         replica = self.replicas.get(node.node_id)
         if replica is not None:
             replica.apply(command)
+
+    # -- elastic-keyspace ownership ------------------------------------------
+
+    def owns(self, key: Any) -> bool:
+        """Does this range's descriptor (if any) cover ``key``?"""
+        descriptor = self.descriptor
+        return descriptor is None or descriptor.contains_key(key)
+
+    def _check_owns(self, key: Any) -> None:
+        descriptor = self.descriptor
+        if descriptor is not None and not descriptor.contains_key(key):
+            raise RangeKeyMismatchError(self.range_id, key,
+                                        descriptor.generation)
+
+    def find_owner(self, key: Any) -> Optional["Range"]:
+        """Walk the successor graph to the range now owning ``key``."""
+        if self.owns(key):
+            return self
+        seen = {self.range_id}
+        stack = list(self._successors)
+        while stack:
+            rng = stack.pop()
+            if rng.range_id in seen:
+                continue
+            seen.add(rng.range_id)
+            if rng.owns(key):
+                return rng
+            stack.extend(rng._successors)
+        return None
 
     # -- leaseholder request serving (coroutines) ----------------------------------
 
@@ -497,6 +549,9 @@ class Range:
             # have produced (they would escape commit-wait).
             monitor.check_request(self.leaseholder_replica.node, ts)
         while True:
+            # Re-checked every iteration: lock waits yield, and a split
+            # or merge may move the key out from under us mid-wait.
+            self._check_owns(key)
             holder = self.lock_table.holder_of(key)
             if holder is not None and holder.txn_id != txn_id:
                 yield from self._wait_or_push(key, txn_id, holder.txn_id,
@@ -548,6 +603,7 @@ class Range:
         if monitor is not None:
             monitor.check_request(self.leaseholder_replica.node, ts)
         while True:
+            self._check_owns(key)
             holder = self.lock_table.holder_of(key)
             if holder is not None and holder.txn_id != txn_id:
                 yield from self._wait_or_push(key, txn_id, holder.txn_id,
@@ -607,6 +663,7 @@ class Range:
             monitor.check_request(self.leaseholder_replica.node, ts)
         horizon = uncertainty_limit if uncertainty_limit is not None else ts
         while True:
+            self._check_owns(key)
             holder = self.lock_table.holder_of(key)
             if (holder is not None and holder.txn_id != txn_id
                     and holder.ts <= horizon):
@@ -638,6 +695,7 @@ class Range:
         On success the refreshed timestamp is recorded in the timestamp
         cache so later writes cannot invalidate it.
         """
+        self._check_owns(key)
         holder = self.lock_table.holder_of(key)
         if holder is not None and holder.txn_id != txn_id and holder.ts <= hi:
             return False
@@ -661,6 +719,7 @@ class Range:
                              commit_ts: Optional[Timestamp],
                              span=None) -> Generator:
         """Replicate intent resolution; lock waiters release on apply."""
+        self._check_owns(key)
         entry = yield self._propose(ResolveIntentCommand(
             key=key, txn_id=txn_id, commit_ts=commit_ts), span=span)
         del entry

@@ -105,6 +105,14 @@ class Replica:
         required = ts
         if uncertainty_limit is not None and uncertainty_limit > required:
             required = uncertainty_limit
+        descriptor = self.range.descriptor
+        if descriptor is not None and not descriptor.contains_key(key):
+            # The key split/merged away: this replica's store no longer
+            # holds its history, and serving would read a phantom
+            # absence.  Surface as not-available so the caller falls
+            # back to (leaseholder) routing, which re-resolves.
+            raise FollowerReadNotAvailableError(
+                self.range_id, required, self.closed_ts)
         if self.closed_ts < required:
             raise FollowerReadNotAvailableError(
                 self.range_id, required, self.closed_ts)

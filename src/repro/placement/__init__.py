@@ -7,6 +7,7 @@ from .goals import (
     zone_config_for_home,
 )
 from .provision import provision_range, reconfigure_range
+from .rebalance import RebalanceQueue
 from .repair import (
     RepairAction,
     RepairActionKind,
@@ -23,6 +24,7 @@ __all__ = [
     "RepairAction",
     "RepairActionKind",
     "RepairMetrics",
+    "RebalanceQueue",
     "ReplicateQueue",
     "SurvivalGoal",
     "placement_violations",

@@ -39,10 +39,23 @@ class Placement:
 
 
 class Allocator:
-    """Chooses nodes for a zone config on a given cluster."""
+    """Chooses nodes for a zone config on a given cluster.
 
-    def __init__(self, cluster):
+    ``load_fn`` replaces the default load signal (hosted replica count)
+    with a caller-supplied score — the rebalancing queue passes a
+    QPS-weighted one so placement follows the workload, not just the
+    replica census.  It must return a totally ordered value (number or
+    tuple) and be deterministic for a given cluster state.
+    """
+
+    def __init__(self, cluster, load_fn=None):
         self.cluster = cluster
+        self.load_fn = load_fn
+
+    def _load(self, node) -> object:
+        if self.load_fn is not None:
+            return self.load_fn(node)
+        return len(node.replicas)
 
     def place(self, config: ZoneConfig) -> Placement:
         placement = Placement()
@@ -56,9 +69,8 @@ class Allocator:
         def score(node, chosen: Sequence) -> tuple:
             diversity = sum(node.locality.diversity_from(c.locality)
                             for c in chosen)
-            load = len(node.replicas)
             # Higher diversity first, then lower load, then stable id.
-            return (-diversity, load, node.node_id)
+            return (-diversity, self._load(node), node.node_id)
 
         def pick(region: Optional[str], chosen: Sequence):
             options = candidates_in(region)
@@ -138,7 +150,7 @@ class Allocator:
         def score(node) -> tuple:
             diversity = sum(node.locality.diversity_from(c.locality)
                             for c in existing_nodes)
-            return (-diversity, len(node.replicas), node.node_id)
+            return (-diversity, self._load(node), node.node_id)
 
         counts: Dict[str, int] = {}
         for node in existing_nodes:

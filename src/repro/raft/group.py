@@ -422,6 +422,9 @@ class RaftGroup:
         if getattr(self, "_retransmit_started", False):
             return
         self._retransmit_started = True
+        # Remembered so elastic splits can start the child's group with
+        # the same hardening the parent was provisioned with.
+        self._retransmit_interval_ms = interval_ms
 
         def retransmit():
             while True:

@@ -208,9 +208,18 @@ class Table:
         return None
 
     def all_ranges(self) -> List[Any]:
+        """Every *live* range backing this table.
+
+        Partitions hold routing tokens — a fixed Range, or a TableSpan
+        whose descriptor list grows and shrinks as the rebalancing
+        queue splits and merges — so enumeration must go through the
+        current descriptors, not the provision-time token list.
+        """
+        from ..kv.keyspace import live_ranges
         ranges = []
         for index in self.indexes:
-            ranges.extend(index.partitions.values())
+            for token in index.partitions.values():
+                ranges.extend(live_ranges(token))
         return ranges
 
     def home_region(self) -> Optional[str]:

@@ -23,6 +23,7 @@ from ..errors import (
     UniqueViolationError,
 )
 from ..kv.distsender import ReadRouting
+from ..kv.keyspace import encode_key, live_ranges
 from ..optimizer.plans import (
     FanoutMultiRead,
     FanoutPointRead,
@@ -415,9 +416,15 @@ class Executor:
             requests = []
             request_partitions = []
             for partition in plan.partitions:
-                rng = primary.partitions[partition]
-                for key in sorted(rng.leaseholder_replica.store.keys()):
-                    requests.append((rng, key))
+                token = primary.partitions[partition]
+                # An elastic partition spreads its keys over the span's
+                # live ranges; reads still go through the token so the
+                # DistSender re-routes if a split races the scan.
+                keys = set()
+                for rng in live_ranges(token):
+                    keys.update(rng.leaseholder_replica.store.keys())
+                for key in sorted(keys, key=encode_key):
+                    requests.append((token, key))
                     request_partitions.append(partition)
             if not requests:
                 return []

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError, SchemaError
+from ..kv.keyspace import live_ranges
 from ..placement.goals import SurvivalGoal, zone_config_for_home
 from ..placement.provision import provision_range, reconfigure_range
 from . import ast
@@ -110,15 +111,17 @@ class SchemaChangeEngine:
         for table in database.tables.values():
             if not table.locality.is_regional_by_row:
                 continue
-            rng = table.primary_index.partitions.get(region)
-            if rng is None:
+            token = table.primary_index.partitions.get(region)
+            if token is None:
                 continue
-            now = rng.leaseholder_node.clock.now()
-            live = rng.leaseholder_replica.store.snapshot_at(now)
-            if live:
-                raise SchemaError(
-                    f"cannot drop region {region!r}: table "
-                    f"{table.name!r} still has {len(live)} row(s) there")
+            for rng in live_ranges(token):
+                now = rng.leaseholder_node.clock.now()
+                live = rng.leaseholder_replica.store.snapshot_at(now)
+                if live:
+                    raise SchemaError(
+                        f"cannot drop region {region!r}: table "
+                        f"{table.name!r} still has {len(live)} row(s) "
+                        f"there")
 
     def set_primary_region(self, database: Database, region: str) -> None:
         if region not in self.cluster.regions():
@@ -284,22 +287,44 @@ class SchemaChangeEngine:
         index.partitions[region] = rng
 
     def _reconfigure_table(self, database: Database, table: Table) -> None:
-        """Re-derive zone configs for all of the table's ranges."""
+        """Re-derive zone configs for all of the table's live ranges."""
         for index in table.indexes:
-            for partition, rng in index.partitions.items():
+            for partition, token in index.partitions.items():
                 home = (partition if partition != DEFAULT_PARTITION
                         else table.home_region()
                         or self.cluster.regions()[0])
                 config = self._zone_config(database, table, home)
-                reconfigure_range(
-                    self.cluster, rng, config,
-                    global_reads=table.locality.is_global,
-                    closed_ts_lag_ms=self.closed_ts_lag_ms)
+                for rng in live_ranges(token):
+                    reconfigure_range(
+                        self.cluster, rng, config,
+                        global_reads=table.locality.is_global,
+                        closed_ts_lag_ms=self.closed_ts_lag_ms)
 
-    def _destroy_range(self, rng) -> None:
-        rng.destroy()
-        for replica in list(rng.replicas.values()):
-            replica.node.remove_replica(rng.range_id)
+    def _destroy_range(self, token) -> None:
+        for rng in live_ranges(token):
+            rng.destroy()
+            for replica in list(rng.replicas.values()):
+                replica.node.remove_replica(rng.range_id)
+
+    def elasticize_table(self, table: Table) -> List[Any]:
+        """Opt a table's fixed partition ranges into elastic spans.
+
+        Each partition's Range becomes a single-descriptor
+        :class:`~repro.kv.keyspace.TableSpan` registered with the
+        cluster keyspace, so the rebalancing queue can split/merge it;
+        routing tokens in the catalog are swapped in place.  Idempotent.
+        """
+        spans: List[Any] = []
+        keyspace = self.cluster.keyspace
+        for index in table.indexes:
+            for partition, token in sorted(index.partitions.items()):
+                if getattr(token, "descriptors", None) is not None:
+                    spans.append(token)  # already a TableSpan
+                    continue
+                span = keyspace.adopt(token, name=token.name)
+                index.partitions[partition] = span
+                spans.append(span)
+        return spans
 
     # -- locality changes (§2.4.2) ----------------------------------------------------
 
@@ -328,10 +353,12 @@ class SchemaChangeEngine:
         rows: List[Dict[str, Any]] = []
         offset = self.cluster.max_clock_offset
         primary = table.primary_index
-        for rng in primary.partitions.values():
-            horizon = rng.leaseholder_node.clock.now().add(offset)
-            snapshot = rng.leaseholder_replica.store.snapshot_at(horizon)
-            rows.extend(snapshot.values())
+        for token in primary.partitions.values():
+            for rng in live_ranges(token):
+                horizon = rng.leaseholder_node.clock.now().add(offset)
+                snapshot = rng.leaseholder_replica.store.snapshot_at(
+                    horizon)
+                rows.extend(snapshot.values())
         return rows
 
     def _ingest_ts(self, rng):

@@ -534,23 +534,39 @@ class Session:
     # -- placement introspection (§3) -----------------------------------------------------
 
     def _show_ranges(self, table_name: str) -> List[dict]:
-        """One row per Range: where its lease and replicas live."""
+        """One row per *live* Range: span, lease, and replica regions.
+
+        Partitions hold routing tokens; an elastic partition (TableSpan)
+        is enumerated through its current descriptors, so the output
+        tracks splits and merges as they happen.  Fixed ranges report a
+        full span at generation 1.
+        """
+        from ..kv.keyspace import live_ranges
         database = self._require_database()
         table = database.table(table_name)
         out = []
         for index in table.indexes:
-            for partition, rng in sorted(index.partitions.items()):
-                voters = sorted(p.node.locality.region
-                                for p in rng.group.voters())
-                non_voters = sorted(p.node.locality.region
-                                    for p in rng.group.non_voters())
-                out.append({
-                    "index": index.name,
-                    "partition": partition or "default",
-                    "lease_region": rng.leaseholder_node.locality.region,
-                    "voters": voters,
-                    "non_voters": non_voters,
-                })
+            for partition, token in sorted(index.partitions.items()):
+                for rng in live_ranges(token):
+                    voters = sorted(p.node.locality.region
+                                    for p in rng.group.voters())
+                    non_voters = sorted(p.node.locality.region
+                                        for p in rng.group.non_voters())
+                    descriptor = rng.descriptor
+                    out.append({
+                        "index": index.name,
+                        "partition": partition or "default",
+                        "range": rng.name,
+                        "span": (descriptor.span_repr()
+                                 if descriptor is not None
+                                 else "[/Min, /Max)"),
+                        "generation": (descriptor.generation
+                                       if descriptor is not None else 1),
+                        "lease_region":
+                            rng.leaseholder_node.locality.region,
+                        "voters": voters,
+                        "non_voters": non_voters,
+                    })
         return out
 
     def _show_zone_configuration(self, table_name: str) -> List[dict]:

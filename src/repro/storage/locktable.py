@@ -148,3 +148,22 @@ class LockTable:
 
     def waiter_count(self, key: Any) -> int:
         return len(self._waiters.get(key, []))
+
+    def is_quiescent(self) -> bool:
+        """No holders and no waiters: nothing in-flight straddles this
+        range (merge-safety precondition)."""
+        return not self._holders and not self._waiters
+
+    def move_entries(self, pred, other: "LockTable") -> None:
+        """Move holders and wait-queues for keys matching ``pred`` to
+        ``other`` (a range split moving locked keys to the child range).
+
+        Waiter futures and wait-for-graph edges move untouched — the
+        blocked coroutines keep sleeping on the same futures and are
+        released when the intent resolution applies on the new owner.
+        """
+        for key in [k for k in self._holders if pred(k)]:
+            other._holders[key] = self._holders.pop(key)
+        for key in [k for k in self._waiters if pred(k)]:
+            other._waiters.setdefault(key, []).extend(
+                self._waiters.pop(key))

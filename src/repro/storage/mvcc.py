@@ -274,6 +274,32 @@ class MVCCStore:
             data[key] = copied
         return other
 
+    # -- range splits / merges ----------------------------------------------
+
+    def extract(self, pred) -> Dict[Any, _KeyHistory]:
+        """Remove and return every key history for which ``pred(key)``.
+
+        Used by range splits/merges to move whole histories (committed
+        versions *and* any applied intent) between the stores of two
+        colocated replicas without copying or re-sorting anything.
+        """
+        moved: Dict[Any, _KeyHistory] = {}
+        for key in [k for k in self._data if pred(k)]:
+            moved[key] = self._data.pop(key)
+        return moved
+
+    def absorb(self, histories: Dict[Any, _KeyHistory]) -> None:
+        """Adopt key histories produced by :meth:`extract`.
+
+        The source and destination spans are disjoint by construction
+        (a split point partitions the keyspace), so collisions indicate
+        a bug and fail loudly.
+        """
+        for key, history in histories.items():
+            if key in self._data:
+                raise ValueError(f"absorb collision on key {key!r}")
+            self._data[key] = history
+
     # -- introspection -------------------------------------------------------
 
     def keys(self) -> Iterable[Any]:

@@ -118,10 +118,16 @@ class Transaction:
         #: Fixed upper bound of the uncertainty interval (never moves).
         self.uncertainty_limit: Timestamp = Timestamp(
             start.physical + gateway.clock.max_offset, start.logical)
-        #: Keys read so far (for refreshes): list of (range, key).
-        self.read_set: List[Tuple[Range, Any]] = []
-        #: Keys written so far: (range_id, key) -> (range, key).
-        self.write_set: Dict[Tuple[int, Any], Tuple[Range, Any]] = {}
+        #: Keys read so far (for refreshes): list of (token, key), where
+        #: a token is a Range or a TableSpan — refreshes re-resolve
+        #: through the DistSender so they follow splits/merges.
+        self.read_set: List[Tuple[Any, Any]] = []
+        #: Keys written so far: (owning_range_id, key) -> (token, key).
+        self.write_set: Dict[Tuple[int, Any], Tuple[Any, Any]] = {}
+        #: The concrete range holding this transaction's record, pinned
+        #: (resolved from its token) at the first write and never moved —
+        #: a split leaves the record on the original range, which keeps
+        #: serving record operations even as a post-merge husk.
         self.anchor: Optional[Range] = None
         #: Commit-wait obligation from observed future-time values.
         self.observed_future_ts: Optional[Timestamp] = None
@@ -222,14 +228,14 @@ class Transaction:
         spans, via refresh otherwise (paper §5.1/§6.1 machinery).
         """
         if self.anchor is None:
-            self.anchor = rng
+            self.anchor = self._ds.resolve(rng, key)
         value, lock_ts = yield self._ds.locking_read(
             self.gateway, rng, key, self.write_ts, self.txn_id,
             anchor_node_id=self.anchor.leaseholder_node_id or -1,
             span=self.span, deadline_ms=self.deadline_ms)
         if lock_ts > self.write_ts:
             self.write_ts = lock_ts
-        self.write_set[(rng.range_id, key)] = (rng, key)
+        self.write_set[(self._ds.resolve(rng, key).range_id, key)] = (rng, key)
         real_lock_ts = lock_ts.with_synthetic(False)
         if real_lock_ts > self.read_ts:
             yield from self._refresh_to(real_lock_ts)
@@ -252,14 +258,14 @@ class Transaction:
     def write(self, rng: Range, key: Any, value: Any) -> Generator:
         """Transactional write (lays an intent at the leaseholder)."""
         if self.anchor is None:
-            self.anchor = rng
+            self.anchor = self._ds.resolve(rng, key)
         written_ts = yield self._ds.write(
             self.gateway, rng, key, self.write_ts, value, self.txn_id,
             anchor_node_id=self.anchor.leaseholder_node_id or -1,
             span=self.span, deadline_ms=self.deadline_ms)
         if written_ts > self.write_ts:
             self.write_ts = written_ts
-        self.write_set[(rng.range_id, key)] = (rng, key)
+        self.write_set[(self._ds.resolve(rng, key).range_id, key)] = (rng, key)
         recorder = self.coordinator.recorder
         if recorder is not None:
             recorder.on_write(self, rng, key, value, written_ts)
@@ -279,7 +285,7 @@ class Transaction:
         if not items:
             return []
         if self.anchor is None:
-            self.anchor = items[0][0]
+            self.anchor = self._ds.resolve(items[0][0], items[0][1])
         anchor_node = self.anchor.leaseholder_node_id or -1
         futures = [
             self._ds.write(self.gateway, rng, key, self.write_ts, value,
@@ -300,7 +306,8 @@ class Transaction:
             written.append(ts)
             if ts > self.write_ts:
                 self.write_ts = ts
-            self.write_set[(rng.range_id, key)] = (rng, key)
+            self.write_set[(self._ds.resolve(rng, key).range_id, key)] = (
+                rng, key)
             if recorder is not None:
                 recorder.on_write(self, rng, key, value, ts)
         if first_error is not None:
@@ -369,8 +376,9 @@ class Transaction:
             # one-phase commit / parallel commits latency profile) — no
             # separate record write.  Multi-range transactions persist an
             # explicit record on the anchor range before acknowledging.
-            single_range = len({rng.range_id
-                                for rng, _key in self.write_set.values()}) == 1
+            single_range = len({self._ds.resolve(token, key).range_id
+                                for token, key
+                                in self.write_set.values()}) == 1
             if not single_range:
                 try:
                     yield self._ds.write_txn_record(

@@ -54,6 +54,7 @@ __all__ = ["VerifyHarness", "VerifyResult", "run_verify",
 VERIFY_SCENARIOS = [
     "region-blackout", "rolling-zones", "flaky-wan",
     "gray-follower", "asym-partition", "crash-restart",
+    "split-merge",
     "overload",
     "clock-drift", "clock-jump", "clock-jump-nofence",
 ]
@@ -224,6 +225,9 @@ class VerifyHarness:
         self.clock_monitor = None
         self.liveness: Optional[StoreLiveness] = None
         self.repair_queue: Optional[ReplicateQueue] = None
+        #: Set by the ``split-merge`` scenario: the elastic span the
+        #: primary REGIONAL range was adopted into.
+        self.span = None
 
     @property
     def sim(self):
@@ -433,6 +437,54 @@ class VerifyHarness:
                            name=f"bg-{region}-{count}")
             count += 1
 
+    # -- split/merge (elastic keyspace nemesis) -----------------------------
+
+    def _setup_split_merge(self) -> None:
+        """Adopt the primary REGIONAL range into an elastic span so the
+        forced split/merge driver can reshape it mid-run.  The recorded
+        clients and the stale readers route through the span token from
+        the first write on; ``self.range`` keeps pointing at the
+        original Range for the failover stats."""
+        span = self.cluster.keyspace.adopt(self.ranges["reg-us"],
+                                           name="reg-us")
+        self.span = span
+        self.ranges["reg-us"] = span
+        self.keys = [(span if table is self.range else table, key, kind)
+                     for table, key, kind in self.keys]
+
+    def _split_merge_driver(self, end_ms: float):
+        """The keyspace nemesis: force a split at every workload key
+        boundary, dwell, then merge everything back — all while the
+        recorded clients keep committing.  Every descriptor-generation
+        bump races live transactions and stale readers and must stay
+        invisible to the serializability/staleness checkers."""
+        from ..kv.keyspace import encode_key
+        sim, keyspace, span = self.sim, self.cluster.keyspace, self.span
+        yield sim.sleep(200.0)
+        for key in ("l1", "r0", "r1"):
+            while sim.now < end_ms:
+                descriptor = span.descriptor_for_key(key)
+                if descriptor.start_key == encode_key(key):
+                    break  # already a boundary
+                try:
+                    keyspace.split(descriptor, key, trigger="forced")
+                    break
+                except ValueError:
+                    # Mid-failover (no lease): retry shortly.
+                    yield sim.sleep(100.0)
+            yield sim.sleep(250.0)
+        yield sim.sleep(500.0)
+        while sim.now < end_ms and len(span.descriptors) > 1:
+            merged = False
+            for left, right in zip(span.descriptors,
+                                   span.descriptors[1:]):
+                if keyspace.can_merge(left, right):
+                    keyspace.merge(left, right)
+                    merged = True
+                    break
+            # Locks drain / lease settles between attempts.
+            yield sim.sleep(150.0 if merged else 100.0)
+
     # -- clock-fault scenarios ----------------------------------------------
 
     def clock_jump_victim(self) -> int:
@@ -529,6 +581,9 @@ class VerifyHarness:
         scenario_name = scenario or "none"
         self.recorder.meta.update(
             {"scenario": scenario_name, "seed": self.seed})
+        split_merge = scenario == "split-merge"
+        if split_merge:
+            self._setup_split_merge()
         self._init_keys()
         sim.run(until=sim.now + 600.0)  # settle replication + closed ts
 
@@ -549,6 +604,11 @@ class VerifyHarness:
             self._setup_clock(scenario)
             nemesis = Nemesis(self.cluster, self._clock_events(scenario))
             nemesis.schedule(base_ms=start_ms)
+        elif split_merge:
+            # The nemesis is the keyspace itself: forced splits and
+            # merges reshape the primary range under the live workload.
+            sim.spawn(self._split_merge_driver(start_ms + 6000.0),
+                      name="split-merge-driver")
         elif scenario:
             nemesis = Nemesis(self.cluster, build_faults(scenario, self))
             nemesis.schedule(base_ms=start_ms)
@@ -592,6 +652,13 @@ class VerifyHarness:
             stats["fg_shed"] = self._fg_shed
             for key in sorted(self._bg_stats):
                 stats[f"bg_{key}"] = self._bg_stats[key]
+        if split_merge:
+            keyspace = self.cluster.keyspace
+            stats["keyspace_splits"] = keyspace.splits
+            stats["keyspace_merges"] = keyspace.merges
+            stats["final_ranges"] = len(self.span.descriptors)
+            stats["range_cache_invalidations"] = \
+                self.ds.range_cache_invalidations
         if self.clock_monitor is not None:
             stats["clock_fences"] = len(self.clock_monitor.fence_events)
             stats["clock_outliers"] = len(
