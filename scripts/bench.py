@@ -11,12 +11,15 @@ Usage::
 
 Modes:
 
-* default (full): run kv/movr/tpcc with obs full and off (with alloc
-  tracking), store the rows under ``"after"``, and recompute speedups
-  against the stored ``"before"`` rows.
-* ``--capture-before``: same suite (obs full only, the pre-change
-  configuration) stored under ``"before"`` — run this on the *old*
-  checkout when refreshing the trajectory.
+* default (full): run kv/movr/tpcc with obs full and off, store the
+  rows under ``"after"``, and recompute speedups against the stored
+  ``"before"`` rows.  Allocation counters (``peak_alloc_kb``/
+  ``alloc_count``) are recorded only with ``--alloc`` — the extra
+  tracemalloc pass is separate from (and never taints) the timed pass.
+* ``--capture-before``: same suite (both obs modes) stored under
+  ``"before"`` — run this on the *old* checkout when refreshing the
+  trajectory, with the same flags as the "after" run so the
+  comparison is like-for-like.
 * ``--smoke``: reduced-scale suite (no alloc pass, ≤60 s), stored under
   ``"smoke_latest"``; exits non-zero if any (workload, obs) pair's
   events/sec regressed more than ``--tolerance`` (default 25%) below
@@ -80,6 +83,12 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=float, default=None,
                         help="op-count multiplier (default 1.0, smoke "
                              f"{SMOKE_SCALE})")
+    parser.add_argument("--alloc", action="store_true",
+                        help="also record peak_alloc_kb/alloc_count via "
+                             "a separate tracemalloc pass")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed passes per row; fastest wins "
+                             "(default 3)")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed events/sec drop vs baseline "
                              "(default 0.25)")
@@ -118,13 +127,14 @@ def main(argv=None) -> int:
     if args.capture_before:
         print(f"bench capture-before (seed={args.seed}, scale={scale}):")
         rows = bench_suite(BENCH_WORKLOADS, seed=args.seed, scale=scale,
-                           obs_modes=("full",), measure_allocs=True,
-                           log=print)
+                           measure_allocs=args.alloc,
+                           repeats=args.repeats, log=print)
         doc["before"] = rows
     else:
         print(f"bench full suite (seed={args.seed}, scale={scale}):")
         rows = bench_suite(BENCH_WORKLOADS, seed=args.seed, scale=scale,
-                           measure_allocs=True, log=print)
+                           measure_allocs=args.alloc,
+                           repeats=args.repeats, log=print)
         doc["after"] = rows
     doc["speedups"] = _speedups(doc)
     _save(args.out, doc)

@@ -8,7 +8,8 @@ Usage::
     python -m repro all [--quick]
     python -m repro chaos list
     python -m repro chaos region-blackout [--seed N]
-    python -m repro chaos all --seeds 5 [--json]
+    python -m repro chaos all --seeds 5 [--json] [--parallel N]
+    python -m repro sweep [--kinds chaos,verify] [--seeds K] [--parallel N]
     python -m repro verify [--scenario NAME|all|clock] [--seed N] [--json]
     python -m repro verify --check history.json
     python -m repro repair [--seed N] [--scenario NAME]
@@ -137,6 +138,10 @@ def _chaos_main(argv) -> int:
     parser.add_argument("--json", action="store_true",
                         help="emit one machine-readable JSON report for "
                              "all runs instead of the text rendering")
+    parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="farm runs across N worker processes "
+                             "(deterministic merge; per-run text output "
+                             "is summarized)")
     args = parser.parse_args(argv)
 
     from .chaos import SCENARIOS, run_scenario
@@ -151,6 +156,8 @@ def _chaos_main(argv) -> int:
             print(f"unknown scenario {name!r} (try 'list')", file=sys.stderr)
             return 2
     seeds = list(range(args.seeds)) if args.seeds > 1 else [args.seed]
+    if args.parallel > 1:
+        return _farmed_runs("chaos", names, seeds, args.parallel, args.json)
     violated = False
     runs = []
     for name in names:
@@ -169,6 +176,24 @@ def _chaos_main(argv) -> int:
     if args.json:
         print(json.dumps({"ok": not violated, "runs": runs}, indent=2))
     return 1 if violated else 0
+
+
+def _farmed_runs(kind: str, names, seeds, workers: int, as_json: bool) -> int:
+    """Shared ``--parallel`` path for the chaos and verify CLIs."""
+    from .harness.farm import (dumps_sweep, merge_results, render_sweep,
+                               run_farm)
+
+    start = time.time()
+    jobs = [{"kind": kind, "scenario": name, "seed": seed}
+            for name in names for seed in seeds]
+    doc = merge_results(run_farm(jobs, workers=workers))
+    if as_json:
+        print(dumps_sweep(doc))
+    else:
+        print(f"{kind} sweep: {len(jobs)} runs on {workers} workers")
+        print(render_sweep(doc))
+        print(f"[{time.time() - start:.1f}s wall]")
+    return 0 if doc["ok"] else 1
 
 
 def _verify_main(argv) -> int:
@@ -195,6 +220,10 @@ def _verify_main(argv) -> int:
     parser.add_argument("--check", metavar="FILE", default=None,
                         help="re-check a dumped history file instead of "
                              "running a workload (byte-identical report)")
+    parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="farm runs across N worker processes "
+                             "(deterministic merge; incompatible with "
+                             "--dump)")
     args = parser.parse_args(argv)
 
     from .verify import VERIFY_SCENARIOS, VerifyHistory, check, run_verify
@@ -220,6 +249,14 @@ def _verify_main(argv) -> int:
                   file=sys.stderr)
             return 2
     seeds = list(range(args.seeds)) if args.seeds > 1 else [args.seed]
+    if args.parallel > 1:
+        if args.dump:
+            print("--parallel cannot dump histories (workers are "
+                  "shared-nothing); rerun the offending seed alone",
+                  file=sys.stderr)
+            return 2
+        return _farmed_runs("verify", names, seeds, args.parallel,
+                            args.json)
     violated = False
     dumped = False
     runs = []
@@ -485,8 +522,10 @@ def _bench_main(argv) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--scale", type=float, default=1.0,
                         help="op-count multiplier (default 1.0)")
-    parser.add_argument("--no-allocs", action="store_true",
-                        help="skip the tracemalloc pass (faster)")
+    parser.add_argument("--alloc", action="store_true",
+                        help="add a tracemalloc pass reporting "
+                             "peak_alloc_kb/alloc_count (separate run; "
+                             "never taints the timed pass)")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON rows")
     args = parser.parse_args(argv)
@@ -497,7 +536,7 @@ def _bench_main(argv) -> int:
     obs_modes = [args.obs] if args.obs else ["full", "off"]
     rows = bench_suite(workloads, seed=args.seed, obs_modes=obs_modes,
                        scale=args.scale,
-                       measure_allocs=not args.no_allocs,
+                       measure_allocs=args.alloc,
                        log=None if args.json else print)
     if args.json:
         print(json.dumps(rows, indent=2, sort_keys=True))
@@ -515,6 +554,12 @@ def _scale_main(argv) -> int:
                     "protections off.")
     parser.add_argument("--seed", type=int, default=0,
                         help="simulation seed (default 0)")
+    parser.add_argument("--seeds", type=int, default=None, metavar="K",
+                        help="run seeds 0..K-1 (quick curves, farmable "
+                             "with --parallel) instead of one full curve")
+    parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="with --seeds: farm the per-seed curves "
+                             "across N worker processes")
     parser.add_argument("--quick", action="store_true",
                         help="reduced sweep (1x and 4x only, shorter "
                              "arrival window)")
@@ -533,6 +578,22 @@ def _scale_main(argv) -> int:
 
     from .harness.scale import (RESULTS_PATH, check_scale_regression,
                                 render_scale, run_scale)
+
+    if args.seeds is not None:
+        from .harness.farm import dumps_sweep, merge_results, run_farm
+        jobs = [{"kind": "scale", "seed": seed, "quick": True}
+                for seed in range(args.seeds)]
+        merged = merge_results(run_farm(jobs, workers=args.parallel))
+        if args.json:
+            print(dumps_sweep(merged))
+        else:
+            for run in merged["runs"]:
+                print(render_scale(run["report"]))
+                print()
+            print(f"=> {merged['total']} seeds, "
+                  + ("all gates ok" if merged["ok"]
+                     else "GATE FAILURES: " + ", ".join(merged["failed"])))
+        return 0 if merged["ok"] else 1
 
     doc = run_scale(seed=args.seed, quick=args.quick or args.smoke)
     if not args.smoke:
@@ -561,9 +622,69 @@ def _scale_main(argv) -> int:
     return 0
 
 
+def _sweep_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Fan seeds x scenarios x configs across worker "
+                    "processes and merge the chaos/verify/scale reports "
+                    "into one deterministic document (byte-identical "
+                    "regardless of worker count).")
+    parser.add_argument("--kinds", default="chaos,verify",
+                        help="comma-separated subset of chaos,verify,"
+                             "scale (default chaos,verify)")
+    parser.add_argument("--scenarios", default=None, metavar="NAMES",
+                        help="comma-separated scenario names (default: "
+                             "every scenario of each kind)")
+    parser.add_argument("--seeds", type=int, default=1, metavar="K",
+                        help="run seeds 0..K-1 (default 1)")
+    parser.add_argument("--parallel", type=int, default=None, metavar="N",
+                        help="worker processes (default: one per core, "
+                             "capped at 8; 1 forces sequential)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the merged machine-readable document")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="also write the merged document to FILE")
+    args = parser.parse_args(argv)
+
+    from .harness.farm import (SWEEP_KINDS, default_workers, dumps_sweep,
+                               merge_results, render_sweep, run_farm,
+                               sweep_jobs)
+
+    kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+    for kind in kinds:
+        if kind not in SWEEP_KINDS:
+            print(f"unknown sweep kind {kind!r} "
+                  f"(valid: {', '.join(SWEEP_KINDS)})", file=sys.stderr)
+            return 2
+    scenarios = (None if args.scenarios is None else
+                 [s.strip() for s in args.scenarios.split(",") if s.strip()])
+    start = time.time()
+    jobs = sweep_jobs(kinds, scenarios, range(max(1, args.seeds)))
+    if not jobs:
+        print("no jobs matched the requested kinds/scenarios",
+              file=sys.stderr)
+        return 2
+    workers = default_workers(args.parallel)
+    doc = merge_results(run_farm(jobs, workers=workers))
+    serialized = dumps_sweep(doc)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(serialized)
+            fh.write("\n")
+    if args.json:
+        print(serialized)
+    else:
+        print(f"sweep: {len(jobs)} runs on {workers} workers")
+        print(render_sweep(doc))
+        print(f"[{time.time() - start:.1f}s wall]")
+    return 0 if doc["ok"] else 1
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        return _sweep_main(argv[1:])
     if argv and argv[0] == "bench":
         return _bench_main(argv[1:])
     if argv and argv[0] == "scale":

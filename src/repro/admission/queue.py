@@ -163,7 +163,7 @@ class AdmissionQueue:
             heapq.heappop(self._waiters)
             waiter.done = True
             if waiter.expiry_event is not None:
-                Simulator.cancel(waiter.expiry_event)
+                self.sim.cancel(waiter.expiry_event)
             wait_ms = now - waiter.enqueued_ms
             if self._c_admitted is not None:
                 self._c_admitted.inc()

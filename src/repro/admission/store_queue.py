@@ -148,7 +148,7 @@ class StoreWorkQueue:
                 continue
             work.done = True
             if work.expiry_event is not None:
-                Simulator.cancel(work.expiry_event)
+                self.sim.cancel(work.expiry_event)
             self._active += 1
             if self._c_admitted is not None:
                 self._c_admitted.inc()

@@ -120,14 +120,16 @@ class StoreLiveness:
                 monitor = self.network.clock_monitor
                 sent_clock = (node.clock.physical_now()
                               if monitor is not None else None)
+                send = self.network.send
+                receive = self._receive
+                inc = self._c_heartbeats.inc
+                node_id = node.node_id
                 for other in self.cluster.nodes:
-                    if other.node_id == node.node_id or not other.alive:
+                    if other.node_id == node_id or not other.alive:
                         continue
-                    self._c_heartbeats.inc()
-                    self.network.send(
-                        node, other,
-                        lambda o=other.node_id, s=node.node_id, e=epoch,
-                        p=sent_clock: self._receive(o, s, e, p))
+                    inc()
+                    send(node, other, receive,
+                         other.node_id, node_id, epoch, sent_clock)
             yield self.sim.sleep(self.heartbeat_interval_ms)
 
     def _receive(self, observer_id: int, subject_id: int, epoch: int,

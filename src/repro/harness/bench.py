@@ -135,15 +135,17 @@ def _execute(workload: str, seed: int, obs: str, scale: float,
 
 def run_bench(workload: str, seed: int = 0, obs: str = "full",
               scale: float = 1.0, coalesce_ms: Optional[float] = None,
-              measure_allocs: bool = True, repeats: int = 3) -> Dict:
+              measure_allocs: bool = False, repeats: int = 3) -> Dict:
     """Run one workload and return its result row.
 
     The timed pass runs ``repeats`` times and the *fastest* wall-clock
     wins (minimum-of-N: the simulated work is identical per repeat, so
     the minimum is the least-noise estimate of engine cost).  It runs
-    without tracemalloc; when ``measure_allocs`` is set, one more
-    identical pass runs under tracemalloc to report peak allocation
-    (that pass's timing is discarded).
+    without tracemalloc; when ``measure_allocs`` is set (``--alloc`` on
+    the CLIs — off by default, since tracemalloc itself slows the run
+    it instruments), one more identical pass runs under tracemalloc to
+    report ``peak_alloc_kb``/``alloc_count`` (that pass's timing is
+    discarded).
     """
     wall_s = None
     engine = recorder = n_ops = None
@@ -189,7 +191,7 @@ def run_bench(workload: str, seed: int = 0, obs: str = "full",
 
 def bench_suite(workloads=BENCH_WORKLOADS, seed: int = 0,
                 obs_modes=("full", "off"), scale: float = 1.0,
-                measure_allocs: bool = True, repeats: int = 3,
+                measure_allocs: bool = False, repeats: int = 3,
                 log: Optional[Callable[[str], None]] = None) -> List[Dict]:
     """Run the full suite; returns one row per (workload, obs mode)."""
     rows: List[Dict] = []

@@ -1,0 +1,211 @@
+"""Process-parallel sweep farm: seeds x scenarios x configs.
+
+Every chaos, verify, and scale run is deterministic from its (kind,
+scenario, seed, config) coordinates and shares nothing with its
+siblings, so a sweep is embarrassingly parallel.  This module fans a
+job list across ``multiprocessing`` workers and merges the results
+into one deterministic document.
+
+Design constraints, in priority order:
+
+* **Determinism.**  The merged document is a pure function of the job
+  list — byte-identical whether it ran on 1 worker or 16, regardless
+  of completion order.  Jobs carry no wall-clock or pid fields, results
+  come back in submission order (``Pool.map``), and the merge sorts on
+  the job coordinates and serialises with ``sort_keys``.
+* **Spawn safety.**  Workers use the ``spawn`` start method — each is
+  a fresh interpreter that re-imports this module, so jobs must be
+  picklable plain dicts and :func:`run_job` must be importable at
+  module top level.  Nothing is inherited from the parent except the
+  job payload (shared-nothing; fork would work too but spawn keeps us
+  honest and portable).
+* **Graceful sizing.**  ``workers=1`` (or a single job) runs inline in
+  the parent with no pool at all — the sequential reference path the
+  determinism guard compares against.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = ["run_job", "run_farm", "merge_results", "sweep_jobs",
+           "run_sweep", "render_sweep", "dumps_sweep", "default_workers",
+           "SWEEP_KINDS"]
+
+SWEEP_KINDS = ("chaos", "verify", "scale", "bench")
+
+#: The deterministic subset of a bench row: wall-clock-derived fields
+#: (wall_s, events_per_sec) and allocation counters vary run to run
+#: and are excluded from farm output by construction.
+_BENCH_DETERMINISTIC_KEYS = ("workload", "seed", "obs", "scale", "ops",
+                             "sim_ms", "events", "latency_p50_ms",
+                             "latency_p99_ms")
+
+#: Keys scrubbed from worker results before merging: anything here is
+#: nondeterministic (wall clock, process identity) and would break the
+#: byte-identical merge contract.
+_NONDETERMINISTIC_KEYS = frozenset({"wall_s", "wall_seconds", "pid"})
+
+
+def default_workers(requested: Optional[int] = None) -> int:
+    """Worker count: the explicit request, else one per core (capped)."""
+    if requested is not None and requested > 0:
+        return requested
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def run_job(job: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one sweep job; returns a JSON-ready record.
+
+    Top-level (not nested, not a lambda) so spawn workers can unpickle
+    a reference to it.  Imports are deferred so a worker only pays for
+    the subsystem its job actually needs.
+    """
+    kind = job["kind"]
+    if kind == "chaos":
+        from ..chaos import run_scenario
+        result = run_scenario(job["scenario"], job["seed"])
+        record = {"kind": kind, "scenario": job["scenario"],
+                  "seed": job["seed"], "ok": bool(result.ok),
+                  "report": result.to_json()}
+    elif kind == "verify":
+        from ..verify import run_verify
+        result = run_verify(job["scenario"], job["seed"])
+        record = {"kind": kind, "scenario": job["scenario"],
+                  "seed": job["seed"], "ok": bool(result.ok),
+                  "report": result.to_json()}
+    elif kind == "scale":
+        from .scale import run_scale
+        doc = run_scale(seed=job["seed"], quick=job.get("quick", True))
+        record = {"kind": kind, "scenario": "scale-curve",
+                  "seed": job["seed"], "ok": bool(doc["gates"]["ok"]),
+                  "report": doc}
+    elif kind == "bench":
+        from .bench import run_bench
+        obs = job.get("obs", "full")
+        row = run_bench(job["workload"], seed=job["seed"], obs=obs,
+                        scale=job.get("scale", 0.25),
+                        measure_allocs=False, repeats=1)
+        record = {"kind": kind,
+                  "scenario": f"{job['workload']}/obs-{obs}",
+                  "seed": job["seed"], "ok": True,
+                  "report": {key: row[key]
+                             for key in _BENCH_DETERMINISTIC_KEYS}}
+    else:
+        raise ValueError(f"unknown sweep job kind {kind!r}")
+    return _scrub(record)
+
+
+def _scrub(value):
+    """Drop nondeterministic keys, recursively, from a result record."""
+    if isinstance(value, dict):
+        return {key: _scrub(item) for key, item in value.items()
+                if key not in _NONDETERMINISTIC_KEYS}
+    if isinstance(value, list):
+        return [_scrub(item) for item in value]
+    return value
+
+
+def run_farm(jobs: Iterable[Dict[str, Any]],
+             workers: Optional[int] = None) -> List[Dict[str, Any]]:
+    """Run every job; results in submission order regardless of workers."""
+    jobs = list(jobs)
+    workers = min(default_workers(workers), max(1, len(jobs)))
+    if workers <= 1 or len(jobs) <= 1:
+        return [run_job(job) for job in jobs]
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(processes=workers) as pool:
+        # chunksize=1: jobs are coarse (whole simulations), so let the
+        # pool load-balance instead of pre-binning.
+        return pool.map(run_job, jobs, chunksize=1)
+
+
+def merge_results(results: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold per-job records into one deterministic sweep document.
+
+    Runs are ordered by (kind, scenario, seed) — a canonical order
+    independent of both submission and completion order.
+    """
+    runs = sorted(results, key=lambda r: (r["kind"], r["scenario"],
+                                          r["seed"]))
+    return {
+        "ok": all(r["ok"] for r in runs),
+        "total": len(runs),
+        "failed": [f"{r['kind']}/{r['scenario']}/seed={r['seed']}"
+                   for r in runs if not r["ok"]],
+        "runs": runs,
+    }
+
+
+def sweep_jobs(kinds: Iterable[str], scenarios: Optional[List[str]],
+               seeds: Iterable[int], quick: bool = True
+               ) -> List[Dict[str, Any]]:
+    """Expand kinds x scenarios x seeds into a farmable job list.
+
+    ``scenarios=None`` means every scenario of each kind: the full
+    chaos registry, the verify sweep set, and (for scale, which has no
+    scenario axis) one curve per seed.
+    """
+    jobs: List[Dict[str, Any]] = []
+    seeds = list(seeds)
+    for kind in kinds:
+        if kind == "chaos":
+            from ..chaos import SCENARIOS
+            names = (sorted(SCENARIOS) if scenarios is None
+                     else [s for s in scenarios if s in SCENARIOS])
+            jobs.extend({"kind": "chaos", "scenario": name, "seed": seed}
+                        for name in names for seed in seeds)
+        elif kind == "verify":
+            from ..verify import VERIFY_SCENARIOS
+            valid = set(VERIFY_SCENARIOS) | {"none"}
+            names = (list(VERIFY_SCENARIOS) if scenarios is None
+                     else [s for s in scenarios if s in valid])
+            jobs.extend({"kind": "verify", "scenario": name, "seed": seed}
+                        for name in names for seed in seeds)
+        elif kind == "scale":
+            jobs.extend({"kind": "scale", "seed": seed, "quick": quick}
+                        for seed in seeds)
+        elif kind == "bench":
+            from .bench import BENCH_WORKLOADS
+            names = (list(BENCH_WORKLOADS) if scenarios is None
+                     else [s for s in scenarios if s in BENCH_WORKLOADS])
+            jobs.extend({"kind": "bench", "workload": name, "seed": seed,
+                         "obs": obs}
+                        for name in names for seed in seeds
+                        for obs in ("full", "off"))
+        else:
+            raise ValueError(f"unknown sweep kind {kind!r} "
+                             f"(valid: {', '.join(SWEEP_KINDS)})")
+    return jobs
+
+
+def run_sweep(kinds: Iterable[str] = ("chaos", "verify"),
+              scenarios: Optional[List[str]] = None,
+              seeds: Iterable[int] = (0,),
+              workers: Optional[int] = None,
+              quick: bool = True) -> Dict[str, Any]:
+    """Build, farm, and merge a sweep; the one-call API behind the CLI."""
+    jobs = sweep_jobs(kinds, scenarios, seeds, quick=quick)
+    return merge_results(run_farm(jobs, workers=workers))
+
+
+def render_sweep(doc: Dict[str, Any]) -> str:
+    """Compact per-run table plus the verdict line."""
+    lines = [f"  {'kind':8s} {'scenario':28s} {'seed':>4}  verdict"]
+    for run in doc["runs"]:
+        lines.append(f"  {run['kind']:8s} {run['scenario']:28s} "
+                     f"{run['seed']:>4}  "
+                     f"{'ok' if run['ok'] else 'VIOLATION'}")
+    lines.append(f"  => {doc['total']} runs, "
+                 + ("all ok" if doc["ok"]
+                    else f"{len(doc['failed'])} failed: "
+                         + ", ".join(doc["failed"])))
+    return "\n".join(lines)
+
+
+def dumps_sweep(doc: Dict[str, Any]) -> str:
+    """Canonical serialisation — the byte-identical merge artifact."""
+    return json.dumps(doc, indent=2, sort_keys=True)

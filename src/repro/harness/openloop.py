@@ -18,6 +18,7 @@ deterministic from the config + seed.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -49,6 +50,15 @@ class OpenLoopConfig:
     #: Per-region relative weight (hot-region skew); missing regions
     #: default to 1.0.
     region_weights: Dict[str, float] = field(default_factory=dict)
+    #: Diurnal load: each region's instantaneous rate follows
+    #: ``base * (1 + A * sin(2*pi*t/period + phase))`` with a seeded
+    #: per-region phase, so regional peaks are offset the way
+    #: follow-the-sun traffic is.  ``0.0`` disables the modulation and
+    #: keeps the legacy arrival process byte-identical (no extra RNG
+    #: draws).  Must lie in ``[0, 1]``.
+    diurnal_amplitude: float = 0.0
+    #: Period of the sinusoid (sim ms); one "day".
+    diurnal_period_ms: float = 4000.0
     #: Arrival window (sim ms).
     duration_ms: float = 1200.0
     #: Per-request deadline; completions past it don't count as goodput.
@@ -223,6 +233,10 @@ class OpenLoopHarness:
         self.record_ops = record_ops
         self.records: List[Dict[str, object]] = []
         cfg = self.config
+        if not 0.0 <= cfg.diurnal_amplitude <= 1.0:
+            raise ValueError("diurnal_amplitude must be within [0, 1]")
+        if cfg.diurnal_amplitude > 0.0 and cfg.diurnal_period_ms <= 0.0:
+            raise ValueError("diurnal_period_ms must be positive")
         self.cluster = standard_cluster(list(cfg.regions), seed=cfg.seed,
                                         obs_enabled=cfg.obs_enabled)
         self.coord = TransactionCoordinator(self.cluster)
@@ -255,6 +269,12 @@ class OpenLoopHarness:
         self._zipfs = {
             region: ZipfGenerator(cfg.keys_per_region, theta=cfg.zipf_theta,
                                   seed=(cfg.seed << 4) ^ (0x21F + index))
+            for index, region in enumerate(cfg.regions)}
+        # Seeded per-region diurnal phases, drawn from dedicated RNGs so
+        # the arrival/keying streams above are untouched either way.
+        self._phases = {
+            region: random.Random(
+                (cfg.seed << 7) ^ (0xD1A1 + index)).uniform(0.0, 2 * math.pi)
             for index, region in enumerate(cfg.regions)}
 
     @property
@@ -341,6 +361,9 @@ class OpenLoopHarness:
         rate = cfg.region_rate(region)
         if rate <= 0:
             return
+        if cfg.diurnal_amplitude > 0.0:
+            yield from self._diurnal_arrivals(region, end_ms, rate)
+            return
         index = 0
         while True:
             gap_ms = rng.expovariate(rate) * 1000.0
@@ -349,6 +372,34 @@ class OpenLoopHarness:
                 return
             self.sim.spawn(self._request(region, index % 3),
                            name=f"open-{region}-{index}")
+            index += 1
+
+    def _diurnal_arrivals(self, region: str, end_ms: float, rate: float):
+        """Inhomogeneous Poisson arrivals by thinning: draw gaps at the
+        sinusoid's peak rate, then accept each arrival with probability
+        ``instantaneous / peak``.  Exact for any bounded rate function,
+        and deterministic from (config, seed)."""
+        cfg = self.config
+        sim = self.sim
+        rng = self._rngs[region]
+        phase = self._phases[region]
+        omega = 2.0 * math.pi / cfg.diurnal_period_ms
+        amplitude = cfg.diurnal_amplitude
+        peak = rate * (1.0 + amplitude)
+        start_ms = sim.now
+        index = 0
+        while True:
+            gap_ms = rng.expovariate(peak) * 1000.0
+            yield sim.sleep(gap_ms)
+            now = sim.now
+            if now >= end_ms:
+                return
+            instantaneous = rate * (
+                1.0 + amplitude * math.sin(omega * (now - start_ms) + phase))
+            if rng.random() * peak > instantaneous:
+                continue  # thinned away: the trough of this region's day
+            sim.spawn(self._request(region, index % 3),
+                      name=f"open-{region}-{index}")
             index += 1
 
     def probe(self, region: str, deadline_ms: Optional[float] = None):

@@ -45,6 +45,12 @@ RESULTS_PATH = os.path.join(
 GOODPUT_FLOOR = 0.80
 COLLAPSE_CEILING = 0.50
 
+#: The diurnal curve point: 1x offered load modulated by a +/-60%
+#: sinusoid with two "days" per arrival window, seeded per-region
+#: phases (follow-the-sun peaks).  Admission must still hold p99
+#: within the deadline through the regional peaks.
+DIURNAL_AMPLITUDE = 0.6
+
 
 def _point(multiplier: float, admission: bool, seed: int,
            duration_ms: float) -> Dict:
@@ -65,6 +71,10 @@ def run_scale(seed: int = 0, quick: bool = False,
     curve = [_point(m, True, seed, duration_ms) for m in multipliers]
     peak_multiplier = multipliers[-1]
     no_admission = _point(peak_multiplier, False, seed, duration_ms)
+    diurnal = run_openloop(OpenLoopConfig(
+        load_multiplier=1.0, admission=True, duration_ms=duration_ms,
+        seed=seed, diurnal_amplitude=DIURNAL_AMPLITUDE,
+        diurnal_period_ms=duration_ms / 2.0)).to_json()
 
     capacity = max(point["goodput_per_s"] for point in curve)
     peak = curve[-1]
@@ -93,6 +103,9 @@ def run_scale(seed: int = 0, quick: bool = False,
         "admit_rate_per_region_per_s": config.admit_rate_per_s,
         "curve": curve,
         "no_admission": no_admission,
+        "diurnal": {"amplitude": DIURNAL_AMPLITUDE,
+                    "period_ms": duration_ms / 2.0,
+                    "point": diurnal},
         "gates": gates,
     }
 
@@ -115,6 +128,14 @@ def render_scale(doc: Dict) -> str:
             f"{point['rejected']:>6} {point['shed']:>5} "
             f"{point['goodput_per_s']:>10.1f} {point['p50_ms']:>8.2f} "
             f"{point['p99_ms']:>8.2f}")
+    if "diurnal" in doc:
+        point = doc["diurnal"]["point"]
+        lines.append(
+            f"  diurnal 1x (+/-{doc['diurnal']['amplitude']:.0%}, "
+            f"period {doc['diurnal']['period_ms']:.0f}ms): "
+            f"offered={point['offered']} good={point['good']} "
+            f"goodput={point['goodput_per_s']:.1f}/s "
+            f"p50={point['p50_ms']:.2f}ms p99={point['p99_ms']:.2f}ms")
     gates = doc["gates"]
     lines.append(
         f"  capacity={gates['capacity_per_s']:.1f}/s  "

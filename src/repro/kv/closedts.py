@@ -47,7 +47,16 @@ def closed_ts_within_contract(closed_ts: "Timestamp", local_physical: float,
 
 
 class ClosedTimestampPolicy:
-    """Computes the closed-timestamp target for new proposals."""
+    """Computes the closed-timestamp target for new proposals.
+
+    Policies are consulted on every proposal and every side-transport
+    tick (the ticks themselves ride the simulator's timer wheel, one
+    merge per 128 ms window, rather than individual heap entries), so
+    the concrete policies are frozen ``slots`` values: immutable,
+    dict-free, shareable across ranges.
+    """
+
+    __slots__ = ()
 
     def target(self, now: Timestamp) -> Timestamp:
         raise NotImplementedError
@@ -58,7 +67,7 @@ class ClosedTimestampPolicy:
         return False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LagPolicy(ClosedTimestampPolicy):
     """Close ``lag_ms`` behind present time (REGIONAL tables)."""
 
@@ -68,7 +77,7 @@ class LagPolicy(ClosedTimestampPolicy):
         return Timestamp(now.physical - self.lag_ms, 0)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LeadPolicy(ClosedTimestampPolicy):
     """Close ``lead_ms`` ahead of present time (GLOBAL tables).
 

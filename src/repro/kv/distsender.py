@@ -123,6 +123,12 @@ class DistSender:
         #: the synchronous span-change subscription (meta-range gossip)
         #: or by a RangeKeyMismatch bounce from the old owner.
         self._span_cache: dict = {}
+        #: gateway node_id -> interned retry-process name (avoids an
+        #: f-string per RPC on the hot path).
+        self._retry_names: dict = {}
+        #: dst node_id -> lazy RpcTimeoutError factory for with_timeout
+        #: (timeouts almost never fire; don't build the exception per RPC).
+        self._timeout_factories: dict = {}
         #: Counters for tests/ablations, backed by registry instruments
         #: (read through the int properties below).
         self._c_fallbacks = registry.counter("distsender.follower_read_fallbacks")
@@ -166,6 +172,15 @@ class DistSender:
         return int(self._c_cache_inval.value) if self._c_cache_inval else 0
 
     # -- span-keyed descriptor resolution --------------------------------------
+
+    def _timeout_error_factory(self, node_id: int):
+        factory = self._timeout_factories.get(node_id)
+        if factory is None:
+            def factory(_node_id=node_id):
+                return RpcTimeoutError(
+                    f"rpc to node {_node_id} timed out")
+            self._timeout_factories[node_id] = factory
+        return factory
 
     def _ensure_cache_counters(self) -> None:
         if self._c_cache_hit is None:
@@ -325,11 +340,15 @@ class DistSender:
                                          range=rng.name)
                        if obs_on else NOOP_SPAN)
             try:
-                backoff = ExponentialBackoff(rng=self._retry_rng,
-                                             base_ms=10.0, max_ms=400.0)
+                # Constructed lazily: the zero-retry fast path never
+                # draws a backoff delay, so skip the allocation.
+                backoff = None
                 last_error: Optional[BaseException] = None
                 for attempt in range(self.rpc_max_attempts):
-                    rng = self.resolve(token, key)
+                    if attempt:
+                        # Attempt 0 reuses the resolve above — nothing
+                        # can have moved before the first yield.
+                        rng = self.resolve(token, key)
                     if deadline_ms is not None and sim.now >= deadline_ms:
                         # Nobody is waiting for this answer anymore:
                         # drop the RPC instead of spending an attempt
@@ -361,6 +380,10 @@ class DistSender:
                             continue
                         last_error = NetworkUnavailableError(
                             f"node {dst.node_id}: circuit breaker open")
+                        if backoff is None:
+                            backoff = ExponentialBackoff(
+                                rng=self._retry_rng,
+                                base_ms=10.0, max_ms=400.0)
                         delay = backoff.next_delay()
                         if (deadline_ms is not None
                                 and sim.now + delay >= deadline_ms):
@@ -384,8 +407,7 @@ class DistSender:
                     if timeout_ms is not None:
                         call = with_timeout(
                             sim, call, timeout_ms,
-                            RpcTimeoutError(
-                                f"rpc to node {dst.node_id} timed out"))
+                            self._timeout_error_factory(dst.node_id))
                     try:
                         value = yield call
                     except (NetworkUnavailableError, ClockFencedError) as err:
@@ -403,6 +425,10 @@ class DistSender:
                                        or isinstance(err, ClockFencedError))):
                             self._c_failovers.inc()
                             attempt_span.annotate(failover=True)
+                        if backoff is None:
+                            backoff = ExponentialBackoff(
+                                rng=self._retry_rng,
+                                base_ms=10.0, max_ms=400.0)
                         delay = backoff.next_delay()
                         if (deadline_ms is not None
                                 and sim.now + delay >= deadline_ms):
@@ -440,7 +466,11 @@ class DistSender:
                 raise last_error
             finally:
                 op_span.finish()
-        return sim.spawn(attempts(), name=f"rpc-retry@{gateway.node_id}")
+        names = self._retry_names
+        name = names.get(gateway.node_id)
+        if name is None:
+            name = names[gateway.node_id] = f"rpc-retry@{gateway.node_id}"
+        return sim.spawn(attempts(), name=name)
 
     # -- reads -------------------------------------------------------------------
 

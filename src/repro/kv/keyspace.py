@@ -45,6 +45,15 @@ __all__ = ["encode_key", "MIN_KEY", "RangeLoad", "RangeDescriptor",
 MIN_KEY: Tuple = ()
 
 
+#: Interned encodings: raw key -> encoded tuple.  Workloads route the
+#: same keys over and over (every resolve re-encodes), so encoding once
+#: and reusing the tuple removes an allocation from the routing fast
+#: path.  Bounded so adversarial key churn cannot grow it unboundedly;
+#: entries are immutable so a full cache simply stops interning.
+_ENCODE_CACHE: dict = {}
+_ENCODE_CACHE_MAX = 65536
+
+
 def encode_key(key: Any) -> Tuple:
     """Encode ``key`` into a type-tagged tuple with a total order.
 
@@ -52,7 +61,23 @@ def encode_key(key: Any) -> Tuple:
     ints, ``None``); Python refuses to compare across types, so range
     bounds tag each value with a type rank first — CRDB's order-preserving
     key encoding, reduced to what tuples already give us.
+
+    Encodings are interned: repeated calls with an equal key return the
+    same tuple object.
     """
+    try:
+        cached = _ENCODE_CACHE.get(key)
+    except TypeError:  # unhashable key (exotic fallback types only)
+        return _encode_key_uncached(key)
+    if cached is not None:
+        return cached
+    encoded = _encode_key_uncached(key)
+    if len(_ENCODE_CACHE) < _ENCODE_CACHE_MAX:
+        _ENCODE_CACHE[key] = encoded
+    return encoded
+
+
+def _encode_key_uncached(key: Any) -> Tuple:
     if key is None:
         return (0,)
     if isinstance(key, bool):

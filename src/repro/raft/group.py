@@ -565,8 +565,8 @@ class RaftGroup:
                               if i < entry.index}
         leader.stage(entry, llog[-1] if llog else None,
                      authoritative=True)
-        self.sim.call_after(self.DISK_APPEND_MS, self._on_ack,
-                            entry.index, leader.node.node_id, entry.term)
+        self.sim._schedule(self.DISK_APPEND_MS, self._on_ack,
+                           entry.index, leader.node.node_id, entry.term)
         # Stream to every other peer, voters and learners alike.
         for peer in self.peers.values():
             if peer.node.node_id == leader.node.node_id:
@@ -638,8 +638,8 @@ class RaftGroup:
         if acks:
             # One ack message for the whole batch, after a single disk
             # append (the entries land in one write).
-            self.sim.call_after(self.DISK_APPEND_MS, self._send_ack_batch,
-                                peer, acks)
+            self.sim._schedule(self.DISK_APPEND_MS, self._send_ack_batch,
+                               peer, acks)
         commit = batch["commit"]
         if commit is not None:
             self._learn_commit(peer, commit[0], commit[1])
@@ -676,50 +676,63 @@ class RaftGroup:
             self._outbox_for(leader, peer)["appends"].append(
                 (entry, prev, self.term))
             return
-        msg_term = self.term
-
-        def on_deliver() -> None:
-            log = peer.log
-            before = log[-1].index if log else 0
-            peer.stage(entry, prev, authoritative=(
-                msg_term == self.term
-                and self.leader_node_id == leader.node.node_id))
-            self._apply_ready(peer)
-            # Ack whatever actually landed in the log (after the peer's
-            # disk append) — never a merely-staged entry, whose prefix
-            # the peer does not yet have durably.
-            after = log[-1].index if log else 0
-            if after > before:
-                for index in range(before + 1, after + 1):
-                    landed = log[index - 1]
-                    self.sim.call_after(self.DISK_APPEND_MS, self._send_ack,
-                                        peer, index, landed.term)
-            elif (entry.index <= after
-                  and log[entry.index - 1] is entry):
-                # Duplicate delivery (retransmission): the original ack
-                # may have been lost — re-ack.
-                self.sim.call_after(self.DISK_APPEND_MS, self._send_ack,
-                                    peer, entry.index, entry.term)
-        deliver = on_deliver
-        # Clock-safety piggyback: Raft appends carry the leader's clock
-        # reading when a monitor is installed (one attribute check on
-        # the legacy path).
+        # Send-time state (the message's term and claimed sender) rides
+        # as args; delivery-time state (current term/leader) is read in
+        # _deliver_append.  No closure on the hot path — the clock-safety
+        # piggyback keeps the wrapped-closure form, one attribute check
+        # on the legacy path.
         monitor = self.network.clock_monitor
         if monitor is not None:
-            deliver = monitor.wrap(leader.node, peer.node, deliver)
-        self.network.send(leader.node, peer.node, deliver)
+            deliver = monitor.wrap(
+                leader.node, peer.node,
+                lambda t=self.term, lid=leader.node.node_id:
+                    self._deliver_append(peer, entry, prev, t, lid))
+            self.network.send(leader.node, peer.node, deliver)
+            return
+        self.network.send(leader.node, peer.node, self._deliver_append,
+                          peer, entry, prev, self.term, leader.node.node_id)
+
+    def _deliver_append(self, peer: PeerState, entry: Entry,
+                        prev: Optional[Entry], msg_term: int,
+                        from_node_id: int) -> None:
+        log = peer.log
+        before = log[-1].index if log else 0
+        peer.stage(entry, prev, authoritative=(
+            msg_term == self.term
+            and self.leader_node_id == from_node_id))
+        self._apply_ready(peer)
+        # Ack whatever actually landed in the log (after the peer's
+        # disk append) — never a merely-staged entry, whose prefix
+        # the peer does not yet have durably.
+        after = log[-1].index if log else 0
+        if after > before:
+            schedule = self.sim._schedule
+            send_ack = self._send_ack
+            for index in range(before + 1, after + 1):
+                landed = log[index - 1]
+                schedule(self.DISK_APPEND_MS, send_ack,
+                         peer, index, landed.term)
+        elif (entry.index <= after
+              and log[entry.index - 1] is entry):
+            # Duplicate delivery (retransmission): the original ack
+            # may have been lost — re-ack.
+            self.sim._schedule(self.DISK_APPEND_MS, self._send_ack,
+                               peer, entry.index, entry.term)
 
     def _send_ack(self, peer: PeerState, index: int,
                   term: Optional[int] = None) -> None:
         leader = self.peers.get(self.leader_node_id)
         if leader is None:
             return
-        deliver = lambda: self._on_ack(  # noqa: E731
-            index, peer.node.node_id, term)
         monitor = self.network.clock_monitor
         if monitor is not None:
-            deliver = monitor.wrap(peer.node, leader.node, deliver)
-        self.network.send(peer.node, leader.node, deliver)
+            deliver = monitor.wrap(
+                peer.node, leader.node,
+                lambda: self._on_ack(index, peer.node.node_id, term))
+            self.network.send(peer.node, leader.node, deliver)
+            return
+        self.network.send(peer.node, leader.node, self._on_ack,
+                          index, peer.node.node_id, term)
 
     def _on_ack(self, index: int, from_node_id: int,
                 term: Optional[int] = None) -> None:
@@ -820,9 +833,8 @@ class RaftGroup:
                 batch["commit"] = (index, entry)
             return
 
-        def on_deliver() -> None:
-            self._learn_commit(peer, index, entry)
-        self.network.send(leader.node, peer.node, on_deliver)
+        self.network.send(leader.node, peer.node, self._learn_commit,
+                          peer, index, entry)
 
     def _learn_commit(self, peer: PeerState, index: int,
                       entry: Optional[Entry]) -> None:
@@ -863,30 +875,39 @@ class RaftGroup:
         leader = self.leader
         if closed_ts > leader.closed_ts:
             leader.closed_ts = closed_ts
+        leader_node = leader.node
+        leader_id = leader_node.node_id
+        coalesce = self.coalesce_ms
+        commit_index = self.commit_index
+        last_committed = self._last_committed
+        monitor = self.network.clock_monitor
+        send = self.network.send
         for peer in self.peers.values():
-            if peer.node.node_id == leader.node.node_id:
+            if peer.node.node_id == leader_id:
                 continue
-            if self.coalesce_ms is not None:
+            if coalesce is not None:
                 batch = self._outbox_for(leader, peer)
                 closed = batch["closed"]
                 if closed is None or closed_ts > closed[0]:
-                    batch["closed"] = (closed_ts, self.commit_index,
-                                       self._last_committed)
+                    batch["closed"] = (closed_ts, commit_index,
+                                       last_committed)
                 continue
             # Valid only if the peer is caught up on application; otherwise
             # it would claim data it does not yet have.
-            def make_update(p: PeerState, ts: Timestamp, commit: int,
-                            committed: Optional[Entry]):
-                def on_deliver() -> None:
-                    self._learn_commit(p, commit, committed)
-                    if p.applied_index >= commit and ts > p.closed_ts:
-                        mon = self.network.clock_monitor
-                        if mon is None or mon.accepts_closed_ts(p.node, ts):
-                            p.closed_ts = ts
-                return on_deliver
-            deliver = make_update(peer, closed_ts, self.commit_index,
-                                  self._last_committed)
-            monitor = self.network.clock_monitor
             if monitor is not None:
-                deliver = monitor.wrap(leader.node, peer.node, deliver)
-            self.network.send(leader.node, peer.node, deliver)
+                deliver = monitor.wrap(
+                    leader_node, peer.node,
+                    lambda p=peer: self._deliver_closed_ts(
+                        p, closed_ts, commit_index, last_committed))
+                send(leader_node, peer.node, deliver)
+                continue
+            send(leader_node, peer.node, self._deliver_closed_ts,
+                 peer, closed_ts, commit_index, last_committed)
+
+    def _deliver_closed_ts(self, peer: PeerState, ts: Timestamp,
+                           commit: int, committed: Optional[Entry]) -> None:
+        self._learn_commit(peer, commit, committed)
+        if peer.applied_index >= commit and ts > peer.closed_ts:
+            mon = self.network.clock_monitor
+            if mon is None or mon.accepts_closed_ts(peer.node, ts):
+                peer.closed_ts = ts

@@ -20,7 +20,6 @@ writes and by lead closed timestamps.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from typing import Dict, Optional
 
 from .core import Future, Simulator
@@ -28,13 +27,23 @@ from .core import Future, Simulator
 __all__ = ["Timestamp", "HLC", "ClockModel", "SkewModel", "TS_ZERO", "TS_MAX"]
 
 
-@dataclass(frozen=True, order=False)
 class Timestamp:
-    """An MVCC timestamp: physical milliseconds plus a logical tiebreak."""
+    """An MVCC timestamp: physical milliseconds plus a logical tiebreak.
 
-    physical: float
-    logical: int = 0
-    synthetic: bool = False
+    A hand-rolled ``__slots__`` class rather than a frozen dataclass:
+    timestamps are minted on every HLC tick and compared on every MVCC
+    read, and frozen-dataclass construction (``object.__setattr__`` per
+    field) was a measurable share of the hot path.  Treat instances as
+    immutable — they are hashed and shared.
+    """
+
+    __slots__ = ("physical", "logical", "synthetic")
+
+    def __init__(self, physical: float, logical: int = 0,
+                 synthetic: bool = False):
+        self.physical = physical
+        self.logical = logical
+        self.synthetic = synthetic
 
     def key(self):
         return (self.physical, self.logical)

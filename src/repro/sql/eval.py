@@ -35,35 +35,63 @@ class EvalEnv:
         return str(uuid.uuid4())
 
 
+#: Shared read-only default environment; avoids one EvalEnv() per call.
+_DEFAULT_ENV = EvalEnv()
+_EMPTY_ROW: Dict[str, Any] = {}
+
+
 def evaluate(expr: Any, row: Optional[Dict[str, Any]] = None,
              env: Optional[EvalEnv] = None) -> Any:
     """Evaluate an expression AST to a Python value."""
-    row = row or {}
-    env = env or EvalEnv()
+    if row is None:
+        row = _EMPTY_ROW
+    if env is None:
+        env = _DEFAULT_ENV
+    handler = _DISPATCH.get(type(expr))
+    if handler is None:
+        raise SchemaError(f"cannot evaluate expression {expr!r}")
+    return handler(expr, row, env)
 
-    if isinstance(expr, ast.Literal):
-        return expr.value
-    if isinstance(expr, ast.ColumnRef):
-        if expr.name not in row:
-            raise SchemaError(f"unknown column {expr.name!r} in expression")
-        return row[expr.name]
-    if isinstance(expr, ast.FuncCall):
-        return _call_builtin(expr, row, env)
-    if isinstance(expr, ast.CaseWhen):
-        for condition, result in expr.whens:
-            if evaluate(condition, row, env):
-                return evaluate(result, row, env)
-        return evaluate(expr.default, row, env)
-    if isinstance(expr, ast.Comparison):
-        left = evaluate(expr.left, row, env)
-        right = evaluate(expr.right, row, env)
-        return _compare(expr.op, left, right)
-    if isinstance(expr, ast.LogicalAnd):
-        return all(evaluate(part, row, env) for part in expr.parts)
-    if isinstance(expr, ast.InList):
-        value = evaluate(expr.column, row, env)
-        return any(value == evaluate(v, row, env) for v in expr.values)
-    raise SchemaError(f"cannot evaluate expression {expr!r}")
+
+def _eval_literal(expr, row, env):
+    return expr.value
+
+
+def _eval_column(expr, row, env):
+    name = expr.name
+    if name not in row:
+        raise SchemaError(f"unknown column {name!r} in expression")
+    return row[name]
+
+
+def _eval_case(expr, row, env):
+    for condition, result in expr.whens:
+        if evaluate(condition, row, env):
+            return evaluate(result, row, env)
+    return evaluate(expr.default, row, env)
+
+
+def _eval_comparison(expr, row, env):
+    left = evaluate(expr.left, row, env)
+    right = evaluate(expr.right, row, env)
+    return _compare(expr.op, left, right)
+
+
+def _eval_and(expr, row, env):
+    for part in expr.parts:
+        if not evaluate(part, row, env):
+            return False
+    return True
+
+
+def _eval_in(expr, row, env):
+    value = evaluate(expr.column, row, env)
+    for v in expr.values:
+        if value == evaluate(v, row, env):
+            return True
+    return False
+
+
 
 
 def _call_builtin(expr: ast.FuncCall, row: Dict[str, Any],
@@ -109,6 +137,17 @@ def _compare(op: str, left: Any, right: Any) -> bool:
     if op == ">=":
         return left >= right
     raise SchemaError(f"unknown comparison operator {op!r}")
+
+
+_DISPATCH = {
+    ast.Literal: _eval_literal,
+    ast.ColumnRef: _eval_column,
+    ast.FuncCall: _call_builtin,
+    ast.CaseWhen: _eval_case,
+    ast.Comparison: _eval_comparison,
+    ast.LogicalAnd: _eval_and,
+    ast.InList: _eval_in,
+}
 
 
 def columns_referenced(expr: Any) -> Set[str]:

@@ -3,8 +3,7 @@
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 from ..errors import SqlSyntaxError
 
@@ -21,35 +20,59 @@ _TOKEN_RE = re.compile(r"""
 """, re.VERBOSE)
 
 
-@dataclass(frozen=True)
 class Token:
-    kind: str   # 'number' | 'string' | 'ident' | 'qident' | 'op' | 'eof'
-    text: str
-    pos: int
+    """One lexed token.
 
-    @property
-    def upper(self) -> str:
-        return self.text.upper()
+    A plain ``__slots__`` class (not a dataclass): workload statements
+    are parsed by the thousand and frozen-dataclass construction was
+    the single largest lexer cost.  ``upper`` is precomputed for
+    identifiers — keyword matching consults it repeatedly — and aliases
+    ``text`` for every other kind.
+    """
+
+    __slots__ = ("kind", "text", "upper", "pos")
+
+    def __init__(self, kind: str, text: str, upper: str, pos: int):
+        self.kind = kind
+        self.text = text
+        self.upper = upper
+        self.pos = pos
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind!r}, {self.text!r}, pos={self.pos})"
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Token) and self.kind == other.kind
+                and self.text == other.text and self.pos == other.pos)
 
 
 def tokenize(sql: str) -> List[Token]:
     """Split ``sql`` into tokens; raises SqlSyntaxError on garbage."""
     tokens: List[Token] = []
-    pos = 0
-    while pos < len(sql):
-        match = _TOKEN_RE.match(sql, pos)
-        if match is None:
+    append = tokens.append
+    prev_end = 0
+    for match in _TOKEN_RE.finditer(sql):
+        pos = match.start()
+        if pos != prev_end:
             raise SqlSyntaxError(
-                f"unexpected character {sql[pos]!r} at offset {pos}")
+                f"unexpected character {sql[prev_end]!r} at offset {prev_end}")
+        prev_end = match.end()
         kind = match.lastgroup
+        if kind == "ws" or kind == "comment":
+            continue
         text = match.group()
-        if kind not in ("ws", "comment"):
-            if kind == "qident":
-                text = text[1:-1].replace('""', '"')
-                kind = "ident"
-            elif kind == "string":
-                text = text[1:-1].replace("''", "'")
-            tokens.append(Token(kind=kind, text=text, pos=pos))
-        pos = match.end()
-    tokens.append(Token(kind="eof", text="", pos=len(sql)))
+        if kind == "ident":
+            append(Token("ident", text, text.upper(), pos))
+        elif kind == "qident":
+            text = text[1:-1].replace('""', '"')
+            append(Token("ident", text, text.upper(), pos))
+        elif kind == "string":
+            text = text[1:-1].replace("''", "'")
+            append(Token("string", text, text, pos))
+        else:
+            append(Token(kind, text, text, pos))
+    if prev_end != len(sql):
+        raise SqlSyntaxError(
+            f"unexpected character {sql[prev_end]!r} at offset {prev_end}")
+    tokens.append(Token("eof", "", "", len(sql)))
     return tokens

@@ -17,9 +17,28 @@ from .lexer import Token, tokenize
 __all__ = ["parse", "parse_one"]
 
 
+#: Parsed-statement cache: SQL text -> statement list.  Workloads issue
+#: the same statement texts over and over (YCSB reuses a small key set;
+#: TPC-C cycles through a few hundred id combinations), and the AST is
+#: read-only after parse — nothing in the executor/optimizer assigns to
+#: node fields — so hits return the cached statements directly.
+#: Bounded: once full, novel statements simply parse uncached.
+_PARSE_CACHE: dict = {}
+_PARSE_CACHE_MAX = 4096
+
+
 def parse(sql: str) -> List[Any]:
-    """Parse a semicolon-separated script into a list of statements."""
-    return _Parser(tokenize(sql)).parse_script()
+    """Parse a semicolon-separated script into a list of statements.
+
+    Results are cached per SQL text; callers must treat the returned
+    list and its statements as immutable.
+    """
+    cached = _PARSE_CACHE.get(sql)
+    if cached is None:
+        cached = _Parser(tokenize(sql)).parse_script()
+        if len(_PARSE_CACHE) < _PARSE_CACHE_MAX:
+            _PARSE_CACHE[sql] = cached
+    return cached
 
 
 def parse_one(sql: str) -> Any:
@@ -37,24 +56,41 @@ class _Parser:
         self._index = 0
 
     # -- token plumbing ---------------------------------------------------------
+    #
+    # The helpers below index self._tokens directly instead of chaining
+    # through _peek: the parser runs on every workload statement and the
+    # extra frames dominated its profile.  self._index never passes the
+    # trailing eof token, so offset-0 reads need no bounds check.
 
     def _peek(self, offset: int = 0) -> Token:
+        if offset == 0:
+            return self._tokens[self._index]
         return self._tokens[min(self._index + offset, len(self._tokens) - 1)]
 
     def _next(self) -> Token:
-        token = self._peek()
+        token = self._tokens[self._index]
         if token.kind != "eof":
             self._index += 1
         return token
 
     def _at_keyword(self, *words: str) -> bool:
-        for i, word in enumerate(words):
-            token = self._peek(i)
+        tokens = self._tokens
+        index = self._index
+        last = len(tokens) - 1
+        for word in words:
+            token = tokens[index if index < last else last]
             if token.kind != "ident" or token.upper != word:
                 return False
+            index += 1
         return True
 
     def _accept_keyword(self, *words: str) -> bool:
+        if len(words) == 1:
+            token = self._tokens[self._index]
+            if token.kind == "ident" and token.upper == words[0]:
+                self._index += 1
+                return True
+            return False
         if self._at_keyword(*words):
             self._index += len(words)
             return True
@@ -68,7 +104,7 @@ class _Parser:
                 f"at offset {token.pos}")
 
     def _accept_op(self, op: str) -> bool:
-        token = self._peek()
+        token = self._tokens[self._index]
         if token.kind == "op" and token.text == op:
             self._index += 1
             return True
@@ -81,10 +117,11 @@ class _Parser:
                 f"expected {op!r}, found {token.text!r} at offset {token.pos}")
 
     def _expect_ident(self) -> str:
-        token = self._next()
+        token = self._tokens[self._index]
         if token.kind != "ident":
             raise SqlSyntaxError(
                 f"expected identifier, found {token.text!r} at {token.pos}")
+        self._index += 1
         return token.text
 
     # -- entry points -------------------------------------------------------------
@@ -100,50 +137,60 @@ class _Parser:
         return statements
 
     def _statement(self) -> Any:
-        if self._at_keyword("CREATE", "DATABASE"):
-            return self._create_database()
-        if self._at_keyword("CREATE", "TABLE"):
-            return self._create_table()
-        if self._at_keyword("CREATE", "UNIQUE", "INDEX") or \
-                self._at_keyword("CREATE", "INDEX"):
-            return self._create_index()
-        if self._at_keyword("ALTER", "DATABASE"):
-            return self._alter_database()
-        if self._at_keyword("ALTER", "TABLE"):
-            return self._alter_table()
-        if self._at_keyword("DROP", "TABLE"):
-            self._expect_keyword("DROP", "TABLE")
-            return ast.DropTable(name=self._expect_ident())
-        if self._at_keyword("INSERT"):
+        # Single dispatch on the leading keyword (the workload-hot DML
+        # first), then the original multi-word checks within a branch.
+        token = self._tokens[self._index]
+        keyword = token.upper if token.kind == "ident" else ""
+        if keyword == "INSERT":
             return self._insert()
-        if self._at_keyword("SELECT"):
+        if keyword == "SELECT":
             return self._select()
-        if self._at_keyword("UPDATE"):
+        if keyword == "UPDATE":
             return self._update()
-        if self._at_keyword("DELETE"):
+        if keyword == "DELETE":
             return self._delete()
-        if self._at_keyword("SHOW", "REGIONS"):
-            return self._show_regions()
-        if self._at_keyword("SHOW", "RANGES"):
-            self._expect_keyword("SHOW", "RANGES", "FROM", "TABLE")
-            return ast.ShowRanges(table=self._expect_ident())
-        if self._at_keyword("SHOW", "ZONE", "CONFIGURATION"):
-            self._expect_keyword("SHOW", "ZONE", "CONFIGURATION", "FOR",
-                                 "TABLE")
-            return ast.ShowZoneConfiguration(table=self._expect_ident())
-        if self._at_keyword("USE"):
+        if keyword == "CREATE":
+            if self._at_keyword("CREATE", "DATABASE"):
+                return self._create_database()
+            if self._at_keyword("CREATE", "TABLE"):
+                return self._create_table()
+            if self._at_keyword("CREATE", "UNIQUE", "INDEX") or \
+                    self._at_keyword("CREATE", "INDEX"):
+                return self._create_index()
+        elif keyword == "ALTER":
+            if self._at_keyword("ALTER", "DATABASE"):
+                return self._alter_database()
+            if self._at_keyword("ALTER", "TABLE"):
+                return self._alter_table()
+        elif keyword == "DROP":
+            if self._at_keyword("DROP", "TABLE"):
+                self._expect_keyword("DROP", "TABLE")
+                return ast.DropTable(name=self._expect_ident())
+        elif keyword == "SHOW":
+            if self._at_keyword("SHOW", "REGIONS"):
+                return self._show_regions()
+            if self._at_keyword("SHOW", "RANGES"):
+                self._expect_keyword("SHOW", "RANGES", "FROM", "TABLE")
+                return ast.ShowRanges(table=self._expect_ident())
+            if self._at_keyword("SHOW", "ZONE", "CONFIGURATION"):
+                self._expect_keyword("SHOW", "ZONE", "CONFIGURATION", "FOR",
+                                     "TABLE")
+                return ast.ShowZoneConfiguration(table=self._expect_ident())
+        elif keyword == "USE":
             self._expect_keyword("USE")
             return ast.UseDatabase(name=self._expect_ident())
-        if self._at_keyword("EXPLAIN"):
+        elif keyword == "EXPLAIN":
             self._expect_keyword("EXPLAIN")
             return ast.Explain(statement=self._statement())
-        if self._accept_keyword("BEGIN"):
+        elif keyword == "BEGIN":
+            self._index += 1
             return ast.Begin()
-        if self._accept_keyword("COMMIT"):
+        elif keyword == "COMMIT":
+            self._index += 1
             return ast.Commit()
-        if self._accept_keyword("ROLLBACK"):
+        elif keyword == "ROLLBACK":
+            self._index += 1
             return ast.Rollback()
-        token = self._peek()
         raise SqlSyntaxError(
             f"unsupported statement starting with {token.text!r} "
             f"at offset {token.pos}")
@@ -420,20 +467,35 @@ class _Parser:
 
     # -- expressions ----------------------------------------------------------------------
 
+    #: '!=' normalizes to '<>'; everything else maps to itself.
+    _CMP_OPS = {"<>": "<>", "!=": "<>", "<=": "<=", ">=": ">=",
+                "=": "=", "<": "<", ">": ">"}
+
     def _expression(self) -> Any:
         return self._and_expr()
 
     def _and_expr(self) -> Any:
-        parts = [self._comparison()]
+        left = self._comparison()
+        if not self._accept_keyword("AND"):
+            return left
+        parts = [left, self._comparison()]
         while self._accept_keyword("AND"):
             parts.append(self._comparison())
-        if len(parts) == 1:
-            return parts[0]
         return ast.LogicalAnd(parts=tuple(parts))
 
     def _comparison(self) -> Any:
         left = self._primary()
-        if self._accept_keyword("IN"):
+        token = self._tokens[self._index]
+        kind = token.kind
+        if kind == "op":
+            normalized = self._CMP_OPS.get(token.text)
+            if normalized is not None:
+                self._index += 1
+                right = self._primary()
+                return ast.Comparison(op=normalized, left=left, right=right)
+            return left
+        if kind == "ident" and token.upper == "IN":
+            self._index += 1
             self._expect_op("(")
             values = [self._primary()]
             while self._accept_op(","):
@@ -442,49 +504,31 @@ class _Parser:
             if not isinstance(left, ast.ColumnRef):
                 raise SqlSyntaxError("IN requires a column on the left")
             return ast.InList(column=left, values=tuple(values))
-        for op in ("<>", "!=", "<=", ">=", "=", "<", ">"):
-            if self._accept_op(op):
-                right = self._primary()
-                normalized = "<>" if op == "!=" else op
-                return ast.Comparison(op=normalized, left=left, right=right)
         return left
 
     def _primary(self) -> Any:
-        token = self._peek()
-        if token.kind == "op" and token.text in ("-", "+"):
-            sign = -1 if token.text == "-" else 1
-            self._next()
-            number = self._next()
-            if number.kind != "number":
-                raise SqlSyntaxError(
-                    f"expected number after {token.text!r} at {number.pos}")
-            value = (float(number.text) if "." in number.text
-                     else int(number.text))
-            return ast.Literal(sign * value)
-        if token.kind == "number":
-            self._next()
-            value = float(token.text) if "." in token.text else int(token.text)
-            return ast.Literal(value)
-        if token.kind == "string":
-            self._next()
+        token = self._tokens[self._index]
+        kind = token.kind
+        if kind == "number":
+            self._index += 1
+            text = token.text
+            return ast.Literal(float(text) if "." in text else int(text))
+        if kind == "string":
+            self._index += 1
             return ast.Literal(token.text)
-        if token.kind == "op" and token.text == "(":
-            self._next()
-            inner = self._expression()
-            self._expect_op(")")
-            return inner
-        if token.kind == "ident":
+        if kind == "ident":
             upper = token.upper
             if upper == "CASE":
                 return self._case_when()
             if upper in ("TRUE", "FALSE"):
-                self._next()
+                self._index += 1
                 return ast.Literal(upper == "TRUE")
             if upper == "NULL":
-                self._next()
+                self._index += 1
                 return ast.Literal(None)
             # function call or column reference
-            name = self._next().text
+            self._index += 1
+            name = token.text
             if self._accept_op("("):
                 args = []
                 if not self._accept_op(")"):
@@ -494,6 +538,22 @@ class _Parser:
                     self._expect_op(")")
                 return ast.FuncCall(name=name.lower(), args=tuple(args))
             return ast.ColumnRef(name=name)
+        if kind == "op":
+            text = token.text
+            if text == "-" or text == "+":
+                self._index += 1
+                number = self._next()
+                if number.kind != "number":
+                    raise SqlSyntaxError(
+                        f"expected number after {text!r} at {number.pos}")
+                value = (float(number.text) if "." in number.text
+                         else int(number.text))
+                return ast.Literal(-value if text == "-" else value)
+            if text == "(":
+                self._index += 1
+                inner = self._expression()
+                self._expect_op(")")
+                return inner
         raise SqlSyntaxError(
             f"unexpected token {token.text!r} at offset {token.pos}")
 

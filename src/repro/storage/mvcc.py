@@ -18,7 +18,8 @@ The read path implements the paper's visibility rules:
 
 from __future__ import annotations
 
-from bisect import bisect_right, insort_right
+from array import array
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -69,39 +70,88 @@ class ReadResult:
 
 
 class _KeyHistory:
-    """Version history of one key: ``versions`` sorted by timestamp
-    ascending, with the parallel ``tss`` timestamp list kept in lockstep
-    so every lookup is a direct bisect (no per-call key-list rebuild,
-    which dominated the read path's profile)."""
+    """Version history of one key, packed into flat parallel arrays.
 
-    __slots__ = ("versions", "tss", "intent")
+    Committed versions live in timestamp-ascending order across four
+    lockstep columns: ``phys`` (C doubles), ``logs`` (C int64s),
+    ``synth`` (byte flags) and ``values`` (payload objects).  Lookups
+    bisect the ``phys`` array directly — a C-level scan over unboxed
+    doubles, refined by logical tiebreak only inside a run of equal
+    physicals — and no :class:`Timestamp`/:class:`Version` objects are
+    allocated per stored version.  Timestamps are rematerialized only
+    at the API boundary (read results, error payloads).
+    """
+
+    __slots__ = ("phys", "logs", "synth", "values", "intent")
 
     def __init__(self):
-        self.versions: List[Version] = []
-        self.tss: List[Timestamp] = []
+        self.phys = array("d")          # physical ms, ascending
+        self.logs = array("q")          # logical tiebreaks
+        self.synth = bytearray()        # synthetic bits
+        self.values: List[Any] = []     # payloads (parallel)
         self.intent: Optional[Intent] = None
 
+    @property
+    def versions(self) -> List[Version]:
+        """Materialized view of the packed columns (tests, digests,
+        debugging — never the hot path)."""
+        return [Version(Timestamp(p, log, bool(s)), v)
+                for p, log, s, v in zip(self.phys, self.logs,
+                                        self.synth, self.values)]
+
+    def bisect_at_or_below(self, ts: Timestamp) -> int:
+        """Rightmost insertion point for ``ts``: count of stored
+        versions with timestamp ``<= ts``."""
+        phys = self.phys
+        p = ts.physical
+        idx = bisect_right(phys, p)
+        if idx and phys[idx - 1] == p:
+            # Refine inside the run of equal physicals.
+            logs = self.logs
+            lo = bisect_left(phys, p)
+            hi = idx
+            tie = ts.logical
+            while lo < hi:
+                mid = (lo + hi) >> 1
+                if logs[mid] <= tie:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            return lo
+        return idx
+
+    def ts_at(self, idx: int) -> Timestamp:
+        return Timestamp(self.phys[idx], self.logs[idx],
+                         bool(self.synth[idx]))
+
     def newest_at_or_below(self, ts: Timestamp) -> Optional[Version]:
-        idx = bisect_right(self.tss, ts)
+        idx = self.bisect_at_or_below(ts)
         if idx == 0:
             return None
-        return self.versions[idx - 1]
+        return Version(self.ts_at(idx - 1), self.values[idx - 1])
 
     def newest(self) -> Optional[Version]:
-        return self.versions[-1] if self.versions else None
+        if not self.phys:
+            return None
+        return Version(self.ts_at(len(self.phys) - 1), self.values[-1])
 
     def any_in_interval(self, lo: Timestamp, hi: Timestamp) -> Optional[Version]:
         """Newest committed version with ``lo < ts <= hi``, if any."""
-        idx = bisect_right(self.tss, hi)
+        idx = self.bisect_at_or_below(hi)
         if idx == 0:
             return None
-        candidate = self.versions[idx - 1]
-        return candidate if candidate.ts > lo else None
+        ts = self.ts_at(idx - 1)
+        return Version(ts, self.values[idx - 1]) if ts > lo else None
 
     def insert_version(self, version: Version) -> None:
-        idx = bisect_right(self.tss, version.ts)
-        self.versions.insert(idx, version)
-        self.tss.insert(idx, version.ts)
+        self.insert_at(version.ts, version.value)
+
+    def insert_at(self, ts: Timestamp, value: Any) -> None:
+        idx = self.bisect_at_or_below(ts)
+        self.phys.insert(idx, ts.physical)
+        self.logs.insert(idx, ts.logical)
+        self.synth.insert(idx, 1 if ts.synthetic else 0)
+        self.values.insert(idx, value)
 
 
 class MVCCStore:
@@ -163,14 +213,20 @@ class MVCCStore:
                 raise WriteIntentError(key, intent.txn_id, intent.ts)
 
         if uncertainty_limit is not None:
-            uncertain = history.any_in_interval(ts, uncertainty_limit)
-            if uncertain is not None:
-                raise ReadWithinUncertaintyIntervalError(key, uncertain.ts, ts)
+            uidx = history.bisect_at_or_below(uncertainty_limit)
+            if uidx:
+                uncertain_ts = history.ts_at(uidx - 1)
+                if uncertain_ts > ts:
+                    raise ReadWithinUncertaintyIntervalError(
+                        key, uncertain_ts, ts)
 
-        version = history.newest_at_or_below(ts)
-        if version is None or version.is_tombstone:
-            return ReadResult(None, version.ts if version else TS_ZERO)
-        return ReadResult(version.value, version.ts)
+        idx = history.bisect_at_or_below(ts)
+        if idx == 0:
+            return ReadResult(None, TS_ZERO)
+        value = history.values[idx - 1]
+        if value is None:  # tombstone
+            return ReadResult(None, history.ts_at(idx - 1))
+        return ReadResult(value, history.ts_at(idx - 1))
 
     def intent_for(self, key: Any) -> Optional[Intent]:
         history = self._data.get(key)
@@ -178,9 +234,9 @@ class MVCCStore:
 
     def newest_version_ts(self, key: Any) -> Timestamp:
         history = self._data.get(key)
-        if history is None or not history.versions:
+        if history is None or not history.phys:
             return TS_ZERO
-        return history.versions[-1].ts
+        return history.ts_at(len(history.phys) - 1)
 
     def changed_in_interval(self, key: Any, lo: Timestamp, hi: Timestamp,
                             txn_id: Optional[int] = None) -> bool:
@@ -213,9 +269,14 @@ class MVCCStore:
         intent = history.intent
         if intent is not None and intent.txn_id != txn_id:
             raise WriteIntentError(key, intent.txn_id, intent.ts)
-        newest = history.newest()
-        if newest is not None and newest.ts >= ts:
-            raise WriteTooOldError(key, newest.ts, ts)
+        phys = history.phys
+        if phys:
+            newest_p = phys[-1]
+            if newest_p > ts.physical or (
+                    newest_p == ts.physical
+                    and history.logs[-1] >= ts.logical):
+                raise WriteTooOldError(
+                    key, history.ts_at(len(phys) - 1), ts)
         return ts
 
     def put_intent(self, key: Any, ts: Timestamp, value: Any, txn_id: int,
@@ -246,26 +307,28 @@ class MVCCStore:
         history.intent = None
         self._count("mvcc.intents_resolved")
         if commit_ts is not None:
-            history.insert_version(Version(ts=commit_ts, value=intent.value))
+            history.insert_at(commit_ts, intent.value)
         return True
 
     def put_committed(self, key: Any, ts: Timestamp, value: Any) -> None:
         """Directly write a committed version (bulk loads, test fixtures)."""
-        self._history(key).insert_version(Version(ts=ts, value=value))
+        self._history(key).insert_at(ts, value)
 
     def clone(self) -> "MVCCStore":
         """A deep copy of this store (Raft snapshot transfer).
 
-        Version objects are immutable, so the copy shares them and only
-        duplicates the per-key list pair — the already-sorted history
-        representation is reused as-is, never rebuilt.
+        The packed columns are value arrays, so slicing duplicates the
+        already-sorted history representation wholesale — nothing is
+        re-encoded or re-sorted, and payload objects are shared.
         """
         other = MVCCStore(registry=self.registry)
         data = other._data
         for key, history in self._data.items():
             copied = _KeyHistory()
-            copied.versions = history.versions[:]
-            copied.tss = history.tss[:]
+            copied.phys = history.phys[:]
+            copied.logs = history.logs[:]
+            copied.synth = history.synth[:]
+            copied.values = history.values[:]
             intent = history.intent
             if intent is not None:
                 copied.intent = Intent(
@@ -310,7 +373,7 @@ class MVCCStore:
 
     def version_count(self, key: Any) -> int:
         history = self._data.get(key)
-        return len(history.versions) if history else 0
+        return len(history.phys) if history else 0
 
     def snapshot_at(self, ts: Timestamp) -> Dict[Any, Any]:
         """The committed state visible at ``ts`` (tests/debugging)."""

@@ -1,0 +1,114 @@
+"""The sweep farm's contract: parallel == sequential, byte for byte.
+
+Chaos/verify/scale/bench runs are deterministic from their job
+coordinates, so farming them across processes must be invisible in the
+output: the merged document from N workers is byte-identical to the
+sequential one.  These tests pin that, plus the merge canonicalization
+(ordering, nondeterministic-key scrubbing, job expansion).
+"""
+
+import json
+
+import pytest
+
+from repro.harness.farm import (
+    _scrub,
+    default_workers,
+    dumps_sweep,
+    merge_results,
+    run_farm,
+    run_job,
+    sweep_jobs,
+)
+
+
+class TestMergeCanonicalization:
+    def test_merge_orders_by_kind_scenario_seed(self):
+        records = [
+            {"kind": "verify", "scenario": "none", "seed": 1, "ok": True},
+            {"kind": "chaos", "scenario": "b", "seed": 0, "ok": True},
+            {"kind": "chaos", "scenario": "a", "seed": 2, "ok": True},
+            {"kind": "chaos", "scenario": "a", "seed": 0, "ok": True},
+        ]
+        doc = merge_results(records)
+        coords = [(r["kind"], r["scenario"], r["seed"])
+                  for r in doc["runs"]]
+        assert coords == sorted(coords)
+        assert doc["ok"] and doc["total"] == 4 and doc["failed"] == []
+
+    def test_merge_is_completion_order_independent(self):
+        records = [{"kind": "chaos", "scenario": f"s{i}", "seed": i % 3,
+                    "ok": i != 4} for i in range(8)]
+        import random
+        shuffled = records[:]
+        random.Random(7).shuffle(shuffled)
+        assert dumps_sweep(merge_results(records)) == \
+            dumps_sweep(merge_results(shuffled))
+        assert merge_results(records)["failed"] == ["chaos/s4/seed=1"]
+
+    def test_scrub_removes_wall_clock_fields_recursively(self):
+        record = {"ok": True, "wall_s": 1.23,
+                  "report": {"wall_s": 9.9, "events": 10,
+                             "runs": [{"pid": 4, "sim_ms": 1.0}]}}
+        assert _scrub(record) == {
+            "ok": True,
+            "report": {"events": 10, "runs": [{"sim_ms": 1.0}]}}
+
+    def test_default_workers(self):
+        assert default_workers(3) == 3
+        assert default_workers(None) >= 1
+        assert default_workers(None) <= 8
+
+
+class TestJobExpansion:
+    def test_sweep_jobs_cross_product(self):
+        jobs = sweep_jobs(["verify"], ["none", "crash-restart"], [0, 1, 2])
+        assert len(jobs) == 6
+        assert {(j["scenario"], j["seed"]) for j in jobs} == {
+            (name, seed) for name in ("none", "crash-restart")
+            for seed in (0, 1, 2)}
+
+    def test_sweep_jobs_bench_includes_both_obs_modes(self):
+        jobs = sweep_jobs(["bench"], ["kv"], [0])
+        assert {j["obs"] for j in jobs} == {"full", "off"}
+
+    def test_sweep_jobs_scale_has_no_scenario_axis(self):
+        jobs = sweep_jobs(["scale"], None, [0, 1])
+        assert jobs == [{"kind": "scale", "seed": 0, "quick": True},
+                        {"kind": "scale", "seed": 1, "quick": True}]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_jobs(["frobnicate"], None, [0])
+        with pytest.raises(ValueError):
+            run_job({"kind": "frobnicate"})
+
+
+#: The mandated guard set: seeds {0, 1, 2} x obs {full, off}.  Tiny
+#: scale keeps each run sub-second; determinism does not depend on it.
+_GUARD_JOBS = [{"kind": "bench", "workload": "kv", "seed": seed,
+                "obs": obs, "scale": 0.1}
+               for seed in (0, 1, 2) for obs in ("full", "off")]
+
+
+class TestFarmDeterminism:
+    def test_parallel_merge_byte_identical_to_sequential(self):
+        sequential = merge_results(run_farm(_GUARD_JOBS, workers=1))
+        parallel = merge_results(run_farm(_GUARD_JOBS, workers=2))
+        assert dumps_sweep(parallel) == dumps_sweep(sequential)
+        # And the document is genuinely free of wall-clock noise.
+        assert "wall_s" not in dumps_sweep(parallel)
+        assert parallel["total"] == 6 and parallel["ok"]
+
+    def test_bench_jobs_report_only_deterministic_fields(self):
+        record = run_job({"kind": "bench", "workload": "kv", "seed": 0,
+                          "obs": "off", "scale": 0.1})
+        report = record["report"]
+        assert "events_per_sec" not in report
+        assert "wall_s" not in report
+        assert report["events"] > 0 and report["ops"] > 0
+        # Same job, same bytes: the per-job payload itself is stable.
+        again = run_job({"kind": "bench", "workload": "kv", "seed": 0,
+                         "obs": "off", "scale": 0.1})
+        assert json.dumps(record, sort_keys=True) == \
+            json.dumps(again, sort_keys=True)

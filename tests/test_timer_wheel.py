@@ -1,0 +1,142 @@
+"""Timer-wheel scheduling must be indistinguishable from a plain heap.
+
+The simulator parks long-delay events in hierarchical wheel buckets and
+merges each bucket back into the heap before sim time reaches its
+window.  These tests pin the contract: dispatch order is the total
+order on ``(when, schedule sequence)`` — exactly what a pure heap
+gives — under random schedules, cancellations, re-entrant scheduling
+from callbacks, and tombstone compaction.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import core as sim_core
+from repro.sim.core import Simulator
+
+
+def _random_delay(rng: random.Random) -> float:
+    """Delays straddling every wheel regime: sub-threshold (heap),
+    fine-bucket, and coarse-bucket territory."""
+    bucket = rng.randrange(4)
+    if bucket == 0:
+        return rng.uniform(0.0, sim_core._WHEEL_MIN_DELAY * 1.5)
+    if bucket == 1:
+        return rng.uniform(sim_core._WHEEL_MIN_DELAY, sim_core._WHEEL_TICK * 4)
+    if bucket == 2:
+        return rng.uniform(sim_core._WHEEL_TICK, sim_core._WHEEL_COARSE * 1.5)
+    return rng.uniform(sim_core._WHEEL_COARSE, sim_core._WHEEL_COARSE * 20)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_wheel_matches_heap_order_static_schedule(seed):
+    rng = random.Random(seed)
+    sim = Simulator()
+    fired = []
+    expect = []
+    for i in range(500):
+        when = _random_delay(rng)
+        # (when, schedule order) is the reference heap's total order.
+        expect.append((when, i))
+        sim.call_at(when, fired.append, i)
+    sim.run()
+    expect.sort()
+    assert fired == [i for _, i in expect]
+    assert sim._wheel_count == 0
+    assert not sim._wheel_fine and not sim._wheel_coarse
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_wheel_matches_heap_order_with_cancellations(seed):
+    rng = random.Random(seed)
+    sim = Simulator()
+    fired = []
+    handles = []
+    expect = []
+    for i in range(400):
+        when = _random_delay(rng)
+        handles.append((when, i, sim.call_at(when, fired.append, i)))
+    cancelled = set()
+    for when, i, handle in handles:
+        if rng.random() < 0.4:
+            sim.cancel(handle)
+            cancelled.add(i)
+        else:
+            expect.append((when, i))
+    sim.run()
+    expect.sort()
+    assert fired == [i for _, i in expect]
+    assert not cancelled.intersection(fired)
+
+
+@pytest.mark.parametrize("seed", [0, 11])
+def test_wheel_matches_heap_order_reentrant(seed):
+    """Callbacks scheduling further wheel-range events mid-run exercise
+    the drain / floor interplay (insert into windows near the one being
+    drained)."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    fired = []
+    budget = [300]
+
+    def fire(label):
+        fired.append((sim.now, label))
+        while budget[0] > 0 and rng.random() < 0.6:
+            budget[0] -= 1
+            sim.call_after(_random_delay(rng), fire, budget[0])
+
+    for i in range(20):
+        sim.call_after(_random_delay(rng), fire, 10_000 + i)
+    sim.run()
+    times = [t for t, _ in fired]
+    assert times == sorted(times)
+    assert budget[0] == 0
+    assert sim._wheel_count == 0
+
+
+def test_wheel_respects_run_until():
+    sim = Simulator()
+    fired = []
+    sim.call_after(50.0, fired.append, "near")
+    sim.call_after(5_000.0, fired.append, "far")  # parked on the wheel
+    sim.run(until=1_000.0)
+    assert fired == ["near"]
+    assert sim.now == 1_000.0
+    sim.run()
+    assert fired == ["near", "far"]
+
+
+def test_compaction_never_drops_live_events():
+    """Mass-cancelling triggers compaction (heap + wheel buckets); every
+    surviving event must still fire, in order, exactly once."""
+    rng = random.Random(3)
+    sim = Simulator()
+    fired = []
+    live = []
+    handles = []
+    for i in range(1_500):
+        when = _random_delay(rng)
+        handles.append((when, i, sim.call_at(when, fired.append, i)))
+    for when, i, handle in handles:
+        if i % 5 == 0:
+            live.append((when, i))
+        else:
+            sim.cancel(handle)  # 1200 tombstones: compaction must kick in
+    assert sim._tombstones < 1_200  # compaction actually ran
+    sim.run()
+    live.sort()
+    assert fired == [i for _, i in live]
+
+
+def test_tombstones_on_wheel_are_dropped_at_drain():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_after(sim_core._WHEEL_COARSE * 2, fired.append, "x")
+    sim.call_after(sim_core._WHEEL_COARSE * 3, fired.append, "y")
+    assert sim._wheel_count == 2
+    sim.cancel(handle)
+    sim.run()
+    assert fired == ["y"]
+    assert sim._tombstones == 0
+    assert sim._wheel_count == 0
