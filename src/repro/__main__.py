@@ -11,9 +11,11 @@ Usage::
     python -m repro chaos all --seeds 5 [--json] [--parallel N]
     python -m repro sweep [--kinds chaos,verify] [--seeds K] [--parallel N]
     python -m repro verify [--scenario NAME|all|clock] [--seed N] [--json]
+    python -m repro verify --scenario all --protocol epoch-occ --seeds 5
     python -m repro verify --check history.json
     python -m repro repair [--seed N] [--scenario NAME]
     python -m repro rebalance [--seeds K] [--json] [--update-golden]
+    python -m repro protocols [--seeds K] [--json] [--update-golden]
     python -m repro trace [--workload movr] [--scenario NAME] [--seed N]
     python -m repro metrics [--workload movr] [--scenario NAME] [--json]
     python -m repro bench [--workload kv] [--obs off] [--scale 0.5]
@@ -27,6 +29,10 @@ reports liveness transitions, repair actions, and time-to-repair.
 ``trace`` runs a deterministic workload (or chaos scenario) and prints
 the span tree with the critical path and commit-wait breakdown;
 ``metrics`` prints the unified registry snapshot for the same runs.
+``chaos`` and ``verify`` accept ``--protocol epoch-occ`` to run their
+scenarios on the optimistic transaction backend; ``protocols`` runs
+both backends head-to-head on the identical workload and nemesis
+schedule and checks per-(protocol, seed) golden fingerprints.
 """
 
 from __future__ import annotations
@@ -142,10 +148,15 @@ def _chaos_main(argv) -> int:
                         help="farm runs across N worker processes "
                              "(deterministic merge; per-run text output "
                              "is summarized)")
+    parser.add_argument("--protocol", default="crdb",
+                        choices=["crdb", "epoch-occ"],
+                        help="transaction backend the scenario's clients "
+                             "run on (default crdb)")
     args = parser.parse_args(argv)
 
     from .chaos import SCENARIOS, run_scenario
 
+    protocol = None if args.protocol == "crdb" else args.protocol
     if args.scenario == "list":
         for name in sorted(SCENARIOS):
             print(name)
@@ -155,15 +166,28 @@ def _chaos_main(argv) -> int:
         if name not in SCENARIOS:
             print(f"unknown scenario {name!r} (try 'list')", file=sys.stderr)
             return 2
+    if protocol is not None:
+        # The open-loop overload scenarios drive their own harness and
+        # take no protocol override; drop them from 'all' with a note.
+        skipped = [n for n in names if n.startswith("overload")]
+        if skipped:
+            if args.scenario != "all":
+                print(f"{args.scenario!r} does not support --protocol "
+                      f"(open-loop overload harness)", file=sys.stderr)
+                return 2
+            names = [n for n in names if not n.startswith("overload")]
+            print(f"[skipping {', '.join(skipped)}: no protocol override]",
+                  file=sys.stderr)
     seeds = list(range(args.seeds)) if args.seeds > 1 else [args.seed]
     if args.parallel > 1:
-        return _farmed_runs("chaos", names, seeds, args.parallel, args.json)
+        return _farmed_runs("chaos", names, seeds, args.parallel, args.json,
+                            protocol=protocol)
     violated = False
     runs = []
     for name in names:
         for seed in seeds:
             start = time.time()
-            result = run_scenario(name, seed)
+            result = run_scenario(name, seed, txn_protocol=protocol)
             if args.json:
                 record = result.to_json()
                 record["wall_s"] = round(time.time() - start, 2)
@@ -178,7 +202,8 @@ def _chaos_main(argv) -> int:
     return 1 if violated else 0
 
 
-def _farmed_runs(kind: str, names, seeds, workers: int, as_json: bool) -> int:
+def _farmed_runs(kind: str, names, seeds, workers: int, as_json: bool,
+                 protocol=None) -> int:
     """Shared ``--parallel`` path for the chaos and verify CLIs."""
     from .harness.farm import (dumps_sweep, merge_results, render_sweep,
                                run_farm)
@@ -186,6 +211,9 @@ def _farmed_runs(kind: str, names, seeds, workers: int, as_json: bool) -> int:
     start = time.time()
     jobs = [{"kind": kind, "scenario": name, "seed": seed}
             for name in names for seed in seeds]
+    if protocol is not None:
+        for job in jobs:
+            job["protocol"] = protocol
     doc = merge_results(run_farm(jobs, workers=workers))
     if as_json:
         print(dumps_sweep(doc))
@@ -224,9 +252,15 @@ def _verify_main(argv) -> int:
                         help="farm runs across N worker processes "
                              "(deterministic merge; incompatible with "
                              "--dump)")
+    parser.add_argument("--protocol", default="crdb",
+                        choices=["crdb", "epoch-occ"],
+                        help="transaction backend the workload runs on; "
+                             "with epoch-occ, --scenario all means the "
+                             "differential OCC sweep set (default crdb)")
     args = parser.parse_args(argv)
 
-    from .verify import VERIFY_SCENARIOS, VerifyHistory, check, run_verify
+    from .verify import (OCC_ABLATION_SCENARIO, OCC_SWEEP_SCENARIOS,
+                         VERIFY_SCENARIOS, VerifyHistory, check, run_verify)
     from .verify.generator import CLOCK_SCENARIOS
 
     if args.check is not None:
@@ -235,14 +269,16 @@ def _verify_main(argv) -> int:
         print(report.dumps() if args.json else report.render())
         return 0 if report.ok else 1
 
+    protocol = None if args.protocol == "crdb" else args.protocol
     if args.scenario == "list":
-        for name in ["none"] + VERIFY_SCENARIOS:
+        for name in ["none"] + VERIFY_SCENARIOS + [OCC_ABLATION_SCENARIO]:
             print(name)
         return 0
-    names = (VERIFY_SCENARIOS if args.scenario == "all"
+    names = ((OCC_SWEEP_SCENARIOS if protocol == "epoch-occ"
+              else VERIFY_SCENARIOS) if args.scenario == "all"
              else list(CLOCK_SCENARIOS) if args.scenario == "clock"
              else [args.scenario])
-    valid = set(VERIFY_SCENARIOS) | {"none"}
+    valid = set(VERIFY_SCENARIOS) | {"none", OCC_ABLATION_SCENARIO}
     for name in names:
         if name not in valid:
             print(f"unknown scenario {name!r} (try 'list')",
@@ -256,14 +292,14 @@ def _verify_main(argv) -> int:
                   file=sys.stderr)
             return 2
         return _farmed_runs("verify", names, seeds, args.parallel,
-                            args.json)
+                            args.json, protocol=protocol)
     violated = False
     dumped = False
     runs = []
     for name in names:
         for seed in seeds:
             start = time.time()
-            result = run_verify(name, seed)
+            result = run_verify(name, seed, protocol=protocol)
             if args.json:
                 record = result.to_json()
                 record["wall_s"] = round(time.time() - start, 2)
@@ -388,6 +424,64 @@ def _rebalance_main(argv) -> int:
             print(render_rebalance(entry["elastic"]))
             print(render_rebalance(entry["legacy"]))
             print()
+        if args.update_golden:
+            print("golden fingerprints updated")
+        elif failures:
+            print("GOLDEN FINGERPRINT MISMATCHES:")
+            for failure in failures:
+                print(f"  {failure}")
+        elif not args.no_golden:
+            print("fingerprints match committed golden")
+    return 0 if suite["ok"] and not failures else 1
+
+
+def _protocols_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro protocols",
+        description="Run the transaction-protocol head-to-head: both "
+                    "TxnProtocol backends (crdb, epoch-occ) drive the "
+                    "same seeded contended workload on the same cluster "
+                    "build with a partition-leaseholder nemesis mid-run, "
+                    "reporting p50/p99 commit latency, abort rates, and "
+                    "the commit-wait vs epoch-wait breakdown — checked "
+                    "against committed per-(protocol, seed) golden "
+                    "fingerprints (PROTOCOLS_golden.json).")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="single seed to run (default: the golden "
+                             "set 0,1,2)")
+    parser.add_argument("--seeds", type=int, default=None, metavar="K",
+                        help="run seeds 0..K-1")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the machine-readable suite document")
+    parser.add_argument("--update-golden", action="store_true",
+                        help="promote this run's fingerprints to the "
+                             "committed golden file")
+    parser.add_argument("--no-golden", action="store_true",
+                        help="skip the golden-fingerprint comparison "
+                             "(the counter audit still applies)")
+    args = parser.parse_args(argv)
+
+    from .harness.protocols import (GOLDEN_SEEDS, check_protocols_golden,
+                                    render_protocols, run_protocols_suite,
+                                    update_protocols_golden)
+
+    if args.seeds is not None:
+        seeds = list(range(args.seeds))
+    elif args.seed is not None:
+        seeds = [args.seed]
+    else:
+        seeds = list(GOLDEN_SEEDS)
+    suite = run_protocols_suite(seeds)
+    failures = []
+    if args.update_golden:
+        update_protocols_golden(suite)
+    elif not args.no_golden:
+        failures = check_protocols_golden(suite)
+    if args.json:
+        suite["golden_failures"] = failures
+        print(json.dumps(suite, indent=2, sort_keys=True))
+    else:
+        print(render_protocols(suite))
         if args.update_golden:
             print("golden fingerprints updated")
         elif failures:
@@ -697,6 +791,8 @@ def main(argv=None) -> int:
         return _repair_main(argv[1:])
     if argv and argv[0] == "rebalance":
         return _rebalance_main(argv[1:])
+    if argv and argv[0] == "protocols":
+        return _protocols_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
     if argv and argv[0] == "metrics":

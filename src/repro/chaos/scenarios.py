@@ -137,12 +137,17 @@ class ChaosHarness:
                  repair_interval_ms: float = 200.0,
                  clock_monitor: bool = False,
                  fence_enabled: bool = True,
-                 elastic: bool = False):
+                 elastic: bool = False,
+                 txn_protocol=None):
         self.seed = seed
         self.regions = list(regions or REGIONS)
         self.home = home
         self.cluster = standard_cluster(self.regions, seed=seed)
-        self.coord = TransactionCoordinator(self.cluster)
+        # txn_protocol=None keeps the CRDB default (and legacy event
+        # schedules byte-identical); "epoch-occ" runs the same nemesis
+        # schedules against the optimistic backend.
+        self.coord = TransactionCoordinator(self.cluster,
+                                            protocol=txn_protocol)
         self.ds = self.coord.distsender
         # Clock-safety monitor (off by default so legacy scenarios keep
         # their exact event schedules); clock scenarios turn it on.
@@ -557,6 +562,27 @@ def _asym_partition_faults(harness) -> List[FaultEvent]:
         heal_at_ms=1400.0)]
 
 
+def _partition_leaseholder_faults(harness) -> List[FaultEvent]:
+    """Symmetrically partition exactly the node holding the lease.
+
+    The victim stays up — it just can't talk to anyone: the lease must
+    fail over (the old leaseholder cannot heartbeat its liveness), the
+    deposed node must not serve stale reads or ack writes into the
+    void, and on heal it rejoins as a follower and catches up."""
+    faults = harness.cluster.network.faults
+    victim = harness.range.leaseholder_node_id
+    peers = [n.node_id for n in harness.cluster.nodes
+             if n.node_id != victim]
+    return [FaultEvent(
+        name=f"partition-lease:n{victim}",
+        at_ms=250.0,
+        inject=lambda: [faults.cut_link(victim, p, bidirectional=True)
+                        for p in peers],
+        heal_at_ms=1400.0,
+        heal=lambda: [faults.heal_link(victim, p, bidirectional=True)
+                      for p in peers])]
+
+
 def _crash_restart_faults(harness) -> List[FaultEvent]:
     cluster = harness.cluster
     follower = _non_lease_follower(harness)
@@ -684,6 +710,7 @@ FAULT_BUILDERS: Dict[str, Callable[[Any], List[FaultEvent]]] = {
     "flaky-wan": _flaky_wan_faults,
     "gray-follower": _gray_follower_faults,
     "asym-partition": _asym_partition_faults,
+    "partition-leaseholder": _partition_leaseholder_faults,
     "crash-restart": _crash_restart_faults,
     "split-under-fire": _split_under_fire_faults,
     "kill-node-repair": _kill_node_faults,
@@ -702,59 +729,71 @@ def build_faults(name: str, harness) -> List[FaultEvent]:
 # -- built-in scenarios ------------------------------------------------------
 
 
-def _region_blackout(seed: int) -> ScenarioResult:
+def _region_blackout(seed: int, txn_protocol=None) -> ScenarioResult:
     """The home region (leaseholder included) goes dark, then returns.
 
     SURVIVE REGION FAILURE + automatic lease failover must keep the
     database available from the surviving regions with no operator
     action, and the healed region must catch back up.
     """
-    harness = ChaosHarness(seed)
+    harness = ChaosHarness(seed, txn_protocol=txn_protocol)
     return harness.run("region-blackout",
                        build_faults("region-blackout", harness))
 
 
-def _rolling_zones(seed: int) -> ScenarioResult:
+def _rolling_zones(seed: int, txn_protocol=None) -> ScenarioResult:
     """One zone per region crash-restarts in a rolling wave."""
-    harness = ChaosHarness(seed)
+    harness = ChaosHarness(seed, txn_protocol=txn_protocol)
     return harness.run("rolling-zones",
                        build_faults("rolling-zones", harness))
 
 
-def _flaky_wan(seed: int) -> ScenarioResult:
+def _flaky_wan(seed: int, txn_protocol=None) -> ScenarioResult:
     """The home<->Europe WAN link drops 25% of packets and triples
     latency for a window; retries + Raft retransmission ride it out."""
-    harness = ChaosHarness(seed)
+    harness = ChaosHarness(seed, txn_protocol=txn_protocol)
     return harness.run("flaky-wan", build_faults("flaky-wan", harness))
 
 
-def _gray_follower(seed: int) -> ScenarioResult:
+def _gray_follower(seed: int, txn_protocol=None) -> ScenarioResult:
     """A non-leaseholder voter goes gray (20x slower, still up); nearest
     reads route through/around it without consistency loss."""
-    harness = ChaosHarness(seed)
+    harness = ChaosHarness(seed, txn_protocol=txn_protocol)
     return harness.run("gray-follower",
                        build_faults("gray-follower", harness),
                        read_routing=ReadRouting.NEAREST)
 
 
-def _asym_partition(seed: int) -> ScenarioResult:
+def _asym_partition(seed: int, txn_protocol=None) -> ScenarioResult:
     """Europe can't reach the home region but the home region can reach
     Europe (one-way cut) — the classic gray failure behind satellite
     bugfix #1; replies must not sneak through the cut direction."""
-    harness = ChaosHarness(seed)
+    harness = ChaosHarness(seed, txn_protocol=txn_protocol)
     return harness.run("asym-partition",
                        build_faults("asym-partition", harness))
 
 
-def _crash_restart(seed: int) -> ScenarioResult:
+def _crash_restart(seed: int, txn_protocol=None) -> ScenarioResult:
     """A follower crashes mid-run and restarts with its Raft log intact;
     it must catch up (resync) rather than diverge or stall the range."""
-    harness = ChaosHarness(seed)
+    harness = ChaosHarness(seed, txn_protocol=txn_protocol)
     return harness.run("crash-restart",
                        build_faults("crash-restart", harness))
 
 
-def _split_under_fire(seed: int) -> ScenarioResult:
+def _partition_leaseholder(seed: int, txn_protocol=None) -> ScenarioResult:
+    """The node holding the lease is symmetrically partitioned from
+    every peer (it stays up).  The lease must fail over and the deposed
+    node must not serve split-brain reads or writes; on heal it rejoins
+    as a follower.  The protocol-matrix CI job runs this under both
+    transaction backends — for epoch-OCC the partition additionally
+    races the epoch service's ordering/apply RPCs."""
+    harness = ChaosHarness(seed, txn_protocol=txn_protocol)
+    return harness.run("partition-leaseholder",
+                       build_faults("partition-leaseholder", harness))
+
+
+def _split_under_fire(seed: int, txn_protocol=None) -> ScenarioResult:
     """Hot-key load splits the range while its leaseholder crashes.
 
     The chaos range runs in elastic mode: the rebalance queue
@@ -765,13 +804,14 @@ def _split_under_fire(seed: int) -> ScenarioResult:
     ever be left unowned or doubly-owned by the split/merge machinery
     racing lease failover and repair.
     """
-    harness = ChaosHarness(seed, enable_repair=True, elastic=True)
+    harness = ChaosHarness(seed, enable_repair=True, elastic=True,
+                           txn_protocol=txn_protocol)
     return harness.run("split-under-fire",
                        build_faults("split-under-fire", harness),
                        inc_ops=20, read_ops=20)
 
 
-def _kill_node_repair(seed: int) -> ScenarioResult:
+def _kill_node_repair(seed: int, txn_protocol=None) -> ScenarioResult:
     """A non-leaseholder voter dies *permanently* — no heal ever comes.
 
     Store liveness must walk it LIVE → SUSPECT → DEAD, and the replicate
@@ -779,13 +819,14 @@ def _kill_node_repair(seed: int) -> ScenarioResult:
     diversity-maximizing survivor through the safe learner → snapshot →
     promote pipeline, with zero lost acked writes.
     """
-    harness = ChaosHarness(seed, enable_repair=True)
+    harness = ChaosHarness(seed, enable_repair=True,
+                           txn_protocol=txn_protocol)
     return harness.run("kill-node-repair",
                        build_faults("kill-node-repair", harness),
                        restart_dead_on_heal=False)
 
 
-def _region_loss_repair(seed: int) -> ScenarioResult:
+def _region_loss_repair(seed: int, txn_protocol=None) -> ScenarioResult:
     """The home region (leaseholder included) is lost *permanently*.
 
     The lease must fail over to a survivor, and the repair queue must
@@ -795,7 +836,8 @@ def _region_loss_repair(seed: int) -> ScenarioResult:
     zero lost acked writes.  Clients and the final audit live only in
     the surviving regions.
     """
-    harness = ChaosHarness(seed, enable_repair=True)
+    harness = ChaosHarness(seed, enable_repair=True,
+                           txn_protocol=txn_protocol)
     survivors = [r for r in harness.regions if r != harness.home]
     return harness.run("region-loss-repair",
                        build_faults("region-loss-repair", harness),
@@ -804,7 +846,7 @@ def _region_loss_repair(seed: int) -> ScenarioResult:
                        audit_regions=survivors)
 
 
-def _clock_drift(seed: int) -> ScenarioResult:
+def _clock_drift(seed: int, txn_protocol=None) -> ScenarioResult:
     """Two voters drift within the max-offset contract.
 
     The monitor measures the drift (exported via the per-node
@@ -812,12 +854,13 @@ def _clock_drift(seed: int) -> ScenarioResult:
     uncertainty machinery absorbs in-contract skew by design, and a
     monitor that fences healthy nodes is itself an availability bug.
     """
-    harness = ChaosHarness(seed, clock_monitor=True)
+    harness = ChaosHarness(seed, clock_monitor=True,
+                           txn_protocol=txn_protocol)
     return harness.run("clock-drift", build_faults("clock-drift", harness),
                        expect_fences=False)
 
 
-def _clock_jump_fence(seed: int) -> ScenarioResult:
+def _clock_jump_fence(seed: int, txn_protocol=None) -> ScenarioResult:
     """A voter's clock steps +800 ms, beyond the 250 ms contract, and
     never heals.
 
@@ -827,34 +870,44 @@ def _clock_jump_fence(seed: int) -> ScenarioResult:
     queue must repair its voter slot — the clock-outlier node is
     treated exactly like a dead one.
     """
-    harness = ChaosHarness(seed, enable_repair=True, clock_monitor=True)
+    harness = ChaosHarness(seed, enable_repair=True, clock_monitor=True,
+                           txn_protocol=txn_protocol)
     return harness.run("clock-jump-fence",
                        build_faults("clock-jump-fence", harness),
                        restart_dead_on_heal=False,
                        expect_fences=True)
 
 
-def _clock_freeze_lease(seed: int) -> ScenarioResult:
+def _clock_freeze_lease(seed: int, txn_protocol=None) -> ScenarioResult:
     """The leaseholder's clock freezes solid.
 
     Its measured peer offsets grow at 1 ms/ms until it fences itself
     and the lease fails over to a healthy voter; after the nemesis
     heals (step-syncing the clock) the node restarts and rejoins.
     """
-    harness = ChaosHarness(seed, clock_monitor=True)
+    harness = ChaosHarness(seed, clock_monitor=True,
+                           txn_protocol=txn_protocol)
     return harness.run("clock-freeze-lease",
                        build_faults("clock-freeze-lease", harness),
                        expect_fences=True)
 
 
-def _overload_global(seed: int) -> ScenarioResult:
+def _overload_global(seed: int, txn_protocol=None) -> ScenarioResult:
     # Imported lazily: chaos.overload builds on harness.openloop and
     # imports ScenarioResult from this module.
+    if txn_protocol is not None:
+        raise ValueError(
+            "overload scenarios drive the open-loop harness and do not "
+            "support a txn_protocol override")
     from .overload import overload_global
     return overload_global(seed)
 
 
-def _overload_hot_region(seed: int) -> ScenarioResult:
+def _overload_hot_region(seed: int, txn_protocol=None) -> ScenarioResult:
+    if txn_protocol is not None:
+        raise ValueError(
+            "overload scenarios drive the open-loop harness and do not "
+            "support a txn_protocol override")
     from .overload import overload_hot_region
     return overload_hot_region(seed)
 
@@ -865,6 +918,7 @@ SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {
     "flaky-wan": _flaky_wan,
     "gray-follower": _gray_follower,
     "asym-partition": _asym_partition,
+    "partition-leaseholder": _partition_leaseholder,
     "crash-restart": _crash_restart,
     "split-under-fire": _split_under_fire,
     "kill-node-repair": _kill_node_repair,
@@ -877,12 +931,18 @@ SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {
 }
 
 
-def run_scenario(name: str, seed: int = 0) -> ScenarioResult:
-    """Run one built-in scenario by name."""
+def run_scenario(name: str, seed: int = 0,
+                 txn_protocol=None) -> ScenarioResult:
+    """Run one built-in scenario by name.
+
+    ``txn_protocol`` selects the transaction backend ("crdb" default,
+    "epoch-occ"); None keeps every legacy schedule byte-identical."""
     try:
         scenario = SCENARIOS[name]
     except KeyError:
         raise KeyError(
             f"unknown chaos scenario {name!r}; "
             f"choose from {sorted(SCENARIOS)}") from None
-    return scenario(seed)
+    if txn_protocol is None:
+        return scenario(seed)
+    return scenario(seed, txn_protocol=txn_protocol)

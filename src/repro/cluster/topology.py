@@ -25,7 +25,8 @@ class Cluster:
     def __init__(self, sim: Simulator, network: Network,
                  max_clock_offset: float = 250.0,
                  skew_fraction: float = 0.5, seed: int = 0,
-                 raft_coalesce_ms: Optional[float] = None):
+                 raft_coalesce_ms: Optional[float] = None,
+                 txn_protocol=None):
         self.sim = sim
         self.network = network
         self.seed = seed
@@ -59,6 +60,15 @@ class Cluster:
         #: admission control is disabled and every gated path is a
         #: single attribute check — installed via ``install_admission``.
         self.admission = None
+        #: Cluster-default transaction protocol: anything
+        #: :func:`repro.txn.protocol.resolve_protocol` accepts ("crdb",
+        #: "epoch-occ", a TxnProtocol instance, or None for the CRDB
+        #: default).  Coordinators built without an explicit ``protocol``
+        #: inherit this.
+        self.txn_protocol = txn_protocol
+        #: Shared epoch-OCC sequencer (``repro.txn.epoch``); created
+        #: lazily by the first epoch-OCC coordinator on this cluster.
+        self.epoch_service = None
         self._next_node_id = 1
         self._next_range_id = 1
         self._keyspace = None
@@ -175,7 +185,8 @@ def standard_cluster(regions: Sequence[str],
                      seed: int = 0,
                      obs_enabled: bool = True,
                      trace_sample_every: int = 1,
-                     raft_coalesce_ms: Optional[float] = None) -> Cluster:
+                     raft_coalesce_ms: Optional[float] = None,
+                     txn_protocol=None) -> Cluster:
     """Build the paper's standard layout: one node per zone per region."""
     sim = Simulator(obs_enabled=obs_enabled,
                     trace_sample_every=trace_sample_every)
@@ -184,7 +195,8 @@ def standard_cluster(regions: Sequence[str],
     network = Network(sim, latency, seed=seed)
     cluster = Cluster(sim, network, max_clock_offset=max_clock_offset,
                       skew_fraction=skew_fraction, seed=seed,
-                      raft_coalesce_ms=raft_coalesce_ms)
+                      raft_coalesce_ms=raft_coalesce_ms,
+                      txn_protocol=txn_protocol)
     for region in regions:
         for i in range(nodes_per_region):
             zone = f"{region}-{chr(ord('a') + (i % zones_per_region))}"

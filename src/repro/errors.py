@@ -15,6 +15,7 @@ __all__ = [
     "ReadWithinUncertaintyIntervalError",
     "WriteTooOldError",
     "TransactionRetryError",
+    "TransactionValidationError",
     "TransactionAbortedError",
     "AmbiguousCommitError",
     "RangeUnavailableError",
@@ -85,6 +86,26 @@ class TransactionRetryError(DatabaseError):
     def __init__(self, reason: str, retry_ts=None):
         super().__init__(reason)
         self.retry_ts = retry_ts
+
+
+class TransactionValidationError(TransactionRetryError):
+    """An optimistic transaction failed commit-time validation: a key in
+    its read set changed between the read and the (epoch-ordered) commit
+    attempt.  Retryable — the restart re-reads current state — but kept
+    distinct from other restarts so abort-rate comparisons between
+    protocols can separate validation conflicts from e.g. refresh
+    failures or pushed locks."""
+
+    def __init__(self, txn_id: int, key=None, observed_ts=None,
+                 current_ts=None):
+        detail = f" on {key!r}" if key is not None else ""
+        super().__init__(
+            f"txn {txn_id}: optimistic validation failed{detail} "
+            f"(read {observed_ts}, now {current_ts})")
+        self.txn_id = txn_id
+        self.key = key
+        self.observed_ts = observed_ts
+        self.current_ts = current_ts
 
 
 class TransactionAbortedError(DatabaseError):

@@ -65,15 +65,20 @@ def run_job(job: Dict[str, Any]) -> Dict[str, Any]:
     the subsystem its job actually needs.
     """
     kind = job["kind"]
+    # Optional transaction-protocol override (the protocol-matrix CLI
+    # paths); absent for legacy jobs, keeping their records identical.
+    protocol = job.get("protocol")
     if kind == "chaos":
         from ..chaos import run_scenario
-        result = run_scenario(job["scenario"], job["seed"])
+        result = run_scenario(job["scenario"], job["seed"],
+                              txn_protocol=protocol)
         record = {"kind": kind, "scenario": job["scenario"],
                   "seed": job["seed"], "ok": bool(result.ok),
                   "report": result.to_json()}
     elif kind == "verify":
         from ..verify import run_verify
-        result = run_verify(job["scenario"], job["seed"])
+        result = run_verify(job["scenario"], job["seed"],
+                            protocol=protocol)
         record = {"kind": kind, "scenario": job["scenario"],
                   "seed": job["seed"], "ok": bool(result.ok),
                   "report": result.to_json()}
@@ -96,6 +101,8 @@ def run_job(job: Dict[str, Any]) -> Dict[str, Any]:
                              for key in _BENCH_DETERMINISTIC_KEYS}}
     else:
         raise ValueError(f"unknown sweep job kind {kind!r}")
+    if protocol is not None:
+        record["protocol"] = protocol
     return _scrub(record)
 
 

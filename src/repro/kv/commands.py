@@ -13,6 +13,7 @@ from typing import Any, Optional
 from ..sim.clock import Timestamp
 
 __all__ = [
+    "EpochOrderCommand",
     "PutIntentCommand",
     "ResolveIntentCommand",
     "SetTxnRecordCommand",
@@ -63,3 +64,18 @@ class SetTxnRecordCommand:
     txn_id: int
     status: str
     commit_ts: Optional[Timestamp]
+
+
+@dataclass(frozen=True)
+class EpochOrderCommand:
+    """Durably replicate one epoch's commit order (epoch-OCC backend).
+
+    The epoch service decides a total order over the epoch's
+    transactions and replicates that decision through Raft *before*
+    validating/applying any of them, so the order survives coordinator
+    failure.  Deliberately key-less: the decision is not tied to any
+    user key, so splits must never re-route its application.
+    """
+
+    epoch: int
+    txn_ids: tuple

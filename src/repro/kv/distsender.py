@@ -736,6 +736,21 @@ class DistSender:
                                                            span=_span),
             span=span, op="txn_record")
 
+    def epoch_order(self, gateway, token, epoch: int, txn_ids,
+                    span=None) -> Future:
+        """Replicate an epoch-OCC ordering decision on ``token``'s range.
+
+        No key: like transaction records, the decision is pinned to the
+        anchor range the epoch service chose, split or no split.  Safe
+        to retry — re-proposing the same epoch's order overwrites it
+        with identical content.
+        """
+        return self._leaseholder_call(
+            gateway, token,
+            lambda _rng, _span=None: _rng.serve_epoch_order(
+                epoch, tuple(txn_ids), span=_span),
+            span=span, op="epoch_order")
+
     def resolve_intent(self, gateway, token, key: Any, txn_id: int,
                        commit_ts: Optional[Timestamp], span=None) -> Future:
         return self._leaseholder_call(

@@ -35,6 +35,7 @@ from ..storage.mvcc import ReadResult
 from ..storage.tscache import TimestampCache
 from .closedts import ClosedTimestampPolicy, LagPolicy
 from .commands import (
+    EpochOrderCommand,
     PutIntentCommand,
     ResolveIntentCommand,
     SetTxnRecordCommand,
@@ -712,6 +713,16 @@ class Range:
         """Write the transaction record (commit/abort) on the anchor range."""
         entry = yield self._propose(SetTxnRecordCommand(
             txn_id=txn_id, status=status, commit_ts=commit_ts), span=span)
+        del entry
+        return None
+
+    def serve_epoch_order(self, epoch: int, txn_ids: tuple,
+                          span=None) -> Generator:
+        """Replicate an epoch-OCC commit-order decision (key-less: it is
+        anchored to whichever range the epoch service chose and is never
+        re-routed by splits)."""
+        entry = yield self._propose(EpochOrderCommand(
+            epoch=epoch, txn_ids=tuple(txn_ids)), span=span)
         del entry
         return None
 

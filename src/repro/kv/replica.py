@@ -17,6 +17,7 @@ from ..errors import (
 from ..sim.clock import TS_ZERO, Timestamp
 from ..storage.mvcc import MVCCStore, ReadResult
 from .commands import (
+    EpochOrderCommand,
     PutIntentCommand,
     ResolveIntentCommand,
     SetTxnRecordCommand,
@@ -43,6 +44,9 @@ class Replica:
         self.store = MVCCStore(registry=obs.registry if obs.enabled else None)
         #: Transaction records anchored on this range (replicated state).
         self.txn_records: Dict[int, TxnRecord] = {}
+        #: Epoch-OCC commit-order decisions anchored on this range
+        #: (replicated state): epoch -> ordered txn-id tuple.
+        self.epoch_orders: Dict[int, tuple] = {}
 
     # -- raft apply -----------------------------------------------------------
 
@@ -64,6 +68,8 @@ class Replica:
                 self.txn_records[command.txn_id] = record
             record.status = command.status
             record.commit_ts = command.commit_ts
+        elif isinstance(command, EpochOrderCommand):
+            self.epoch_orders[command.epoch] = command.txn_ids
         elif command == ("noop",):
             pass
         else:

@@ -67,15 +67,18 @@ class Engine:
     def __init__(self, cluster, side_transport_interval_ms: float = 100.0,
                  closed_ts_lag_ms: Optional[float] = None,
                  spanner_style_commit_wait: bool = False,
-                 seed: int = 0, recorder=None):
+                 seed: int = 0, recorder=None, txn_protocol=None):
         self.cluster = cluster
         self.catalog = Catalog()
         self.schema = SchemaChangeEngine(
             cluster, self.catalog,
             side_transport_interval_ms=side_transport_interval_ms,
             closed_ts_lag_ms=closed_ts_lag_ms)
+        # txn_protocol=None inherits the cluster default (which itself
+        # defaults to the CRDB pipeline).
         self.coordinator = TransactionCoordinator(
-            cluster, spanner_style_commit_wait=spanner_style_commit_wait)
+            cluster, spanner_style_commit_wait=spanner_style_commit_wait,
+            protocol=txn_protocol)
         #: Optional verify.HistoryRecorder: captures every transaction
         #: and stale-read statement for Elle-style anomaly checking.
         self.coordinator.recorder = recorder
@@ -242,6 +245,10 @@ class Session:
         self.tenant: Optional[str] = None
         #: Admission priority for this session's statements.
         self.priority: int = Priority.NORMAL
+        #: Per-session transaction-protocol override ("crdb",
+        #: "epoch-occ", or a TxnProtocol instance); None uses the
+        #: engine coordinator's default.
+        self.txn_protocol = None
 
     @property
     def region(self) -> str:
@@ -309,7 +316,7 @@ class Session:
         result, _commit_ts = yield from self.engine.coordinator.run(
             self.gateway, txn_fn, parent_span=parent_span,
             label=self.label, deadline_ms=deadline_ms,
-            tenant=self.tenant)
+            tenant=self.tenant, protocol=self.txn_protocol)
         return result
 
     def execute_stmt_co(self, stmt: Any) -> Generator:
@@ -385,7 +392,8 @@ class Session:
             if self._open_txn is not None:
                 raise SchemaError("transaction already open")
             self._open_txn = self.engine.coordinator.begin(
-                self.gateway, label=self.label)
+                self.gateway, label=self.label,
+                protocol=self.txn_protocol)
             return None
         if self._open_txn is None:
             raise SchemaError("no transaction open")

@@ -1,5 +1,17 @@
-"""Transaction coordination: serializable MVCC txns and commit wait."""
+"""Transaction layer: coordinator plus pluggable protocol backends."""
 
 from .coordinator import Transaction, TransactionCoordinator, TxnStats
+from .crdb import CrdbProtocol
+from .epoch import EpochOccProtocol
+from .protocol import PROTOCOL_NAMES, TxnProtocol, resolve_protocol
 
-__all__ = ["Transaction", "TransactionCoordinator", "TxnStats"]
+__all__ = [
+    "CrdbProtocol",
+    "EpochOccProtocol",
+    "PROTOCOL_NAMES",
+    "Transaction",
+    "TransactionCoordinator",
+    "TxnProtocol",
+    "TxnStats",
+    "resolve_protocol",
+]

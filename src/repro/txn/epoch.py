@@ -1,0 +1,609 @@
+"""Epoch-based optimistic concurrency control (ROADMAP item 3).
+
+An alternative :class:`~repro.txn.protocol.TxnProtocol` backend in the
+style of epoch-based OCC systems (Mao et al.; GeoGauss — see
+PAPERS.md): transactions execute *optimistically* at their gateway —
+reads fetch the latest committed version and are remembered in a read
+set, writes buffer locally and touch no locks — and commit by
+submitting to a cluster-wide :class:`EpochService` that batches
+submissions into fixed-width epochs.  When an epoch's boundary passes,
+the service:
+
+1. **orders** — replicates the epoch's transaction order through Raft
+   (:class:`~repro.kv.commands.EpochOrderCommand`) so the decision
+   survives coordinator failure;
+2. **validates** — serially, in the decided order, re-reads each
+   transaction's read set; any key whose latest version changed since
+   execution aborts the transaction with a retryable
+   :class:`~repro.errors.TransactionValidationError`;
+3. **applies** — lays the survivor's writes as intents, picks a commit
+   timestamp above every intent timestamp *and* every earlier commit
+   (so MVCC version order equals the decided serial order), and
+   resolves the intents before acknowledging.
+
+Within an epoch, transactions are partitioned into key-overlap
+conflict groups: groups touch disjoint keys, so they commit in
+parallel, while each group validates and applies strictly in the
+decided order against latest-committed state.  Epochs are barriers
+(epoch *n*+1 starts only after every group of epoch *n* finished), so
+the committed transactions remain equivalent to their serial execution
+in epoch order: conflict-serializable by construction.  The client-visible latency cost is **epoch wait** — the
+time from commit submission to acknowledgement (epoch remainder +
+ordering Raft round + validation/apply) — the protocol's analog of the
+CRDB pipeline's commit wait, exported as ``txn.epoch_wait_ms``.
+Future-time commit timestamps (GLOBAL ranges) additionally hold the
+acknowledgement until the gateway clock passes them, preserving the
+real-time recency guarantee commit wait provides; that wait runs off
+the serial path so it never stalls later epochs.
+
+Intents exist only inside the apply window, so lock-table waiters
+interoperate with CRDB-protocol transactions sharing the cluster: a
+pending epoch transaction is pushed through the same txn-registry
+machinery, and mixed-protocol conflicts resolve through the ordinary
+wait-or-push path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..errors import (
+    RangeUnavailableError,
+    TransactionAbortedError,
+    TransactionValidationError,
+)
+from ..sim.network import NetworkUnavailableError
+from ..kv.commands import TxnStatus
+from ..kv.distsender import ReadRouting
+from ..obs import NOOP_SPAN
+from ..sim.clock import TS_MAX, TS_ZERO, Timestamp
+from ..sim.core import Future, all_of, settle_all
+from .protocol import TxnProtocol
+
+__all__ = ["EpochOccProtocol", "EpochService", "EpochTransaction"]
+
+#: Default epoch width.  Short enough that epoch wait stays well under
+#: a WAN commit round trip; long enough that concurrent transactions
+#: actually share epochs (the batching the protocol banks on).
+DEFAULT_EPOCH_INTERVAL_MS = 25.0
+
+#: Errors that abort an epoch step retryably (the client resubmits into
+#: a later epoch).
+_EPOCH_RETRYABLE = (NetworkUnavailableError, RangeUnavailableError,
+                    TransactionAbortedError)
+
+
+class _BufferedRead:
+    """Recorder-compatible stand-in for a read served from the
+    transaction's own write buffer (no MVCC version exists yet)."""
+
+    __slots__ = ("value",)
+    ts = None
+    from_intent = False
+
+    def __init__(self, value: Any):
+        self.value = value
+
+
+class EpochService:
+    """Cluster-wide epoch sequencer: batches commit submissions into
+    fixed-width epochs and commits each epoch serially.
+
+    One service per cluster (shared by every epoch-OCC coordinator on
+    it, so the decided order covers all of them); created lazily by
+    :class:`EpochOccProtocol` on first use and attached to the cluster.
+    Epoch boundaries are scheduled on demand — an idle service has no
+    ticker process, so simulations still drain.
+    """
+
+    def __init__(self, cluster, distsender, interval_ms: float,
+                 validate: bool = True):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.ds = distsender
+        self.interval_ms = float(interval_ms)
+        #: The honest-falsification switch: with validation off the
+        #: service commits every submission blindly, and the verify
+        #: checker must convict the resulting lost updates.
+        self.validate = validate
+        #: epoch -> [(txn, ack future)] awaiting that epoch's boundary.
+        self._pending: Dict[int, List[Tuple["EpochTransaction", Future]]] = {}
+        #: Highest epoch whose boundary has passed (sealed).
+        self._sealed_through = -1
+        #: Sealed, not-yet-committed epochs, drained strictly in order.
+        self._queue: deque = deque()
+        self._draining = False
+        #: High-water commit timestamp: every commit lands above it, so
+        #: along any conflict chain (same keys — always one group, in
+        #: order) MVCC version order equals the decided serial order.
+        self._last_commit_ts: Timestamp = TS_ZERO
+        #: Every ordering decision, as decided: [(epoch, (txn_id, ...))].
+        self.order_log: List[Tuple[int, Tuple[int, ...]]] = []
+        self._seq = 0
+        registry = self.sim.obs.registry
+        self._c_epochs = registry.counter("txn.epochs_sealed")
+        self._c_validation_reads = registry.counter("txn.validation_reads")
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, txn: "EpochTransaction") -> Future:
+        """Enqueue a finished transaction for its epoch; resolves with
+        the commit timestamp, or rejects (validation conflict, fault)."""
+        now = self.sim.now
+        epoch = int(now // self.interval_ms)
+        if epoch <= self._sealed_through:
+            epoch = self._sealed_through + 1
+        bucket = self._pending.get(epoch)
+        if bucket is None:
+            bucket = self._pending[epoch] = []
+            boundary = (epoch + 1) * self.interval_ms
+            self.sim.call_after(max(boundary - now, 0.0), self._seal, epoch)
+        ack = Future(self.sim)
+        txn.epoch = epoch
+        txn.submitted_at_ms = now
+        bucket.append((txn, ack))
+        return ack
+
+    def _seal(self, epoch: int) -> None:
+        if epoch > self._sealed_through:
+            self._sealed_through = epoch
+        batch = self._pending.pop(epoch, [])
+        if not batch:
+            return
+        self._c_epochs.inc()
+        self._queue.append((epoch, batch))
+        if not self._draining:
+            self._draining = True
+            self.sim.spawn(self._drain(), name="epoch-service")
+
+    def _drain(self) -> Generator:
+        """Commit sealed epochs strictly in order, one at a time — the
+        serial schedule the serializability argument rests on."""
+        try:
+            while self._queue:
+                epoch, batch = self._queue.popleft()
+                yield from self._commit_epoch(epoch, batch)
+        finally:
+            self._draining = False
+
+    # -- the epoch pipeline --------------------------------------------------
+
+    def _commit_epoch(self, epoch: int, batch) -> Generator:
+        txn_ids = tuple(txn.txn_id for txn, _ack in batch)
+        self.order_log.append((epoch, txn_ids))
+        # Fallback RPC origin: the first submitter's gateway (alive at
+        # submission — a fixed service home could sit in a blacked-out
+        # region).  Write epochs re-home below.
+        origin = batch[0][0].gateway
+        # Replicate the ordering decision before acting on it.  Anchored
+        # on the first writer's first-write range; an all-read epoch
+        # decides nothing durable (nothing to recover).
+        anchor = None
+        for txn, _ack in batch:
+            if txn.write_buffer:
+                token, key = next(iter(txn.write_buffer))
+                anchor = (token, key)
+                break
+        if anchor is not None:
+            # The epoch sequencer runs *at the data*: ordering,
+            # validation and apply originate from the anchor range's
+            # leaseholder node, so the serial commit pipeline pays
+            # quorum rounds, not gateway WAN round trips.  (After a
+            # partition the stale leaseholder fails retryably until the
+            # lease — and with it the service origin — moves.)
+            leaseholder = self.ds.resolve(anchor[0],
+                                          anchor[1]).leaseholder_node
+            if leaseholder is not None:
+                origin = leaseholder
+            try:
+                yield self.ds.epoch_order(origin, anchor[0], epoch, txn_ids)
+            except _EPOCH_RETRYABLE as err:
+                for txn, ack in batch:
+                    txn.abort_reason = "retry"
+                    ack.reject(err)
+                return
+        for txn, _ack in batch:
+            txn.seq = self._seq
+            self._seq += 1
+        # Key-disjoint conflict groups commute, so they commit in
+        # parallel; within a group the decided order is strictly serial.
+        # The epoch itself is still a barrier — the next epoch's
+        # validation reads start only after every group has finished.
+        groups = self._conflict_groups(batch)
+        if len(groups) == 1:
+            yield from self._commit_group(origin, groups[0])
+        else:
+            procs = [self.sim.spawn(self._commit_group(origin, group),
+                                    name=f"epoch-{epoch}-g{index}")
+                     for index, group in enumerate(groups)]
+            yield all_of(self.sim, procs)
+
+    @staticmethod
+    def _conflict_groups(batch) -> List[list]:
+        """Partition the epoch's transactions into key-overlap groups
+        (union-find over read-set ∪ write-buffer keys), each group in
+        epoch order.  Transactions that share no key — directly or
+        transitively — can never invalidate each other's reads, so the
+        parallel schedule is equivalent to the decided serial one."""
+        parent = list(range(len(batch)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        owner: Dict[Any, int] = {}
+        for index, (txn, _ack) in enumerate(batch):
+            keys = {(token, key) for token, key, _obs in txn.read_set}
+            keys.update(txn.write_buffer)
+            for item in keys:
+                prev = owner.get(item)
+                if prev is None:
+                    owner[item] = index
+                else:
+                    ra, rb = find(prev), find(index)
+                    if ra != rb:
+                        parent[max(ra, rb)] = min(ra, rb)
+        buckets: Dict[int, list] = {}
+        order: List[int] = []
+        for index, entry in enumerate(batch):
+            root = find(index)
+            if root not in buckets:
+                buckets[root] = []
+                order.append(root)
+            buckets[root].append(entry)
+        return [buckets[root] for root in order]
+
+    def _commit_group(self, origin, group) -> Generator:
+        for txn, ack in group:
+            yield from self._commit_one(origin, txn, ack)
+
+    def _commit_one(self, origin, txn: "EpochTransaction",
+                    ack: Future) -> Generator:
+        if txn.status != TxnStatus.PENDING:
+            ack.reject(TransactionAbortedError(
+                f"txn {txn.txn_id} no longer pending at its epoch"))
+            return
+        # 1. Validate: every read-set version must still be the latest.
+        if self.validate and txn.read_set:
+            try:
+                conflict = yield from self._validate(origin, txn)
+            except _EPOCH_RETRYABLE as err:
+                txn.abort_reason = "retry"
+                ack.reject(err)
+                return
+            if conflict is not None:
+                token, key, observed_ts, current_ts = conflict
+                stats = txn.coordinator.stats
+                stats.validation_aborts += 1
+                recorder = txn.coordinator.recorder
+                if recorder is not None:
+                    recorder.on_validation_fail(txn, token, key,
+                                                observed_ts, current_ts)
+                ack.reject(TransactionValidationError(
+                    txn.txn_id, key=key, observed_ts=observed_ts,
+                    current_ts=current_ts))
+                return
+        # 2. Apply: lay intents, fix the commit timestamp, resolve.
+        if not txn.write_buffer:
+            commit_ts = self._last_commit_ts
+            for _token, _key, observed_ts in txn.read_set:
+                if observed_ts is not None and observed_ts > commit_ts:
+                    commit_ts = observed_ts
+            if commit_ts == TS_ZERO:
+                commit_ts = txn.read_ts
+            txn.commit_ts = commit_ts
+            txn.status = TxnStatus.COMMITTED
+            self.sim.spawn(self._ack_after_wait(txn, ack, commit_ts, origin),
+                           name=f"epoch-ack-{txn.txn_id}")
+            return
+        try:
+            commit_ts = yield from self._apply(origin, txn)
+        except _EPOCH_RETRYABLE as err:
+            txn.abort_reason = "retry"
+            ack.reject(err)
+            return
+        if commit_ts > self._last_commit_ts:
+            self._last_commit_ts = commit_ts
+        self.sim.spawn(self._ack_after_wait(txn, ack, commit_ts, origin),
+                       name=f"epoch-ack-{txn.txn_id}")
+
+    def _validate(self, origin, txn: "EpochTransaction") -> Generator:
+        """Re-read the read set (latest committed); returns the first
+        conflicting entry ``(token, key, observed_ts, current_ts)`` in
+        read order, or None if every version is unchanged."""
+        entries = txn.read_set
+        self._c_validation_reads.inc(len(entries))
+        futures = [
+            self.ds.read(origin, token, key, origin.clock.now(),
+                         txn_id=txn.txn_id, uncertainty_limit=TS_MAX,
+                         routing=ReadRouting.LEASEHOLDER,
+                         allow_server_side_bump=True, span=txn.span)
+            for token, key, _observed in entries
+        ]
+        results = yield all_of(self.sim, futures)
+        for (token, key, observed_ts), (result, _ts) in zip(entries, results):
+            current_ts = result.ts
+            if current_ts != observed_ts:
+                return (token, key, observed_ts, current_ts)
+        return None
+
+    def _apply(self, origin, txn: "EpochTransaction") -> Generator:
+        """Lay the write buffer as intents, commit above every earlier
+        commit, and resolve before acknowledging (so the next serial
+        step — and every post-ack reader — sees this state)."""
+        items = list(txn.write_buffer.items())
+        (first_token, first_key), _value = items[0]
+        anchor = self.ds.resolve(first_token, first_key)
+        txn.anchor = anchor
+        anchor_node = anchor.leaseholder_node_id or -1
+        base_ts = origin.clock.now()
+        futures = [
+            self.ds.write(origin, token, key, base_ts, value, txn.txn_id,
+                          anchor_node_id=anchor_node, span=txn.span)
+            for (token, key), value in items
+        ]
+        settled = yield settle_all(self.sim, futures)
+        first_error: Optional[BaseException] = None
+        commit_ts = self._last_commit_ts.next()
+        laid: List[Tuple[Any, Any]] = []
+        recorder = txn.coordinator.recorder
+        for fut, ((token, key), value) in zip(settled, items):
+            if fut.error is not None:
+                if first_error is None:
+                    first_error = fut.error
+                continue
+            written_ts = fut._value
+            laid.append((token, key))
+            if written_ts > commit_ts:
+                commit_ts = written_ts
+            if recorder is not None:
+                recorder.on_write(txn, token, key, value, written_ts)
+        if first_error is not None:
+            # Partial apply: abort cleanly — resolve whatever intents
+            # landed, then resubmit from scratch.
+            txn.status = TxnStatus.ABORTED
+            if laid:
+                try:
+                    yield self.ds.resolve_intents(origin, laid, txn.txn_id,
+                                                  None, span=txn.span)
+                except _EPOCH_RETRYABLE:
+                    pass  # orphans recovered by waiter pushes
+            raise first_error
+        txn.commit_ts = commit_ts
+        # COMMITTED before resolution, exactly like the CRDB pipeline:
+        # lock-table pushes consult the registry and may resolve for us.
+        txn.status = TxnStatus.COMMITTED
+        try:
+            yield self.ds.resolve_intents(origin, laid, txn.txn_id,
+                                          commit_ts, span=txn.span)
+        except _EPOCH_RETRYABLE:
+            # The transaction is durably committed the instant its
+            # status flips — a resolution failure (say, the partition
+            # landing mid-epoch) must NOT surface as a retryable abort,
+            # or the client re-runs an applied transaction (a phantom
+            # double-apply the counter audit convicts).  Leave the
+            # orphan intents: waiter pushes consult the registry and
+            # resolve them to the committed values.
+            pass
+        return commit_ts
+
+    def _ack_after_wait(self, txn: "EpochTransaction", ack: Future,
+                        commit_ts: Timestamp, origin) -> Generator:
+        """Acknowledge off the serial path.  The notification hop from
+        the service origin back to the submitting gateway is charged
+        explicitly (the decision is durable, so only latency — not
+        delivery — is modelled).  A future-time commit timestamp
+        (GLOBAL ranges) then holds the ack until the gateway clock
+        passes it — the recency obligation commit wait discharges in
+        the CRDB pipeline — without stalling later epochs."""
+        if origin.node_id != txn.gateway.node_id:
+            yield self.sim.sleep(self.cluster.network.one_way_latency(
+                origin, txn.gateway))
+        clock = txn.gateway.clock
+        if commit_ts.physical > clock.physical_now():
+            yield clock.wait_until(commit_ts)
+        stats = txn.coordinator.stats
+        stats.epoch_waits += 1
+        waited = self.sim.now - txn.submitted_at_ms
+        stats.epoch_wait_ms_total += waited
+        self.sim.obs.registry.histogram("txn.epoch_wait_ms").observe(waited)
+        ack.resolve(commit_ts)
+
+
+class EpochTransaction:
+    """One optimistic attempt: reads latest committed state, buffers
+    writes locally, commits through the cluster's epoch service."""
+
+    def __init__(self, coordinator, gateway, txn_id: int,
+                 service: EpochService, parent_span=None):
+        self.coordinator = coordinator
+        self.gateway = gateway
+        self.txn_id = txn_id
+        self.service = service
+        obs = coordinator.sim.obs
+        self.span = (obs.tracer.start_span(
+            "txn", parent=parent_span, txn_id=txn_id,
+            gateway=gateway.node_id, protocol="epoch-occ")
+            if obs.enabled else NOOP_SPAN)
+        self.read_ts: Timestamp = gateway.clock.now()
+        #: Read set for validation: [(token, key, observed version ts)].
+        #: Duplicate reads keep every observation — two reads of one key
+        #: that saw different versions can never both be latest at the
+        #: commit point, so validation rejects the interleaving.
+        self.read_set: List[Tuple[Any, Any, Optional[Timestamp]]] = []
+        #: Gateway-local write buffer: (token, key) -> value, in write
+        #: order.  No intents exist until the epoch applies.
+        self.write_buffer: Dict[Tuple[Any, Any], Any] = {}
+        self.anchor = None
+        self.status = TxnStatus.PENDING
+        self.commit_ts: Optional[Timestamp] = None
+        self.deadline_ms: Optional[float] = None
+        self.abort_reason: Optional[str] = None
+        #: Assigned at submission / ordering (property-test surface).
+        self.epoch: Optional[int] = None
+        self.seq: Optional[int] = None
+        self.submitted_at_ms: Optional[float] = None
+
+    @property
+    def _ds(self):
+        return self.coordinator.distsender
+
+    # -- reads ---------------------------------------------------------------
+
+    def read(self, rng, key: Any,
+             routing: str = ReadRouting.LEASEHOLDER) -> Generator:
+        """Optimistic read: latest committed version of ``key``.
+
+        Always served by the leaseholder (an unbounded read timestamp
+        can never be closed on a follower); the observed version joins
+        the read set for commit-time validation.
+        """
+        buffered = self.write_buffer.get((rng, key))
+        if buffered is not None or (rng, key) in self.write_buffer:
+            result = _BufferedRead(buffered)
+            recorder = self.coordinator.recorder
+            if recorder is not None:
+                recorder.on_read(self, rng, key, result)
+            return buffered
+        result, _effective_ts = yield self._ds.read(
+            self.gateway, rng, key, self.gateway.clock.now(),
+            txn_id=self.txn_id, uncertainty_limit=TS_MAX,
+            routing=ReadRouting.LEASEHOLDER, allow_server_side_bump=True,
+            span=self.span, deadline_ms=self.deadline_ms)
+        self.read_set.append((rng, key, result.ts))
+        recorder = self.coordinator.recorder
+        if recorder is not None:
+            recorder.on_read(self, rng, key, result)
+        return result.value
+
+    def read_batch(self, requests: List[Tuple[Any, Any]],
+                   routing: str = ReadRouting.LEASEHOLDER) -> Generator:
+        """Read several keys in parallel (latest committed versions)."""
+        if not requests:
+            return []
+        values: Dict[int, Any] = {}
+        fetch: List[Tuple[int, Any, Any]] = []
+        recorder = self.coordinator.recorder
+        for index, (rng, key) in enumerate(requests):
+            if (rng, key) in self.write_buffer:
+                buffered = self.write_buffer[(rng, key)]
+                values[index] = buffered
+                if recorder is not None:
+                    recorder.on_read(self, rng, key, _BufferedRead(buffered))
+            else:
+                fetch.append((index, rng, key))
+        if fetch:
+            futures = [
+                self._ds.read(self.gateway, rng, key,
+                              self.gateway.clock.now(), txn_id=self.txn_id,
+                              uncertainty_limit=TS_MAX,
+                              routing=ReadRouting.LEASEHOLDER,
+                              allow_server_side_bump=True,
+                              span=self.span, deadline_ms=self.deadline_ms)
+                for _index, rng, key in fetch
+            ]
+            results = yield all_of(self.coordinator.sim, futures)
+            for (index, rng, key), (result, _ts) in zip(fetch, results):
+                self.read_set.append((rng, key, result.ts))
+                values[index] = result.value
+                if recorder is not None:
+                    recorder.on_read(self, rng, key, result)
+        return [values[index] for index in range(len(requests))]
+
+    def locking_read(self, rng, key: Any) -> Generator:
+        """SELECT FOR UPDATE under OCC: there is no lock to take — the
+        read joins the read set and commit-time validation supplies the
+        same protection (any intervening writer aborts this txn)."""
+        value = yield from self.read(rng, key)
+        return value
+
+    # -- writes --------------------------------------------------------------
+
+    def write(self, rng, key: Any, value: Any) -> Generator:
+        """Buffer the write locally; intents are laid at epoch apply.
+
+        Recorded in the history at apply time (with its real intent
+        timestamp), so aborted optimistic transactions honestly show no
+        writes — none ever reached the KV layer.
+        """
+        self.write_buffer[(rng, key)] = value
+        return None
+        yield  # pragma: no cover - marks this function as a generator
+
+    def write_batch(self, items: List[Tuple[Any, Any, Any]]) -> Generator:
+        for rng, key, value in items:
+            self.write_buffer[(rng, key)] = value
+        return []
+        yield  # pragma: no cover - marks this function as a generator
+
+    def delete(self, rng, key: Any) -> Generator:
+        result = yield from self.write(rng, key, None)
+        return result
+
+    # -- commit / rollback ---------------------------------------------------
+
+    def commit(self) -> Generator:
+        """Submit to the epoch service; blocks (epoch wait) until the
+        epoch orders, validates, applies and acknowledges."""
+        if self.status != TxnStatus.PENDING:
+            raise TransactionAbortedError(f"txn {self.txn_id} not pending")
+        obs = self.coordinator.sim.obs
+        commit_span = (obs.tracer.start_span(
+            "txn.epoch_commit", parent=self.span, txn_id=self.txn_id,
+            writes=len(self.write_buffer)) if obs.enabled else NOOP_SPAN)
+        try:
+            commit_ts = yield self.service.submit(self)
+            commit_span.annotate(epoch=self.epoch)
+            recorder = self.coordinator.recorder
+            if recorder is not None:
+                recorder.on_commit(self)
+            return commit_ts
+        finally:
+            commit_span.finish(status=self.status)
+
+    def rollback(self) -> Generator:
+        """Abort before (or after a failed) submission.  Purely local:
+        no intents exist outside the epoch apply window, and a failed
+        apply already cleaned up after itself."""
+        if self.status != TxnStatus.PENDING:
+            return
+        self.status = TxnStatus.ABORTED
+        recorder = self.coordinator.recorder
+        if recorder is not None:
+            recorder.on_abort(self)
+        return
+        yield  # pragma: no cover - marks this function as a generator
+
+
+class EpochOccProtocol(TxnProtocol):
+    """Epoch-batched OCC backend, selectable via
+    ``Cluster(txn_protocol="epoch-occ")`` or an instance of this class
+    (for a custom epoch interval or the validation-off ablation)."""
+
+    name = "epoch-occ"
+    wait_kind = "epoch-wait"
+
+    def __init__(self, interval_ms: float = DEFAULT_EPOCH_INTERVAL_MS,
+                 validate: bool = True):
+        self.interval_ms = interval_ms
+        self.validate = validate
+
+    def service_for(self, coordinator) -> EpochService:
+        """The cluster's shared epoch service (one total order per
+        cluster, whichever coordinator touches it first creates it)."""
+        cluster = coordinator.cluster
+        service = getattr(cluster, "epoch_service", None)
+        if service is None:
+            service = EpochService(cluster, coordinator.distsender,
+                                   self.interval_ms, validate=self.validate)
+            cluster.epoch_service = service
+        return service
+
+    def begin(self, coordinator, gateway, txn_id: int,
+              parent_span=None) -> EpochTransaction:
+        return EpochTransaction(coordinator, gateway, txn_id,
+                                self.service_for(coordinator),
+                                parent_span=parent_span)

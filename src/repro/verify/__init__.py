@@ -17,6 +17,8 @@ replayable offline from a dumped file:
 from .checker import Anomaly, VerifyReport, check
 from .generator import (
     CLOCK_SCENARIOS,
+    OCC_ABLATION_SCENARIO,
+    OCC_SWEEP_SCENARIOS,
     VERIFY_SCENARIOS,
     VerifyHarness,
     VerifyResult,
@@ -28,7 +30,7 @@ from .recorder import HistoryRecorder
 __all__ = [
     "Anomaly", "VerifyReport", "check",
     "VerifyHarness", "VerifyResult", "run_verify", "VERIFY_SCENARIOS",
-    "CLOCK_SCENARIOS",
+    "CLOCK_SCENARIOS", "OCC_SWEEP_SCENARIOS", "OCC_ABLATION_SCENARIO",
     "RecordedOp", "RecordedTxn", "VerifyHistory",
     "HistoryRecorder",
 ]

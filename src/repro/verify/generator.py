@@ -42,7 +42,8 @@ from .history import VerifyHistory
 from .recorder import HistoryRecorder
 
 __all__ = ["VerifyHarness", "VerifyResult", "run_verify",
-           "VERIFY_SCENARIOS"]
+           "VERIFY_SCENARIOS", "OCC_SWEEP_SCENARIOS",
+           "OCC_ABLATION_SCENARIO"]
 
 #: The chaos schedules the randomized isolation sweep runs under (the
 #: two *-repair scenarios permanently lose nodes and have their own
@@ -68,6 +69,30 @@ VERIFY_SCENARIOS = [
 #: the run *passes* iff the checker reports the real-time/staleness
 #: anomalies the undefended jump really causes.
 CLOCK_SCENARIOS = ("clock-drift", "clock-jump", "clock-jump-nofence")
+
+#: The differential sweep the epoch-OCC backend must pass: the six
+#: heal-everything fault schedules, identical nemesis timelines to the
+#: CRDB-protocol sweep (``pytest -m verify_occ`` runs these x 5 seeds
+#: under ``protocol="epoch-occ"``).
+OCC_SWEEP_SCENARIOS = [
+    "region-blackout", "rolling-zones", "flaky-wan",
+    "gray-follower", "asym-partition", "crash-restart",
+]
+
+#: The epoch-OCC honest-falsification ablation: the identical optimistic
+#: pipeline with commit-time read-set validation disabled.  The run
+#: *passes* iff the checker convicts the blind write-write races the
+#: missing validation really causes (lost updates / write cycles) —
+#: proof the differential sweep's clean verdicts are earned by the
+#: validation step, not by checker blindness.
+OCC_ABLATION_SCENARIO = "occ-novalidate"
+
+#: Anomaly types the validation-off ablation must produce (at least
+#: one): the write-write races validation exists to prevent.
+OCC_ABLATION_REQUIRED_TYPES = frozenset({
+    "lost-update", "lost-write", "incompatible-order",
+    "G0", "G1c", "G-single", "G2",
+})
 
 #: How far beyond the 250 ms contract the jump scenarios step a clock.
 #: Sized so the stale window survives transaction latency: an acked
@@ -115,18 +140,27 @@ class VerifyResult:
     report: VerifyReport
     duration_ms: float
     stats: Dict[str, Any] = field(default_factory=dict)
-    #: Fencing-disabled ablation runs invert the verdict: the run
-    #: passes iff the checker caught at least one real-time/staleness
-    #: anomaly (and nothing worse) — proof the nemesis draws blood when
-    #: the defense is off.
+    #: Defense-disabled ablation runs invert the verdict: the run
+    #: passes iff the checker caught at least one anomaly of the kinds
+    #: the missing defense really permits (and nothing worse) — proof
+    #: the nemesis draws blood when the defense is off.
     expect_anomalies: bool = False
+    #: Ablations only: every reported anomaly must fall in this set.
+    allowed_anomaly_types: frozenset = REALTIME_ANOMALY_TYPES
+    #: Ablations only: at least one anomaly must fall in this set
+    #: (None: any non-empty allowed subset passes).
+    required_anomaly_types: Optional[frozenset] = None
 
     @property
     def ok(self) -> bool:
         if not self.expect_anomalies:
             return self.report.ok
         types = {a.type for a in self.report.anomalies}
-        return bool(types) and types <= REALTIME_ANOMALY_TYPES
+        if not types or not types <= self.allowed_anomaly_types:
+            return False
+        if self.required_anomaly_types is not None:
+            return bool(types & self.required_anomaly_types)
+        return True
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -152,10 +186,10 @@ class VerifyResult:
         if self.expect_anomalies:
             lines.append(
                 "  ablation verdict: " +
-                ("OK — the checker caught the undefended clock fault"
+                ("OK — the checker convicted the disabled defense"
                  if self.ok else
-                 "FAIL — expected real-time/staleness anomalies "
-                 "were not detected (or worse ones appeared)"))
+                 "FAIL — the expected anomalies were not detected "
+                 "(or disallowed ones appeared)"))
         return "\n".join(lines)
 
 
@@ -163,15 +197,20 @@ class VerifyHarness:
     """Cluster + three localized ranges + recorder + seeded clients."""
 
     def __init__(self, seed: int, regions: Optional[List[str]] = None,
-                 home: str = HOME):
+                 home: str = HOME, protocol=None):
         self.seed = seed
         self.regions = list(regions or REGIONS)
         self.home = home
         self.cluster = standard_cluster(self.regions, seed=seed)
-        self.coord = TransactionCoordinator(self.cluster)
+        self.coord = TransactionCoordinator(self.cluster, protocol=protocol)
+        #: The resolved backend instance — shared with the background
+        #: coordinator so a differential run is pure (one protocol end
+        #: to end).
+        self.protocol = self.coord.protocol
         self.ds = self.coord.distsender
         self.recorder = HistoryRecorder(self.cluster.sim)
         self.coord.recorder = self.recorder
+        self.recorder.meta["protocol"] = self.protocol.name
         secondary = next(r for r in self.regions if r != home)
         #: Zone config per range name (the clock-jump scenario's repair
         #: queue needs them to manage the ranges).
@@ -382,7 +421,8 @@ class VerifyHarness:
         # not enter the verified history (they touch only bg* keys) but
         # must share the cluster txn registry, so ids are kept disjoint.
         self._bg_coord = TransactionCoordinator(self.cluster,
-                                                txn_id_base=1_000_000)
+                                                txn_id_base=1_000_000,
+                                                protocol=self.protocol)
 
     def _bg_request(self, region: str, index: int, rng: random.Random):
         """One open-loop background request: gateway admission, then a
@@ -591,6 +631,7 @@ class VerifyHarness:
         nemesis = None
         overload = scenario == "overload"
         clock_scenario = scenario in CLOCK_SCENARIOS
+        occ_ablation = scenario == OCC_ABLATION_SCENARIO
         if overload:
             # The nemesis is load, not faults: saturating background
             # arrivals against the home store while admission control
@@ -609,6 +650,10 @@ class VerifyHarness:
             # merges reshape the primary range under the live workload.
             sim.spawn(self._split_merge_driver(start_ms + 6000.0),
                       name="split-merge-driver")
+        elif occ_ablation:
+            # The nemesis is the protocol itself: epoch-OCC with
+            # commit-time validation disabled; no faults injected.
+            pass
         elif scenario:
             nemesis = Nemesis(self.cluster, build_faults(scenario, self))
             nemesis.schedule(base_ms=start_ms)
@@ -647,6 +692,7 @@ class VerifyHarness:
             "messages_dropped": self.cluster.network.messages_dropped,
             "ambiguous_commits": self.coord.stats.ambiguous_commits,
             "txn_retries": self.coord.stats.aborted_retries,
+            "validation_aborts": self.coord.stats.validation_aborts,
         }
         if overload:
             stats["fg_shed"] = self._fg_shed
@@ -666,6 +712,20 @@ class VerifyHarness:
             if self.repair_queue is not None:
                 stats["repair_actions"] = \
                     self.repair_queue.metrics.total_actions()
+        if occ_ablation:
+            # The blind write-write races may also surface as a
+            # diverged final audit; recency/staleness noise is tolerated
+            # but never required.  Duplicate writes or garbage reads
+            # would mean the *protocol machinery* (not just validation)
+            # is broken, and fail even the ablation.
+            allowed = (OCC_ABLATION_REQUIRED_TYPES
+                       | REALTIME_ANOMALY_TYPES
+                       | frozenset({"final-state-divergence"}))
+            return VerifyResult(
+                scenario=scenario_name, seed=self.seed, history=history,
+                report=report, duration_ms=duration, stats=stats,
+                expect_anomalies=True, allowed_anomaly_types=allowed,
+                required_anomaly_types=OCC_ABLATION_REQUIRED_TYPES)
         return VerifyResult(scenario=scenario_name, seed=self.seed,
                             history=history, report=report,
                             duration_ms=duration, stats=stats,
@@ -674,12 +734,19 @@ class VerifyHarness:
 
 
 def run_verify(scenario: Optional[str] = None, seed: int = 0,
-               **kwargs) -> VerifyResult:
+               protocol=None, **kwargs) -> VerifyResult:
     """Run the randomized isolation/staleness verification workload.
 
     ``scenario`` is a chaos schedule name (``repro.chaos.SCENARIOS``) or
-    None for a fault-free run.
+    None for a fault-free run; ``protocol`` selects the transaction
+    backend ("crdb" default, "epoch-occ" for the differential sweep).
+    The ``occ-novalidate`` scenario forces the validation-off epoch-OCC
+    ablation regardless of ``protocol``.
     """
     if scenario in ("none", ""):
         scenario = None
-    return VerifyHarness(seed).run(scenario=scenario, **kwargs)
+    if scenario == OCC_ABLATION_SCENARIO:
+        from ..txn.epoch import EpochOccProtocol
+        protocol = EpochOccProtocol(validate=False)
+    return VerifyHarness(seed, protocol=protocol).run(scenario=scenario,
+                                                      **kwargs)

@@ -47,9 +47,15 @@ def ts_from_json(value: Optional[List[Any]]) -> Optional[Timestamp]:
 
 @dataclass
 class RecordedOp:
-    """One read or write inside a recorded transaction."""
+    """One operation inside a recorded transaction.
 
-    kind: str  # "r" | "w"
+    Kinds: ``"r"`` read, ``"w"`` write, ``"v"`` a failed epoch-OCC
+    validation (first-class in the history so differential runs can see
+    *why* an optimistic transaction aborted; the serializability and
+    real-time checkers ignore it).
+    """
+
+    kind: str  # "r" | "w" | "v"
     key: str   # "<range>/<key>"
     value: Any
     #: Reads: the MVCC timestamp of the observed version (TS_ZERO-like
@@ -95,6 +101,11 @@ class RecordedTxn:
     requested_ts: Optional[Timestamp] = None
     #: Stale reads: the timestamp actually served (negotiated/servable).
     effective_ts: Optional[Timestamp] = None
+    #: Aborted transactions: why — "retry" (retryable conflict, the
+    #: coordinator resubmits), "validation" (epoch-OCC read-set
+    #: validation failure, also retryable) or "fatal" (client error /
+    #: non-retryable).  None for non-aborted transactions.
+    abort_kind: Optional[str] = None
     ops: List[RecordedOp] = field(default_factory=list)
 
     def reads(self) -> List[RecordedOp]:
@@ -115,6 +126,7 @@ class RecordedTxn:
             "commit_ts": ts_to_json(self.commit_ts),
             "requested_ts": ts_to_json(self.requested_ts),
             "effective_ts": ts_to_json(self.effective_ts),
+            "abort_kind": self.abort_kind,
             "ops": [op.to_json() for op in self.ops],
         }
 
@@ -129,6 +141,7 @@ class RecordedTxn:
             commit_ts=ts_from_json(data["commit_ts"]),
             requested_ts=ts_from_json(data["requested_ts"]),
             effective_ts=ts_from_json(data["effective_ts"]),
+            abort_kind=data.get("abort_kind"),
             ops=[RecordedOp.from_json(op) for op in data["ops"]])
 
 

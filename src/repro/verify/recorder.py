@@ -25,6 +25,7 @@ from .history import (
     RecordedOp,
     RecordedTxn,
     VerifyHistory,
+    ts_to_json,
 )
 
 __all__ = ["HistoryRecorder"]
@@ -106,11 +107,31 @@ class HistoryRecorder:
         record.end_ms = self.sim.now
 
     def on_abort(self, txn) -> None:
+        """Abort, split by why: the coordinator's retry machinery tags
+        the transaction with ``abort_reason`` ("retry", "validation" or
+        "fatal") before rolling back; the history keeps the split so
+        retryable-validation aborts are distinguishable from client
+        errors instead of folding into one opaque abort kind."""
         record = self._record(txn)
         if record is None or record.status != _PENDING:
             return
         record.status = ABORTED
+        record.abort_kind = getattr(txn, "abort_reason", None) or "fatal"
         record.end_ms = self.sim.now
+
+    def on_validation_fail(self, txn, rng, key: Any, observed_ts,
+                           current_ts) -> None:
+        """An epoch-OCC read-set validation failure, recorded as a
+        first-class history op (kind "v"): ``value`` holds the version
+        the transaction read, ``version_ts`` the version that displaced
+        it.  The pure checkers ignore "v" ops; differential tooling uses
+        them to attribute abort causes."""
+        record = self._record(txn)
+        if record is None:
+            return
+        record.ops.append(RecordedOp(
+            kind="v", key=_full_key(rng, key), value=ts_to_json(observed_ts),
+            version_ts=current_ts, at_ms=self.sim.now))
 
     def on_indeterminate(self, txn) -> None:
         """An ambiguous commit: the writes may or may not have applied."""

@@ -1,0 +1,203 @@
+"""HistoryRecorder abort-kind unit tests.
+
+The recorder splits aborted transactions by *why*: retryable conflict
+("retry"), epoch-OCC validation failure ("validation"), or a fatal
+client error ("fatal").  These tests drive the hooks directly with
+stub objects — no cluster, no simulator — so each branch is pinned in
+isolation, including the JSON round-trip and ``finalize()``'s rule
+that op-less aborted transactions are dropped while aborted
+transactions that did real work are kept.
+"""
+
+import pytest
+
+from repro.sim.clock import Timestamp
+from repro.verify.history import (
+    ABORTED,
+    COMMITTED,
+    INDETERMINATE,
+    RecordedTxn,
+    VerifyHistory,
+    ts_to_json,
+)
+from repro.verify.recorder import HistoryRecorder
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+class FakeLocality:
+    def __init__(self, region):
+        self.region = region
+
+
+class FakeGateway:
+    def __init__(self, region="us-east1"):
+        self.locality = FakeLocality(region)
+
+
+class FakeRange:
+    name = "acct"
+
+
+class FakeTxn:
+    def __init__(self, txn_id, abort_reason=None, commit_ts=None):
+        self.txn_id = txn_id
+        if abort_reason is not None:
+            self.abort_reason = abort_reason
+        self.commit_ts = commit_ts
+
+
+@pytest.fixture
+def sim():
+    return FakeSim()
+
+
+@pytest.fixture
+def recorder(sim):
+    return HistoryRecorder(sim)
+
+
+def _begin(recorder, txn, label=None):
+    recorder.on_begin(txn, FakeGateway(), label)
+    return recorder._txns[txn.txn_id]
+
+
+class TestAbortKinds:
+    def test_validation_abort_kind(self, recorder, sim):
+        txn = FakeTxn(1, abort_reason="validation")
+        record = _begin(recorder, txn)
+        sim.now = 40.0
+        recorder.on_abort(txn)
+        assert record.status == ABORTED
+        assert record.abort_kind == "validation"
+        assert record.end_ms == 40.0
+
+    def test_retry_abort_kind(self, recorder):
+        txn = FakeTxn(2, abort_reason="retry")
+        record = _begin(recorder, txn)
+        recorder.on_abort(txn)
+        assert record.abort_kind == "retry"
+
+    def test_missing_reason_defaults_to_fatal(self, recorder):
+        txn = FakeTxn(3)  # no abort_reason attribute at all
+        record = _begin(recorder, txn)
+        recorder.on_abort(txn)
+        assert record.abort_kind == "fatal"
+
+    def test_none_reason_defaults_to_fatal(self, recorder):
+        txn = FakeTxn(4, abort_reason=None)
+        txn.abort_reason = None
+        record = _begin(recorder, txn)
+        recorder.on_abort(txn)
+        assert record.abort_kind == "fatal"
+
+    def test_abort_after_commit_is_ignored(self, recorder):
+        """The first terminal status wins; a late abort hook must not
+        clobber a committed record (e.g. rollback of a retry loop that
+        already acked)."""
+        txn = FakeTxn(5, abort_reason="retry",
+                      commit_ts=Timestamp(100.0, 0, False))
+        record = _begin(recorder, txn)
+        recorder.on_commit(txn)
+        recorder.on_abort(txn)
+        assert record.status == COMMITTED
+        assert record.abort_kind is None
+
+    def test_committed_txn_has_no_abort_kind(self, recorder):
+        txn = FakeTxn(6, commit_ts=Timestamp(50.0, 1, False))
+        record = _begin(recorder, txn)
+        recorder.on_commit(txn)
+        assert record.status == COMMITTED
+        assert record.abort_kind is None
+        assert record.commit_ts == Timestamp(50.0, 1, False)
+
+
+class TestValidationFailOp:
+    def test_records_v_op(self, recorder, sim):
+        txn = FakeTxn(7, abort_reason="validation")
+        record = _begin(recorder, txn)
+        sim.now = 75.0
+        observed = Timestamp(10.0, 0, False)
+        current = Timestamp(60.0, 2, False)
+        recorder.on_validation_fail(txn, FakeRange(), "k1", observed, current)
+        assert len(record.ops) == 1
+        op = record.ops[0]
+        assert op.kind == "v"
+        assert op.key == "acct/k1"
+        # value carries the version the txn read; version_ts the
+        # displacing version.
+        assert op.value == ts_to_json(observed)
+        assert op.version_ts == current
+        assert op.at_ms == 75.0
+
+    def test_unknown_txn_is_ignored(self, recorder):
+        txn = FakeTxn(99)
+        recorder.on_validation_fail(txn, FakeRange(), "k1",
+                                    Timestamp(1.0, 0, False),
+                                    Timestamp(2.0, 0, False))
+        # No on_begin -> no record, and no crash.
+        assert 99 not in recorder._txns
+
+
+class TestRoundTrip:
+    def test_abort_kind_survives_json(self, recorder, sim):
+        txn = FakeTxn(8, abort_reason="validation")
+        _begin(recorder, txn, label="rt")
+        recorder.on_validation_fail(txn, FakeRange(), "k",
+                                    Timestamp(5.0, 0, False),
+                                    Timestamp(9.0, 0, False))
+        sim.now = 12.5
+        recorder.on_abort(txn)
+        history = recorder.finalize()
+        restored = VerifyHistory.loads(history.dumps())
+        assert len(restored.txns) == 1
+        back = restored.txns[0]
+        assert back.status == ABORTED
+        assert back.abort_kind == "validation"
+        assert back.end_ms == 12.5
+        assert back.ops[0].kind == "v"
+        assert back.ops[0].version_ts == Timestamp(9.0, 0, False)
+
+    def test_from_json_tolerates_missing_abort_kind(self):
+        """Histories recorded before the split (no abort_kind field)
+        still load."""
+        legacy = {
+            "txn_id": 1, "label": "old", "region": "us-east1",
+            "mode": "strong", "status": ABORTED, "begin_ms": 0.0,
+            "end_ms": 1.0, "commit_ts": None, "requested_ts": None,
+            "effective_ts": None,
+            "ops": [{"kind": "r", "key": "acct/a", "value": 1,
+                     "version_ts": [0.5, 0, False], "at_ms": 0.5}],
+        }
+        record = RecordedTxn.from_json(legacy)
+        assert record.abort_kind is None
+        assert record.status == ABORTED
+
+
+class TestFinalize:
+    def test_opless_aborted_txns_are_dropped(self, recorder):
+        kept = FakeTxn(10, abort_reason="validation")
+        record = _begin(recorder, kept)
+        recorder.on_validation_fail(kept, FakeRange(), "k",
+                                    Timestamp(1.0, 0, False),
+                                    Timestamp(2.0, 0, False))
+        recorder.on_abort(kept)
+
+        dropped = FakeTxn(11, abort_reason="retry")
+        _begin(recorder, dropped)
+        recorder.on_abort(dropped)  # never did any work
+
+        history = recorder.finalize()
+        ids = [t.txn_id for t in history.txns]
+        assert ids == [10]
+        assert history.txns[0].abort_kind == "validation"
+
+    def test_pending_becomes_indeterminate(self, recorder):
+        txn = FakeTxn(12)
+        _begin(recorder, txn)
+        history = recorder.finalize()
+        assert history.txns[0].status == INDETERMINATE
+        assert history.txns[0].abort_kind is None
